@@ -1,0 +1,95 @@
+//! Report helpers for the bench binaries: aligned text tables and the
+//! geometric means the paper aggregates with.
+
+/// Geometric mean of positive values (the paper's "GM" columns). Returns 0
+/// for an empty slice; non-positive entries are skipped.
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// A minimal aligned text table (the bench binaries print paper-style rows;
+/// no external table crates per the dependency policy).
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}  ", cell, w = widths[c]));
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * cols)));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+        // Skips non-positive entries.
+        assert!((geomean(&[2.0, 8.0, 0.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["set", "speedup"]);
+        t.row(vec!["acl1".into(), "2.40x".into()]);
+        t.row(vec!["fw1-long-name".into(), "1.1x".into()]);
+        let s = t.render();
+        assert!(s.contains("set"));
+        assert!(s.lines().count() == 4);
+        // Columns aligned: both data lines place "speedup" column at the
+        // same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[2].find("2.40x").unwrap();
+        let col2 = lines[3].find("1.1x").unwrap();
+        assert_eq!(col, col2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench behind Table 1: single-submodel inference per
+//! instruction set, plus a full staged RQ-RMI prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nm_nn::Mlp;
+use nuevomatch::rqrmi::{detect, train_rqrmi, CompiledRqRmi, Isa, Kernel};
+use nuevomatch::RqRmiParams;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let net = Mlp::random(8, 42);
+    let kernel = Kernel::from_mlp(&net);
+    let mut group = c.benchmark_group("submodel_inference");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let isas: &[(&str, Isa)] = &[("serial", Isa::Scalar), ("sse4", Isa::Sse), ("avx8", Isa::Avx)];
+    for &(name, isa) in isas {
+        if isa == Isa::Avx && detect() != Isa::Avx {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &isa, |b, &isa| {
+            let mut x = 0.37f32;
+            b.iter(|| {
+                // Dependent chain: latency, not throughput.
+                x = kernel.forward_clamped(black_box(x) * 0.999 + 1e-4, isa);
+                x
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_predict(c: &mut Criterion) {
+    let ranges: Vec<nm_common::FieldRange> =
+        (0..10_000u64).map(|i| nm_common::FieldRange::new(i * 400_000, i * 400_000 + 200_000)).collect();
+    let model = train_rqrmi(&ranges, 32, &RqRmiParams::default()).expect("train");
+    let compiled = CompiledRqRmi::new(&model);
+    let mut group = c.benchmark_group("rqrmi_predict");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("staged_predict_10k_ranges", |b| {
+        let mut key = 123_456_789u64;
+        b.iter(|| {
+            key = key.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            compiled.predict(black_box(key & 0xffff_ffff))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_full_predict);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: per-packet classification cost of every engine on a
+//! 10K-rule ClassBench set (the micro view behind Figures 9 and 11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_bench::{nc_config, nm_tm};
+use nm_classbench::{generate, AppKind};
+use nm_common::Classifier;
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::NeuroCuts;
+use nm_trace::uniform_trace;
+use nm_tuplemerge::TupleMerge;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let set = generate(AppKind::Acl, 10_000, 0xbe9c4);
+    let trace = uniform_trace(&set, 10_000, 0x10c);
+    let engines: Vec<(&str, Box<dyn Classifier>)> = vec![
+        ("tm", Box::new(TupleMerge::build(&set))),
+        ("cs", Box::new(CutSplit::build(&set))),
+        ("nc", Box::new(NeuroCuts::with_config(&set, nc_config(true)))),
+        ("nm_tm", Box::new(nm_tm(&set))),
+    ];
+    let mut group = c.benchmark_group("classify_10k_acl");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, engine) in &engines {
+        group.bench_function(*name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = trace.key(i % trace.len());
+                i += 1;
+                black_box(engine.classify(black_box(key)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench behind Figure 15: RQ-RMI training cost per optimiser and
+//! error-bound target (small scale; the fig15 binary covers the big sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nm_common::FieldRange;
+use nm_nn::AdamConfig;
+use nuevomatch::rqrmi::train_rqrmi;
+use nuevomatch::{RqRmiParams, TrainerKind};
+
+fn ranges(n: u64) -> Vec<FieldRange> {
+    (0..n).map(|i| FieldRange::new(i * 1_000, i * 1_000 + 500)).collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let rs = ranges(2_000);
+    let mut group = c.benchmark_group("rqrmi_training_2k_ranges");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for (name, trainer) in [
+        ("hinge", TrainerKind::Hinge),
+        (
+            "hinge_adam",
+            TrainerKind::HingeThenAdam(AdamConfig { epochs: 30, ..Default::default() }),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("trainer", name), &trainer, |b, t| {
+            let params = RqRmiParams { trainer: *t, samples_init: 512, ..Default::default() };
+            b.iter(|| train_rqrmi(&rs, 32, &params).unwrap());
+        });
+    }
+
+    for bound in [64u32, 512] {
+        group.bench_with_input(BenchmarkId::new("bound", bound), &bound, |b, &bound| {
+            let params = RqRmiParams { error_target: bound, samples_init: 512, ..Default::default() };
+            b.iter(|| train_rqrmi(&rs, 32, &params).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench behind §5.3.5: multi-field validation cost as the field
+//! count grows (1 → 40).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nm_common::{FieldRange, FieldsSpec, LinearSearch, RuleSet, SplitMix64};
+use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
+use std::hint::black_box;
+
+fn build(nfields: usize) -> (NuevoMatch<LinearSearch>, Vec<Vec<u64>>) {
+    let mut rng = SplitMix64::new(nfields as u64);
+    let spec = FieldsSpec::uniform(nfields, 32);
+    let rows: Vec<Vec<FieldRange>> = (0..1_000u64)
+        .map(|i| {
+            let mut fields = vec![FieldRange::new(i * 4_096, i * 4_096 + 4_095)];
+            for _ in 1..nfields {
+                let lo = rng.below(1 << 31);
+                fields.push(FieldRange::new(lo, lo + rng.below(1 << 31)));
+            }
+            fields
+        })
+        .collect();
+    let set = RuleSet::from_ranges(spec, rows).unwrap();
+    let cfg = NuevoMatchConfig {
+        max_isets: 1,
+        min_iset_coverage: 0.0,
+        rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+        early_termination: true,
+    };
+    let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+    let keys: Vec<Vec<u64>> = (0..4_096)
+        .map(|_| {
+            let r = rng.below(1_000);
+            let mut k = vec![r * 4_096 + rng.below(4_096)];
+            for _ in 1..nfields {
+                k.push(rng.below(1 << 32));
+            }
+            k
+        })
+        .collect();
+    (nm, keys)
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation_vs_fields");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for nf in [1usize, 5, 10, 40] {
+        let (nm, keys) = build(nf);
+        group.bench_with_input(BenchmarkId::from_parameter(nf), &nf, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = &keys[i % keys.len()];
+                i += 1;
+                black_box(nm.classify_isets(black_box(key)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

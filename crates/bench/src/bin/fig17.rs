@@ -1,0 +1,70 @@
+//! Figure 17 (appendix) — small rule-sets (1K / 10K): NuevoMatch vs
+//! CutSplit and TupleMerge, latency and throughput.
+//!
+//! Paper: for small sets the baselines already fit in L1, so nm gains
+//! little throughput (≈1× or below) but still improves latency (2.2× / 1.9×
+//! on average); sets without large-enough iSets fall back to the baseline
+//! and are omitted from the chart.
+
+use nm_analysis::{geomean, Table};
+use nm_bench::{assert_same_results, measure_seq, nm_cs, nm_tm, scale, suite};
+use nm_cutsplit::CutSplit;
+use nm_trace::uniform_trace;
+use nm_tuplemerge::TupleMerge;
+
+fn main() {
+    let s = scale();
+    println!("Figure 17 — small rule-sets, single core\n");
+    let mut table = Table::new(&["set", "rules", "thr/cs", "thr/tm", "nm coverage"]);
+    let mut sp_cs = Vec::new();
+    let mut sp_tm = Vec::new();
+
+    for &n in &[1_000usize, 10_000] {
+        for (name, set) in suite(n, &s) {
+            let trace = uniform_trace(&set, s.trace_len, 0xf17 + n as u64);
+            let nmcs = nm_cs(&set);
+            let cov = nmcs.coverage();
+            if nmcs.isets().is_empty() {
+                // Paper: "classifiers with no valid iSets are not displayed".
+                table.row(vec![
+                    format!("{name}-{n}"),
+                    format!("{n}"),
+                    "fallback".into(),
+                    "fallback".into(),
+                    format!("{:.0}%", cov * 100.0),
+                ]);
+                continue;
+            }
+            let cs = CutSplit::build(&set);
+            let tm = TupleMerge::build(&set);
+            let nmtm = nm_tm(&set);
+            let (b_cs, _, cs_sum) = measure_seq(&cs, &trace, s.warmups);
+            let (o_cs, _, ocs_sum) = measure_seq(&nmcs, &trace, s.warmups);
+            assert_same_results("cs", cs_sum, "nm/cs", ocs_sum);
+            let (b_tm, _, tm_sum) = measure_seq(&tm, &trace, s.warmups);
+            let (o_tm, _, otm_sum) = measure_seq(&nmtm, &trace, s.warmups);
+            assert_same_results("tm", tm_sum, "nm/tm", otm_sum);
+            sp_cs.push(o_cs / b_cs);
+            sp_tm.push(o_tm / b_tm);
+            table.row(vec![
+                format!("{name}-{n}"),
+                format!("{n}"),
+                format!("{:.2}x", o_cs / b_cs),
+                format!("{:.2}x", o_tm / b_tm),
+                format!("{:.0}%", cov * 100.0),
+            ]);
+        }
+    }
+    table.row(vec![
+        "GM".into(),
+        String::new(),
+        format!("{:.2}x", geomean(&sp_cs)),
+        format!("{:.2}x", geomean(&sp_tm)),
+        String::new(),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "\nPaper: small sets fit the baselines in L1, so throughput speedups hover at \
+         or below 1x — nm is not expected to win here."
+    );
+}

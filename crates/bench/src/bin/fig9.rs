@@ -1,0 +1,77 @@
+//! Figure 9 — ClassBench end-to-end, single core with early termination:
+//! throughput speedup of NuevoMatch over CutSplit, NeuroCuts, TupleMerge.
+//!
+//! Paper (500K geomean): 2.4× / 2.6× / 1.6× over cs / nc / tm (latency
+//! speedups equal throughput speedups on one core). This binary is the
+//! apples-to-apples comparison on a single-core host.
+
+use nm_analysis::{geomean, Table};
+use nm_bench::{assert_same_results, measure_seq, nc_config, nm_cs, nm_nc, nm_tm, scale, suite};
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::NeuroCuts;
+use nm_trace::uniform_trace;
+use nm_tuplemerge::TupleMerge;
+
+fn main() {
+    let s = scale();
+    let sizes: Vec<usize> = s.sizes.iter().copied().filter(|&n| n >= 100_000).collect();
+    let sizes = if sizes.is_empty() { vec![*s.sizes.last().unwrap()] } else { sizes };
+
+    for n in sizes {
+        println!("=== Figure 9 — {n} rules, single core, early termination ===\n");
+        let mut table = Table::new(&["set", "thr/cs", "thr/nc", "thr/tm", "nm cov."]);
+        let mut sp = [Vec::new(), Vec::new(), Vec::new()];
+
+        for (name, set) in suite(n, &s) {
+            let trace = uniform_trace(&set, s.trace_len, 0xf19 + n as u64);
+            let mut row = Vec::new();
+            let cov;
+
+            {
+                let cs = CutSplit::build(&set);
+                let nm = nm_cs(&set);
+                cov = nm.coverage();
+                let (b, _, bs) = measure_seq(&cs, &trace, s.warmups);
+                let (o, _, os) = measure_seq(&nm, &trace, s.warmups);
+                assert_same_results("cs", bs, "nm/cs", os);
+                row.push(o / b);
+            }
+            {
+                let nc = NeuroCuts::with_config(&set, nc_config(!s.full));
+                let nm = nm_nc(&set, !s.full);
+                let (b, _, bs) = measure_seq(&nc, &trace, s.warmups);
+                let (o, _, os) = measure_seq(&nm, &trace, s.warmups);
+                assert_same_results("nc", bs, "nm/nc", os);
+                row.push(o / b);
+            }
+            {
+                let tm = TupleMerge::build(&set);
+                let nm = nm_tm(&set);
+                let (b, _, bs) = measure_seq(&tm, &trace, s.warmups);
+                let (o, _, os) = measure_seq(&nm, &trace, s.warmups);
+                assert_same_results("tm", bs, "nm/tm", os);
+                row.push(o / b);
+            }
+
+            for i in 0..3 {
+                sp[i].push(row[i]);
+            }
+            table.row(vec![
+                name,
+                format!("{:.2}x", row[0]),
+                format!("{:.2}x", row[1]),
+                format!("{:.2}x", row[2]),
+                format!("{:.0}%", cov * 100.0),
+            ]);
+        }
+        table.row(vec![
+            "GM".into(),
+            format!("{:.2}x", geomean(&sp[0])),
+            format!("{:.2}x", geomean(&sp[1])),
+            format!("{:.2}x", geomean(&sp[2])),
+            String::new(),
+        ]);
+        print!("{}", table.render());
+        println!("\nPaper 500K GM: 2.4x / 2.6x / 1.6x over cs / nc / tm\n");
+    }
+}

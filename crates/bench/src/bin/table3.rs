@@ -1,0 +1,40 @@
+//! Table 3 — throughput and single-iSet coverage vs the fraction of
+//! low-diversity rules blended into a ClassBench set.
+//!
+//! Paper (500K, remainder = TupleMerge):
+//! 70% low-div → 25% coverage, 1.07× · 50% → 50%, 1.14× · 30% → 70%, 1.60×.
+//! The shape: the partitioner segregates low-diversity rules into the
+//! remainder (coverage ≈ 1 − fraction), and speedup grows with coverage.
+
+use nm_analysis::Table;
+use nm_bench::{measure_seq, nm_tm, scale};
+use nm_classbench::{blend_low_diversity, generate, AppKind};
+use nm_trace::uniform_trace;
+use nm_tuplemerge::TupleMerge;
+
+fn main() {
+    let s = scale();
+    let n = *s.sizes.last().unwrap();
+    let base = generate(AppKind::Acl, n, 0x7ab1e3);
+    println!("Table 3: low-diversity blends over a {n}-rule ACL set, remainder = tm\n");
+    let mut table =
+        Table::new(&["% low-diversity", "% coverage (1 iSet)", "speedup (throughput)", "paper"]);
+
+    for &(frac, paper) in &[(0.7, "25% / 1.07x"), (0.5, "50% / 1.14x"), (0.3, "70% / 1.60x")] {
+        let blended = blend_low_diversity(&base, frac, 12, 0x10d1);
+        let trace = uniform_trace(&blended, s.trace_len, 0x7ace);
+        let tm = TupleMerge::build(&blended);
+        let nm = nm_tm(&blended);
+        let cov = nuevomatch::iset::coverage_curve(&blended, 1)[0];
+        let (tm_pps, _, tm_sum) = measure_seq(&tm, &trace, s.warmups);
+        let (nm_pps, _, nm_sum) = measure_seq(&nm, &trace, s.warmups);
+        nm_bench::assert_same_results("tm", tm_sum, "nm", nm_sum);
+        table.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.0}%", cov * 100.0),
+            format!("{:.2}x", nm_pps / tm_pps),
+            paper.into(),
+        ]);
+    }
+    print!("{}", table.render());
+}

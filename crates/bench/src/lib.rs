@@ -1,0 +1,145 @@
+//! # nm-bench — the experiment harness
+//!
+//! One binary per paper table/figure (see DESIGN.md §4 for the index):
+//!
+//! ```text
+//! cargo run -p nm-bench --release --bin table1   # … table2, table3
+//! cargo run -p nm-bench --release --bin fig7     # … fig8 … fig17
+//! cargo run -p nm-bench --release --bin fields contention search_dist
+//! ```
+//!
+//! Every binary prints the same rows/series the paper reports. The `NM_SCALE`
+//! environment variable selects the workload scale:
+//!
+//! * `quick` (default) — sizes up to 100K rules, 3 applications, 100K-packet
+//!   traces; minutes on a laptop core.
+//! * `full` — the paper's 500K rule-sets, 12 applications, 700K-packet
+//!   traces; budget hours on one core.
+//!
+//! This module holds the pieces every binary shares: scale selection,
+//! classifier constructors with the paper's §5.1 configurations, and timing
+//! wrappers.
+
+#![warn(missing_docs)]
+
+use nm_common::{Classifier, RuleSet, TraceBuf};
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
+
+/// Workload scale for the harness.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Rule-set sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Applications per size (names from the 12-app suite).
+    pub apps: usize,
+    /// Packets per trace.
+    pub trace_len: usize,
+    /// Warm-up passes before the measured pass (paper: 5 + 1).
+    pub warmups: usize,
+    /// Whether this is the full-paper scale.
+    pub full: bool,
+}
+
+/// Reads `NM_SCALE` (`quick` | `full`).
+pub fn scale() -> Scale {
+    match std::env::var("NM_SCALE").as_deref() {
+        Ok("full") => Scale {
+            sizes: vec![1_000, 10_000, 100_000, 500_000],
+            apps: 12,
+            trace_len: 700_000,
+            warmups: 2,
+            full: true,
+        },
+        _ => Scale {
+            sizes: vec![1_000, 10_000, 100_000],
+            apps: 3,
+            trace_len: 100_000,
+            warmups: 1,
+            full: false,
+        },
+    }
+}
+
+/// The named application suite at one size, truncated to the scale's app
+/// count (quick keeps acl1, fw1, ipc1 — one per family).
+pub fn suite(n: usize, s: &Scale) -> Vec<(String, RuleSet)> {
+    let all = nm_classbench::suite_12(n, 0x5eed_0000 + n as u64);
+    if s.apps >= 12 {
+        all
+    } else {
+        // One representative per family, in family order.
+        let picks = ["acl1", "fw1", "ipc1"];
+        all.into_iter().filter(|(name, _)| picks.contains(&name.as_str())).collect()
+    }
+}
+
+/// RQ-RMI parameters used by every harness build (paper §5.1: error
+/// threshold 64).
+pub fn rqrmi_params() -> RqRmiParams {
+    RqRmiParams { error_target: 64, ..Default::default() }
+}
+
+/// NuevoMatch paired with a TupleMerge remainder (§5.1: iSets below 5%
+/// coverage discarded, 4 iSets best for tm).
+pub fn nm_tm(set: &RuleSet) -> NuevoMatch<TupleMerge> {
+    let cfg = NuevoMatchConfig {
+        max_isets: 4,
+        min_iset_coverage: 0.05,
+        rqrmi: rqrmi_params(),
+        early_termination: true,
+    };
+    NuevoMatch::build(set, &cfg, TupleMerge::build).expect("nm/tm build")
+}
+
+/// NuevoMatch paired with a CutSplit remainder (§5.1: 25% minimum coverage,
+/// 1–2 iSets are the sweet spot).
+pub fn nm_cs(set: &RuleSet) -> NuevoMatch<CutSplit> {
+    let cfg = NuevoMatchConfig {
+        max_isets: 2,
+        min_iset_coverage: 0.25,
+        rqrmi: rqrmi_params(),
+        early_termination: true,
+    };
+    NuevoMatch::build(set, &cfg, CutSplit::build).expect("nm/cs build")
+}
+
+/// NuevoMatch paired with a NeuroCuts remainder.
+pub fn nm_nc(set: &RuleSet, quick: bool) -> NuevoMatch<NeuroCuts> {
+    let cfg = NuevoMatchConfig {
+        max_isets: 2,
+        min_iset_coverage: 0.25,
+        rqrmi: rqrmi_params(),
+        early_termination: true,
+    };
+    let nc_cfg = nc_config(quick);
+    NuevoMatch::build(set, &cfg, |rem| NeuroCuts::with_config(rem, nc_cfg)).expect("nm/nc build")
+}
+
+/// NeuroCuts configuration per scale (the paper gave nc a 36-hour sweep; the
+/// quick harness gives the search a few dozen evaluations).
+pub fn nc_config(quick: bool) -> NeuroCutsConfig {
+    NeuroCutsConfig {
+        iterations: if quick { 12 } else { 32 },
+        sample: if quick { 2_048 } else { 4_096 },
+        ..Default::default()
+    }
+}
+
+/// Measured sequential throughput: `warmups` passes then one timed pass.
+/// Returns (packets/s, ns/packet, checksum).
+pub fn measure_seq(c: &dyn Classifier, trace: &TraceBuf, warmups: usize) -> (f64, f64, u64) {
+    for _ in 0..warmups {
+        let _ = nuevomatch::system::parallel::run_sequential(c, trace);
+    }
+    let stats = nuevomatch::system::parallel::run_sequential(c, trace);
+    (stats.pps, 1e9 / stats.pps.max(1e-9), stats.checksum)
+}
+
+/// Sanity assertion used by every end-to-end binary: two engines must have
+/// produced identical per-packet results on the measured trace.
+pub fn assert_same_results(name_a: &str, a: u64, name_b: &str, b: u64) {
+    assert_eq!(a, b, "{name_a} and {name_b} disagree on the trace — correctness bug");
+}

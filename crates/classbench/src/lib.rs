@@ -1,0 +1,37 @@
+//! # nm-classbench — rule-set workloads
+//!
+//! The paper evaluates on three workload families; this crate builds all of
+//! them without external data:
+//!
+//! * [`generate`] — ClassBench-style synthetic 5-tuple rule-sets in three
+//!   application profiles (ACL / FW / IPC), modelled on the seed statistics
+//!   reported in the ClassBench paper (Taylor & Turner, ToN 2007): per-field
+//!   prefix-length histograms, the five port classes (WC/HI/LO/AR/EM),
+//!   protocol mix, and prefix-tree locality. What NuevoMatch's evaluation
+//!   actually consumes is the *overlap structure* per field (it determines
+//!   iSet coverage) and the *value diversity* (it determines how compressible
+//!   the set is) — the profiles reproduce those properties: ACL ≈ many
+//!   unique long prefixes (1–2 iSets cover nearly everything), FW ≈
+//!   wildcard-heavy (worse coverage, bigger remainder), IPC in between.
+//! * [`parse_classbench`] — a parser for the original ClassBench filter
+//!   format, so real seed-generated files drop in unchanged.
+//! * [`stanford_fib`] — Stanford-backbone-like single-field forwarding
+//!   tables (~180K dst-IP prefixes, length histogram peaked at /24).
+//! * [`lowdiv`] — low-diversity Cartesian rule blends for the partitioning
+//!   effectiveness experiment (Table 3).
+//!
+//! Everything is deterministic in an explicit seed.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod lowdiv;
+pub mod parse;
+pub mod profile;
+pub mod stanford;
+
+pub use gen::{generate, suite_12};
+pub use lowdiv::{blend_low_diversity, cartesian_rules};
+pub use parse::parse_classbench;
+pub use profile::{AppKind, Profile};
+pub use stanford::stanford_fib;

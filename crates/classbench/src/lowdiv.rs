@@ -1,0 +1,98 @@
+//! Low-diversity rule blends (the Table 3 workload).
+//!
+//! §5.3.3: "we synthetically generated a large rule-set as a Cartesian
+//! product of a small number of values per field (no ranges). We blended
+//! them into a 500K ClassBench rule-set, replacing randomly selected rules
+//! with those from the Cartesian product, while keeping the total number of
+//! rules the same." Low diversity bounds the largest iSet (§3.7), so these
+//! blends stress the partitioning heuristic's ability to segregate
+//! low-diversity rules into the remainder.
+
+use nm_common::{FieldRange, FieldsSpec, Rule, RuleSet, SplitMix64};
+
+/// Builds `n` exact-match rules from a Cartesian product over a small value
+/// pool per field (`values_per_field` values each). Diversity per field is
+/// `values_per_field / n`, which upper-bounds the largest iSet fraction.
+pub fn cartesian_rules(n: usize, values_per_field: usize, seed: u64) -> Vec<Vec<FieldRange>> {
+    let mut rng = SplitMix64::new(seed ^ 0x10_0d_1f);
+    let spec = FieldsSpec::five_tuple();
+    let pools: Vec<Vec<u64>> = (0..spec.len())
+        .map(|d| {
+            let max = spec.max_value(d);
+            (0..values_per_field).map(|_| rng.below(max + 1)).collect()
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            pools
+                .iter()
+                .map(|pool| FieldRange::exact(pool[rng.below(pool.len() as u64) as usize]))
+                .collect()
+        })
+        .collect()
+}
+
+/// Replaces a `fraction` of `base`'s rules (selected pseudo-randomly) with
+/// Cartesian low-diversity rules, keeping the set size and the replaced
+/// rules' priorities.
+pub fn blend_low_diversity(base: &RuleSet, fraction: f64, values_per_field: usize, seed: u64) -> RuleSet {
+    assert!((0.0..=1.0).contains(&fraction));
+    let n = base.len();
+    let k = (n as f64 * fraction).round() as usize;
+    let low = cartesian_rules(k, values_per_field, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xb1e_4d);
+    let mut rules: Vec<Rule> = base.rules().to_vec();
+    let mut replaced = vec![false; n];
+    let mut li = 0usize;
+    while li < k {
+        let idx = rng.below(n as u64) as usize;
+        if replaced[idx] {
+            continue;
+        }
+        replaced[idx] = true;
+        rules[idx] = Rule::new(rules[idx].id, rules[idx].priority, low[li].clone());
+        li += 1;
+    }
+    RuleSet::new(base.spec().clone(), rules).expect("blend preserves schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::profile::AppKind;
+    use nuevomatch::iset::coverage_curve;
+
+    #[test]
+    fn cartesian_has_low_diversity() {
+        let rows = cartesian_rules(1_000, 10, 1);
+        assert_eq!(rows.len(), 1_000);
+        let set = RuleSet::from_ranges(FieldsSpec::five_tuple(), rows).unwrap();
+        // Largest iSet can hold at most ~values_per_field rules per field.
+        let cov = coverage_curve(&set, 1)[0];
+        assert!(cov < 0.05, "1-iSet coverage should collapse: {cov}");
+    }
+
+    #[test]
+    fn blend_keeps_size_and_degrades_coverage() {
+        let base = generate(AppKind::Acl, 2_000, 2);
+        let cov_base = coverage_curve(&base, 1)[0];
+        let blended = blend_low_diversity(&base, 0.5, 12, 3);
+        assert_eq!(blended.len(), base.len());
+        let cov_blend = coverage_curve(&blended, 1)[0];
+        assert!(
+            cov_blend < cov_base,
+            "blending must reduce coverage: {cov_base:.2} -> {cov_blend:.2}"
+        );
+        // Table 3's key property: coverage ≈ fraction of high-diversity
+        // rules (the partitioner segregates the low-diversity blend).
+        assert!(cov_blend < 0.75);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let base = generate(AppKind::Ipc, 300, 4);
+        let same = blend_low_diversity(&base, 0.0, 10, 5);
+        assert_eq!(base.rules(), same.rules());
+    }
+}

@@ -1,0 +1,182 @@
+//! Parser for the original ClassBench filter format.
+//!
+//! Each line looks like:
+//!
+//! ```text
+//! @192.168.1.0/24	10.0.0.0/8	0 : 65535	80 : 80	0x06/0xFF
+//! ```
+//!
+//! (source prefix, destination prefix, source-port range, destination-port
+//! range, protocol/mask, optionally followed by flag fields which we
+//! ignore, as the paper's 5-field evaluation does). Rules keep file order
+//! as priority — the ClassBench convention.
+
+use nm_common::{Error, FieldRange, FieldsSpec, RuleSet};
+
+/// Parses ClassBench filter text into a 5-tuple rule-set.
+pub fn parse_classbench(text: &str) -> Result<RuleSet, Error> {
+    let mut rows = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line = line.strip_prefix('@').ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            msg: "expected '@' rule prefix".into(),
+        })?;
+        let mut fields = line.split_whitespace();
+        let err = |msg: &str| Error::Parse { line: lineno + 1, msg: msg.into() };
+
+        let src = parse_prefix(fields.next().ok_or_else(|| err("missing src prefix"))?)
+            .map_err(|m| err(&m))?;
+        let dst = parse_prefix(fields.next().ok_or_else(|| err("missing dst prefix"))?)
+            .map_err(|m| err(&m))?;
+        let sp = parse_port_range(&mut fields).map_err(|m| err(&m))?;
+        let dp = parse_port_range(&mut fields).map_err(|m| err(&m))?;
+        let proto = parse_proto(fields.next().ok_or_else(|| err("missing protocol"))?)
+            .map_err(|m| err(&m))?;
+        rows.push(vec![src, dst, sp, dp, proto]);
+    }
+    RuleSet::from_ranges(FieldsSpec::five_tuple(), rows)
+}
+
+fn parse_prefix(s: &str) -> Result<FieldRange, String> {
+    let (addr, len) = s.split_once('/').ok_or_else(|| format!("bad prefix '{s}'"))?;
+    let len: u8 = len.parse().map_err(|_| format!("bad prefix length '{len}'"))?;
+    if len > 32 {
+        return Err(format!("prefix length {len} > 32"));
+    }
+    let mut value = 0u64;
+    let mut octets = 0;
+    for part in addr.split('.') {
+        let o: u8 = part.parse().map_err(|_| format!("bad octet '{part}'"))?;
+        value = (value << 8) | o as u64;
+        octets += 1;
+    }
+    if octets != 4 {
+        return Err(format!("expected 4 octets in '{addr}'"));
+    }
+    Ok(FieldRange::from_prefix(value, len, 32))
+}
+
+fn parse_port_range<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+) -> Result<FieldRange, String> {
+    let lo: u64 = fields
+        .next()
+        .ok_or("missing port low")?
+        .parse()
+        .map_err(|_| "bad port low".to_string())?;
+    let colon = fields.next().ok_or("missing ':' in port range")?;
+    if colon != ":" {
+        return Err(format!("expected ':' got '{colon}'"));
+    }
+    let hi: u64 = fields
+        .next()
+        .ok_or("missing port high")?
+        .parse()
+        .map_err(|_| "bad port high".to_string())?;
+    if lo > hi || hi > 65_535 {
+        return Err(format!("bad port range {lo}:{hi}"));
+    }
+    Ok(FieldRange::new(lo, hi))
+}
+
+fn parse_proto(s: &str) -> Result<FieldRange, String> {
+    let (value, mask) = s.split_once('/').ok_or_else(|| format!("bad protocol '{s}'"))?;
+    let parse_hex = |t: &str| -> Result<u64, String> {
+        let t = t.trim_start_matches("0x").trim_start_matches("0X");
+        u64::from_str_radix(t, 16).map_err(|_| format!("bad hex '{t}'"))
+    };
+    let v = parse_hex(value)?;
+    let m = parse_hex(mask)?;
+    Ok(if m == 0 {
+        FieldRange::wildcard(8)
+    } else if m == 0xff {
+        FieldRange::exact(v & 0xff)
+    } else {
+        return Err(format!("unsupported protocol mask 0x{m:x}"));
+    })
+}
+
+/// Serialises a rule-set back to ClassBench format (round-trip tooling).
+pub fn to_classbench(set: &RuleSet) -> String {
+    use nm_common::fivetuple::*;
+    let mut out = String::new();
+    for rule in set.rules() {
+        let f = &rule.fields;
+        let (s_base, s_len) = f[SRC_IP].covering_prefix(32);
+        let (d_base, d_len) = f[DST_IP].covering_prefix(32);
+        let proto = if f[PROTO].is_wildcard(8) {
+            "0x00/0x00".to_string()
+        } else {
+            format!("0x{:02X}/0xFF", f[PROTO].lo)
+        };
+        out.push_str(&format!(
+            "@{}/{}\t{}/{}\t{} : {}\t{} : {}\t{}\n",
+            format_ipv4(s_base),
+            s_len,
+            format_ipv4(d_base),
+            d_len,
+            f[SRC_PORT].lo,
+            f[SRC_PORT].hi,
+            f[DST_PORT].lo,
+            f[DST_PORT].hi,
+            proto
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::profile::AppKind;
+
+    const SAMPLE: &str = "\
+@192.168.1.0/24\t10.0.0.0/8\t0 : 65535\t80 : 80\t0x06/0xFF
+@0.0.0.0/0\t10.1.2.3/32\t1024 : 65535\t53 : 53\t0x11/0xFF
+# a comment line
+
+@1.2.3.4/32\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00
+";
+
+    #[test]
+    fn parses_sample() {
+        let set = parse_classbench(SAMPLE).unwrap();
+        assert_eq!(set.len(), 3);
+        // Rule 0: src 192.168.1.0/24, dst-port 80, TCP.
+        let key = [0xC0A8_0133u64, 0x0A00_0001, 5_000, 80, 6];
+        assert_eq!(set.classify_scan(&key).unwrap().0, 0);
+        // Rule 1: UDP to 10.1.2.3:53 from a high port.
+        let key = [0x0101_0101u64, 0x0A01_0203, 2_000, 53, 17];
+        assert_eq!(set.classify_scan(&key).unwrap().0, 1);
+        // Rule 2: full wildcard.
+        let key = [0x0102_0304u64, 0x0909_0909, 1, 1, 250];
+        assert_eq!(set.classify_scan(&key).unwrap().0, 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_classbench("no-at-sign 1.2.3.4/32").is_err());
+        assert!(parse_classbench("@1.2.3/24 0.0.0.0/0 0 : 1 0 : 1 0x06/0xFF").is_err());
+        assert!(parse_classbench("@1.2.3.4/40 0.0.0.0/0 0 : 1 0 : 1 0x06/0xFF").is_err());
+        assert!(parse_classbench("@1.2.3.4/24 0.0.0.0/0 9 : 1 0 : 1 0x06/0xFF").is_err());
+        assert!(parse_classbench("@1.2.3.4/24 0.0.0.0/0 0 : 1 0 : 1 0x06/0x0F").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_serialiser() {
+        // Generated sets use prefixes + exact/wc/range ports; prefix fields
+        // round-trip exactly, port ranges and protocol too.
+        let set = generate(AppKind::Acl, 100, 5);
+        let text = to_classbench(&set);
+        let back = parse_classbench(&text).unwrap();
+        assert_eq!(back.len(), set.len());
+        for (a, b) in set.rules().iter().zip(back.rules()) {
+            assert_eq!(a.fields, b.fields, "rule {} changed in round-trip", a.id);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Application profiles: the distribution knobs behind each rule family.
+
+/// The three ClassBench application classes (§5.1.1 of the NuevoMatch
+//  paper: 12 rule-sets = ACL1-5, FW1-5, IPC1-2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Access Control List: long, mostly-unique address prefixes, exact
+    /// destination ports, almost no wildcards.
+    Acl,
+    /// Firewall: wildcard-heavy addresses, port ranges, mixed protocols.
+    Fw,
+    /// IP Chain: between the two.
+    Ipc,
+}
+
+/// Port-field classes from the ClassBench paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortClass {
+    /// Wildcard `0:65535`.
+    Wc,
+    /// High ports `1024:65535`.
+    Hi,
+    /// Low ports `0:1023`.
+    Lo,
+    /// Arbitrary range.
+    Ar,
+    /// Exact match.
+    Em,
+}
+
+/// Weighted discrete distribution (weights need not sum to 1).
+#[derive(Clone, Debug)]
+pub struct Weighted<T: Copy> {
+    items: Vec<(T, f64)>,
+    total: f64,
+}
+
+impl<T: Copy> Weighted<T> {
+    /// Builds from `(item, weight)` pairs.
+    pub fn new(items: Vec<(T, f64)>) -> Self {
+        let total = items.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "weights must sum positive");
+        Self { items, total }
+    }
+
+    /// Samples with a uniform draw `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> T {
+        let mut acc = u * self.total;
+        for &(item, w) in &self.items {
+            if acc < w {
+                return item;
+            }
+            acc -= w;
+        }
+        self.items.last().expect("non-empty").0
+    }
+}
+
+/// All the distribution knobs for one application class.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Which family this is.
+    pub kind: AppKind,
+    /// Source-prefix length distribution.
+    pub src_len: Weighted<u8>,
+    /// Destination-prefix length distribution.
+    pub dst_len: Weighted<u8>,
+    /// Source-port class mix.
+    pub src_port: Weighted<PortClass>,
+    /// Destination-port class mix.
+    pub dst_port: Weighted<PortClass>,
+    /// Protocol mix (value, or 256 for wildcard).
+    pub proto: Weighted<u16>,
+    /// Probability that a rule reuses an existing prefix subtree (address
+    /// locality — ClassBench's skewed branching).
+    pub reuse: f64,
+}
+
+impl Profile {
+    /// The canonical profile for an application kind.
+    ///
+    /// Length histograms follow the shapes reported for the published
+    /// ClassBench seeds: ACL peaks hard at /32 and /24-plus on both address
+    /// fields; FW mixes /0 wildcards with medium prefixes; IPC sits between.
+    pub fn for_kind(kind: AppKind) -> Profile {
+        match kind {
+            AppKind::Acl => Profile {
+                kind,
+                src_len: Weighted::new(vec![
+                    (0, 2.0),
+                    (8, 1.0),
+                    (16, 4.0),
+                    (24, 13.0),
+                    (28, 10.0),
+                    (30, 15.0),
+                    (32, 55.0),
+                ]),
+                dst_len: Weighted::new(vec![
+                    (0, 1.0),
+                    (8, 2.0),
+                    (16, 7.0),
+                    (24, 20.0),
+                    (28, 15.0),
+                    (30, 15.0),
+                    (32, 40.0),
+                ]),
+                src_port: Weighted::new(vec![
+                    (PortClass::Wc, 85.0),
+                    (PortClass::Hi, 5.0),
+                    (PortClass::Em, 8.0),
+                    (PortClass::Ar, 2.0),
+                ]),
+                dst_port: Weighted::new(vec![
+                    (PortClass::Em, 55.0),
+                    (PortClass::Wc, 20.0),
+                    (PortClass::Hi, 10.0),
+                    (PortClass::Lo, 5.0),
+                    (PortClass::Ar, 10.0),
+                ]),
+                proto: Weighted::new(vec![(6, 70.0), (17, 20.0), (1, 3.0), (256, 7.0)]),
+                reuse: 0.35,
+            },
+            AppKind::Fw => Profile {
+                kind,
+                src_len: Weighted::new(vec![
+                    (0, 25.0),
+                    (8, 5.0),
+                    (16, 15.0),
+                    (24, 25.0),
+                    (30, 10.0),
+                    (32, 20.0),
+                ]),
+                dst_len: Weighted::new(vec![
+                    (0, 20.0),
+                    (8, 5.0),
+                    (16, 15.0),
+                    (24, 25.0),
+                    (30, 10.0),
+                    (32, 25.0),
+                ]),
+                src_port: Weighted::new(vec![
+                    (PortClass::Wc, 60.0),
+                    (PortClass::Hi, 15.0),
+                    (PortClass::Lo, 5.0),
+                    (PortClass::Ar, 10.0),
+                    (PortClass::Em, 10.0),
+                ]),
+                dst_port: Weighted::new(vec![
+                    (PortClass::Wc, 25.0),
+                    (PortClass::Hi, 15.0),
+                    (PortClass::Lo, 10.0),
+                    (PortClass::Ar, 20.0),
+                    (PortClass::Em, 30.0),
+                ]),
+                proto: Weighted::new(vec![(6, 50.0), (17, 25.0), (1, 5.0), (256, 20.0)]),
+                reuse: 0.5,
+            },
+            AppKind::Ipc => Profile {
+                kind,
+                src_len: Weighted::new(vec![
+                    (0, 8.0),
+                    (8, 3.0),
+                    (16, 10.0),
+                    (24, 24.0),
+                    (28, 10.0),
+                    (30, 10.0),
+                    (32, 35.0),
+                ]),
+                dst_len: Weighted::new(vec![
+                    (0, 6.0),
+                    (8, 3.0),
+                    (16, 12.0),
+                    (24, 24.0),
+                    (28, 10.0),
+                    (30, 10.0),
+                    (32, 35.0),
+                ]),
+                src_port: Weighted::new(vec![
+                    (PortClass::Wc, 75.0),
+                    (PortClass::Hi, 8.0),
+                    (PortClass::Em, 12.0),
+                    (PortClass::Ar, 5.0),
+                ]),
+                dst_port: Weighted::new(vec![
+                    (PortClass::Em, 40.0),
+                    (PortClass::Wc, 25.0),
+                    (PortClass::Hi, 12.0),
+                    (PortClass::Lo, 8.0),
+                    (PortClass::Ar, 15.0),
+                ]),
+                proto: Weighted::new(vec![(6, 60.0), (17, 25.0), (1, 4.0), (256, 11.0)]),
+                reuse: 0.4,
+            },
+        }
+    }
+
+    /// Short name ("acl" / "fw" / "ipc").
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            AppKind::Acl => "acl",
+            AppKind::Fw => "fw",
+            AppKind::Ipc => "ipc",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let w = Weighted::new(vec![("a", 1.0), ("b", 3.0)]);
+        let mut counts = (0usize, 0usize);
+        for i in 0..10_000 {
+            match w.sample(i as f64 / 10_000.0) {
+                "a" => counts.0 += 1,
+                _ => counts.1 += 1,
+            }
+        }
+        // ~25% / 75%.
+        assert!((counts.0 as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn edge_draws() {
+        let w = Weighted::new(vec![(1u8, 1.0), (2, 1.0)]);
+        assert_eq!(w.sample(0.0), 1);
+        assert_eq!(w.sample(0.999_999_9), 2);
+    }
+
+    #[test]
+    fn profiles_exist_for_all_kinds() {
+        for kind in [AppKind::Acl, AppKind::Fw, AppKind::Ipc] {
+            let p = Profile::for_kind(kind);
+            assert_eq!(p.kind, kind);
+            assert!(!p.name().is_empty());
+        }
+    }
+}

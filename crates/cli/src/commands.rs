@@ -1,0 +1,323 @@
+//! Subcommand implementations.
+
+use crate::args::{Args, ParsedCommand};
+use nm_analysis::{centrality_1d, diversity, Table};
+use nm_classbench::{generate, parse_classbench, AppKind};
+use nm_common::memsize::human_bytes;
+use nm_common::{fivetuple, Classifier, RuleSet};
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
+use nm_trace::{caida_like_trace, uniform_trace, zipf_trace, CaidaLikeConfig};
+use nm_tuplemerge::{TupleMerge, TupleSpaceSearch};
+use nuevomatch::system::parallel::run_sequential;
+use nuevomatch::{NuevoMatch, NuevoMatchConfig};
+
+/// Usage text.
+pub const HELP: &str = "\
+nmctl — NuevoMatch reproduction toolkit
+
+USAGE:
+  nmctl generate --kind <acl|fw|ipc> [--rules N] [--seed S]        # ClassBench text to stdout
+  nmctl inspect  <rules.cb>                                        # structure metrics
+  nmctl bench    <rules.cb> [--engine E] [--trace T] [--packets N] # throughput/memory
+  nmctl classify <rules.cb> --key a.b.c.d,a.b.c.d,sport,dport,proto
+  nmctl train    <rules.cb> --out <model.rqrmi>                    # persist largest-iSet RQ-RMI
+
+engines: linear tss tm cs nc nm-tm nm-cs nm-nc     traces: uniform zipf:<alpha> caida
+";
+
+/// Runs a parsed command, returning the text to print (errors as `Err`).
+pub fn run(cmd: ParsedCommand) -> Result<String, String> {
+    match cmd {
+        ParsedCommand::Help => Ok(HELP.to_string()),
+        ParsedCommand::Generate(a) => cmd_generate(&a),
+        ParsedCommand::Inspect(a) => cmd_inspect(&a),
+        ParsedCommand::Bench(a) => cmd_bench(&a),
+        ParsedCommand::Classify(a) => cmd_classify(&a),
+        ParsedCommand::Train(a) => cmd_train(&a),
+    }
+}
+
+fn load_rules(a: &Args) -> Result<RuleSet, String> {
+    let path = a
+        .positional
+        .first()
+        .ok_or_else(|| "expected a rule file argument".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_classbench(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_generate(a: &Args) -> Result<String, String> {
+    let kind = match a.get_or("kind", "acl") {
+        "acl" => AppKind::Acl,
+        "fw" => AppKind::Fw,
+        "ipc" => AppKind::Ipc,
+        other => return Err(format!("unknown --kind '{other}' (acl|fw|ipc)")),
+    };
+    let rules: usize = a.num_or("rules", 1_000)?;
+    let seed: u64 = a.num_or("seed", 1)?;
+    let set = generate(kind, rules, seed);
+    Ok(nm_classbench::parse::to_classbench(&set))
+}
+
+fn cmd_inspect(a: &Args) -> Result<String, String> {
+    let set = load_rules(a)?;
+    let mut out = format!("rules: {}   fields: {}\n\n", set.len(), set.num_fields());
+    let mut table = Table::new(&["field", "bits", "diversity", "centrality(1-D)"]);
+    for d in 0..set.num_fields() {
+        table.row(vec![
+            set.spec().field(d).name.clone(),
+            format!("{}", set.spec().bits(d)),
+            format!("{:.3}", diversity(&set, d)),
+            format!("{}", centrality_1d(&set, d)),
+        ]);
+    }
+    out.push_str(&table.render());
+    // Port-class and protocol census for 5-tuple sets.
+    if set.num_fields() == 5 {
+        let c = nm_common::stats::PortClassCensus::of(&set, nm_common::DST_PORT);
+        out.push_str(&format!(
+            "\ndst-port classes: WC {} / HI {} / LO {} / EM {} / AR {}\n",
+            c.wildcard, c.high, c.low, c.exact, c.arbitrary
+        ));
+        let protos = nm_common::stats::protocol_census(&set, nm_common::PROTO);
+        let top: Vec<String> = protos
+            .iter()
+            .take(4)
+            .map(|&(p, n)| match p {
+                256 => format!("* x{n}"),
+                257 => format!("range x{n}"),
+                v => format!("{v} x{n}"),
+            })
+            .collect();
+        out.push_str(&format!("protocols: {}\n", top.join(", ")));
+    }
+    let curve = nuevomatch::iset::coverage_curve(&set, 4);
+    out.push_str(&format!(
+        "\niSet coverage (1..4): {:.1}% {:.1}% {:.1}% {:.1}%\n",
+        curve[0] * 100.0,
+        curve[1] * 100.0,
+        curve[2] * 100.0,
+        curve[3] * 100.0
+    ));
+    Ok(out)
+}
+
+fn build_engine(name: &str, set: &RuleSet) -> Result<Box<dyn Classifier>, String> {
+    let nm_cfg = NuevoMatchConfig::default();
+    Ok(match name {
+        "linear" => Box::new(nm_common::LinearSearch::build(set)),
+        "tss" => Box::new(TupleSpaceSearch::build(set)),
+        "tm" => Box::new(TupleMerge::build(set)),
+        "cs" => Box::new(CutSplit::build(set)),
+        "nc" => Box::new(NeuroCuts::with_config(
+            set,
+            NeuroCutsConfig { iterations: 12, sample: 2_048, ..Default::default() },
+        )),
+        "nm-tm" => Box::new(
+            NuevoMatch::build(set, &nm_cfg, TupleMerge::build).map_err(|e| e.to_string())?,
+        ),
+        "nm-cs" => Box::new(
+            NuevoMatch::build(set, &nm_cfg, CutSplit::build).map_err(|e| e.to_string())?,
+        ),
+        "nm-nc" => Box::new(
+            NuevoMatch::build(set, &nm_cfg, |rem| {
+                NeuroCuts::with_config(
+                    rem,
+                    NeuroCutsConfig { iterations: 12, sample: 2_048, ..Default::default() },
+                )
+            })
+            .map_err(|e| e.to_string())?,
+        ),
+        other => return Err(format!("unknown --engine '{other}'")),
+    })
+}
+
+fn cmd_bench(a: &Args) -> Result<String, String> {
+    let set = load_rules(a)?;
+    let engine_name = a.get_or("engine", "nm-tm").to_string();
+    let packets: usize = a.num_or("packets", 100_000)?;
+    let seed: u64 = a.num_or("seed", 1)?;
+    let trace_spec = a.get_or("trace", "uniform");
+    let trace = if trace_spec == "uniform" {
+        uniform_trace(&set, packets, seed)
+    } else if trace_spec == "caida" {
+        caida_like_trace(&set, packets, CaidaLikeConfig::default(), seed)
+    } else if let Some(alpha) = trace_spec.strip_prefix("zipf:") {
+        let alpha: f64 = alpha.parse().map_err(|_| format!("bad zipf alpha '{alpha}'"))?;
+        zipf_trace(&set, packets, alpha, seed)
+    } else {
+        return Err(format!("unknown --trace '{trace_spec}'"));
+    };
+
+    let t0 = std::time::Instant::now();
+    let engine = build_engine(&engine_name, &set)?;
+    let build_s = t0.elapsed().as_secs_f64();
+    let stats = run_sequential(engine.as_ref(), &trace);
+    Ok(format!(
+        "engine: {}\nrules: {}\nbuild time: {:.2}s\nindex memory: {}\npackets: {}\nthroughput: {:.3e} pps ({:.0} ns/packet)\n",
+        engine_name,
+        set.len(),
+        build_s,
+        human_bytes(engine.memory_bytes()),
+        trace.len(),
+        stats.pps,
+        1e9 / stats.pps.max(1e-9),
+    ))
+}
+
+fn cmd_classify(a: &Args) -> Result<String, String> {
+    let set = load_rules(a)?;
+    let key = parse_key(a.require("key")?)?;
+    let engine = build_engine(a.get_or("engine", "nm-tm"), &set)?;
+    Ok(match engine.classify(&key) {
+        Some(m) => format!("match: rule {} (priority {})\n", m.rule, m.priority),
+        None => "no match\n".to_string(),
+    })
+}
+
+fn cmd_train(a: &Args) -> Result<String, String> {
+    let set = load_rules(a)?;
+    let out_path = a.require("out")?;
+    let part = nuevomatch::iset::partition_isets(&set, 1, 0.0);
+    let iset = part
+        .isets
+        .first()
+        .ok_or_else(|| "no iSet could be formed".to_string())?;
+    let ranges: Vec<nm_common::FieldRange> = iset
+        .rule_ids
+        .iter()
+        .map(|&id| set.rule(id).fields[iset.dim])
+        .collect();
+    let bits = set.spec().bits(iset.dim);
+    let t0 = std::time::Instant::now();
+    let model = nuevomatch::train_rqrmi(&ranges, bits, &nuevomatch::RqRmiParams::default())
+        .map_err(|e| e.to_string())?;
+    let dt = t0.elapsed().as_secs_f64();
+    let bytes = nuevomatch::save_rqrmi(&model);
+    std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
+    Ok(format!(
+        "trained RQ-RMI over field '{}' ({} of {} rules, {:.1}% coverage) in {:.2}s\n\
+         worst error bound: {}\nmodel: {} -> {}\n",
+        set.spec().field(iset.dim).name,
+        iset.len(),
+        set.len(),
+        100.0 * iset.len() as f64 / set.len() as f64,
+        dt,
+        model.max_error_bound(),
+        human_bytes(bytes.len()),
+        out_path,
+    ))
+}
+
+/// Parses `a.b.c.d,a.b.c.d,sport,dport,proto` into a 5-tuple key.
+pub fn parse_key(s: &str) -> Result<[u64; 5], String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 5 {
+        return Err(format!("--key needs 5 comma-separated values, got {}", parts.len()));
+    }
+    let ip = |t: &str| -> Result<u64, String> {
+        if t.contains('.') {
+            let o: Vec<&str> = t.split('.').collect();
+            if o.len() != 4 {
+                return Err(format!("bad IPv4 '{t}'"));
+            }
+            let mut b = [0u8; 4];
+            for (i, part) in o.iter().enumerate() {
+                b[i] = part.parse().map_err(|_| format!("bad octet '{part}'"))?;
+            }
+            Ok(fivetuple::ipv4(b))
+        } else {
+            t.parse().map_err(|_| format!("bad numeric field '{t}'"))
+        }
+    };
+    Ok([
+        ip(parts[0])?,
+        ip(parts[1])?,
+        parts[2].parse().map_err(|_| format!("bad port '{}'", parts[2]))?,
+        parts[3].parse().map_err(|_| format!("bad port '{}'", parts[3]))?,
+        parts[4].parse().map_err(|_| format!("bad proto '{}'", parts[4]))?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_command;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_is_returned_for_no_args() {
+        let out = run(parse_command(&v(&[])).unwrap()).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_emits_classbench_text() {
+        let cmd = parse_command(&v(&["generate", "--kind", "fw", "--rules", "25"])).unwrap();
+        let out = run(cmd).unwrap();
+        assert_eq!(out.lines().count(), 25);
+        assert!(out.starts_with('@'));
+        // And it parses back.
+        assert_eq!(parse_classbench(&out).unwrap().len(), 25);
+    }
+
+    #[test]
+    fn generate_rejects_bad_kind() {
+        let cmd = parse_command(&v(&["generate", "--kind", "bogus"])).unwrap();
+        assert!(run(cmd).is_err());
+    }
+
+    #[test]
+    fn full_file_workflow() {
+        let dir = std::env::temp_dir().join(format!("nmctl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.cb");
+        let gen = run(parse_command(&v(&["generate", "--kind", "acl", "--rules", "300"])).unwrap())
+            .unwrap();
+        std::fs::write(&rules, gen).unwrap();
+        let rp = rules.to_str().unwrap();
+
+        let out = run(parse_command(&v(&["inspect", rp])).unwrap()).unwrap();
+        assert!(out.contains("rules: 300"));
+        assert!(out.contains("iSet coverage"));
+
+        let out = run(parse_command(&v(&[
+            "bench", rp, "--engine", "tm", "--packets", "2000",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("throughput"));
+
+        let out = run(parse_command(&v(&[
+            "classify", rp, "--key", "10.0.0.1,10.0.0.2,1,2,6",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("match") || out.contains("no match"));
+
+        let model = dir.join("m.rqrmi");
+        let out = run(parse_command(&v(&["train", rp, "--out", model.to_str().unwrap()]))
+            .unwrap())
+        .unwrap();
+        assert!(out.contains("worst error bound"));
+        // The persisted model loads back.
+        let bytes = std::fs::read(&model).unwrap();
+        assert!(nuevomatch::load_rqrmi(&bytes).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_key_formats() {
+        assert_eq!(
+            parse_key("10.0.0.1,0.0.0.2,80,443,6").unwrap(),
+            [0x0a00_0001, 2, 80, 443, 6]
+        );
+        assert_eq!(parse_key("1,2,3,4,5").unwrap(), [1, 2, 3, 4, 5]);
+        assert!(parse_key("1,2,3,4").is_err());
+        assert!(parse_key("1.2.3,2,3,4,5").is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # nm-cli — the `nmctl` command-line front end
+//!
+//! ```text
+//! nmctl generate --kind acl --rules 10000 --seed 1 > rules.cb
+//! nmctl inspect  rules.cb
+//! nmctl bench    rules.cb --engine nm-tm --trace zipf:1.25 --packets 200000
+//! nmctl classify rules.cb --key 10.0.0.1,192.168.1.2,1234,443,6
+//! nmctl train    rules.cb --out model.rqrmi
+//! ```
+//!
+//! The logic lives in this library crate so it is unit-testable; `main.rs`
+//! is a thin wrapper. Argument parsing is hand-rolled — a flag parser is
+//! ~40 lines and the workspace's dependency policy is deliberately tight.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ParsedCommand};
+pub use commands::run;

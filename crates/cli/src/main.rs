@@ -1,0 +1,13 @@
+//! `nmctl` entry point — all logic lives in the library for testability.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match nm_cli::args::parse_command(&argv).and_then(nm_cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `nmctl help` for usage");
+            std::process::exit(1);
+        }
+    }
+}

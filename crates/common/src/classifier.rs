@@ -1,0 +1,108 @@
+//! The classifier interface every engine in the workspace implements.
+
+use crate::rule::{Priority, RuleId};
+
+/// Result of a successful classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchResult {
+    /// The matched rule.
+    pub rule: RuleId,
+    /// Its priority (cached so selectors never re-fetch the rule).
+    pub priority: Priority,
+}
+
+impl MatchResult {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(rule: RuleId, priority: Priority) -> Self {
+        Self { rule, priority }
+    }
+
+    /// Keeps the better of two optional candidates (smaller priority, then
+    /// smaller id; `None` always loses).
+    #[inline]
+    pub fn better(a: Option<MatchResult>, b: Option<MatchResult>) -> Option<MatchResult> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(x), Some(y)) => {
+                let (rule, priority) = crate::rule::better((x.rule, x.priority), (y.rule, y.priority));
+                Some(MatchResult { rule, priority })
+            }
+        }
+    }
+}
+
+/// A packet classifier over a fixed rule-set.
+///
+/// Implementations: [`crate::LinearSearch`], `nm_tuplemerge::TupleMerge`,
+/// `nm_cutsplit::CutSplit`, `nm_neurocuts::NeuroCuts`, and
+/// `nuevomatch::NuevoMatch` itself (which *wraps* one of the others as its
+/// remainder engine).
+///
+/// ## Tie semantics
+///
+/// When several rules match, the one with the smallest priority value wins.
+/// If multiple matching rules share that priority, engines agree on the
+/// *winning priority* but may report different rule ids: early-termination
+/// floors compare priorities strictly, so id-level tie-breaking cannot be
+/// preserved across engine boundaries. Give rules unique priorities (the
+/// ClassBench position convention, and effectively what OpenFlow requires)
+/// when the exact rule identity matters. [`crate::LinearSearch`] breaks ties
+/// toward the smaller id and serves as the reference for single-engine
+/// behaviour.
+pub trait Classifier: Send + Sync {
+    /// Returns the highest-priority rule matching `key`, or `None`.
+    ///
+    /// `key` has one `u64` per field in the rule-set's schema order.
+    fn classify(&self, key: &[u64]) -> Option<MatchResult>;
+
+    /// Early-termination variant (§4 of the paper): like [`Self::classify`],
+    /// but the caller already holds a candidate with priority `floor`; the
+    /// classifier may prune any work that cannot produce a strictly better
+    /// (smaller) priority. Returning `None` means "nothing better than
+    /// `floor`".
+    ///
+    /// The default implementation ignores the hint.
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        self.classify(key).filter(|m| m.priority < floor)
+    }
+
+    /// Bytes used by the *index* data structures (hash tables, tree nodes,
+    /// model weights) — excluding the rules themselves, matching the paper's
+    /// §5.2.1 memory-footprint definition.
+    fn memory_bytes(&self) -> usize;
+
+    /// Short engine name for reports ("tm", "cs", "nc", "nm", "linear").
+    fn name(&self) -> &'static str;
+
+    /// Number of rules currently indexed.
+    fn num_rules(&self) -> usize;
+}
+
+/// Classifiers supporting online rule updates (§3.9). In this workspace only
+/// TupleMerge (and linear search, trivially) implement it; NuevoMatch routes
+/// updates to its remainder engine.
+pub trait Updatable: Classifier {
+    /// Inserts a rule (id/priority/box taken from the rule itself).
+    fn insert(&mut self, rule: crate::rule::Rule);
+
+    /// Removes the rule with the given id; returns true if it was present.
+    fn remove(&mut self, id: RuleId) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_prefers_lower_priority() {
+        let a = Some(MatchResult::new(4, 10));
+        let b = Some(MatchResult::new(7, 3));
+        assert_eq!(MatchResult::better(a, b), b);
+        assert_eq!(MatchResult::better(a, None), a);
+        assert_eq!(MatchResult::better(None, None), None);
+        // Equal priority: smaller id wins.
+        let c = Some(MatchResult::new(2, 10));
+        assert_eq!(MatchResult::better(a, c), c);
+    }
+}

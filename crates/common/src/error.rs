@@ -1,0 +1,74 @@
+//! Workspace error type for builders, parsers and trainers.
+
+use crate::rule::RuleId;
+
+/// Errors surfaced while building rule-sets or classifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A rule's field count does not match the schema.
+    SchemaMismatch {
+        /// Offending rule.
+        rule: RuleId,
+        /// Fields the schema defines.
+        expected: usize,
+        /// Fields the rule carries.
+        got: usize,
+    },
+    /// A rule's range exceeds the field domain.
+    OutOfDomain {
+        /// Offending rule.
+        rule: RuleId,
+        /// Offending dimension.
+        dim: usize,
+        /// The out-of-range upper bound.
+        hi: u64,
+    },
+    /// A parser could not understand an input line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Model training failed to reach the requested error bound.
+    TrainingFailed {
+        /// Human-readable context (which submodel, which bound).
+        msg: String,
+    },
+    /// A classifier build was given input it cannot index.
+    Build {
+        /// Human-readable context.
+        msg: String,
+    },
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::SchemaMismatch { rule, expected, got } => {
+                write!(f, "rule {rule}: schema expects {expected} fields, rule has {got}")
+            }
+            Error::OutOfDomain { rule, dim, hi } => {
+                write!(f, "rule {rule}: field {dim} upper bound {hi} exceeds domain")
+            }
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            Error::TrainingFailed { msg } => write!(f, "training failed: {msg}"),
+            Error::Build { msg } => write!(f, "build failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Parse { line: 7, msg: "bad prefix".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = Error::SchemaMismatch { rule: 3, expected: 5, got: 2 };
+        assert!(e.to_string().contains("rule 3"));
+    }
+}

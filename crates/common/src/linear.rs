@@ -1,0 +1,132 @@
+//! Linear-scan reference classifier — the ground truth for every
+//! correctness test in the workspace.
+
+use crate::classifier::{Classifier, MatchResult, Updatable};
+use crate::rule::{Priority, Rule, RuleId};
+use crate::ruleset::RuleSet;
+
+/// Brute-force classifier: rules sorted by priority, first match wins.
+///
+/// O(n) per lookup, O(1) extra memory. Used as the correctness oracle and as
+/// the degenerate baseline in scaling plots.
+pub struct LinearSearch {
+    /// Rules sorted by (priority, id) so the first hit is the answer.
+    rules: Vec<Rule>,
+}
+
+impl LinearSearch {
+    /// Builds from a rule-set (copies the rules and sorts by priority).
+    pub fn build(set: &RuleSet) -> Self {
+        let mut rules = set.rules().to_vec();
+        rules.sort_by_key(|r| (r.priority, r.id));
+        Self { rules }
+    }
+
+    /// Builds from an explicit rule list.
+    pub fn from_rules(mut rules: Vec<Rule>) -> Self {
+        rules.sort_by_key(|r| (r.priority, r.id));
+        Self { rules }
+    }
+}
+
+impl Classifier for LinearSearch {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        self.rules
+            .iter()
+            .find(|r| r.matches(key))
+            .map(|r| MatchResult::new(r.id, r.priority))
+    }
+
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        // Rules are priority-sorted: once priorities reach the floor no rule
+        // can improve on it.
+        for r in &self.rules {
+            if r.priority >= floor {
+                return None;
+            }
+            if r.matches(key) {
+                return Some(MatchResult::new(r.id, r.priority));
+            }
+        }
+        None
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The "index" is just the sorted order; count the Vec of rule headers.
+        self.rules.capacity() * std::mem::size_of::<Rule>()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+impl Updatable for LinearSearch {
+    fn insert(&mut self, rule: Rule) {
+        let pos = self
+            .rules
+            .partition_point(|r| (r.priority, r.id) < (rule.priority, rule.id));
+        self.rules.insert(pos, rule);
+    }
+
+    fn remove(&mut self, id: RuleId) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id != id);
+        self.rules.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::FieldRange;
+    use crate::ruleset::FieldsSpec;
+
+    fn tiny_set() -> RuleSet {
+        let spec = FieldsSpec::uniform(2, 8);
+        let rows = vec![
+            vec![FieldRange::new(0, 100), FieldRange::new(0, 100)],
+            vec![FieldRange::new(50, 60), FieldRange::new(50, 60)],
+            vec![FieldRange::exact(55), FieldRange::exact(55)],
+        ];
+        RuleSet::from_ranges(spec, rows).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_scan() {
+        let set = tiny_set();
+        let ls = LinearSearch::build(&set);
+        for key in [[55u64, 55], [50, 50], [99, 1], [200, 200]] {
+            let got = ls.classify(&key).map(|m| (m.rule, m.priority));
+            assert_eq!(got, set.classify_scan(&key));
+        }
+    }
+
+    #[test]
+    fn floor_prunes() {
+        let set = tiny_set();
+        let ls = LinearSearch::build(&set);
+        // All three rules match (55,55); best priority is 0.
+        assert_eq!(ls.classify(&[55, 55]).unwrap().priority, 0);
+        // With floor 0 nothing can be better.
+        assert_eq!(ls.classify_with_floor(&[55, 55], 0), None);
+        // With floor 2, rule 0 (priority 0) still wins.
+        assert_eq!(ls.classify_with_floor(&[55, 55], 2).unwrap().rule, 0);
+    }
+
+    #[test]
+    fn updates() {
+        let set = tiny_set();
+        let mut ls = LinearSearch::build(&set);
+        assert!(ls.remove(0));
+        assert!(!ls.remove(0));
+        assert_eq!(ls.classify(&[99, 1]), None);
+        ls.insert(Rule::new(7, 0, vec![FieldRange::new(90, 100), FieldRange::new(0, 10)]));
+        assert_eq!(ls.classify(&[99, 1]).unwrap().rule, 7);
+        assert_eq!(ls.num_rules(), 3);
+    }
+}

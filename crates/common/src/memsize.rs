@@ -1,0 +1,67 @@
+//! Memory-footprint accounting helpers.
+//!
+//! Figure 13 of the paper compares classifier *index* sizes (the structures
+//! traversed during lookup), excluding the rule storage itself. These helpers
+//! make the accounting uniform across engines so the comparison is honest.
+
+/// Bytes held by a `Vec`'s heap buffer (capacity, not length — that is what
+/// the allocator actually reserved).
+#[inline]
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Bytes held by a boxed slice.
+#[inline]
+pub fn boxed_slice_bytes<T>(s: &[T]) -> usize {
+    std::mem::size_of_val(s)
+}
+
+/// Approximate bytes of a `HashMap`'s table: hashbrown allocates buckets for
+/// ~8/7 of the capacity plus one control byte per bucket.
+pub fn hashmap_bytes<K, V>(len: usize) -> usize {
+    let slot = std::mem::size_of::<(K, V)>() + 1;
+    // Round up to the next power of two of 8/7 * len, hashbrown-style.
+    let buckets = ((len * 8) / 7).next_power_of_two().max(8);
+    buckets * slot
+}
+
+/// Pretty-prints a byte count the way the paper annotates Figure 11
+/// ("19.5 KB", "2 MB").
+pub fn human_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.1} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.1} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_accounting_uses_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(100);
+        v.push(1);
+        assert_eq!(vec_bytes(&v), 100 * 8);
+    }
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MB");
+    }
+
+    #[test]
+    fn hashmap_estimate_grows() {
+        assert!(hashmap_bytes::<u64, u64>(1000) > hashmap_bytes::<u64, u64>(10));
+    }
+}

@@ -1,0 +1,97 @@
+//! Flat packet-trace container.
+//!
+//! Traces are stored as one contiguous `Vec<u64>` with a fixed stride (the
+//! field count), so iterating a 700K-packet trace touches memory linearly and
+//! the lookup path receives plain `&[u64]` slices with zero per-packet
+//! allocation.
+
+/// A packet trace: `len()` keys, each `stride` fields wide.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuf {
+    data: Vec<u64>,
+    stride: usize,
+}
+
+impl TraceBuf {
+    /// Creates an empty trace for keys of `stride` fields.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self { data: Vec::new(), stride }
+    }
+
+    /// Creates an empty trace with capacity for `n` packets.
+    pub fn with_capacity(stride: usize, n: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self { data: Vec::with_capacity(stride * n), stride }
+    }
+
+    /// Appends one key. Panics if the key width differs from the stride.
+    #[inline]
+    pub fn push(&mut self, key: &[u64]) {
+        assert_eq!(key.len(), self.stride, "key width != trace stride");
+        self.data.extend_from_slice(key);
+    }
+
+    /// Number of packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.stride
+    }
+
+    /// True when the trace holds no packets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Fields per packet.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The `i`-th key.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[u64] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Iterates over all keys in order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.stride)
+    }
+
+    /// Raw storage (e.g. for checksums in tests).
+    pub fn raw(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Bytes held by the trace buffer.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut t = TraceBuf::new(3);
+        t.push(&[1, 2, 3]);
+        t.push(&[4, 5, 6]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.key(1), &[4, 5, 6]);
+        let all: Vec<&[u64]> = t.iter().collect();
+        assert_eq!(all, vec![&[1u64, 2, 3][..], &[4, 5, 6][..]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut t = TraceBuf::new(2);
+        t.push(&[1, 2, 3]);
+    }
+}

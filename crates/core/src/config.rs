@@ -1,0 +1,150 @@
+//! Configuration for RQ-RMI training and the NuevoMatch system.
+
+use nm_nn::AdamConfig;
+
+/// How submodels are optimised. The model family (1×H×1 ReLU MLP) and the
+/// analytic correctness machinery are identical in all modes; only the weight
+/// search differs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrainerKind {
+    /// Closed-form hinge least squares (deterministic, fastest; default).
+    Hinge,
+    /// Paper-faithful: random init + Adam with MSE loss (§3.5.5).
+    Adam(AdamConfig),
+    /// Hinge initialisation refined by Adam — best accuracy per second.
+    HingeThenAdam(AdamConfig),
+}
+
+impl Default for TrainerKind {
+    fn default() -> Self {
+        TrainerKind::Hinge
+    }
+}
+
+/// RQ-RMI structure and training parameters.
+#[derive(Clone, Debug)]
+pub struct RqRmiParams {
+    /// Stage widths, first must be 1. `None` selects the paper's Table 4
+    /// configuration from the number of indexed ranges.
+    pub stage_widths: Option<Vec<usize>>,
+    /// Hidden neurons per submodel (paper: 8 — one AVX register).
+    pub hidden: usize,
+    /// Target worst-case index prediction error for leaf submodels. The
+    /// Figure 5 loop retrains leaves (doubling samples) until they meet it
+    /// or `max_attempts` is exhausted (§3.5.6).
+    pub error_target: u32,
+    /// Initial number of uniform samples per leaf dataset.
+    pub samples_init: usize,
+    /// Maximum training attempts per leaf (sample count doubles each time).
+    pub max_attempts: usize,
+    /// Weight optimiser.
+    pub trainer: TrainerKind,
+    /// RNG seed for sampling (and Adam init); training is deterministic in
+    /// this seed.
+    pub seed: u64,
+}
+
+impl Default for RqRmiParams {
+    fn default() -> Self {
+        Self {
+            stage_widths: None,
+            hidden: 8,
+            error_target: 64,
+            samples_init: 1 << 10,
+            max_attempts: 6,
+            trainer: TrainerKind::default(),
+            seed: 0x6e75_6576_6f6d, // "nuevom"
+        }
+    }
+}
+
+impl RqRmiParams {
+    /// The paper's Table 4: stage widths per rule count.
+    ///
+    /// | rules          | stages | widths        |
+    /// |----------------|--------|---------------|
+    /// | < 1 000        | 2      | [1, 4]        |
+    /// | 1 000–10 000   | 3      | [1, 4, 16]    |
+    /// | 10 000–100 000 | 3      | [1, 4, 128]   |
+    /// | > 100 000      | 3      | [1, 8, 256] or [1, 8, 512] |
+    pub fn table4_widths(n_ranges: usize) -> Vec<usize> {
+        if n_ranges < 1_000 {
+            vec![1, 4]
+        } else if n_ranges < 10_000 {
+            vec![1, 4, 16]
+        } else if n_ranges < 100_000 {
+            vec![1, 4, 128]
+        } else if n_ranges < 300_000 {
+            vec![1, 8, 256]
+        } else {
+            vec![1, 8, 512]
+        }
+    }
+
+    /// Resolves the effective stage widths for `n_ranges`.
+    pub fn widths_for(&self, n_ranges: usize) -> Vec<usize> {
+        match &self.stage_widths {
+            Some(w) => {
+                assert!(!w.is_empty() && w[0] == 1, "first stage width must be 1");
+                w.clone()
+            }
+            None => Self::table4_widths(n_ranges),
+        }
+    }
+}
+
+/// NuevoMatch system parameters (§3.6–§3.8, §4).
+#[derive(Clone, Debug)]
+pub struct NuevoMatchConfig {
+    /// Maximum number of iSets to build before dumping the rest into the
+    /// remainder. The paper finds 1–2 best for CutSplit/NeuroCuts remainders
+    /// and 4 for TupleMerge (§5.3.2).
+    pub max_isets: usize,
+    /// Minimum fraction of the input rules an iSet must cover to be kept
+    /// (paper: 0.25 vs cs/nc, 0.05 vs tm).
+    pub min_iset_coverage: f64,
+    /// RQ-RMI training parameters shared by every iSet.
+    pub rqrmi: RqRmiParams,
+    /// Query the remainder only when the iSets' best candidate can still be
+    /// beaten, and let the remainder prune by priority (§4 "early
+    /// termination"). Single-core mode in the paper.
+    pub early_termination: bool,
+}
+
+impl Default for NuevoMatchConfig {
+    fn default() -> Self {
+        Self {
+            max_isets: 4,
+            min_iset_coverage: 0.05,
+            rqrmi: RqRmiParams::default(),
+            early_termination: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_matches_paper() {
+        assert_eq!(RqRmiParams::table4_widths(500), vec![1, 4]);
+        assert_eq!(RqRmiParams::table4_widths(5_000), vec![1, 4, 16]);
+        assert_eq!(RqRmiParams::table4_widths(50_000), vec![1, 4, 128]);
+        assert_eq!(RqRmiParams::table4_widths(150_000), vec![1, 8, 256]);
+        assert_eq!(RqRmiParams::table4_widths(500_000), vec![1, 8, 512]);
+    }
+
+    #[test]
+    fn explicit_widths_win() {
+        let p = RqRmiParams { stage_widths: Some(vec![1, 2, 4]), ..Default::default() };
+        assert_eq!(p.widths_for(1_000_000), vec![1, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn widths_must_start_at_one() {
+        let p = RqRmiParams { stage_widths: Some(vec![2, 4]), ..Default::default() };
+        let _ = p.widths_for(10);
+    }
+}

@@ -1,0 +1,11 @@
+//! iSet partitioning (paper §3.6).
+//!
+//! An *iSet* is a group of rules whose ranges do not overlap in one chosen
+//! field, so that field's projection can be indexed by a single RQ-RMI (a
+//! key matches at most one rule of the iSet in that field). The partitioner
+//! greedily peels off the largest iSet it can find across all fields until
+//! the leftovers (the *remainder*) drop below a coverage threshold.
+
+pub mod partition;
+
+pub use partition::{coverage_curve, largest_iset_in_dim, partition_isets, ISet, PartitionResult};

@@ -1,0 +1,244 @@
+//! Greedy iSet construction via interval-scheduling maximisation.
+//!
+//! For one field, finding the largest subset of rules with pairwise
+//! non-overlapping ranges is exactly the classical interval scheduling
+//! maximisation problem: sort by upper bound, repeatedly take the interval
+//! with the smallest upper bound that does not overlap the previous pick
+//! (§3.6.1, citing Kleinberg & Tardos). Across fields the paper's heuristic
+//! is greedy: build the largest candidate in every field, keep the overall
+//! largest, remove its rules, repeat.
+
+use nm_common::rule::RuleId;
+use nm_common::ruleset::RuleSet;
+
+/// One independent set: rules that do not overlap in field `dim`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ISet {
+    /// The field whose projection is conflict-free.
+    pub dim: usize,
+    /// Member rules, sorted by their range's lower bound in `dim` —
+    /// exactly the value-array order the RQ-RMI will index.
+    pub rule_ids: Vec<RuleId>,
+}
+
+impl ISet {
+    /// Number of member rules.
+    pub fn len(&self) -> usize {
+        self.rule_ids.len()
+    }
+
+    /// True when the iSet holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rule_ids.is_empty()
+    }
+}
+
+/// Output of [`partition_isets`].
+#[derive(Clone, Debug)]
+pub struct PartitionResult {
+    /// Kept iSets, largest first.
+    pub isets: Vec<ISet>,
+    /// Rules not covered by any kept iSet.
+    pub remainder: Vec<RuleId>,
+    /// Total rules in the input (for coverage math).
+    pub total: usize,
+}
+
+impl PartitionResult {
+    /// Fraction of input rules covered by the kept iSets.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: usize = self.isets.iter().map(ISet::len).sum();
+        covered as f64 / self.total as f64
+    }
+}
+
+/// Finds the largest conflict-free subset of `candidates` in field `dim`
+/// (interval scheduling maximisation). Returns rule ids sorted by range
+/// lower bound.
+pub fn largest_iset_in_dim(set: &RuleSet, candidates: &[RuleId], dim: usize) -> Vec<RuleId> {
+    let mut intervals: Vec<(u64, u64, RuleId)> = candidates
+        .iter()
+        .map(|&id| {
+            let r = &set.rule(id).fields[dim];
+            (r.hi, r.lo, id)
+        })
+        .collect();
+    intervals.sort_unstable();
+    let mut picked: Vec<RuleId> = Vec::new();
+    let mut last_hi: Option<u64> = None;
+    for (hi, lo, id) in intervals {
+        if last_hi.map_or(true, |prev| lo > prev) {
+            picked.push(id);
+            last_hi = Some(hi);
+        }
+    }
+    // Sorted by hi implies sorted by lo for non-overlapping picks, but make
+    // the contract explicit.
+    picked.sort_unstable_by_key(|&id| set.rule(id).fields[dim].lo);
+    picked
+}
+
+/// Partitions a rule-set into at most `max_isets` iSets plus a remainder
+/// (the paper's greedy heuristic, §3.6.1).
+///
+/// Construction stops early once the best remaining candidate covers less
+/// than `min_coverage` of the *input* rules — small iSets cost an RQ-RMI
+/// query each without offloading enough of the remainder (§3.7).
+pub fn partition_isets(set: &RuleSet, max_isets: usize, min_coverage: f64) -> PartitionResult {
+    let total = set.len();
+    let mut remaining: Vec<RuleId> = set.rules().iter().map(|r| r.id).collect();
+    let mut isets = Vec::new();
+
+    while isets.len() < max_isets && !remaining.is_empty() {
+        let mut best: Option<ISet> = None;
+        for dim in 0..set.num_fields() {
+            let picked = largest_iset_in_dim(set, &remaining, dim);
+            if best.as_ref().map_or(true, |b| picked.len() > b.len()) {
+                best = Some(ISet { dim, rule_ids: picked });
+            }
+        }
+        let best = best.expect("at least one field");
+        if (best.len() as f64) < min_coverage * total as f64 || best.is_empty() {
+            break;
+        }
+        let member: std::collections::HashSet<RuleId> = best.rule_ids.iter().copied().collect();
+        remaining.retain(|id| !member.contains(id));
+        isets.push(best);
+    }
+
+    PartitionResult { isets, remainder: remaining, total }
+}
+
+/// Cumulative coverage after 1..=k iSets with no minimum-coverage cutoff —
+/// the Table 2 measurement.
+pub fn coverage_curve(set: &RuleSet, k: usize) -> Vec<f64> {
+    let result = partition_isets(set, k, 0.0);
+    let total = set.len().max(1) as f64;
+    let mut out = Vec::with_capacity(k);
+    let mut covered = 0usize;
+    for i in 0..k {
+        covered += result.isets.get(i).map_or(0, ISet::len);
+        out.push(covered as f64 / total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_common::{FieldRange, FieldSpec, FieldsSpec, RuleSet};
+
+    fn figure2_set() -> RuleSet {
+        // The paper's running example (Figure 2): IP address x port.
+        let ip = |a: u64, b: u64, c: u64, d: u64| (a << 24) | (b << 16) | (c << 8) | d;
+        let spec = FieldsSpec::new(vec![FieldSpec::new("ip", 32), FieldSpec::new("port", 16)]);
+        let rows = vec![
+            vec![FieldRange::from_prefix(ip(10, 10, 0, 0), 16, 32), FieldRange::new(10, 18)], // R0
+            vec![FieldRange::from_prefix(ip(10, 10, 1, 0), 24, 32), FieldRange::new(15, 25)], // R1
+            vec![FieldRange::from_prefix(ip(10, 0, 0, 0), 8, 32), FieldRange::new(5, 8)],     // R2
+            vec![FieldRange::from_prefix(ip(10, 10, 3, 0), 24, 32), FieldRange::new(7, 20)],  // R3
+            vec![FieldRange::exact(ip(10, 10, 3, 100)), FieldRange::exact(19)],               // R4
+        ];
+        RuleSet::from_ranges(spec, rows).unwrap()
+    }
+
+    #[test]
+    fn figure6_partition() {
+        // The paper's Figure 6: two iSets cover all five rules —
+        // {R0, R2, R4} by port and {R1, R3} by IP.
+        let set = figure2_set();
+        let result = partition_isets(&set, 8, 0.0);
+        assert_eq!(result.isets.len(), 2);
+        assert_eq!(result.coverage(), 1.0);
+        assert!(result.remainder.is_empty());
+        let mut first = result.isets[0].rule_ids.clone();
+        first.sort_unstable();
+        assert_eq!(result.isets[0].dim, 1, "first iSet is by port");
+        assert_eq!(first, vec![0, 2, 4]);
+        let mut second = result.isets[1].rule_ids.clone();
+        second.sort_unstable();
+        assert_eq!(result.isets[1].dim, 0, "second iSet is by IP");
+        assert_eq!(second, vec![1, 3]);
+    }
+
+    #[test]
+    fn isets_are_internally_conflict_free() {
+        let set = figure2_set();
+        let result = partition_isets(&set, 8, 0.0);
+        for iset in &result.isets {
+            for pair in iset.rule_ids.windows(2) {
+                let a = &set.rule(pair[0]).fields[iset.dim];
+                let b = &set.rule(pair[1]).fields[iset.dim];
+                assert!(!a.overlaps(b), "iSet dim {} rules {:?} overlap", iset.dim, pair);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_a_partition() {
+        let set = figure2_set();
+        let result = partition_isets(&set, 8, 0.0);
+        let mut all: Vec<RuleId> = result
+            .isets
+            .iter()
+            .flat_map(|i| i.rule_ids.iter().copied())
+            .chain(result.remainder.iter().copied())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<RuleId> = (0..set.len() as RuleId).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn min_coverage_cuts_small_isets() {
+        let set = figure2_set();
+        // Requiring 50% coverage keeps only the 3-of-5 port iSet.
+        let result = partition_isets(&set, 8, 0.5);
+        assert_eq!(result.isets.len(), 1);
+        assert_eq!(result.remainder.len(), 2);
+    }
+
+    #[test]
+    fn max_isets_respected() {
+        let set = figure2_set();
+        let result = partition_isets(&set, 1, 0.0);
+        assert_eq!(result.isets.len(), 1);
+        assert_eq!(result.remainder.len(), 2);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone() {
+        let set = figure2_set();
+        let curve = coverage_curve(&set, 4);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((curve[1] - 1.0).abs() < 1e-12, "two iSets suffice: {curve:?}");
+    }
+
+    #[test]
+    fn duplicate_ranges_cannot_share_an_iset() {
+        let spec = FieldsSpec::uniform(1, 8);
+        let rows = vec![
+            vec![FieldRange::new(0, 10)],
+            vec![FieldRange::new(0, 10)],
+            vec![FieldRange::new(20, 30)],
+        ];
+        let set = RuleSet::from_ranges(spec, rows).unwrap();
+        let picked = largest_iset_in_dim(&set, &[0, 1, 2], 0);
+        assert_eq!(picked.len(), 2, "one copy of the duplicate plus the disjoint rule");
+    }
+
+    #[test]
+    fn empty_set() {
+        let spec = FieldsSpec::uniform(1, 8);
+        let set = RuleSet::from_ranges(spec, vec![]).unwrap();
+        let result = partition_isets(&set, 4, 0.25);
+        assert!(result.isets.is_empty());
+        assert_eq!(result.coverage(), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Binary persistence for trained models.
+//!
+//! Training a 500K-rule RQ-RMI takes seconds-to-minutes; classification
+//! starts in microseconds if the trained weights can be loaded instead.
+//! This module provides a small, versioned, checksummed binary codec for
+//! [`RqRmi`] models — no external serialisation format needed (the format
+//! is simple enough that a schema language would cost more than it saves,
+//! and the workspace's dependency policy is deliberately tight).
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic  "NMRQRMI1"                      8 bytes
+//! bits   u8, n_values u64, stages u8
+//! per stage: width u32
+//! per submodel: hidden u8, then w1/b1/w2 as f32 arrays, b2 f32
+//! leaf error bounds: u32 per leaf
+//! fnv64 checksum over everything above   8 bytes
+//! ```
+//!
+//! The checksum catches truncation and bit rot; the magic catches format
+//! confusion. Forward compatibility is handled by bumping the magic suffix.
+
+use crate::rqrmi::RqRmi;
+use bytes::{Buf, BufMut};
+use nm_common::Error;
+use nm_nn::Mlp;
+
+const MAGIC: &[u8; 8] = b"NMRQRMI1";
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serialises a trained model to bytes.
+pub fn save_rqrmi(model: &RqRmi) -> Vec<u8> {
+    let mut out = Vec::with_capacity(model.memory_bytes() + 64);
+    out.put_slice(MAGIC);
+    out.put_u8(model.bits);
+    out.put_u64_le(model.n_values as u64);
+    out.put_u8(model.widths.len() as u8);
+    for &w in &model.widths {
+        out.put_u32_le(w as u32);
+    }
+    for stage in &model.nets {
+        for net in stage {
+            out.put_u8(net.hidden() as u8);
+            for &v in &net.w1 {
+                out.put_f32_le(v);
+            }
+            for &v in &net.b1 {
+                out.put_f32_le(v);
+            }
+            for &v in &net.w2 {
+                out.put_f32_le(v);
+            }
+            out.put_f32_le(net.b2);
+        }
+    }
+    for &e in &model.leaf_err {
+        out.put_u32_le(e);
+    }
+    let sum = fnv64(&out);
+    out.put_u64_le(sum);
+    out
+}
+
+/// Deserialises a model produced by [`save_rqrmi`], verifying the magic and
+/// checksum.
+pub fn load_rqrmi(data: &[u8]) -> Result<RqRmi, Error> {
+    let fail = |msg: &str| Error::Build { msg: format!("load_rqrmi: {msg}") };
+    if data.len() < MAGIC.len() + 8 {
+        return Err(fail("too short"));
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let want = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv64(body) != want {
+        return Err(fail("checksum mismatch"));
+    }
+    let mut buf = body;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), Error> {
+        if buf.remaining() < n {
+            Err(fail(&format!("truncated {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 10, "header")?;
+    let bits = buf.get_u8();
+    if !(1..=52).contains(&bits) {
+        return Err(fail("bits out of range"));
+    }
+    let n_values = buf.get_u64_le() as usize;
+    if n_values == 0 {
+        return Err(fail("empty model"));
+    }
+    let stages = buf.get_u8() as usize;
+    if stages == 0 || stages > 8 {
+        return Err(fail("stage count out of range"));
+    }
+    need(&buf, stages * 4, "widths")?;
+    let widths: Vec<usize> = (0..stages).map(|_| buf.get_u32_le() as usize).collect();
+    if widths[0] != 1 || widths.iter().any(|&w| w == 0 || w > 1 << 20) {
+        return Err(fail("bad stage widths"));
+    }
+    let mut nets = Vec::with_capacity(stages);
+    for &w in &widths {
+        let mut stage = Vec::with_capacity(w);
+        for _ in 0..w {
+            need(&buf, 1, "submodel header")?;
+            let hidden = buf.get_u8() as usize;
+            if hidden > 64 {
+                return Err(fail("hidden width out of range"));
+            }
+            need(&buf, (3 * hidden + 1) * 4, "weights")?;
+            let mut net = Mlp::zeros(hidden);
+            for v in &mut net.w1 {
+                *v = buf.get_f32_le();
+            }
+            for v in &mut net.b1 {
+                *v = buf.get_f32_le();
+            }
+            for v in &mut net.w2 {
+                *v = buf.get_f32_le();
+            }
+            net.b2 = buf.get_f32_le();
+            stage.push(net);
+        }
+        nets.push(stage);
+    }
+    let leaves = *widths.last().expect("stages >= 1");
+    need(&buf, leaves * 4, "leaf bounds")?;
+    let leaf_err: Vec<u32> = (0..leaves).map(|_| buf.get_u32_le()).collect();
+    if buf.has_remaining() {
+        return Err(fail("trailing bytes"));
+    }
+    Ok(RqRmi { widths, nets, leaf_err, n_values, bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RqRmiParams;
+    use crate::rqrmi::train_rqrmi;
+    use nm_common::FieldRange;
+
+    fn model() -> RqRmi {
+        let ranges: Vec<FieldRange> =
+            (0..300).map(|i| FieldRange::new(i * 200, i * 200 + 99)).collect();
+        train_rqrmi(&ranges, 16, &RqRmiParams { samples_init: 256, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let m = model();
+        let bytes = save_rqrmi(&m);
+        let back = load_rqrmi(&bytes).unwrap();
+        assert_eq!(back.widths(), m.widths());
+        assert_eq!(back.len(), m.len());
+        for key in (0..65_536u64).step_by(37) {
+            assert_eq!(back.predict(key), m.predict(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn checksum_catches_corruption() {
+        let m = model();
+        let bytes = save_rqrmi(&m);
+        for pos in [8usize, bytes.len() / 2, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(load_rqrmi(&bad).is_err(), "corruption at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = save_rqrmi(&model());
+        for len in 0..bytes.len() {
+            assert!(load_rqrmi(&bytes[..len]).is_err(), "accepted {len}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = save_rqrmi(&model());
+        bytes[0] = b'X';
+        assert!(load_rqrmi(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_is_close_to_model_memory() {
+        let m = model();
+        let bytes = save_rqrmi(&m);
+        // Serialised form should be within 2x of the in-memory weight bytes.
+        assert!(bytes.len() < m.memory_bytes() * 2 + 128);
+    }
+}

@@ -1,0 +1,349 @@
+//! Vectorised submodel inference (paper §4 "Vectorization", Table 1).
+//!
+//! A submodel forward pass is one fused multiply-add over the 8 hidden
+//! neurons, a ReLU, and a dot product — a handful of vector instructions.
+//! The paper reports 126 ns serial, 62 ns SSE (4 floats/op), 49 ns AVX
+//! (8 floats/op) per inference; the Table 1 bench regenerates that
+//! comparison with these kernels.
+//!
+//! Correctness note: the SIMD summation order differs from the scalar loop,
+//! so results can differ in the last ULPs. The RQ-RMI error bounds are
+//! computed over a `±delta` band that covers *any* summation order (see
+//! `analyze::eval_delta`), so every kernel here is safe to use for lookups.
+
+use nm_nn::{Mlp, ONE_MINUS_EPS};
+
+/// Instruction set used for submodel inference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isa {
+    /// Plain scalar loop (the portable reference).
+    Scalar,
+    /// SSE: two 4-float halves.
+    Sse,
+    /// AVX: all 8 neurons in one 256-bit register.
+    Avx,
+}
+
+/// Best instruction set available on this CPU.
+pub fn detect() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx") {
+            return Isa::Avx;
+        }
+        // SSE2 is part of the x86_64 baseline.
+        return Isa::Sse;
+    }
+    #[allow(unreachable_code)]
+    Isa::Scalar
+}
+
+/// A submodel compiled for vector execution: weights padded to 8 lanes.
+///
+/// Padding lanes have `w1 = b1 = w2 = 0`, so they contribute
+/// `relu(0)·0 = 0` on every path.
+#[derive(Clone, Debug)]
+#[repr(C, align(32))]
+pub struct Kernel {
+    w1: [f32; 8],
+    b1: [f32; 8],
+    w2: [f32; 8],
+    b2: f32,
+}
+
+impl Kernel {
+    /// Compiles an [`Mlp`] (hidden width ≤ 8) into a padded kernel.
+    pub fn from_mlp(net: &Mlp) -> Self {
+        assert!(net.hidden() <= 8, "kernels support up to 8 hidden neurons");
+        let mut k = Kernel { w1: [0.0; 8], b1: [0.0; 8], w2: [0.0; 8], b2: net.b2 };
+        k.w1[..net.hidden()].copy_from_slice(&net.w1);
+        k.b1[..net.hidden()].copy_from_slice(&net.b1);
+        k.w2[..net.hidden()].copy_from_slice(&net.w2);
+        k
+    }
+
+    /// Clamped forward pass with the requested instruction set.
+    #[inline]
+    pub fn forward_clamped(&self, x: f32, isa: Isa) -> f32 {
+        let y = match isa {
+            Isa::Scalar => self.forward_scalar(x),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse => unsafe { self.forward_sse(x) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx => unsafe { self.forward_avx(x) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.forward_scalar(x),
+        };
+        y.clamp(0.0, ONE_MINUS_EPS)
+    }
+
+    /// Scalar reference over the padded lanes.
+    #[inline]
+    pub fn forward_scalar(&self, x: f32) -> f32 {
+        let mut acc = 0.0f32;
+        for j in 0..8 {
+            let pre = self.w1[j] * x + self.b1[j];
+            if pre > 0.0 {
+                acc += self.w2[j] * pre;
+            }
+        }
+        acc + self.b2
+    }
+
+    /// SSE path: two 4-lane halves.
+    ///
+    /// # Safety
+    /// Requires SSE (always present on x86_64).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn forward_sse(&self, x: f32) -> f32 {
+        use std::arch::x86_64::*;
+        let xv = _mm_set1_ps(x);
+        let zero = _mm_setzero_ps();
+        let mut acc = zero;
+        for half in 0..2 {
+            let off = half * 4;
+            let w1 = _mm_loadu_ps(self.w1.as_ptr().add(off));
+            let b1 = _mm_loadu_ps(self.b1.as_ptr().add(off));
+            let w2 = _mm_loadu_ps(self.w2.as_ptr().add(off));
+            let pre = _mm_add_ps(_mm_mul_ps(w1, xv), b1);
+            let hid = _mm_max_ps(pre, zero);
+            acc = _mm_add_ps(acc, _mm_mul_ps(hid, w2));
+        }
+        // Horizontal sum of 4 lanes.
+        let shuf = _mm_movehdup_ps(acc);
+        let sums = _mm_add_ps(acc, shuf);
+        let shuf2 = _mm_movehl_ps(shuf, sums);
+        let total = _mm_add_ss(sums, shuf2);
+        _mm_cvtss_f32(total) + self.b2
+    }
+
+    /// AVX path: all 8 lanes at once.
+    ///
+    /// # Safety
+    /// Requires AVX; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    #[inline]
+    unsafe fn forward_avx(&self, x: f32) -> f32 {
+        use std::arch::x86_64::*;
+        let xv = _mm256_set1_ps(x);
+        let w1 = _mm256_loadu_ps(self.w1.as_ptr());
+        let b1 = _mm256_loadu_ps(self.b1.as_ptr());
+        let w2 = _mm256_loadu_ps(self.w2.as_ptr());
+        let pre = _mm256_add_ps(_mm256_mul_ps(w1, xv), b1);
+        let hid = _mm256_max_ps(pre, _mm256_setzero_ps());
+        let prod = _mm256_mul_ps(hid, w2);
+        // Horizontal sum of 8 lanes.
+        let hi = _mm256_extractf128_ps(prod, 1);
+        let lo = _mm256_castps256_ps128(prod);
+        let sum4 = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(sum4);
+        let sums = _mm_add_ps(sum4, shuf);
+        let shuf2 = _mm_movehl_ps(shuf, sums);
+        let total = _mm_add_ss(sums, shuf2);
+        _mm_cvtss_f32(total) + self.b2
+    }
+
+    /// Kernel weight bytes (same as the source submodel plus padding).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+
+    /// Runs a *dependent chain* of `iters` forward passes (each input
+    /// derived from the previous output) and returns the final value — the
+    /// Table 1 latency measurement.
+    ///
+    /// The loop lives inside a `#[target_feature]` function per ISA so the
+    /// vector kernels inline into their own loop; calling `forward_clamped`
+    /// from generic code cannot inline across the feature boundary and
+    /// would time the call overhead instead of the kernel.
+    pub fn latency_chain(&self, x0: f32, iters: usize, isa: Isa) -> f32 {
+        match isa {
+            Isa::Scalar => self.chain_scalar(x0, iters),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse => unsafe { self.chain_sse(x0, iters) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx => unsafe { self.chain_avx(x0, iters) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.chain_scalar(x0, iters),
+        }
+    }
+
+    fn chain_scalar(&self, mut x: f32, iters: usize) -> f32 {
+        for _ in 0..iters {
+            let y = self.forward_scalar(x).clamp(0.0, ONE_MINUS_EPS);
+            // Golden-ratio hop: inputs sweep the whole domain so ReLU
+            // branches stay unpredictable (a fixpoint chain would let the
+            // scalar path win on branch prediction alone).
+            x = (y + 0.618_034).fract();
+        }
+        x
+    }
+
+    /// # Safety
+    /// Requires SSE2 (x86_64 baseline).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse2")]
+    unsafe fn chain_sse(&self, mut x: f32, iters: usize) -> f32 {
+        for _ in 0..iters {
+            let y = self.forward_sse(x).clamp(0.0, ONE_MINUS_EPS);
+            x = (y + 0.618_034).fract();
+        }
+        x
+    }
+
+    /// # Safety
+    /// Requires AVX; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn chain_avx(&self, mut x: f32, iters: usize) -> f32 {
+        for _ in 0..iters {
+            let y = self.forward_avx(x).clamp(0.0, ONE_MINUS_EPS);
+            x = (y + 0.618_034).fract();
+        }
+        x
+    }
+}
+
+/// An [`super::RqRmi`] compiled for the hot path: padded kernels per stage,
+/// one ISA chosen up front.
+#[derive(Clone, Debug)]
+pub struct CompiledRqRmi {
+    stages: Vec<Vec<Kernel>>,
+    widths: Vec<usize>,
+    leaf_err: Vec<u32>,
+    n_values: usize,
+    scale: f64,
+    isa: Isa,
+}
+
+impl CompiledRqRmi {
+    /// Compiles a trained model with the best detected instruction set.
+    pub fn new(model: &super::RqRmi) -> Self {
+        Self::with_isa(model, detect())
+    }
+
+    /// Compiles with an explicit instruction set (Table 1 sweeps this).
+    pub fn with_isa(model: &super::RqRmi, isa: Isa) -> Self {
+        let stages = model
+            .nets
+            .iter()
+            .map(|st| st.iter().map(Kernel::from_mlp).collect())
+            .collect();
+        let km = model.key_map();
+        Self {
+            stages,
+            widths: model.widths.clone(),
+            leaf_err: model.leaf_err.clone(),
+            n_values: model.n_values,
+            scale: 1.0 / (km.domain_max() as f64 + 1.0),
+            isa,
+        }
+    }
+
+    /// The instruction set in use.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Number of indexed ranges.
+    pub fn len(&self) -> usize {
+        self.n_values
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n_values == 0
+    }
+
+    /// Predicted index + error bound for `key` (same contract as
+    /// [`super::RqRmi::predict`]).
+    #[inline]
+    pub fn predict(&self, key: u64) -> (usize, u32) {
+        let x = (key as f64 * self.scale) as f32;
+        let nstages = self.stages.len();
+        let mut idx = 0usize;
+        for s in 0..nstages - 1 {
+            let y = self.stages[s][idx].forward_clamped(x, self.isa);
+            let w_next = self.widths[s + 1];
+            idx = ((y * w_next as f32) as usize).min(w_next - 1);
+        }
+        let y = self.stages[nstages - 1][idx].forward_clamped(x, self.isa) as f64;
+        let pred = ((y * self.n_values as f64) as usize).min(self.n_values - 1);
+        (pred, self.leaf_err[idx])
+    }
+
+    /// Kernel memory (Figure 13 accounting mirrors [`super::RqRmi::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.stages.iter().flatten().map(Kernel::memory_bytes).sum::<usize>()
+            + self.leaf_err.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_match_scalar_reference() {
+        for seed in 0..20u64 {
+            let net = Mlp::random(8, seed);
+            let k = Kernel::from_mlp(&net);
+            for i in 0..200 {
+                let x = i as f32 / 200.0;
+                let reference = net.forward_clamped(x);
+                let scalar = k.forward_clamped(x, Isa::Scalar);
+                assert!(
+                    (reference - scalar).abs() <= 1e-6,
+                    "scalar kernel diverged at x={x}"
+                );
+                for isa in [Isa::Sse, Isa::Avx] {
+                    if isa == Isa::Avx && detect() != Isa::Avx {
+                        continue;
+                    }
+                    let v = k.forward_clamped(x, isa);
+                    assert!(
+                        (reference - v).abs() <= 1e-5,
+                        "{isa:?} diverged at x={x}: {reference} vs {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_lanes_are_inert() {
+        let net = Mlp { w1: vec![1.0; 3], b1: vec![-0.1; 3], w2: vec![0.5; 3], b2: 0.2 };
+        let k = Kernel::from_mlp(&net);
+        for i in 0..50 {
+            let x = i as f32 / 50.0;
+            assert!((net.forward_clamped(x) - k.forward_clamped(x, Isa::Scalar)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn detect_never_scalar_on_x86_64() {
+        #[cfg(target_arch = "x86_64")]
+        assert_ne!(detect(), Isa::Scalar);
+    }
+
+    #[test]
+    fn compiled_model_agrees_with_reference_within_bounds() {
+        use crate::config::RqRmiParams;
+        use crate::rqrmi::train::train_rqrmi;
+        use nm_common::FieldRange;
+        let ranges: Vec<FieldRange> =
+            (0..300).map(|i| FieldRange::new(i * 200, i * 200 + 99)).collect();
+        let m = train_rqrmi(&ranges, 16, &RqRmiParams::default()).unwrap();
+        let compiled = CompiledRqRmi::new(&m);
+        for (idx, r) in ranges.iter().enumerate() {
+            for key in [r.lo, r.hi] {
+                let (pred, err) = compiled.predict(key);
+                let dist = (pred as i64 - idx as i64).unsigned_abs();
+                assert!(dist <= err as u64, "key {key}: pred {pred} true {idx} err {err}");
+            }
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! RQ-RMI training (paper §3.5, Figure 5).
+//!
+//! Stage by stage: train the submodels of stage `i` on datasets sampled from
+//! their responsibilities, compute the responsibilities of stage `i+1`
+//! analytically (no key enumeration — Theorem A.1), continue. Leaves get an
+//! extra loop: compute the worst-case prediction error analytically
+//! (Theorem A.13); while it exceeds the target, double the sample count and
+//! retrain (§3.5.6).
+//!
+//! ## Labels
+//!
+//! The paper samples uniform keys from the responsibility and keeps a sample
+//! only "if there is an input rule range that matches the sampled key". For
+//! sparse iSets (exact-match-heavy ACLs cover a sliver of a 2^32 domain)
+//! rejection leaves datasets almost empty. We label every sampled key with
+//! its **rank** — the index of the first range whose upper bound is ≥ key.
+//! On covered keys the rank *is* the paper's label; on gap keys it extends
+//! the staircase the model must learn anyway. This strictly enlarges the
+//! training signal without touching the correctness argument (bounds are
+//! computed over covered keys only). `SampleMode::Reject` keeps the literal
+//! paper behaviour for comparison.
+
+use nm_common::range::FieldRange;
+use nm_common::{Error, SplitMix64};
+use nm_nn::{fit_hinge, segments, Adam, Mlp};
+
+use super::analyze::{
+    child_responsibilities, eval_delta, responsibility_size, transitions_in_segment, KeyMap,
+    Responsibility,
+};
+use super::model::RqRmi;
+use crate::config::{RqRmiParams, TrainerKind};
+
+/// Sampling behaviour for training datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SampleMode {
+    /// Label all sampled keys with their rank (default; see module docs).
+    #[default]
+    Rank,
+    /// Paper-literal: discard samples that no range matches.
+    Reject,
+}
+
+/// Trains an RQ-RMI over `ranges`, which must be sorted by `lo` and
+/// non-overlapping (an iSet projection — `crate::iset` guarantees this).
+///
+/// Returns an error if the ranges are unsorted/overlapping or the field is
+/// wider than the key map supports.
+pub fn train_rqrmi(ranges: &[FieldRange], bits: u8, params: &RqRmiParams) -> Result<RqRmi, Error> {
+    train_rqrmi_mode(ranges, bits, params, SampleMode::Rank)
+}
+
+/// [`train_rqrmi`] with an explicit [`SampleMode`].
+pub fn train_rqrmi_mode(
+    ranges: &[FieldRange],
+    bits: u8,
+    params: &RqRmiParams,
+    mode: SampleMode,
+) -> Result<RqRmi, Error> {
+    if ranges.is_empty() {
+        return Err(Error::Build { msg: "cannot train an RQ-RMI on zero ranges".into() });
+    }
+    for w in ranges.windows(2) {
+        if w[1].lo <= w[0].hi {
+            return Err(Error::Build {
+                msg: format!("ranges must be sorted and non-overlapping: {:?} then {:?}", w[0], w[1]),
+            });
+        }
+    }
+    let km = KeyMap::new(bits);
+    let n = ranges.len();
+    let los: Vec<u64> = ranges.iter().map(|r| r.lo).collect();
+    let his: Vec<u64> = ranges.iter().map(|r| r.hi).collect();
+    let widths = params.widths_for(n);
+    let stages = widths.len();
+    let mut rng = SplitMix64::new(params.seed);
+
+    let mut nets: Vec<Vec<Mlp>> = Vec::with_capacity(stages);
+    let mut resp: Vec<Responsibility> = vec![vec![(0, km.domain_max())]];
+
+    for s in 0..stages {
+        let w = widths[s];
+        debug_assert_eq!(resp.len(), w);
+        // Internal stages see larger responsibilities; give them more samples.
+        let samples = if s + 1 < stages { params.samples_init * 4 } else { params.samples_init };
+        let mut stage_nets = Vec::with_capacity(w);
+        for r in resp.iter() {
+            if responsibility_size(r) == 0 {
+                stage_nets.push(Mlp::zeros(params.hidden));
+                continue;
+            }
+            let data = sample_dataset(r, samples, &mut rng, &km, &los, &his, n, mode);
+            stage_nets.push(fit(&params.trainer, params.hidden, &data, rng.next_u64()));
+        }
+        if s + 1 < stages {
+            let mut next: Vec<Responsibility> = vec![Vec::new(); widths[s + 1]];
+            for (j, net) in stage_nets.iter().enumerate() {
+                if resp[j].is_empty() {
+                    continue;
+                }
+                let children = child_responsibilities(net, &resp[j], widths[s + 1], &km);
+                for (k, mut ch) in children.into_iter().enumerate() {
+                    next[k].append(&mut ch);
+                }
+            }
+            for r in &mut next {
+                super::analyze::normalize(r);
+            }
+            nets.push(stage_nets);
+            resp = next;
+        } else {
+            nets.push(stage_nets);
+        }
+    }
+
+    // Leaf error bounds + the Figure 5 retrain loop.
+    let leaf_stage = stages - 1;
+    let mut leaf_err = vec![0u32; widths[leaf_stage]];
+    for j in 0..widths[leaf_stage] {
+        if responsibility_size(&resp[j]) == 0 {
+            continue;
+        }
+        let mut bound = leaf_error_bound(&nets[leaf_stage][j], &resp[j], &km, &los, &his, n);
+        let mut best = (bound, nets[leaf_stage][j].clone());
+        let mut samples = params.samples_init;
+        let mut attempt = 1;
+        while bound > params.error_target && attempt < params.max_attempts {
+            samples *= 2;
+            attempt += 1;
+            let data = sample_dataset(&resp[j], samples, &mut rng, &km, &los, &his, n, mode);
+            let net = fit(&params.trainer, params.hidden, &data, rng.next_u64());
+            bound = leaf_error_bound(&net, &resp[j], &km, &los, &his, n);
+            if bound < best.0 {
+                best = (bound, net);
+            }
+        }
+        nets[leaf_stage][j] = best.1;
+        // §3.5.6: if training does not converge the bound is raised to the
+        // achieved value (lookups stay correct, just search further).
+        leaf_err[j] = best.0;
+    }
+
+    Ok(RqRmi { widths, nets, leaf_err, n_values: n, bits })
+}
+
+/// Trains one submodel with the configured optimiser.
+fn fit(trainer: &TrainerKind, hidden: usize, data: &[(f32, f32)], seed: u64) -> Mlp {
+    match trainer {
+        TrainerKind::Hinge => fit_hinge(hidden, data),
+        TrainerKind::Adam(cfg) => {
+            let mut net = Mlp::random(hidden, seed);
+            Adam::train(&mut net, data, *cfg);
+            net
+        }
+        TrainerKind::HingeThenAdam(cfg) => {
+            let mut net = fit_hinge(hidden, data);
+            Adam::train(&mut net, data, *cfg);
+            net
+        }
+    }
+}
+
+/// Rank of `key` among the sorted ranges: index of the first range whose
+/// upper bound is ≥ key. For a covered key this is exactly the index of its
+/// matching range; for a gap key it is the index of the next range.
+#[inline]
+pub(crate) fn rank(his: &[u64], key: u64) -> usize {
+    his.partition_point(|&h| h < key)
+}
+
+/// Samples a training dataset from a responsibility (§3.5.4).
+///
+/// Uniform keys weighted by interval length, plus range-boundary anchors
+/// (each range's `lo` inside the responsibility) that pin the staircase the
+/// model must learn. All labels use the scaled mid-bucket target
+/// `(v + 0.5) / n`.
+#[allow(clippy::too_many_arguments)]
+fn sample_dataset(
+    resp: &Responsibility,
+    samples: usize,
+    rng: &mut SplitMix64,
+    km: &KeyMap,
+    los: &[u64],
+    his: &[u64],
+    n: usize,
+    mode: SampleMode,
+) -> Vec<(f32, f32)> {
+    let total = responsibility_size(resp);
+    if total == 0 {
+        return Vec::new();
+    }
+    let label = |key: u64| -> Option<f32> {
+        let r = rank(his, key);
+        let covered = r < n && los[r] <= key;
+        match mode {
+            SampleMode::Reject if !covered => None,
+            _ => {
+                let v = r.min(n - 1);
+                Some((v as f64 + 0.5) as f32 / n as f32)
+            }
+        }
+    };
+    let mut data = Vec::with_capacity(samples + 64);
+
+    // Uniform samples across the responsibility.
+    for _ in 0..samples {
+        let mut off = rng.below(total);
+        let mut key = 0;
+        for &(a, b) in resp {
+            let len = b - a + 1;
+            if off < len {
+                key = a + off;
+                break;
+            }
+            off -= len;
+        }
+        if let Some(y) = label(key) {
+            data.push((km.x(key), y));
+        }
+    }
+
+    // Anchors: range starts within the responsibility (subsampled when the
+    // responsibility holds more ranges than we want anchor points).
+    let anchors_max = samples.max(64);
+    for &(a, b) in resp {
+        let start = rank(his, a);
+        let mut i = start;
+        let in_resp = los.partition_point(|&lo| lo <= b) - start;
+        let step = (in_resp / anchors_max).max(1);
+        while i < n && los[i] <= b {
+            let key = los[i].max(a);
+            if let Some(y) = label(key) {
+                data.push((km.x(key), y));
+            }
+            i += step;
+        }
+    }
+    data
+}
+
+/// Worst-case index prediction error of a leaf over its responsibility
+/// (Theorem A.13), robust to `f32` evaluation noise.
+///
+/// The key space is cut at every point where either the analytic prediction
+/// or the true rank can change: segment kinks, transition inputs of the
+/// `⌊M·n⌋` quantisation, and range boundaries. Within each resulting key run
+/// both are constant, so one evaluation per run suffices; the prediction is
+/// then widened by `ceil(delta·n) + 1` to cover anything the real `f32`
+/// pipeline (any summation order) can produce.
+pub(crate) fn leaf_error_bound(
+    net: &Mlp,
+    resp: &Responsibility,
+    km: &KeyMap,
+    los: &[u64],
+    his: &[u64],
+    n: usize,
+) -> u32 {
+    let delta = eval_delta(net) + 1e-9; // +interp fuzz of segment eval
+    let dq = (delta * n as f64).ceil() as u64 + 1;
+    let nf = n as f64;
+    let mut max_err: u64 = 0;
+
+    for &(ka, kb) in resp {
+        let segs = segments(net, km.x64(ka), km.x64(kb));
+        let mut cursor = ka;
+        for seg in &segs {
+            if cursor > kb {
+                break;
+            }
+            let k_end = km.floor_key(seg.x1).min(kb);
+            if k_end < cursor {
+                continue;
+            }
+            let k_start = cursor;
+            cursor = k_end + 1;
+
+            // Critical keys inside this run.
+            let mut crit: Vec<u64> = vec![k_start];
+            for t in transitions_in_segment(seg, n) {
+                let k = km.ceil_key(t);
+                if k > k_start && k <= k_end {
+                    crit.push(k);
+                }
+            }
+            // Range boundaries (lo and hi+1) falling inside the run.
+            let mut i = rank(his, k_start);
+            while i < n && los[i] <= k_end {
+                if los[i] > k_start {
+                    crit.push(los[i]);
+                }
+                let after = his[i].saturating_add(1);
+                if after > k_start && after <= k_end {
+                    crit.push(after);
+                }
+                i += 1;
+            }
+            crit.sort_unstable();
+            crit.dedup();
+            crit.push(k_end + 1); // sentinel
+
+            for w in crit.windows(2) {
+                let (g0, g1) = (w[0], w[1] - 1);
+                if g0 > g1 {
+                    continue;
+                }
+                // Is this run covered by a range?
+                let r = rank(his, g0);
+                if r >= n || los[r] > g0 {
+                    continue; // gap keys carry no correctness obligation
+                }
+                debug_assert!(his[r] >= g1, "range boundary must not split a run");
+                let v = r as u64;
+                let y = seg.eval(km.x64(g0)).clamp(0.0, 1.0);
+                let p = ((y * nf) as u64).min(n as u64 - 1);
+                let err = p.abs_diff(v) + dq;
+                max_err = max_err.max(err);
+            }
+        }
+    }
+    max_err.min(n as u64) as u32
+}
+
+/// Exhaustively verifies an RQ-RMI: for **every** key covered by a range the
+/// true index must lie within `predicted ± bound`. O(domain) — tests only.
+pub fn verify_exhaustive(model: &RqRmi, ranges: &[FieldRange]) -> Result<(), String> {
+    for (idx, r) in ranges.iter().enumerate() {
+        for key in r.lo..=r.hi {
+            let (pred, err) = model.predict(key);
+            let dist = (pred as i64 - idx as i64).unsigned_abs();
+            if dist > err as u64 {
+                return Err(format!(
+                    "key {key}: true index {idx}, predicted {pred}, bound {err}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_common::range::domain_max;
+
+    fn params() -> RqRmiParams {
+        RqRmiParams { samples_init: 256, ..Default::default() }
+    }
+
+    fn random_disjoint_ranges(seed: u64, n: usize, bits: u8) -> Vec<FieldRange> {
+        // Random cut points -> alternate covered/uncovered spans.
+        let mut rng = SplitMix64::new(seed);
+        let dm = domain_max(bits);
+        let mut cuts: Vec<u64> = (0..n * 2).map(|_| rng.below(dm)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.chunks_exact(2)
+            .map(|c| FieldRange::new(c[0], c[1]))
+            .filter({
+                let mut prev_hi: Option<u64> = None;
+                move |r| {
+                    let ok = prev_hi.map_or(true, |p| r.lo > p);
+                    if ok {
+                        prev_hi = Some(r.hi);
+                    }
+                    ok
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_overlapping_input() {
+        let ranges = vec![FieldRange::new(0, 10), FieldRange::new(10, 20)];
+        assert!(train_rqrmi(&ranges, 16, &params()).is_err());
+        assert!(train_rqrmi(&[], 16, &params()).is_err());
+    }
+
+    #[test]
+    fn exhaustive_correctness_16bit() {
+        // The load-bearing guarantee test: every covered key, every range.
+        for seed in [1u64, 2, 3] {
+            let ranges = random_disjoint_ranges(seed, 200, 16);
+            assert!(ranges.len() > 50);
+            let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+            verify_exhaustive(&m, &ranges).unwrap();
+        }
+    }
+
+    #[test]
+    fn exhaustive_correctness_exact_match_staircase() {
+        // Dense exact values: the hardest quantisation case.
+        let ranges: Vec<FieldRange> = (0..500).map(|i| FieldRange::exact(i * 131)).collect();
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        verify_exhaustive(&m, &ranges).unwrap();
+    }
+
+    #[test]
+    fn exhaustive_correctness_adam_trainer() {
+        let ranges = random_disjoint_ranges(7, 100, 16);
+        let p = RqRmiParams {
+            samples_init: 256,
+            trainer: TrainerKind::HingeThenAdam(nm_nn::AdamConfig {
+                epochs: 60,
+                ..Default::default()
+            }),
+            max_attempts: 2,
+            ..Default::default()
+        };
+        let m = train_rqrmi(&ranges, 16, &p).unwrap();
+        verify_exhaustive(&m, &ranges).unwrap();
+    }
+
+    #[test]
+    fn reject_mode_also_correct() {
+        let ranges = random_disjoint_ranges(11, 150, 16);
+        let m = train_rqrmi_mode(&ranges, 16, &params(), SampleMode::Reject).unwrap();
+        verify_exhaustive(&m, &ranges).unwrap();
+    }
+
+    #[test]
+    fn bounds_shrink_with_effort() {
+        let ranges = random_disjoint_ranges(5, 300, 20);
+        let lazy = RqRmiParams { samples_init: 32, max_attempts: 1, ..Default::default() };
+        let keen = RqRmiParams { samples_init: 2048, max_attempts: 4, ..Default::default() };
+        let m_lazy = train_rqrmi(&ranges, 20, &lazy).unwrap();
+        let m_keen = train_rqrmi(&ranges, 20, &keen).unwrap();
+        assert!(
+            m_keen.max_error_bound() <= m_lazy.max_error_bound(),
+            "keen {} vs lazy {}",
+            m_keen.max_error_bound(),
+            m_lazy.max_error_bound()
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ranges = random_disjoint_ranges(9, 100, 16);
+        let a = train_rqrmi(&ranges, 16, &params()).unwrap();
+        let b = train_rqrmi(&ranges, 16, &params()).unwrap();
+        assert_eq!(a.leaf_err, b.leaf_err);
+        for key in (0..65536u64).step_by(97) {
+            assert_eq!(a.predict(key), b.predict(key));
+        }
+    }
+
+    #[test]
+    fn rank_is_partition_point() {
+        let his = vec![10u64, 20, 30];
+        assert_eq!(rank(&his, 0), 0);
+        assert_eq!(rank(&his, 10), 0);
+        assert_eq!(rank(&his, 11), 1);
+        assert_eq!(rank(&his, 31), 3);
+    }
+
+    #[test]
+    fn single_range_trivial_model() {
+        let ranges = vec![FieldRange::new(100, 200)];
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        verify_exhaustive(&m, &ranges).unwrap();
+        let (pred, err) = m.predict(150);
+        assert!(pred as u32 <= err || pred == 0);
+    }
+
+    #[test]
+    fn wide_32bit_field_sampled_correctness() {
+        // Can't enumerate 2^32; verify on all range boundaries + random keys.
+        let ranges = random_disjoint_ranges(13, 2_000, 32);
+        let m = train_rqrmi(&ranges, 32, &params()).unwrap();
+        let mut rng = SplitMix64::new(99);
+        for (idx, r) in ranges.iter().enumerate() {
+            let check = |key: u64| {
+                let (pred, err) = m.predict(key);
+                let dist = (pred as i64 - idx as i64).unsigned_abs();
+                assert!(dist <= err as u64, "key {key} true {idx} pred {pred} err {err}");
+            };
+            check(r.lo);
+            check(r.hi);
+            check(rng.range_inclusive(r.lo, r.hi));
+        }
+    }
+}

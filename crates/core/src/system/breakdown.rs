@@ -1,0 +1,114 @@
+//! Lookup-phase breakdown measurement (Figure 14).
+//!
+//! The paper splits NuevoMatch lookup time into four phases: RQ-RMI
+//! inference, secondary search, validation, and remainder classification.
+//! Inline per-packet timers would distort nanosecond-scale phases, so the
+//! harness measures *cumulative* phase prefixes over a whole trace and
+//! differences them: `inference`, `+search`, `+validate`, `+remainder`.
+
+use nm_common::classifier::Classifier;
+use nm_common::packet::TraceBuf;
+use std::hint::black_box;
+use std::time::Instant;
+
+use super::NuevoMatch;
+
+/// Per-packet phase costs in nanoseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LookupBreakdown {
+    /// RQ-RMI model inference across all iSets.
+    pub inference_ns: f64,
+    /// Secondary search in the iSet range arrays.
+    pub search_ns: f64,
+    /// Multi-field validation of candidates.
+    pub validation_ns: f64,
+    /// Remainder classification (including the selector).
+    pub remainder_ns: f64,
+}
+
+impl LookupBreakdown {
+    /// Total per-packet cost.
+    pub fn total_ns(&self) -> f64 {
+        self.inference_ns + self.search_ns + self.validation_ns + self.remainder_ns
+    }
+}
+
+/// Measures the phase breakdown of `nm` over `trace`.
+///
+/// Phases are timed as cumulative prefixes and differenced, so each number
+/// includes only its own incremental work. Negative differences from timer
+/// jitter are clamped to zero.
+pub fn measure_breakdown<R: Classifier>(nm: &NuevoMatch<R>, trace: &TraceBuf) -> LookupBreakdown {
+    let n = trace.len().max(1) as f64;
+
+    // Prefix 1: inference only.
+    let t0 = Instant::now();
+    for key in trace.iter() {
+        for iset in nm.isets() {
+            black_box(iset.predict(key));
+        }
+    }
+    let p1 = t0.elapsed().as_nanos() as f64 / n;
+
+    // Prefix 2: inference + search.
+    let t0 = Instant::now();
+    for key in trace.iter() {
+        for iset in nm.isets() {
+            let (pred, err) = iset.predict(key);
+            black_box(iset.search(pred, err, key));
+        }
+    }
+    let p2 = t0.elapsed().as_nanos() as f64 / n;
+
+    // Prefix 3: + validation (full iSet path incl. selector fold).
+    let t0 = Instant::now();
+    for key in trace.iter() {
+        black_box(nm.classify_isets(key));
+    }
+    let p3 = t0.elapsed().as_nanos() as f64 / n;
+
+    // Prefix 4: + remainder (the complete classifier).
+    let t0 = Instant::now();
+    for key in trace.iter() {
+        black_box(nm.classify(key));
+    }
+    let p4 = t0.elapsed().as_nanos() as f64 / n;
+
+    LookupBreakdown {
+        inference_ns: p1,
+        search_ns: (p2 - p1).max(0.0),
+        validation_ns: (p3 - p2).max(0.0),
+        remainder_ns: (p4 - p3).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NuevoMatchConfig, RqRmiParams};
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet};
+
+    #[test]
+    fn breakdown_is_positive_and_ordered() {
+        let rules: Vec<_> = (0..100u16)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_port_range(i * 500, i * 500 + 400)
+                    .into_rule(i as u32, i as u32)
+            })
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let cfg = NuevoMatchConfig {
+            rqrmi: RqRmiParams { samples_init: 128, ..Default::default() },
+            ..Default::default()
+        };
+        let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+        let mut trace = TraceBuf::new(5);
+        for i in 0..2_000u64 {
+            trace.push(&[i, i, i % 65_536, (i * 13) % 65_536, 6]);
+        }
+        let b = measure_breakdown(&nm, &trace);
+        assert!(b.inference_ns > 0.0);
+        assert!(b.total_ns() >= b.inference_ns);
+    }
+}

@@ -1,0 +1,269 @@
+//! Exact-match flow cache in front of any classifier.
+//!
+//! §5.2 of the paper observes that production pipelines (Open vSwitch) put
+//! an exact-match cache in front of the classifier and invoke the full
+//! lookup only on cache misses — which is why the paper expects its
+//! *unskewed* numbers to be the representative ones for an OVS integration:
+//! the cache absorbs the skew, the classifier sees the miss stream. This
+//! module implements that front so the claim can be measured
+//! (`cargo run -p nm-bench --release --bin ablation`).
+//!
+//! The cache is a fixed-size, open-addressed, 2-way set-associative table
+//! keyed by the full field vector. Eviction is touch-ordered within the
+//! set (the older way is replaced). Updates invalidate by generation: the
+//! owner bumps [`FlowCache::invalidate_all`] after any rule change, which
+//! is O(1) — stale entries die lazily on their next probe.
+
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::rule::Priority;
+use parking_lot::Mutex;
+
+const WAYS: usize = 2;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    /// Full key (field values). Empty = vacant.
+    key: Vec<u64>,
+    /// Cached verdict (None = the classifier reported no match).
+    verdict: Option<MatchResult>,
+    /// Generation stamp; mismatched entries are stale.
+    generation: u64,
+    /// Per-set recency counter.
+    stamp: u64,
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Probes that returned a fresh cached verdict.
+    pub hits: u64,
+    /// Probes that fell through to the classifier.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An exact-match flow cache wrapping an inner classifier.
+///
+/// The wrapper itself implements [`Classifier`], so it can front NuevoMatch,
+/// TupleMerge, or anything else in the workspace. Interior mutability keeps
+/// `classify(&self)` signature intact; a `Mutex` per cache keeps this simple
+/// and correct (per-core caches would shard in a real datapath — one cache
+/// per worker thread, exactly how OVS does it).
+pub struct FlowCache<C> {
+    inner: C,
+    sets: Mutex<CacheState>,
+    mask: usize,
+}
+
+struct CacheState {
+    entries: Vec<Entry>,
+    generation: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<C: Classifier> FlowCache<C> {
+    /// Wraps `inner` with a cache of at least `capacity` flows (rounded up
+    /// to a power of two of sets × 2 ways).
+    pub fn new(inner: C, capacity: usize) -> Self {
+        let sets = (capacity.div_ceil(WAYS)).next_power_of_two().max(8);
+        let vacant = Entry { key: Vec::new(), verdict: None, generation: 0, stamp: 0 };
+        Self {
+            inner,
+            sets: Mutex::new(CacheState {
+                entries: vec![vacant; sets * WAYS],
+                generation: 1,
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+            mask: sets - 1,
+        }
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped classifier. Callers that mutate rules
+    /// must call [`FlowCache::invalidate_all`] afterwards.
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
+
+    /// Drops every cached verdict in O(1) (generation bump).
+    pub fn invalidate_all(&self) {
+        self.sets.lock().generation += 1;
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.sets.lock().stats
+    }
+
+    fn hash_key(key: &[u64]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &v in key {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl<C: Classifier> Classifier for FlowCache<C> {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        let set = (Self::hash_key(key) as usize) & self.mask;
+        let base = set * WAYS;
+        {
+            let mut state = self.sets.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            let generation = state.generation;
+            for way in 0..WAYS {
+                let e = &mut state.entries[base + way];
+                if e.generation == generation && e.key == key {
+                    e.stamp = tick;
+                    let verdict = e.verdict;
+                    state.stats.hits += 1;
+                    return verdict;
+                }
+            }
+            state.stats.misses += 1;
+        }
+        // Miss path: full lookup outside the lock (the classifier may be
+        // slow; holding the lock would serialise concurrent workers).
+        let verdict = self.inner.classify(key);
+        let mut state = self.sets.lock();
+        let tick = state.tick;
+        let generation = state.generation;
+        // Victim: any stale/vacant way, else the least recently touched.
+        let victim = (0..WAYS)
+            .min_by_key(|&w| {
+                let e = &state.entries[base + w];
+                if e.generation != generation || e.key.is_empty() {
+                    (0, 0)
+                } else {
+                    (1, e.stamp)
+                }
+            })
+            .expect("ways > 0");
+        state.entries[base + victim] =
+            Entry { key: key.to_vec(), verdict, generation, stamp: tick };
+        verdict
+    }
+
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        self.classify(key).filter(|m| m.priority < floor)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let state = self.sets.lock();
+        let entries = state.entries.len();
+        let per = std::mem::size_of::<Entry>()
+            + state.entries.first().map_or(0, |e| e.key.capacity() * 8);
+        self.inner.memory_bytes() + entries * per
+    }
+
+    fn name(&self) -> &'static str {
+        "flow-cache"
+    }
+
+    fn num_rules(&self) -> usize {
+        self.inner.num_rules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet};
+
+    fn engine() -> FlowCache<LinearSearch> {
+        let rules: Vec<_> = (0..100u16)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_port_range(i * 100, i * 100 + 99)
+                    .into_rule(i as u32, i as u32)
+            })
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        FlowCache::new(LinearSearch::build(&set), 1_024)
+    }
+
+    #[test]
+    fn cached_verdicts_match_inner() {
+        let c = engine();
+        for port in (0u64..10_000).step_by(11) {
+            let key = [1, 2, 3, port, 6];
+            let a = c.classify(&key);
+            let b = c.inner().classify(&key);
+            assert_eq!(a, b);
+            // Second probe must hit and agree.
+            assert_eq!(c.classify(&key), b);
+        }
+        let stats = c.stats();
+        assert!(stats.hits >= 900, "expected heavy hits, got {stats:?}");
+    }
+
+    #[test]
+    fn caches_negative_verdicts_too() {
+        let c = engine();
+        let miss_key = [1u64, 2, 3, 60_000, 6];
+        assert_eq!(c.classify(&miss_key), None);
+        let before = c.stats().hits;
+        assert_eq!(c.classify(&miss_key), None);
+        assert_eq!(c.stats().hits, before + 1, "negative verdict should be cached");
+    }
+
+    #[test]
+    fn invalidate_all_forces_misses() {
+        let c = engine();
+        let key = [1u64, 2, 3, 500, 6];
+        c.classify(&key);
+        c.classify(&key);
+        assert!(c.stats().hits >= 1);
+        c.invalidate_all();
+        let misses_before = c.stats().misses;
+        c.classify(&key);
+        assert_eq!(c.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn hot_flow_hit_rate_is_high() {
+        let c = engine();
+        // 10 hot flows, 10K probes.
+        for i in 0..10_000u64 {
+            let flow = i % 10;
+            c.classify(&[9, 9, 9, flow * 77, 17]);
+        }
+        assert!(c.stats().hit_rate() > 0.99, "hit rate {:.3}", c.stats().hit_rate());
+    }
+
+    #[test]
+    fn associativity_survives_set_conflicts() {
+        // Tiny cache: force evictions, verdicts must stay correct.
+        let rules: Vec<_> = (0..50u16)
+            .map(|i| FiveTuple::new().dst_port_exact(i).into_rule(i as u32, i as u32))
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let c = FlowCache::new(LinearSearch::build(&set), 8);
+        for round in 0..3 {
+            for port in 0..50u64 {
+                let got = c.classify(&[0, 0, 0, port, 0]);
+                assert_eq!(got.map(|m| m.rule), Some(port as u32), "round {round}");
+            }
+        }
+    }
+}

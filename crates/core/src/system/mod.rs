@@ -1,0 +1,376 @@
+//! The end-to-end NuevoMatch classifier (paper §3.8, §4).
+//!
+//! Build: partition into iSets → train one RQ-RMI per iSet → hand the
+//! remainder to an external classifier. Lookup: query every iSet (predict →
+//! secondary search → multi-field validation), query the remainder, return
+//! the highest-priority candidate. With early termination (§4) the remainder
+//! is queried *after* the iSets and may prune all work that cannot beat the
+//! iSets' best candidate.
+
+pub mod breakdown;
+pub mod flow_cache;
+pub mod parallel;
+pub mod update;
+
+pub use breakdown::{measure_breakdown, LookupBreakdown};
+pub use flow_cache::{CacheStats, FlowCache};
+pub use parallel::{run_replicated, run_two_workers, ParallelStats};
+
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::rule::{Priority, RuleId};
+use nm_common::ruleset::RuleSet;
+use nm_common::Error;
+
+use crate::config::NuevoMatchConfig;
+use crate::iset::{partition_isets, ISet};
+use crate::rqrmi::{train_rqrmi, CompiledRqRmi, RqRmi};
+
+/// One iSet lowered for the lookup hot path: a compiled RQ-RMI over the
+/// iSet's field projection, the sorted range arrays for the secondary
+/// search, and flattened rule boxes for multi-field validation.
+pub struct TrainedISet {
+    /// Field this iSet does not overlap in.
+    pub dim: usize,
+    model: CompiledRqRmi,
+    reference: RqRmi,
+    /// Sorted range lower bounds in `dim` (the RQ-RMI value array order).
+    los: Vec<u64>,
+    /// Matching upper bounds.
+    his: Vec<u64>,
+    /// Rule id per position.
+    rule_ids: Vec<RuleId>,
+    /// Rule priority per position.
+    priorities: Vec<Priority>,
+    /// Flattened `[lo, hi]` per field per rule (`nfields * 2` per position),
+    /// packed so one rule's validation data is contiguous (§4 packs field
+    /// values to minimise cache lines touched).
+    boxes: Vec<u64>,
+    /// Tombstones for §3.9 updates: a deleted rule fails validation.
+    deleted: Vec<bool>,
+    nfields: usize,
+}
+
+impl TrainedISet {
+    /// Trains the RQ-RMI and packs the lookup arrays for one iSet.
+    pub fn build(set: &RuleSet, iset: &ISet, cfg: &NuevoMatchConfig) -> Result<Self, Error> {
+        let dim = iset.dim;
+        let bits = set.spec().bits(dim);
+        let nfields = set.num_fields();
+        let n = iset.rule_ids.len();
+
+        let mut los = Vec::with_capacity(n);
+        let mut his = Vec::with_capacity(n);
+        let mut rule_ids = Vec::with_capacity(n);
+        let mut priorities = Vec::with_capacity(n);
+        let mut boxes = Vec::with_capacity(n * nfields * 2);
+        for &id in &iset.rule_ids {
+            let rule = set.rule(id);
+            los.push(rule.fields[dim].lo);
+            his.push(rule.fields[dim].hi);
+            rule_ids.push(id);
+            priorities.push(rule.priority);
+            for f in &rule.fields {
+                boxes.push(f.lo);
+                boxes.push(f.hi);
+            }
+        }
+        let ranges: Vec<nm_common::FieldRange> = los
+            .iter()
+            .zip(&his)
+            .map(|(&lo, &hi)| nm_common::FieldRange::new(lo, hi))
+            .collect();
+        let reference = train_rqrmi(&ranges, bits, &cfg.rqrmi)?;
+        let model = CompiledRqRmi::new(&reference);
+        Ok(Self {
+            dim,
+            model,
+            reference,
+            los,
+            his,
+            rule_ids,
+            priorities,
+            boxes,
+            deleted: vec![false; n],
+            nfields,
+        })
+    }
+
+    /// Number of rules in the iSet.
+    pub fn len(&self) -> usize {
+        self.rule_ids.len()
+    }
+
+    /// True when the iSet holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rule_ids.is_empty()
+    }
+
+    /// The trained model (diagnostics: error bounds, widths).
+    pub fn model(&self) -> &RqRmi {
+        &self.reference
+    }
+
+    /// Phase 1 — RQ-RMI inference: predicted index + error bound for the
+    /// key's value in this iSet's field.
+    #[inline]
+    pub fn predict(&self, key: &[u64]) -> (usize, u32) {
+        self.model.predict(key[self.dim])
+    }
+
+    /// Phase 2 — secondary search: binary search within
+    /// `[pred − err, pred + err]` for the range containing the field value.
+    /// Returns the position in the iSet arrays.
+    #[inline]
+    pub fn search(&self, pred: usize, err: u32, key: &[u64]) -> Option<usize> {
+        let v = key[self.dim];
+        let n = self.los.len();
+        let lo = pred.saturating_sub(err as usize);
+        let hi = (pred + err as usize).min(n - 1);
+        // First range in the window whose upper bound is >= v.
+        let off = self.his[lo..=hi].partition_point(|&h| h < v);
+        let pos = lo + off;
+        (pos <= hi && self.los[pos] <= v).then_some(pos)
+    }
+
+    /// Phase 3 — multi-field validation (§3.6): checks the candidate rule's
+    /// box on every field and returns the match on success.
+    #[inline]
+    pub fn validate(&self, pos: usize, key: &[u64]) -> Option<MatchResult> {
+        if self.deleted[pos] {
+            return None;
+        }
+        let base = pos * self.nfields * 2;
+        let b = &self.boxes[base..base + self.nfields * 2];
+        for (d, &v) in key.iter().enumerate() {
+            if v < b[2 * d] || v > b[2 * d + 1] {
+                return None;
+            }
+        }
+        Some(MatchResult::new(self.rule_ids[pos], self.priorities[pos]))
+    }
+
+    /// Full iSet lookup: predict → search → validate.
+    #[inline]
+    pub fn lookup(&self, key: &[u64]) -> Option<MatchResult> {
+        let (pred, err) = self.predict(key);
+        let pos = self.search(pred, err, key)?;
+        self.validate(pos, key)
+    }
+
+    /// Index memory: the RQ-RMI weights (the sorted projections and boxes
+    /// are rule storage, which the paper's footprint excludes — §5.2.1).
+    pub fn memory_bytes(&self) -> usize {
+        self.reference.memory_bytes()
+    }
+
+    /// Marks the rule at `pos` deleted (updates, §3.9).
+    pub(crate) fn tombstone(&mut self, pos: usize) {
+        self.deleted[pos] = true;
+    }
+
+    /// Rule id at a position (updates bookkeeping).
+    pub(crate) fn rule_id_at(&self, pos: usize) -> RuleId {
+        self.rule_ids[pos]
+    }
+}
+
+/// The NuevoMatch classifier: iSets + a remainder engine `R`.
+///
+/// `R` is any [`Classifier`]; the paper evaluates TupleMerge, CutSplit and
+/// NeuroCuts remainders. Build with [`NuevoMatch::build`], passing a closure
+/// that constructs the remainder engine from the remainder rule subset.
+pub struct NuevoMatch<R> {
+    isets: Vec<TrainedISet>,
+    remainder: R,
+    early_termination: bool,
+    total_rules: usize,
+    /// Rules that migrated to the remainder through updates (§3.9).
+    pub(crate) moved_updates: usize,
+    /// Lazy id → (iset, position) map for update routing.
+    pub(crate) loc: Option<std::collections::HashMap<RuleId, (u32, u32)>>,
+}
+
+impl<R: Classifier> NuevoMatch<R> {
+    /// Partitions, trains and assembles the full classifier.
+    ///
+    /// `make_remainder` receives the remainder rule subset (ids and
+    /// priorities preserved) and returns the external classifier.
+    pub fn build(
+        set: &RuleSet,
+        cfg: &NuevoMatchConfig,
+        make_remainder: impl FnOnce(&RuleSet) -> R,
+    ) -> Result<Self, Error> {
+        let partition = partition_isets(set, cfg.max_isets, cfg.min_iset_coverage);
+        let mut isets = Vec::with_capacity(partition.isets.len());
+        for iset in &partition.isets {
+            isets.push(TrainedISet::build(set, iset, cfg)?);
+        }
+        let remainder_set = set.subset(&partition.remainder);
+        let remainder = make_remainder(&remainder_set);
+        Ok(Self {
+            isets,
+            remainder,
+            early_termination: cfg.early_termination,
+            total_rules: set.len(),
+            moved_updates: 0,
+            loc: None,
+        })
+    }
+
+    /// The trained iSets.
+    pub fn isets(&self) -> &[TrainedISet] {
+        &self.isets
+    }
+
+    /// Mutable iSets (update path).
+    pub(crate) fn isets_mut(&mut self) -> &mut [TrainedISet] {
+        &mut self.isets
+    }
+
+    /// The remainder engine.
+    pub fn remainder(&self) -> &R {
+        &self.remainder
+    }
+
+    /// Mutable remainder engine (update path).
+    pub fn remainder_mut(&mut self) -> &mut R {
+        &mut self.remainder
+    }
+
+    /// Fraction of rules indexed by iSets at build time.
+    pub fn coverage(&self) -> f64 {
+        if self.total_rules == 0 {
+            return 0.0;
+        }
+        let covered: usize = self.isets.iter().map(TrainedISet::len).sum();
+        covered as f64 / self.total_rules as f64
+    }
+
+    /// Best candidate across the iSets only (phase API for Figure 14).
+    #[inline]
+    pub fn classify_isets(&self, key: &[u64]) -> Option<MatchResult> {
+        let mut best = None;
+        for iset in &self.isets {
+            best = MatchResult::better(best, iset.lookup(key));
+        }
+        best
+    }
+}
+
+impl<R: Classifier> Classifier for NuevoMatch<R> {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        let best = self.classify_isets(key);
+        if self.early_termination {
+            match best {
+                Some(b) => {
+                    MatchResult::better(best, self.remainder.classify_with_floor(key, b.priority))
+                }
+                None => self.remainder.classify(key),
+            }
+        } else {
+            MatchResult::better(best, self.remainder.classify(key))
+        }
+    }
+
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        self.classify(key).filter(|m| m.priority < floor)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let isets: usize = self.isets.iter().map(TrainedISet::memory_bytes).sum();
+        isets + self.remainder.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "nm"
+    }
+
+    fn num_rules(&self) -> usize {
+        self.total_rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RqRmiParams;
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch};
+
+    fn port_set(n: u16) -> RuleSet {
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_port_range(i * 100, i * 100 + 99)
+                    .into_rule(i as u32, i as u32)
+            })
+            .collect();
+        RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+    }
+
+    fn fast_cfg() -> NuevoMatchConfig {
+        NuevoMatchConfig {
+            rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn agrees_with_linear_search() {
+        let set = port_set(500);
+        let nm = NuevoMatch::build(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        let oracle = LinearSearch::build(&set);
+        for port in (0u64..65536).step_by(53) {
+            let key = [1, 2, 3, port, 6];
+            assert_eq!(
+                nm.classify(&key),
+                oracle.classify(&key),
+                "diverged at port {port}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_coverage_single_iset() {
+        let set = port_set(400);
+        let nm = NuevoMatch::build(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        assert_eq!(nm.isets().len(), 1);
+        assert_eq!(nm.coverage(), 1.0);
+        assert_eq!(nm.remainder().num_rules(), 0);
+    }
+
+    #[test]
+    fn early_termination_equivalence() {
+        let set = port_set(300);
+        let mut cfg = fast_cfg();
+        cfg.early_termination = true;
+        let with_et = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+        cfg.early_termination = false;
+        let without = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+        for port in (0u64..65536).step_by(101) {
+            let key = [9, 9, 9, port, 17];
+            assert_eq!(with_et.classify(&key), without.classify(&key));
+        }
+    }
+
+    #[test]
+    fn memory_is_dominated_by_model_not_rules() {
+        let set = port_set(600);
+        let nm = NuevoMatch::build(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        // The RQ-RMI index for 600 rules must be way below the raw rule data.
+        let iset_bytes: usize = nm.isets().iter().map(TrainedISet::memory_bytes).sum();
+        assert!(iset_bytes < set.storage_bytes() / 2, "{iset_bytes} vs {}", set.storage_bytes());
+    }
+
+    #[test]
+    fn phase_api_consistent_with_lookup() {
+        let set = port_set(200);
+        let nm = NuevoMatch::build(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        let iset = &nm.isets()[0];
+        let key = [0u64, 0, 0, 12_345, 0];
+        let (pred, err) = iset.predict(&key);
+        let pos = iset.search(pred, err, &key).unwrap();
+        let m = iset.validate(pos, &key).unwrap();
+        assert_eq!(iset.lookup(&key), Some(m));
+        assert_eq!(m.rule, 123);
+    }
+}

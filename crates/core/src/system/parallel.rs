@@ -1,0 +1,262 @@
+//! Batched multi-worker execution (paper §4 "Parallelization" and §5.1).
+//!
+//! Two execution modes from the paper's methodology:
+//!
+//! * [`run_two_workers`] — NuevoMatch's split: one worker runs all RQ-RMI
+//!   iSets, the other runs the remainder classifier, results merge per
+//!   batch. Each worker's working set stays small (the RQ-RMIs fit in L1
+//!   even when the remainder does not).
+//! * [`run_replicated`] — the baselines' best case: `t` instances of the
+//!   same classifier (no rule duplication — shared reference), batches
+//!   split between them round-robin, "almost linear scaling with perfect
+//!   load balancing".
+//!
+//! Batches of 128 packets amortise the synchronisation, as in §5.1.
+//!
+//! This repository's CI machine has a single physical core, so the measured
+//! *numbers* time-share; the harness structure is identical to the paper's
+//! and scales on real multi-core hardware. EXPERIMENTS.md discusses the
+//! caveat.
+
+use crossbeam::channel;
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::packet::TraceBuf;
+
+use super::NuevoMatch;
+
+/// Default batch size from the paper.
+pub const BATCH: usize = 128;
+
+/// Result of a parallel run.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelStats {
+    /// Wall-clock seconds for the whole trace.
+    pub seconds: f64,
+    /// Packets per second.
+    pub pps: f64,
+    /// Mean per-batch latency in nanoseconds (dispatch → merged).
+    pub mean_batch_latency_ns: f64,
+    /// Fold of matched rule ids (sequential-equivalence checks).
+    pub checksum: u64,
+}
+
+fn fold(checksum: &mut u64, m: Option<MatchResult>) {
+    let v = m.map_or(u64::MAX, |r| r.rule as u64);
+    *checksum = checksum.wrapping_mul(0x100_0000_01b3).wrapping_add(v);
+}
+
+/// Runs NuevoMatch with the paper's two-worker split: worker A executes the
+/// iSet RQ-RMIs, worker B the remainder classifier; the caller's thread
+/// merges per-batch candidates in order.
+pub fn run_two_workers<R: Classifier>(
+    nm: &NuevoMatch<R>,
+    trace: &TraceBuf,
+    batch: usize,
+) -> ParallelStats {
+    let n = trace.len();
+    if n == 0 {
+        return ParallelStats { seconds: 0.0, pps: 0.0, mean_batch_latency_ns: 0.0, checksum: 0 };
+    }
+    let batch = batch.max(1);
+    let n_batches = n.div_ceil(batch);
+    // Bounded channels keep a small pipeline in flight, like a NIC queue.
+    let (a_tx, a_rx) = channel::bounded::<usize>(4);
+    let (b_tx, b_rx) = channel::bounded::<usize>(4);
+    let (ra_tx, ra_rx) = channel::bounded::<(usize, Vec<Option<MatchResult>>)>(4);
+    let (rb_tx, rb_rx) = channel::bounded::<(usize, Vec<Option<MatchResult>>)>(4);
+
+    let mut checksum = 0u64;
+    let mut latency_sum = 0.0f64;
+    let start = std::time::Instant::now();
+
+    crossbeam::thread::scope(|scope| {
+        // Worker A: iSets.
+        scope.spawn(|_| {
+            for b in a_rx.iter() {
+                let lo = b * batch;
+                let hi = ((b + 1) * batch).min(n);
+                let out: Vec<_> = (lo..hi).map(|i| nm.classify_isets(trace.key(i))).collect();
+                if ra_tx.send((b, out)).is_err() {
+                    break;
+                }
+            }
+        });
+        // Worker B: remainder.
+        scope.spawn(|_| {
+            for b in b_rx.iter() {
+                let lo = b * batch;
+                let hi = ((b + 1) * batch).min(n);
+                let out: Vec<_> = (lo..hi).map(|i| nm.remainder().classify(trace.key(i))).collect();
+                if rb_tx.send((b, out)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut dispatch_times = vec![std::time::Instant::now(); n_batches];
+        let mut next = 0usize;
+        let mut merged = 0usize;
+        // Prime the pipeline, then merge in order.
+        while merged < n_batches {
+            while next < n_batches && next - merged < 4 {
+                dispatch_times[next] = std::time::Instant::now();
+                a_tx.send(next).unwrap();
+                b_tx.send(next).unwrap();
+                next += 1;
+            }
+            let (ba, va) = ra_rx.recv().unwrap();
+            let (bb, vb) = rb_rx.recv().unwrap();
+            debug_assert_eq!(ba, bb, "workers must stay in lock-step batch order");
+            for (a, b) in va.into_iter().zip(vb) {
+                fold(&mut checksum, MatchResult::better(a, b));
+            }
+            latency_sum += dispatch_times[ba].elapsed().as_nanos() as f64;
+            merged += 1;
+        }
+        drop(a_tx);
+        drop(b_tx);
+    })
+    .expect("worker panicked");
+
+    let seconds = start.elapsed().as_secs_f64();
+    ParallelStats {
+        seconds,
+        pps: n as f64 / seconds,
+        mean_batch_latency_ns: latency_sum / n_batches as f64,
+        checksum,
+    }
+}
+
+/// Runs `threads` instances of any classifier over the trace, batches
+/// distributed round-robin (the baselines' multi-core mode in §5.1).
+pub fn run_replicated(c: &dyn Classifier, trace: &TraceBuf, threads: usize, batch: usize) -> ParallelStats {
+    let n = trace.len();
+    if n == 0 {
+        return ParallelStats { seconds: 0.0, pps: 0.0, mean_batch_latency_ns: 0.0, checksum: 0 };
+    }
+    let threads = threads.max(1);
+    let batch = batch.max(1);
+    let n_batches = n.div_ceil(batch);
+    let start = std::time::Instant::now();
+    let mut partials: Vec<(u64, f64, usize)> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let mut checksum = 0u64;
+                let mut lat = 0.0f64;
+                let mut batches = 0usize;
+                let mut b = t;
+                while b < n_batches {
+                    let t0 = std::time::Instant::now();
+                    let lo = b * batch;
+                    let hi = ((b + 1) * batch).min(n);
+                    for i in lo..hi {
+                        fold(&mut checksum, c.classify(trace.key(i)));
+                    }
+                    lat += t0.elapsed().as_nanos() as f64;
+                    batches += 1;
+                    b += threads;
+                }
+                (checksum, lat, batches)
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().unwrap());
+        }
+    })
+    .expect("worker panicked");
+
+    let seconds = start.elapsed().as_secs_f64();
+    let total_batches: usize = partials.iter().map(|p| p.2).sum();
+    let lat_sum: f64 = partials.iter().map(|p| p.1).sum();
+    // Order-independent combination so the checksum is reproducible.
+    let checksum = partials.iter().fold(0u64, |acc, p| acc ^ p.0);
+    ParallelStats {
+        seconds,
+        pps: n as f64 / seconds,
+        mean_batch_latency_ns: lat_sum / total_batches.max(1) as f64,
+        checksum,
+    }
+}
+
+/// Sequential reference run (single core, early termination as configured) —
+/// the §5.2 single-core methodology, also used to validate the parallel
+/// paths' checksums.
+pub fn run_sequential(c: &dyn Classifier, trace: &TraceBuf) -> ParallelStats {
+    let n = trace.len();
+    let start = std::time::Instant::now();
+    let mut checksum = 0u64;
+    for key in trace.iter() {
+        fold(&mut checksum, c.classify(key));
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    ParallelStats {
+        seconds,
+        pps: n as f64 / seconds.max(1e-12),
+        mean_batch_latency_ns: seconds * 1e9 / n.max(1) as f64,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NuevoMatchConfig, RqRmiParams};
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet};
+
+    fn setup() -> (NuevoMatch<LinearSearch>, TraceBuf) {
+        let rules: Vec<_> = (0..200u16)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_port_range(i * 300, i * 300 + 250)
+                    .into_rule(i as u32, i as u32)
+            })
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let cfg = NuevoMatchConfig {
+            rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+            ..Default::default()
+        };
+        let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+        let mut trace = TraceBuf::new(5);
+        for i in 0..4_000u64 {
+            trace.push(&[i, i * 7, i % 65_536, (i * 37) % 65_536, (i % 256)]);
+        }
+        (nm, trace)
+    }
+
+    #[test]
+    fn two_workers_match_sequential() {
+        let (nm, trace) = setup();
+        let seq = run_sequential(&nm, &trace);
+        let par = run_two_workers(&nm, &trace, 128);
+        assert_eq!(seq.checksum, par.checksum);
+        assert!(par.pps > 0.0);
+        assert!(par.mean_batch_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn replicated_covers_all_packets() {
+        let (nm, trace) = setup();
+        let a = run_replicated(&nm, &trace, 1, 128);
+        let b = run_replicated(&nm, &trace, 2, 128);
+        // XOR-combined checksums depend on batch split, so compare against
+        // a single-thread replicated run with the same fold order per thread
+        // count is not meaningful; instead check totals via pps > 0 and that
+        // the 1-thread checksum matches the sequential fold.
+        let seq = run_sequential(&nm, &trace);
+        assert_eq!(a.checksum, seq.checksum);
+        assert!(b.pps > 0.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let (nm, _) = setup();
+        let empty = TraceBuf::new(5);
+        let s = run_two_workers(&nm, &empty, 128);
+        assert_eq!(s.checksum, 0);
+        assert_eq!(run_replicated(&nm, &empty, 2, 128).checksum, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Rule updates (paper §3.9).
+//!
+//! Four update types:
+//!
+//! * **action change** — external to the classifier (the action table is the
+//!   caller's); no structural work.
+//! * **deletion** — a tombstone in the owning iSet (validation rejects it)
+//!   or a removal from the remainder engine.
+//! * **matching-set change** — delete + insert: the new version always goes
+//!   to the remainder, because there is no known algorithmic way to update a
+//!   trained RQ-RMI in place.
+//! * **insertion** — straight to the remainder.
+//!
+//! Updates therefore grow the remainder over time; [`NuevoMatch::remainder_fraction`]
+//! tracks the drift and the operator retrains (rebuilds) when throughput
+//! degradation warrants it — exactly the Figure 7 model, which
+//! `nm-analysis` reproduces analytically.
+
+use nm_common::classifier::Updatable;
+use nm_common::rule::{Rule, RuleId};
+
+use super::NuevoMatch;
+
+impl<R: Updatable> NuevoMatch<R> {
+    /// Removes a rule wherever it lives. Returns true if it was present.
+    pub fn remove(&mut self, id: RuleId) -> bool {
+        self.ensure_loc();
+        let loc = self.loc.as_mut().expect("ensure_loc");
+        if let Some((iset_idx, pos)) = loc.remove(&id) {
+            self.isets_mut()[iset_idx as usize].tombstone(pos as usize);
+            true
+        } else {
+            self.remainder_mut().remove(id)
+        }
+    }
+
+    /// Inserts a new rule; it is indexed by the remainder engine until the
+    /// next rebuild.
+    pub fn insert(&mut self, rule: Rule) {
+        self.moved_updates += 1;
+        self.remainder_mut().insert(rule);
+    }
+
+    /// Matching-set change: removes the old version and inserts the new one
+    /// into the remainder. Returns true if the old version existed.
+    pub fn modify(&mut self, rule: Rule) -> bool {
+        let existed = self.remove(rule.id);
+        self.insert(rule);
+        existed
+    }
+
+    /// Rules that migrated into the remainder via updates since build.
+    pub fn moved_to_remainder(&self) -> usize {
+        self.moved_updates
+    }
+
+    /// Current fraction of rules served by the remainder engine — the
+    /// quantity whose growth drives the Figure 7 throughput decay.
+    pub fn remainder_fraction(&self) -> f64 {
+        let total = nm_common::Classifier::num_rules(self);
+        if total == 0 {
+            return 0.0;
+        }
+        self.remainder().num_rules() as f64 / total as f64
+    }
+
+    fn ensure_loc(&mut self) {
+        if self.loc.is_some() {
+            return;
+        }
+        let mut map = std::collections::HashMap::new();
+        for (i, iset) in self.isets().iter().enumerate() {
+            for pos in 0..iset.len() {
+                map.insert(iset.rule_id_at(pos), (i as u32, pos as u32));
+            }
+        }
+        self.loc = Some(map);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{NuevoMatchConfig, RqRmiParams};
+    use crate::system::NuevoMatch;
+    use nm_common::{Classifier, FieldsSpec, FiveTuple, LinearSearch, RuleSet};
+
+    fn build(n: u16) -> NuevoMatch<LinearSearch> {
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_port_range(i * 100, i * 100 + 99)
+                    .into_rule(i as u32, i as u32)
+            })
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let cfg = NuevoMatchConfig {
+            rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+            ..Default::default()
+        };
+        NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap()
+    }
+
+    #[test]
+    fn delete_from_iset_takes_effect() {
+        let mut nm = build(100);
+        let key = [0u64, 0, 0, 550, 0]; // rule 5
+        assert_eq!(nm.classify(&key).unwrap().rule, 5);
+        assert!(nm.remove(5));
+        assert_eq!(nm.classify(&key), None);
+        assert!(!nm.remove(5), "double delete reports absence");
+    }
+
+    #[test]
+    fn insert_goes_to_remainder() {
+        let mut nm = build(50);
+        let key = [0u64, 0, 0, 60_000, 0];
+        assert_eq!(nm.classify(&key), None);
+        nm.insert(
+            FiveTuple::new()
+                .dst_port_range(59_000, 61_000)
+                .into_rule(999, 0),
+        );
+        assert_eq!(nm.classify(&key).unwrap().rule, 999);
+        assert_eq!(nm.moved_to_remainder(), 1);
+        assert!(nm.remainder_fraction() > 0.0);
+    }
+
+    #[test]
+    fn modify_moves_rule_to_remainder() {
+        let mut nm = build(50);
+        // Rule 7 matched ports 700-799; move it to 40_000-40_099.
+        let newer = FiveTuple::new().dst_port_range(40_000, 40_099).into_rule(7, 7);
+        assert!(nm.modify(newer));
+        assert_eq!(nm.classify(&[0, 0, 0, 750, 0]), None);
+        assert_eq!(nm.classify(&[0, 0, 0, 40_050, 0]).unwrap().rule, 7);
+    }
+
+    #[test]
+    fn updated_classifier_still_agrees_with_oracle() {
+        let mut nm = build(80);
+        // Apply a batch of mixed updates, mirror them in a linear oracle.
+        let rules: Vec<_> = (0..80u16)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_port_range(i * 100, i * 100 + 99)
+                    .into_rule(i as u32, i as u32)
+            })
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let mut oracle = LinearSearch::build(&set);
+        use nm_common::Updatable;
+        for id in [3u32, 40, 77] {
+            nm.remove(id);
+            oracle.remove(id);
+        }
+        let add = FiveTuple::new().dst_port_range(300, 420).into_rule(500, 1);
+        nm.insert(add.clone());
+        oracle.insert(add);
+        for port in (0u64..8_200).step_by(13) {
+            let key = [1, 1, 1, port, 6];
+            assert_eq!(nm.classify(&key), oracle.classify(&key), "port {port}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # nm-cutsplit — decision-tree packet classification
+//!
+//! Two things live here:
+//!
+//! * [`tree`] — a reusable decision-tree substrate: an arena of *cut* nodes
+//!   (HiCuts-style equal-width cuts along one dimension), *split* nodes
+//!   (HyperSplit-style binary threshold splits) and priority-sorted leaves,
+//!   driven by a pluggable [`tree::Policy`]. Each node carries the best
+//!   priority of its subtree so tree walks support the paper's §4
+//!   early-termination contract. `nm-neurocuts` builds its searched trees on
+//!   this same substrate.
+//! * [`CutSplit`] — the CutSplit classifier (Li et al., INFOCOM 2018): rules
+//!   are pre-partitioned by *smallness* in the IP fields (SS/SL/LS/LL
+//!   subsets), each subset gets a tree that first applies **Fi**xed
+//!   **cuts** along the dimensions where its rules are small (little
+//!   replication by construction) and switches to threshold **splits** near
+//!   the bottom, with `binth = 8` rules per leaf as in the paper's
+//!   evaluation (§5.1).
+
+#![warn(missing_docs)]
+
+pub mod partition;
+pub mod policy;
+pub mod tree;
+
+mod engine;
+
+pub use engine::{CutSplit, CutSplitConfig};

@@ -1,0 +1,120 @@
+//! CutSplit's size-based pre-partitioning.
+//!
+//! A rule is *small* in a dimension when its range covers at most
+//! `2^(bits − threshold)` values — i.e. it is at least a `/threshold`
+//! prefix. Cutting along a dimension where every rule is small produces
+//! little replication, which is CutSplit's whole premise: partition first so
+//! each subset has dimensions that are safe to cut.
+
+use nm_common::rule::Rule;
+use nm_common::ruleset::FieldsSpec;
+
+/// Which of the two IP dimensions a subset's rules are small in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Subset {
+    /// Small in both dim0 and dim1 — cut both.
+    SmallSmall,
+    /// Small in dim0 only.
+    SmallBig,
+    /// Small in dim1 only.
+    BigSmall,
+    /// Big in both — cutting IPs would replicate heavily; split on the
+    /// remaining fields instead.
+    BigBig,
+}
+
+/// Result of partitioning: the four subsets in a fixed order.
+#[derive(Debug, Default)]
+pub struct Partition {
+    /// `[SS, SB, BS, BB]` rule groups.
+    pub groups: [Vec<Rule>; 4],
+}
+
+/// True when `rule` is small in `dim` under the `/threshold` criterion.
+pub fn is_small(rule: &Rule, dim: usize, spec: &FieldsSpec, threshold: u8) -> bool {
+    let bits = spec.bits(dim);
+    if threshold >= bits {
+        return rule.fields[dim].width() == 1;
+    }
+    rule.fields[dim].width() <= 1u64 << (bits - threshold)
+}
+
+/// Splits rules into the four smallness subsets over dimensions
+/// `(dim0, dim1)` (source/destination IP for 5-tuple sets).
+pub fn partition(
+    rules: &[Rule],
+    spec: &FieldsSpec,
+    dim0: usize,
+    dim1: usize,
+    threshold: u8,
+) -> Partition {
+    let mut p = Partition::default();
+    for rule in rules {
+        let s0 = is_small(rule, dim0, spec, threshold);
+        let s1 = is_small(rule, dim1, spec, threshold);
+        let g = match (s0, s1) {
+            (true, true) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (false, false) => 3,
+        };
+        p.groups[g].push(rule.clone());
+    }
+    p
+}
+
+impl Partition {
+    /// Subset label for group index `g`.
+    pub fn label(g: usize) -> Subset {
+        match g {
+            0 => Subset::SmallSmall,
+            1 => Subset::SmallBig,
+            2 => Subset::BigSmall,
+            _ => Subset::BigBig,
+        }
+    }
+
+    /// Total rules across groups.
+    pub fn total(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_common::{FieldsSpec, FiveTuple};
+
+    #[test]
+    fn partitions_by_prefix_length() {
+        let spec = FieldsSpec::five_tuple();
+        let rules = vec![
+            FiveTuple::new().src_prefix([10, 0, 0, 0], 24).dst_prefix([10, 0, 0, 0], 24).into_rule(0, 0),
+            FiveTuple::new().src_prefix([10, 0, 0, 0], 24).into_rule(1, 1), // dst wildcard
+            FiveTuple::new().dst_prefix([10, 0, 0, 0], 24).into_rule(2, 2), // src wildcard
+            FiveTuple::new().into_rule(3, 3),                               // both wildcard
+        ];
+        let p = partition(&rules, &spec, 0, 1, 16);
+        assert_eq!(p.groups[0].len(), 1);
+        assert_eq!(p.groups[1].len(), 1);
+        assert_eq!(p.groups[2].len(), 1);
+        assert_eq!(p.groups[3].len(), 1);
+        assert_eq!(p.total(), 4);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        let spec = FieldsSpec::five_tuple();
+        // A /16 prefix is exactly small at threshold 16; /15 is big.
+        let r16 = FiveTuple::new().src_prefix([10, 1, 0, 0], 16).into_rule(0, 0);
+        let r15 = FiveTuple::new().src_prefix([10, 0, 0, 0], 15).into_rule(1, 1);
+        assert!(is_small(&r16, 0, &spec, 16));
+        assert!(!is_small(&r15, 0, &spec, 16));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Partition::label(0), Subset::SmallSmall);
+        assert_eq!(Partition::label(3), Subset::BigBig);
+    }
+}

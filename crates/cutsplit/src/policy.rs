@@ -1,0 +1,111 @@
+//! Tree-construction policies.
+
+use crate::tree::{BuildAction, NodeCtx, Policy};
+
+/// CutSplit's per-subset policy: FiCuts (equal-width cuts) along the
+/// dimensions where the subset's rules are small, switching to HyperSplit
+/// threshold splits once the node is small enough for splits to finish the
+/// job cheaply.
+pub struct CutSplitPolicy {
+    /// Dimensions safe to cut (the subset's "small" dims). Empty for the
+    /// big-big subset, which goes straight to splitting.
+    pub cut_dims: Vec<usize>,
+    /// Node size at which cutting hands over to splitting.
+    pub split_below: usize,
+    /// log2 of the fan-out per cut.
+    pub cut_bits: u8,
+}
+
+impl CutSplitPolicy {
+    /// The paper-configured policy for a subset: cut the listed dims with
+    /// fan-out 16 (4 bits) until nodes hold ≤ `8 × binth` rules, then split.
+    pub fn for_subset(cut_dims: Vec<usize>, binth: usize) -> Self {
+        Self { cut_dims, split_below: binth * 8, cut_bits: 4 }
+    }
+
+    /// Picks the dimension with the most distinct endpoint values — the
+    /// classic HiCuts/HyperSplit discrimination heuristic.
+    fn most_discriminating_dim(ctx: &NodeCtx<'_>, candidates: &[usize]) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for &d in candidates {
+            let (lo, hi) = ctx.bounds[d];
+            if lo == hi {
+                continue;
+            }
+            let mut endpoints: Vec<u64> = Vec::with_capacity(ctx.rules.len());
+            for &id in ctx.rules {
+                endpoints.push(ctx.all[id as usize].fields[d].hi.min(hi));
+            }
+            endpoints.sort_unstable();
+            endpoints.dedup();
+            let distinct = endpoints.len();
+            if distinct > 1 && best.map_or(true, |(_, b)| distinct > b) {
+                best = Some((d, distinct));
+            }
+        }
+        best.map(|(d, _)| d)
+    }
+}
+
+impl Policy for CutSplitPolicy {
+    fn decide(&self, ctx: &NodeCtx<'_>) -> BuildAction {
+        // Phase 1: FiCuts along small dims while the node is large.
+        if ctx.rules.len() > self.split_below {
+            // Cut the widest remaining small dim (most resolution left).
+            if let Some(&dim) = self
+                .cut_dims
+                .iter()
+                .filter(|&&d| ctx.bounds[d].1 > ctx.bounds[d].0)
+                .max_by_key(|&&d| ctx.bounds[d].1 - ctx.bounds[d].0)
+            {
+                return BuildAction::Cut { dim, bits: self.cut_bits };
+            }
+        }
+        // Phase 2: HyperSplit on whichever dim still discriminates.
+        let all_dims: Vec<usize> = (0..ctx.spec.len()).collect();
+        match Self::most_discriminating_dim(ctx, &all_dims) {
+            Some(dim) => BuildAction::Split { dim },
+            None => BuildAction::Leaf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DTree, TreeConfig};
+    use nm_common::classifier::Classifier;
+    use nm_common::rule::Priority;
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet, SplitMix64};
+
+    #[test]
+    fn policy_cuts_then_splits() {
+        // Many /24 src prefixes: cutting src-ip should dominate early.
+        let mut rng = SplitMix64::new(1);
+        let rules: Vec<_> = (0..500u32)
+            .map(|i| {
+                FiveTuple::new()
+                    .src_prefix_raw(rng.next_u64() as u32, 24)
+                    .dst_port_exact(rng.below(1024) as u16)
+                    .into_rule(i, i)
+            })
+            .collect();
+        let spec = FieldsSpec::five_tuple();
+        let set = RuleSet::new(spec.clone(), rules.clone()).unwrap();
+        let policy = CutSplitPolicy::for_subset(vec![0], 8);
+        let tree = DTree::build(rules, &spec, &policy, &TreeConfig::default());
+        let stats = tree.stats();
+        assert!(stats.max_depth >= 1);
+        let oracle = LinearSearch::build(&set);
+        for _ in 0..1_000 {
+            let key = [
+                rng.next_u64() & 0xffff_ffff,
+                rng.next_u64() & 0xffff_ffff,
+                rng.below(65_536),
+                rng.below(65_536),
+                rng.below(256),
+            ];
+            assert_eq!(tree.classify_floor(&key, Priority::MAX), oracle.classify(&key));
+        }
+    }
+}

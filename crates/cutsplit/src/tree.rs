@@ -1,0 +1,621 @@
+//! Decision-tree substrate: arena, builder and lookup.
+//!
+//! Rules are viewed as hyper-rectangles; a tree node covers a box of the
+//! field space and holds every rule overlapping that box. Interior nodes
+//! refine the box (equal-width cuts or a binary threshold split); leaves
+//! hold at most `binth` rules sorted by priority.
+//!
+//! ## Replication and spill lists
+//!
+//! A rule overlapping several children is *replicated* — the effect the
+//! paper blames for decision trees' poor memory scaling (§2.1). Naive
+//! replication is exponential for wildcard-heavy rules (a full-span rule
+//! lands in *every* child at *every* level), so like mature HiCuts-family
+//! implementations this builder keeps rules that cover a node's entire
+//! extent in the cut/split dimension in a per-node **spill list**: they are
+//! checked once while passing through the node instead of being copied into
+//! all children. Partial overlaps still replicate — that is the real
+//! CutSplit/NeuroCuts memory behaviour the Figure 13 experiment measures —
+//! but the exponential wildcard case is contained. Spill lists are sorted
+//! by priority and participate in the early-termination bound like leaves.
+
+use nm_common::classifier::MatchResult;
+use nm_common::memsize;
+use nm_common::rule::{Priority, Rule};
+use nm_common::ruleset::FieldsSpec;
+
+/// What the build policy wants to do at one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildAction {
+    /// Equal-width cuts along `dim` into `2^bits` children.
+    Cut {
+        /// Dimension to cut.
+        dim: usize,
+        /// log2 of the number of children (1..=8).
+        bits: u8,
+    },
+    /// Binary split along `dim` at a threshold chosen by the builder
+    /// (weighted median of rule endpoints).
+    Split {
+        /// Dimension to split.
+        dim: usize,
+    },
+    /// Stop refining; make a leaf.
+    Leaf,
+}
+
+/// Context handed to the policy at each node.
+pub struct NodeCtx<'a> {
+    /// Node depth (root = 0).
+    pub depth: usize,
+    /// Rules overlapping this node's box.
+    pub rules: &'a [u32],
+    /// The node's box, `[lo, hi]` inclusive per dimension.
+    pub bounds: &'a [(u64, u64)],
+    /// Field schema.
+    pub spec: &'a FieldsSpec,
+    /// All rules by index (to inspect ranges).
+    pub all: &'a [Rule],
+}
+
+/// A tree-construction policy: decides cut/split/leaf per node.
+pub trait Policy {
+    /// Chooses the action for a node. Cutting a span-1 dimension or a split
+    /// that makes no progress falls back to a leaf automatically.
+    fn decide(&self, ctx: &NodeCtx<'_>) -> BuildAction;
+}
+
+/// Build limits shared by every tree user.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum rules per leaf (`binth`); nodes at or below become leaves.
+    pub binth: usize,
+    /// Hard node budget — construction degrades to leaves beyond it
+    /// (replication blow-up guard).
+    pub max_nodes: usize,
+    /// Hard depth limit.
+    pub max_depth: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { binth: 8, max_nodes: 1_000_000, max_depth: 32 }
+    }
+}
+
+/// A priority-sorted slice of the refs array.
+#[derive(Clone, Copy, Debug, Default)]
+struct RefSlice {
+    start: u32,
+    len: u32,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Cut {
+        dim: u16,
+        /// Box lower bound in `dim`.
+        lo: u64,
+        /// Child box width (ceil(span / children)).
+        width: u64,
+        /// First child node index; children are contiguous.
+        first_child: u32,
+        /// Number of children.
+        children: u32,
+        /// Rules spanning the whole box in `dim` (checked in passing).
+        spill: RefSlice,
+        /// Best (smallest) priority in the subtree incl. spill.
+        best_priority: Priority,
+    },
+    Split {
+        dim: u16,
+        /// Keys ≤ threshold go left.
+        threshold: u64,
+        left: u32,
+        right: u32,
+        /// Rules straddling the threshold.
+        spill: RefSlice,
+        best_priority: Priority,
+    },
+    Leaf {
+        refs: RefSlice,
+        best_priority: Priority,
+    },
+}
+
+/// A built decision tree over an owned copy of its rules.
+pub struct DTree {
+    nodes: Vec<Node>,
+    /// Rule indices, concatenated per leaf/spill; each slice sorted by
+    /// priority so scans can stop at the first match or at the bound.
+    refs: Vec<u32>,
+    rules: Vec<Rule>,
+    depth_max: usize,
+}
+
+/// Structural statistics (Figure 13 / NeuroCuts reward inputs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeStats {
+    /// Interior + leaf node count.
+    pub nodes: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Total rule references (≥ rules; the excess is replication).
+    pub refs: usize,
+    /// Deepest node.
+    pub max_depth: usize,
+    /// Index bytes (nodes + refs).
+    pub memory_bytes: usize,
+}
+
+impl DTree {
+    /// Builds a tree over `rules` with the given policy.
+    pub fn build(rules: Vec<Rule>, spec: &FieldsSpec, policy: &dyn Policy, cfg: &TreeConfig) -> DTree {
+        let bounds_root: Vec<(u64, u64)> =
+            (0..spec.len()).map(|d| (0, spec.max_value(d))).collect();
+        let mut tree = DTree { nodes: Vec::new(), refs: Vec::new(), rules, depth_max: 0 };
+        let all_ids: Vec<u32> = (0..tree.rules.len() as u32).collect();
+        tree.nodes.push(Node::Leaf { refs: RefSlice::default(), best_priority: Priority::MAX });
+        tree.build_node(0, all_ids, bounds_root, 0, spec, policy, cfg);
+        tree
+    }
+
+    /// Appends a priority-sorted ref slice and returns its descriptor.
+    fn push_refs(&mut self, mut ids: Vec<u32>) -> RefSlice {
+        ids.sort_by_key(|&i| (self.rules[i as usize].priority, i));
+        let start = self.refs.len() as u32;
+        let len = ids.len() as u32;
+        self.refs.extend_from_slice(&ids);
+        RefSlice { start, len }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_node(
+        &mut self,
+        slot: usize,
+        rule_ids: Vec<u32>,
+        bounds: Vec<(u64, u64)>,
+        depth: usize,
+        spec: &FieldsSpec,
+        policy: &dyn Policy,
+        cfg: &TreeConfig,
+    ) {
+        self.depth_max = self.depth_max.max(depth);
+        let best_priority =
+            rule_ids.iter().map(|&i| self.rules[i as usize].priority).min().unwrap_or(Priority::MAX);
+
+        if rule_ids.len() <= cfg.binth
+            || depth >= cfg.max_depth
+            || self.nodes.len() >= cfg.max_nodes
+        {
+            let refs = self.push_refs(rule_ids);
+            self.nodes[slot] = Node::Leaf { refs, best_priority };
+            return;
+        }
+
+        let ctx = NodeCtx { depth, rules: &rule_ids, bounds: &bounds, spec, all: &self.rules };
+        let action = policy.decide(&ctx);
+
+        match action {
+            BuildAction::Leaf => {
+                let refs = self.push_refs(rule_ids);
+                self.nodes[slot] = Node::Leaf { refs, best_priority };
+            }
+            BuildAction::Cut { dim, bits } => {
+                let (lo, hi) = bounds[dim];
+                let span = hi - lo + 1;
+                let children = (1u64 << bits.clamp(1, 8)).min(span);
+                if span <= 1 || children <= 1 {
+                    let refs = self.push_refs(rule_ids);
+                    self.nodes[slot] = Node::Leaf { refs, best_priority };
+                    return;
+                }
+                let width = span.div_ceil(children);
+                let mut spill_ids = Vec::new();
+                let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); children as usize];
+                for &id in &rule_ids {
+                    let r = &self.rules[id as usize].fields[dim];
+                    if r.lo <= lo && r.hi >= hi {
+                        spill_ids.push(id);
+                        continue;
+                    }
+                    let c0 = (r.lo.max(lo) - lo) / width;
+                    let c1 = (r.hi.min(hi) - lo) / width;
+                    for c in c0..=c1 {
+                        buckets[c as usize].push(id);
+                    }
+                }
+                let non_spill = rule_ids.len() - spill_ids.len();
+                let progress = spill_ids.is_empty()
+                    .then(|| buckets.iter().any(|b| b.len() < non_spill))
+                    .unwrap_or(true);
+                if non_spill == 0 || !progress {
+                    let refs = self.push_refs(rule_ids);
+                    self.nodes[slot] = Node::Leaf { refs, best_priority };
+                    return;
+                }
+                let spill = self.push_refs(spill_ids);
+                let first_child = self.nodes.len() as u32;
+                for _ in 0..children {
+                    self.nodes
+                        .push(Node::Leaf { refs: RefSlice::default(), best_priority: Priority::MAX });
+                }
+                self.nodes[slot] = Node::Cut {
+                    dim: dim as u16,
+                    lo,
+                    width,
+                    first_child,
+                    children: children as u32,
+                    spill,
+                    best_priority,
+                };
+                drop(rule_ids);
+                for (c, bucket) in buckets.into_iter().enumerate() {
+                    let mut child_bounds = bounds.clone();
+                    let c_lo = lo + c as u64 * width;
+                    let c_hi = (c_lo + width - 1).min(hi);
+                    child_bounds[dim] = (c_lo, c_hi);
+                    self.build_node(
+                        (first_child as usize) + c,
+                        bucket,
+                        child_bounds,
+                        depth + 1,
+                        spec,
+                        policy,
+                        cfg,
+                    );
+                }
+            }
+            BuildAction::Split { dim } => {
+                let (lo, hi) = bounds[dim];
+                if lo == hi {
+                    let refs = self.push_refs(rule_ids);
+                    self.nodes[slot] = Node::Leaf { refs, best_priority };
+                    return;
+                }
+                // Weighted median of clamped upper endpoints.
+                let mut endpoints: Vec<u64> = rule_ids
+                    .iter()
+                    .map(|&id| self.rules[id as usize].fields[dim].hi.min(hi))
+                    .collect();
+                endpoints.sort_unstable();
+                let mut threshold = endpoints[endpoints.len() / 2].clamp(lo, hi - 1);
+                if threshold == hi {
+                    threshold = hi - 1;
+                }
+                let mut spill_ids = Vec::new();
+                let mut left_ids = Vec::new();
+                let mut right_ids = Vec::new();
+                for &id in &rule_ids {
+                    let r = &self.rules[id as usize].fields[dim];
+                    let goes_left = r.lo.max(lo) <= threshold;
+                    let goes_right = r.hi.min(hi) > threshold;
+                    match (goes_left, goes_right) {
+                        (true, true) => spill_ids.push(id),
+                        (true, false) => left_ids.push(id),
+                        (false, _) => right_ids.push(id),
+                    }
+                }
+                let non_spill = left_ids.len() + right_ids.len();
+                if non_spill == 0
+                    || (left_ids.len() == rule_ids.len() || right_ids.len() == rule_ids.len())
+                {
+                    let refs = self.push_refs(rule_ids);
+                    self.nodes[slot] = Node::Leaf { refs, best_priority };
+                    return;
+                }
+                let spill = self.push_refs(spill_ids);
+                let left = self.nodes.len() as u32;
+                self.nodes
+                    .push(Node::Leaf { refs: RefSlice::default(), best_priority: Priority::MAX });
+                let right = self.nodes.len() as u32;
+                self.nodes
+                    .push(Node::Leaf { refs: RefSlice::default(), best_priority: Priority::MAX });
+                self.nodes[slot] =
+                    Node::Split { dim: dim as u16, threshold, left, right, spill, best_priority };
+                let mut lb = bounds.clone();
+                lb[dim] = (lo, threshold);
+                let mut rb = bounds;
+                rb[dim] = (threshold + 1, hi);
+                self.build_node(left as usize, left_ids, lb, depth + 1, spec, policy, cfg);
+                self.build_node(right as usize, right_ids, rb, depth + 1, spec, policy, cfg);
+            }
+        }
+    }
+
+    /// Scans a priority-sorted ref slice; returns the first (= best) match
+    /// with priority below `bound`.
+    #[inline]
+    fn scan_refs(&self, refs: RefSlice, key: &[u64], bound: Priority) -> Option<MatchResult> {
+        let slice = &self.refs[refs.start as usize..(refs.start + refs.len) as usize];
+        for &id in slice {
+            let rule = &self.rules[id as usize];
+            if rule.priority >= bound {
+                return None;
+            }
+            if rule.matches(key) {
+                return Some(MatchResult::new(rule.id, rule.priority));
+            }
+        }
+        None
+    }
+
+    /// Walks the tree for `key`; `floor` prunes subtrees that cannot beat it
+    /// (pass `Priority::MAX` for an unconstrained lookup).
+    #[inline]
+    pub fn classify_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        let mut best: Option<MatchResult> = None;
+        let mut idx = 0usize;
+        loop {
+            let bound = best.map_or(floor, |b| b.priority.min(floor));
+            match &self.nodes[idx] {
+                Node::Cut { dim, lo, width, first_child, children, spill, best_priority } => {
+                    if bound <= *best_priority {
+                        return best;
+                    }
+                    best = MatchResult::better(best, self.scan_refs(*spill, key, bound));
+                    let v = key[*dim as usize];
+                    if v < *lo {
+                        return best;
+                    }
+                    let c = (v - lo) / width;
+                    if c >= *children as u64 {
+                        return best;
+                    }
+                    idx = *first_child as usize + c as usize;
+                }
+                Node::Split { dim, threshold, left, right, spill, best_priority } => {
+                    if bound <= *best_priority {
+                        return best;
+                    }
+                    best = MatchResult::better(best, self.scan_refs(*spill, key, bound));
+                    idx = if key[*dim as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+                Node::Leaf { refs, best_priority } => {
+                    if bound <= *best_priority {
+                        return best;
+                    }
+                    best = MatchResult::better(best, self.scan_refs(*refs, key, bound));
+                    return best;
+                }
+            }
+        }
+    }
+
+    /// Counts the work a lookup performs: nodes visited plus spill/leaf
+    /// entries scanned — the NeuroCuts "classification time" proxy.
+    pub fn access_cost(&self, key: &[u64]) -> usize {
+        let mut idx = 0usize;
+        let mut cost = 0usize;
+        loop {
+            cost += 1;
+            match &self.nodes[idx] {
+                Node::Cut { dim, lo, width, first_child, children, spill, .. } => {
+                    cost += spill.len as usize;
+                    let v = key[*dim as usize];
+                    if v < *lo {
+                        return cost;
+                    }
+                    let c = (v - lo) / width;
+                    if c >= *children as u64 {
+                        return cost;
+                    }
+                    idx = *first_child as usize + c as usize;
+                }
+                Node::Split { dim, threshold, left, right, spill, .. } => {
+                    cost += spill.len as usize;
+                    idx = if key[*dim as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+                Node::Leaf { refs, .. } => {
+                    return cost + refs.len as usize;
+                }
+            }
+        }
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> TreeStats {
+        let leaves = self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count();
+        TreeStats {
+            nodes: self.nodes.len(),
+            leaves,
+            refs: self.refs.len(),
+            max_depth: self.depth_max,
+            memory_bytes: self.memory_bytes(),
+        }
+    }
+
+    /// Index bytes: arena nodes + refs (rules excluded, §5.2.1).
+    pub fn memory_bytes(&self) -> usize {
+        memsize::vec_bytes(&self.nodes) + memsize::vec_bytes(&self.refs)
+    }
+
+    /// Best (smallest) priority stored anywhere in the tree — the root's
+    /// subtree bound, used to order trees for cross-subset early exit.
+    pub fn best_priority(&self) -> Priority {
+        match self.nodes.first() {
+            Some(Node::Cut { best_priority, .. })
+            | Some(Node::Split { best_priority, .. })
+            | Some(Node::Leaf { best_priority, .. }) => *best_priority,
+            None => Priority::MAX,
+        }
+    }
+
+    /// Number of rules owned by the tree (not refs — no replication count).
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_common::classifier::Classifier;
+    use nm_common::{FieldRange, FieldsSpec, LinearSearch, RuleSet, SplitMix64};
+
+    /// A trivial policy: always cut dim 0 by 2 bits until binth is reached.
+    struct AlwaysCut;
+    impl Policy for AlwaysCut {
+        fn decide(&self, _ctx: &NodeCtx<'_>) -> BuildAction {
+            BuildAction::Cut { dim: 0, bits: 2 }
+        }
+    }
+
+    /// Round-robin splits.
+    struct AlwaysSplit;
+    impl Policy for AlwaysSplit {
+        fn decide(&self, ctx: &NodeCtx<'_>) -> BuildAction {
+            BuildAction::Split { dim: ctx.depth % ctx.spec.len() }
+        }
+    }
+
+    fn random_rules(seed: u64, n: usize) -> Vec<Rule> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|i| {
+                let lo0 = rng.below(60_000);
+                let lo1 = rng.below(60_000);
+                Rule::new(
+                    i as u32,
+                    i as u32,
+                    vec![
+                        FieldRange::new(lo0, lo0 + rng.below(4_000)),
+                        FieldRange::new(lo1, lo1 + rng.below(4_000)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    /// Mix in full wildcards — the replication stress case.
+    fn rules_with_wildcards(seed: u64, n: usize) -> Vec<Rule> {
+        let mut rules = random_rules(seed, n);
+        let mut rng = SplitMix64::new(seed + 1);
+        for i in 0..n / 4 {
+            let idx = rng.below(n as u64) as usize;
+            rules[idx].fields[i % 2] = FieldRange::wildcard(16);
+        }
+        rules
+    }
+
+    #[test]
+    fn cut_tree_agrees_with_oracle() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let rules = random_rules(1, 400);
+        let set = RuleSet::new(spec.clone(), rules.clone()).unwrap();
+        let oracle = LinearSearch::build(&set);
+        let tree = DTree::build(rules, &spec, &AlwaysCut, &TreeConfig::default());
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..2_000 {
+            let key = [rng.below(65_536), rng.below(65_536)];
+            assert_eq!(
+                tree.classify_floor(&key, Priority::MAX),
+                oracle.classify(&key),
+                "key {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_tree_agrees_with_oracle() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let rules = random_rules(2, 400);
+        let set = RuleSet::new(spec.clone(), rules.clone()).unwrap();
+        let oracle = LinearSearch::build(&set);
+        let tree = DTree::build(rules, &spec, &AlwaysSplit, &TreeConfig::default());
+        let mut rng = SplitMix64::new(43);
+        for _ in 0..2_000 {
+            let key = [rng.below(65_536), rng.below(65_536)];
+            assert_eq!(tree.classify_floor(&key, Priority::MAX), oracle.classify(&key));
+        }
+    }
+
+    #[test]
+    fn wildcard_heavy_rules_stay_correct_and_small() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let rules = rules_with_wildcards(7, 400);
+        let set = RuleSet::new(spec.clone(), rules.clone()).unwrap();
+        let oracle = LinearSearch::build(&set);
+        let tree = DTree::build(rules, &spec, &AlwaysCut, &TreeConfig::default());
+        let stats = tree.stats();
+        // Spill lists must prevent exponential replication.
+        assert!(stats.refs < 400 * 20, "replication exploded: {} refs", stats.refs);
+        let mut rng = SplitMix64::new(44);
+        for _ in 0..2_000 {
+            let key = [rng.below(65_536), rng.below(65_536)];
+            assert_eq!(tree.classify_floor(&key, Priority::MAX), oracle.classify(&key));
+        }
+    }
+
+    #[test]
+    fn floor_prunes_like_filter() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let rules = rules_with_wildcards(3, 200);
+        let tree = DTree::build(rules, &spec, &AlwaysCut, &TreeConfig::default());
+        let mut rng = SplitMix64::new(45);
+        for _ in 0..500 {
+            let key = [rng.below(65_536), rng.below(65_536)];
+            let full = tree.classify_floor(&key, Priority::MAX);
+            for floor in [0u32, 50, 150] {
+                assert_eq!(
+                    tree.classify_floor(&key, floor),
+                    full.filter(|m| m.priority < floor)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let rules = random_rules(4, 300);
+        let tree = DTree::build(rules, &spec, &AlwaysCut, &TreeConfig::default());
+        let s = tree.stats();
+        assert!(s.nodes > 1);
+        assert!(s.leaves > 0);
+        assert!(s.refs >= 300, "every rule appears somewhere");
+        assert!(s.memory_bytes > 0);
+        assert_eq!(tree.num_rules(), 300);
+        assert_eq!(tree.best_priority(), 0);
+    }
+
+    #[test]
+    fn access_cost_counts_spills_and_leaves() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let rules = rules_with_wildcards(8, 200);
+        let tree = DTree::build(rules, &spec, &AlwaysCut, &TreeConfig::default());
+        let cost = tree.access_cost(&[100, 100]);
+        assert!(cost >= 1);
+    }
+
+    #[test]
+    fn pathological_identical_rules_become_a_leaf() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let rules: Vec<Rule> = (0..100)
+            .map(|i| Rule::new(i, i, vec![FieldRange::wildcard(16), FieldRange::wildcard(16)]))
+            .collect();
+        let tree = DTree::build(rules, &spec, &AlwaysCut, &TreeConfig::default());
+        assert_eq!(
+            tree.classify_floor(&[5, 5], Priority::MAX).unwrap().rule,
+            0,
+            "highest priority duplicate wins"
+        );
+        // All-wildcard rules must not replicate at all.
+        assert_eq!(tree.stats().refs, 100);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let spec = FieldsSpec::uniform(2, 16);
+        let tree = DTree::build(vec![], &spec, &AlwaysSplit, &TreeConfig::default());
+        assert_eq!(tree.classify_floor(&[1, 2], Priority::MAX), None);
+    }
+}

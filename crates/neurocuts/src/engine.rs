@@ -1,0 +1,279 @@
+//! The NeuroCuts classifier: searched policy + final trees.
+
+use crate::policy::ParamPolicy;
+use crate::search::{policy_search, RewardKind};
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::rule::Priority;
+use nm_common::ruleset::RuleSet;
+use nm_cutsplit::partition::partition;
+use nm_cutsplit::tree::{DTree, TreeConfig, TreeStats};
+
+/// NeuroCuts parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NeuroCutsConfig {
+    /// Rules per leaf.
+    pub binth: usize,
+    /// Policy-search evaluations.
+    pub iterations: usize,
+    /// Rule sample size for search-time tree builds.
+    pub sample: usize,
+    /// Objective (the paper sweeps both; §5.1 picks the best per rule-set).
+    pub reward: RewardKind,
+    /// Top-mode partitioning: build one tree per smallness part instead of
+    /// a single tree (the paper's recommended mode).
+    pub top_mode: bool,
+    /// Search seed.
+    pub seed: u64,
+    /// Build limits.
+    pub tree: TreeConfig,
+}
+
+impl Default for NeuroCutsConfig {
+    fn default() -> Self {
+        Self {
+            binth: 8,
+            iterations: 24,
+            sample: 4_096,
+            reward: RewardKind::Blend(0.5),
+            top_mode: true,
+            seed: 0x6e63, // "nc"
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+/// The NeuroCuts-style classifier.
+pub struct NeuroCuts {
+    trees: Vec<DTree>,
+    order: Vec<(Priority, u32)>,
+    total_rules: usize,
+    policy: ParamPolicy,
+    search_cost: f64,
+}
+
+impl NeuroCuts {
+    /// Builds with default parameters.
+    pub fn build(set: &RuleSet) -> Self {
+        Self::with_config(set, NeuroCutsConfig::default())
+    }
+
+    /// Builds with explicit parameters: search a policy on a sample, then
+    /// build the final trees with it.
+    pub fn with_config(set: &RuleSet, cfg: NeuroCutsConfig) -> Self {
+        let spec = set.spec();
+        let mut tree_cfg = cfg.tree;
+        tree_cfg.binth = cfg.binth;
+
+        let report = policy_search(
+            set.rules(),
+            spec,
+            cfg.binth,
+            cfg.sample,
+            cfg.iterations,
+            cfg.reward,
+            &tree_cfg,
+            cfg.seed,
+        );
+
+        let groups: Vec<Vec<nm_common::Rule>> = if cfg.top_mode && spec.len() >= 2 {
+            partition(set.rules(), spec, 0, 1, 16)
+                .groups
+                .into_iter()
+                .filter(|g| !g.is_empty())
+                .collect()
+        } else if set.is_empty() {
+            Vec::new()
+        } else {
+            vec![set.rules().to_vec()]
+        };
+
+        let trees: Vec<DTree> = groups
+            .into_iter()
+            .map(|g| DTree::build(g, spec, &report.policy, &tree_cfg))
+            .collect();
+        let mut order: Vec<(Priority, u32)> = trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.best_priority(), i as u32))
+            .collect();
+        order.sort_unstable();
+        Self {
+            trees,
+            order,
+            total_rules: set.len(),
+            policy: report.policy,
+            search_cost: report.cost,
+        }
+    }
+
+    /// The searched policy (diagnostics).
+    pub fn policy(&self) -> &ParamPolicy {
+        &self.policy
+    }
+
+    /// Final search cost (reward units; diagnostics).
+    pub fn search_cost(&self) -> f64 {
+        self.search_cost
+    }
+
+    /// Per-tree structural statistics.
+    pub fn stats(&self) -> Vec<TreeStats> {
+        self.trees.iter().map(DTree::stats).collect()
+    }
+}
+
+impl Classifier for NeuroCuts {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        self.classify_with_floor(key, Priority::MAX)
+    }
+
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        let mut best: Option<MatchResult> = None;
+        for &(tree_best, ti) in &self.order {
+            let bound = best.map_or(floor, |b| b.priority.min(floor));
+            if bound <= tree_best {
+                break;
+            }
+            best = MatchResult::better(best, self.trees[ti as usize].classify_floor(key, bound));
+        }
+        best.filter(|m| m.priority < floor)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.trees.iter().map(DTree::memory_bytes).sum::<usize>()
+            + self.order.len() * std::mem::size_of::<(Priority, u32)>()
+    }
+
+    fn name(&self) -> &'static str {
+        "nc"
+    }
+
+    fn num_rules(&self) -> usize {
+        self.total_rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch, SplitMix64};
+
+    fn mixed_set(seed: u64, n: usize) -> RuleSet {
+        let mut rng = SplitMix64::new(seed);
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                let mut ft = FiveTuple::new();
+                match rng.below(4) {
+                    0 => {
+                        ft = ft
+                            .src_prefix_raw(rng.next_u64() as u32, 24)
+                            .dst_prefix_raw(rng.next_u64() as u32, 16 + rng.below(17) as u8);
+                    }
+                    1 => ft = ft.dst_port_exact(rng.below(65_536) as u16),
+                    2 => {
+                        let lo = rng.below(50_000) as u16;
+                        ft = ft.src_port_range(lo, lo + rng.below(10_000) as u16);
+                    }
+                    _ => ft = ft.src_prefix_raw(rng.next_u64() as u32, 8).proto_exact(17),
+                }
+                ft.into_rule(i as u32, i as u32)
+            })
+            .collect();
+        RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_oracle() {
+        let set = mixed_set(1, 400);
+        let fast = NeuroCutsConfig { iterations: 6, sample: 256, ..Default::default() };
+        let nc = NeuroCuts::with_config(&set, fast);
+        let oracle = LinearSearch::build(&set);
+        let mut rng = SplitMix64::new(5);
+        for i in 0..1_500 {
+            let key = if i % 2 == 0 {
+                [
+                    rng.next_u64() & 0xffff_ffff,
+                    rng.next_u64() & 0xffff_ffff,
+                    rng.below(65_536),
+                    rng.below(65_536),
+                    rng.below(256),
+                ]
+            } else {
+                let rule = set.rule_at(rng.below(set.len() as u64) as usize);
+                let mut k = [0u64; 5];
+                for (d, f) in rule.fields.iter().enumerate() {
+                    k[d] = rng.range_inclusive(f.lo, f.hi);
+                }
+                k
+            };
+            assert_eq!(nc.classify(&key), oracle.classify(&key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn top_mode_and_single_tree_agree() {
+        let set = mixed_set(2, 250);
+        let a = NeuroCuts::with_config(
+            &set,
+            NeuroCutsConfig { iterations: 4, sample: 128, top_mode: true, ..Default::default() },
+        );
+        let b = NeuroCuts::with_config(
+            &set,
+            NeuroCutsConfig { iterations: 4, sample: 128, top_mode: false, ..Default::default() },
+        );
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..500 {
+            let key = [
+                rng.next_u64() & 0xffff_ffff,
+                rng.next_u64() & 0xffff_ffff,
+                rng.below(65_536),
+                rng.below(65_536),
+                rng.below(256),
+            ];
+            assert_eq!(a.classify(&key), b.classify(&key));
+        }
+    }
+
+    #[test]
+    fn floor_equivalence() {
+        let set = mixed_set(3, 200);
+        let nc = NeuroCuts::with_config(
+            &set,
+            NeuroCutsConfig { iterations: 4, sample: 128, ..Default::default() },
+        );
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..300 {
+            let key = [
+                rng.next_u64() & 0xffff_ffff,
+                rng.next_u64() & 0xffff_ffff,
+                rng.below(65_536),
+                rng.below(65_536),
+                rng.below(256),
+            ];
+            let full = nc.classify(&key);
+            for floor in [0u32, 80, 199] {
+                assert_eq!(nc.classify_with_floor(&key, floor), full.filter(|m| m.priority < floor));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let set = mixed_set(4, 150);
+        let cfg = NeuroCutsConfig { iterations: 6, sample: 128, ..Default::default() };
+        let a = NeuroCuts::with_config(&set, cfg);
+        let b = NeuroCuts::with_config(&set, cfg);
+        assert_eq!(a.policy(), b.policy());
+        assert_eq!(a.memory_bytes(), b.memory_bytes());
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = RuleSet::new(FieldsSpec::five_tuple(), vec![]).unwrap();
+        let nc = NeuroCuts::with_config(
+            &set,
+            NeuroCutsConfig { iterations: 2, sample: 16, ..Default::default() },
+        );
+        assert_eq!(nc.classify(&[0, 0, 0, 0, 0]), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! The parameterised tree-construction policy (the NeuroCuts action space).
+//!
+//! At each node NeuroCuts' agent picks a dimension and a cut arity from
+//! {2, 4, 8, 16, 32}. Our policy encodes those choices as a flat parameter
+//! vector so a derivative-free search can optimise it:
+//!
+//! * `dim_pref[bucket][dim]` — preference score for cutting `dim` at nodes
+//!   in depth bucket `bucket` (0, 1, 2+). The effective score adds a
+//!   discriminability term (distinct endpoints) so parameters modulate
+//!   rather than fight the data.
+//! * `cut_bits[bucket]` — cut arity (log2) per depth bucket.
+//! * `split_below` — node size under which the policy switches from cuts to
+//!   binary threshold splits (HyperSplit-style finishing, which NeuroCuts'
+//!   action space approximates with arity-2 cuts).
+
+use nm_common::SplitMix64;
+use nm_cutsplit::tree::{BuildAction, NodeCtx, Policy};
+
+/// Number of depth buckets in the parameterisation.
+pub const BUCKETS: usize = 3;
+
+/// A concrete, searchable policy instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamPolicy {
+    /// Per-bucket, per-dimension cut preference.
+    pub dim_pref: Vec<[f32; BUCKETS]>,
+    /// Per-bucket cut arity (log2 children), each in 1..=5.
+    pub cut_bits: [u8; BUCKETS],
+    /// Switch to splits below this node size.
+    pub split_below: usize,
+}
+
+impl ParamPolicy {
+    /// Neutral starting point for `nf` dimensions.
+    pub fn neutral(nf: usize, binth: usize) -> Self {
+        Self {
+            dim_pref: vec![[0.0; BUCKETS]; nf],
+            cut_bits: [3; BUCKETS],
+            split_below: binth * 4,
+        }
+    }
+
+    /// Random policy (search restarts), deterministic in the RNG state.
+    pub fn random(nf: usize, binth: usize, rng: &mut SplitMix64) -> Self {
+        Self {
+            dim_pref: (0..nf)
+                .map(|_| {
+                    let mut b = [0.0f32; BUCKETS];
+                    for v in &mut b {
+                        *v = (rng.f64() as f32 - 0.5) * 4.0;
+                    }
+                    b
+                })
+                .collect(),
+            cut_bits: [
+                1 + rng.below(5) as u8,
+                1 + rng.below(5) as u8,
+                1 + rng.below(5) as u8,
+            ],
+            split_below: binth * (1 + rng.below(8) as usize),
+        }
+    }
+
+    /// One hill-climbing neighbour: perturb a single parameter. Loops until
+    /// the perturbation actually changes something (a redrawn cut arity can
+    /// coincide with the current one).
+    pub fn neighbour(&self, rng: &mut SplitMix64) -> Self {
+        loop {
+            let mut next = self.clone();
+            match rng.below(3) {
+                0 => {
+                    let d = rng.below(next.dim_pref.len() as u64) as usize;
+                    let b = rng.below(BUCKETS as u64) as usize;
+                    next.dim_pref[d][b] += (rng.f64() as f32 - 0.5) * 2.0;
+                }
+                1 => {
+                    let b = rng.below(BUCKETS as u64) as usize;
+                    next.cut_bits[b] = 1 + rng.below(5) as u8;
+                }
+                _ => {
+                    let delta = rng.below(17) as i64 - 8;
+                    next.split_below = (next.split_below as i64 + delta).max(1) as usize;
+                }
+            }
+            if next != *self {
+                return next;
+            }
+        }
+    }
+
+    fn bucket(depth: usize) -> usize {
+        depth.min(BUCKETS - 1)
+    }
+}
+
+impl Policy for ParamPolicy {
+    fn decide(&self, ctx: &NodeCtx<'_>) -> BuildAction {
+        let bucket = Self::bucket(ctx.depth);
+        if ctx.rules.len() <= self.split_below {
+            // Finishing phase: threshold split on the most discriminating dim.
+            let mut best: Option<(usize, usize)> = None;
+            for d in 0..ctx.spec.len() {
+                let (lo, hi) = ctx.bounds[d];
+                if lo == hi {
+                    continue;
+                }
+                let mut endpoints: Vec<u64> = ctx
+                    .rules
+                    .iter()
+                    .map(|&id| ctx.all[id as usize].fields[d].hi.min(hi))
+                    .collect();
+                endpoints.sort_unstable();
+                endpoints.dedup();
+                if endpoints.len() > 1 && best.map_or(true, |(_, n)| endpoints.len() > n) {
+                    best = Some((d, endpoints.len()));
+                }
+            }
+            return match best {
+                Some((dim, _)) => BuildAction::Split { dim },
+                None => BuildAction::Leaf,
+            };
+        }
+
+        // Cutting phase: learned preference + data-driven discriminability.
+        let mut best: Option<(usize, f32)> = None;
+        for d in 0..ctx.spec.len() {
+            let (lo, hi) = ctx.bounds[d];
+            if lo == hi {
+                continue;
+            }
+            // Distinct low endpoints as a cheap discriminability proxy.
+            let mut lows: Vec<u64> = ctx
+                .rules
+                .iter()
+                .take(256)
+                .map(|&id| ctx.all[id as usize].fields[d].lo.max(lo))
+                .collect();
+            lows.sort_unstable();
+            lows.dedup();
+            let disc = (lows.len() as f32).ln();
+            let score = self.dim_pref[d][bucket] + disc;
+            if best.map_or(true, |(_, s)| score > s) {
+                best = Some((d, score));
+            }
+        }
+        match best {
+            Some((dim, _)) => BuildAction::Cut { dim, bits: self.cut_bits[bucket].clamp(1, 5) },
+            None => BuildAction::Leaf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_and_random_differ() {
+        let mut rng = SplitMix64::new(1);
+        let a = ParamPolicy::neutral(5, 8);
+        let b = ParamPolicy::random(5, 8, &mut rng);
+        assert_ne!(a, b);
+        assert!(b.cut_bits.iter().all(|&c| (1..=5).contains(&c)));
+    }
+
+    #[test]
+    fn neighbour_changes_one_thing() {
+        let mut rng = SplitMix64::new(2);
+        let base = ParamPolicy::neutral(5, 8);
+        let n = base.neighbour(&mut rng);
+        assert_ne!(base, n);
+    }
+
+    #[test]
+    fn neighbour_is_deterministic() {
+        let base = ParamPolicy::neutral(5, 8);
+        let a = base.neighbour(&mut SplitMix64::new(7));
+        let b = base.neighbour(&mut SplitMix64::new(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Adam optimizer with full-batch MSE gradients (paper §3.5.5).
+//!
+//! RQ-RMI submodels are trained "using supervised learning and Adam optimizer
+//! with a mean squared error loss function". Datasets are small (hundreds to
+//! a few thousand sampled key-index pairs), so full-batch gradients are both
+//! simpler and faster than mini-batching at this scale.
+
+use crate::mlp::Mlp;
+
+/// Hyper-parameters for [`Adam`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdamConfig {
+    /// Step size (default 0.01 — aggressive but fine for 25 parameters).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// Stop early when the epoch-over-epoch loss improvement drops below
+    /// this relative threshold (0 disables early stopping).
+    pub tol: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8, epochs: 400, tol: 1e-7 }
+    }
+}
+
+/// Adam state for one [`Mlp`]. Parameters are flattened as
+/// `[w1.., b1.., w2.., b2]`.
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+impl Adam {
+    /// Creates optimizer state for a network with `hidden` neurons.
+    pub fn new(hidden: usize, cfg: AdamConfig) -> Self {
+        let n = 3 * hidden + 1;
+        Self { cfg, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    /// Runs full-batch training of `net` on `data`, returning the final MSE.
+    ///
+    /// `data` must be non-empty; an empty dataset returns 0 and leaves the
+    /// network untouched (the RQ-RMI trainer handles empty responsibilities
+    /// upstream).
+    pub fn train(net: &mut Mlp, data: &[(f32, f32)], cfg: AdamConfig) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut opt = Adam::new(net.hidden(), cfg);
+        let mut prev = f64::INFINITY;
+        let mut loss = net.mse(data);
+        for _ in 0..cfg.epochs {
+            opt.step(net, data);
+            loss = net.mse(data);
+            if cfg.tol > 0.0 && prev.is_finite() {
+                let improve = (prev - loss).abs() / prev.max(1e-30);
+                if improve < cfg.tol {
+                    break;
+                }
+            }
+            prev = loss;
+        }
+        loss
+    }
+
+    /// One full-batch gradient step.
+    pub fn step(&mut self, net: &mut Mlp, data: &[(f32, f32)]) {
+        let h = net.hidden();
+        let mut grad = vec![0.0f32; 3 * h + 1];
+        let scale = 2.0 / data.len() as f32;
+        for &(x, y) in data {
+            // Forward, keeping pre-activations.
+            let mut out = net.b2;
+            for j in 0..h {
+                let pre = net.w1[j] * x + net.b1[j];
+                if pre > 0.0 {
+                    out += net.w2[j] * pre;
+                }
+            }
+            let dy = scale * (out - y);
+            // Backward.
+            for j in 0..h {
+                let pre = net.w1[j] * x + net.b1[j];
+                if pre > 0.0 {
+                    grad[2 * h + j] += dy * pre; // dw2
+                    let dh = dy * net.w2[j];
+                    grad[j] += dh * x; // dw1
+                    grad[h + j] += dh; // db1
+                }
+            }
+            grad[3 * h] += dy; // db2
+        }
+        self.apply(net, &grad);
+    }
+
+    fn apply(&mut self, net: &mut Mlp, grad: &[f32]) {
+        let h = net.hidden();
+        self.t += 1;
+        let b1c = 1.0 - self.cfg.beta1.powi(self.t);
+        let b2c = 1.0 - self.cfg.beta2.powi(self.t);
+        let mut upd = |idx: usize, g: f32, p: &mut f32| {
+            self.m[idx] = self.cfg.beta1 * self.m[idx] + (1.0 - self.cfg.beta1) * g;
+            self.v[idx] = self.cfg.beta2 * self.v[idx] + (1.0 - self.cfg.beta2) * g * g;
+            let mhat = self.m[idx] / b1c;
+            let vhat = self.v[idx] / b2c;
+            *p -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
+        };
+        for j in 0..h {
+            upd(j, grad[j], &mut net.w1[j]);
+        }
+        for j in 0..h {
+            upd(h + j, grad[h + j], &mut net.b1[j]);
+        }
+        for j in 0..h {
+            upd(2 * h + j, grad[2 * h + j], &mut net.w2[j]);
+        }
+        upd(3 * h, grad[3 * h], &mut net.b2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> Vec<(f32, f32)> {
+        (0..n).map(|i| {
+            let x = i as f32 / n as f32;
+            (x, 0.25 + 0.5 * x)
+        }).collect()
+    }
+
+    #[test]
+    fn learns_a_line() {
+        let data = linear_data(64);
+        let mut net = Mlp::random(8, 1);
+        let loss = Adam::train(&mut net, &data, AdamConfig { epochs: 2000, tol: 0.0, ..Default::default() });
+        assert!(loss < 1e-4, "final loss {loss}");
+    }
+
+    #[test]
+    fn learns_a_step_like_cdf() {
+        // A staircase CDF — the shape RQ-RMI leaves actually face.
+        let data: Vec<(f32, f32)> = (0..256)
+            .map(|i| {
+                let x = i as f32 / 256.0;
+                let y = if x < 0.3 { 0.2 } else if x < 0.7 { 0.5 } else { 0.9 };
+                (x, y)
+            })
+            .collect();
+        let mut net = Mlp::random(8, 2);
+        let before = net.mse(&data);
+        let loss = Adam::train(&mut net, &data, AdamConfig { epochs: 3000, tol: 0.0, ..Default::default() });
+        // The target has jump discontinuities, so a continuous model bottoms
+        // out near the quantisation floor — just require the rough shape.
+        assert!(loss < 2e-2, "final loss {loss}");
+        assert!(loss < before / 4.0, "no real progress: {before} -> {loss}");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let data = linear_data(32);
+        let mut net = Mlp::random(8, 3);
+        let before = net.mse(&data);
+        Adam::train(&mut net, &data, AdamConfig { epochs: 50, tol: 0.0, ..Default::default() });
+        let after = net.mse(&data);
+        assert!(after < before, "loss went {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_dataset_is_noop() {
+        let mut net = Mlp::random(8, 4);
+        let copy = net.clone();
+        let loss = Adam::train(&mut net, &[], AdamConfig::default());
+        assert_eq!(loss, 0.0);
+        assert_eq!(net, copy);
+    }
+}

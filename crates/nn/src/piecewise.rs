@@ -1,0 +1,230 @@
+//! Exact piece-wise-linear decomposition of a clamped MLP.
+//!
+//! Corollary 3.2 of the paper: a 1×H×1 ReLU network with a clamped output is
+//! a piece-wise linear function. Its kinks ("trigger inputs", Definition A.5)
+//! come from two places:
+//!
+//! 1. each hidden neuron's ReLU flips at `x = −b1[j] / w1[j]`;
+//! 2. the output clamp `H(·)` kicks in where `N(x)` crosses 0 or 1⁻.
+//!
+//! [`segments`] returns the exact linear pieces of `M(x) = clamp(N(x))` over
+//! a requested interval, computed in `f64` from the widened `f32` weights.
+//! Everything analytic in RQ-RMI training — responsibility propagation,
+//! transition inputs, error bounds — is built on this decomposition.
+
+use crate::mlp::{Mlp, ONE_MINUS_EPS};
+
+/// One linear piece of the clamped model: for `x ∈ [x0, x1]`,
+/// `M(x) = y0 + (x − x0) · (y1 − y0) / (x1 − x0)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Left edge of the piece.
+    pub x0: f64,
+    /// Right edge of the piece (`x1 >= x0`).
+    pub x1: f64,
+    /// Model output at `x0` (already clamped).
+    pub y0: f64,
+    /// Model output at `x1` (already clamped).
+    pub y1: f64,
+}
+
+impl Segment {
+    /// Interpolated model value at `x` (must lie within the piece).
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x >= self.x0 - 1e-12 && x <= self.x1 + 1e-12);
+        if self.x1 == self.x0 {
+            return self.y0;
+        }
+        self.y0 + (x - self.x0) * (self.y1 - self.y0) / (self.x1 - self.x0)
+    }
+
+    /// Slope of the piece (0 for degenerate zero-width pieces).
+    #[inline]
+    pub fn slope(&self) -> f64 {
+        if self.x1 == self.x0 {
+            0.0
+        } else {
+            (self.y1 - self.y0) / (self.x1 - self.x0)
+        }
+    }
+
+    /// Solves `M(x) = y` within the piece, if the piece attains `y`.
+    pub fn solve(&self, y: f64) -> Option<f64> {
+        let (lo, hi) = if self.y0 <= self.y1 { (self.y0, self.y1) } else { (self.y1, self.y0) };
+        if y < lo || y > hi {
+            return None;
+        }
+        let s = self.slope();
+        if s == 0.0 {
+            // Constant piece: any x attains y (== y0); report the left edge.
+            return (y == self.y0).then_some(self.x0);
+        }
+        Some(self.x0 + (y - self.y0) / s)
+    }
+}
+
+/// Decomposes `M(x) = clamp(N(x), 0, 1⁻)` into exact linear pieces over
+/// `[lo, hi]`.
+///
+/// Pieces are returned sorted, contiguous (`pieces[i].x1 == pieces[i+1].x0`)
+/// and cover exactly `[lo, hi]`. Returns an empty vector when `lo > hi`.
+pub fn segments(net: &Mlp, lo: f64, hi: f64) -> Vec<Segment> {
+    if lo > hi {
+        return Vec::new();
+    }
+    const CLAMP_HI: f64 = ONE_MINUS_EPS as f64;
+
+    // 1. ReLU kinks inside (lo, hi).
+    let mut breaks: Vec<f64> = Vec::with_capacity(net.hidden() + 2);
+    breaks.push(lo);
+    for j in 0..net.hidden() {
+        let w = net.w1[j] as f64;
+        if w != 0.0 {
+            let x = -(net.b1[j] as f64) / w;
+            if x > lo && x < hi {
+                breaks.push(x);
+            }
+        }
+    }
+    breaks.push(hi);
+    breaks.sort_by(f64::total_cmp);
+    breaks.dedup();
+
+    // 2. Within each ReLU-linear piece, add clamp crossings, then emit
+    //    clamped segments.
+    let mut out = Vec::with_capacity(breaks.len());
+    for w in breaks.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let na = net.forward_f64(a);
+        let nb = net.forward_f64(b);
+        // Crossings of the raw line with the clamp bounds.
+        let mut cuts: Vec<f64> = vec![a];
+        if (nb - na).abs() > 0.0 && b > a {
+            let slope = (nb - na) / (b - a);
+            for bound in [0.0, CLAMP_HI] {
+                if slope != 0.0 {
+                    let x = a + (bound - na) / slope;
+                    if x > a && x < b {
+                        cuts.push(x);
+                    }
+                }
+            }
+        }
+        cuts.push(b);
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        for c in cuts.windows(2) {
+            let (x0, x1) = (c[0], c[1]);
+            let y0 = net.forward_f64(x0).clamp(0.0, CLAMP_HI);
+            let y1 = net.forward_f64(x1).clamp(0.0, CLAMP_HI);
+            out.push(Segment { x0, x1, y0, y1 });
+        }
+    }
+    if out.is_empty() {
+        // Degenerate interval lo == hi.
+        let y = net.forward_clamped_f64(lo);
+        out.push(Segment { x0: lo, x1: hi, y0: y, y1: y });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_covers(pieces: &[Segment], lo: f64, hi: f64) {
+        assert_eq!(pieces.first().unwrap().x0, lo);
+        assert_eq!(pieces.last().unwrap().x1, hi);
+        for w in pieces.windows(2) {
+            assert_eq!(w[0].x1, w[1].x0, "pieces must be contiguous");
+        }
+    }
+
+    fn assert_matches_model(net: &Mlp, pieces: &[Segment]) {
+        // Dense sampling: interpolation must agree with the model.
+        for p in pieces {
+            for k in 0..=8 {
+                let x = p.x0 + (p.x1 - p.x0) * k as f64 / 8.0;
+                let want = net.forward_clamped_f64(x);
+                let got = p.eval(x);
+                assert!(
+                    (want - got).abs() < 1e-9,
+                    "x={x}: model {want} vs segment {got} in {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_neuron_has_one_kink() {
+        let net = Mlp { w1: vec![1.0], b1: vec![-0.5], w2: vec![0.8], b2: 0.05 };
+        let pieces = segments(&net, 0.0, 1.0);
+        assert_covers(&pieces, 0.0, 1.0);
+        assert_matches_model(&net, &pieces);
+        // Flat before 0.5, rising after.
+        assert!(pieces.iter().any(|p| p.slope() == 0.0));
+        assert!(pieces.iter().any(|p| p.slope() > 0.0));
+    }
+
+    #[test]
+    fn clamp_creates_extra_pieces() {
+        // Steep line crossing both clamp bounds inside the domain.
+        let net = Mlp { w1: vec![1.0], b1: vec![0.0], w2: vec![3.0], b2: -1.0 };
+        let pieces = segments(&net, 0.0, 1.0);
+        assert_covers(&pieces, 0.0, 1.0);
+        assert_matches_model(&net, &pieces);
+        // Should have: flat at 0, rising, flat at 1-.
+        let flat_lo = pieces.iter().any(|p| p.y0 == 0.0 && p.y1 == 0.0 && p.x1 > p.x0);
+        let flat_hi = pieces
+            .iter()
+            .any(|p| p.y0 == ONE_MINUS_EPS as f64 && p.y1 == p.y0 && p.x1 > p.x0);
+        assert!(flat_lo, "missing lower clamp piece: {pieces:?}");
+        assert!(flat_hi, "missing upper clamp piece: {pieces:?}");
+    }
+
+    #[test]
+    fn random_net_decomposition_is_exact() {
+        for seed in 0..20 {
+            let net = Mlp::random(8, seed);
+            let pieces = segments(&net, 0.0, 1.0);
+            assert_covers(&pieces, 0.0, 1.0);
+            assert_matches_model(&net, &pieces);
+        }
+    }
+
+    #[test]
+    fn sub_interval() {
+        let net = Mlp::random(8, 99);
+        let pieces = segments(&net, 0.25, 0.75);
+        assert_covers(&pieces, 0.25, 0.75);
+        assert_matches_model(&net, &pieces);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let net = Mlp::random(8, 5);
+        let pieces = segments(&net, 0.5, 0.5);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].y0, net.forward_clamped_f64(0.5));
+    }
+
+    #[test]
+    fn solve_inverts_eval() {
+        let net = Mlp::random(8, 11);
+        let pieces = segments(&net, 0.0, 1.0);
+        for p in &pieces {
+            if p.slope().abs() > 1e-9 {
+                let mid_y = (p.y0 + p.y1) / 2.0;
+                let x = p.solve(mid_y).expect("mid value attained");
+                assert!((p.eval(x) - mid_y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_on_inverted_interval() {
+        let net = Mlp::random(8, 1);
+        assert!(segments(&net, 1.0, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,466 @@
+//! The TupleMerge / Tuple Space Search engines.
+
+use crate::table::Table;
+use crate::tuple::Tuple;
+use nm_common::classifier::{Classifier, MatchResult, Updatable};
+use nm_common::memsize;
+use nm_common::rule::{Priority, Rule, RuleId};
+use nm_common::ruleset::{FieldsSpec, RuleSet};
+use std::collections::HashMap;
+
+/// TupleMerge parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TupleMergeConfig {
+    /// Maximum bucket size before a table splits (paper: 40, §5.1).
+    pub collision_limit: usize,
+    /// Relax natural tuples so related tuples share tables (TupleMerge).
+    /// `false` gives classic Tuple Space Search.
+    pub relax: bool,
+}
+
+impl Default for TupleMergeConfig {
+    fn default() -> Self {
+        Self { collision_limit: 40, relax: true }
+    }
+}
+
+/// Hash-based classifier with tuple merging and online updates.
+pub struct TupleMerge {
+    spec: FieldsSpec,
+    cfg: TupleMergeConfig,
+    tables: Vec<Table>,
+    /// Table indices sorted by `best_priority` — the probe order that makes
+    /// early exit effective.
+    order: Vec<u32>,
+    /// Rule storage; `None` marks a removed slot.
+    slab: Vec<Option<Rule>>,
+    by_id: HashMap<RuleId, u32>,
+    name: &'static str,
+}
+
+impl TupleMerge {
+    /// Builds a TupleMerge classifier over a rule-set.
+    pub fn build(set: &RuleSet) -> Self {
+        Self::with_config(set, TupleMergeConfig::default())
+    }
+
+    /// Builds with explicit parameters.
+    pub fn with_config(set: &RuleSet, cfg: TupleMergeConfig) -> Self {
+        let name = if cfg.relax { "tm" } else { "tss" };
+        let mut tm = Self {
+            spec: set.spec().clone(),
+            cfg,
+            tables: Vec::new(),
+            order: Vec::new(),
+            slab: Vec::with_capacity(set.len()),
+            by_id: HashMap::with_capacity(set.len()),
+            name,
+        };
+        for rule in set.rules() {
+            tm.insert(rule.clone());
+        }
+        tm
+    }
+
+    /// Number of tuple tables currently allocated (Figure 11 diagnostics —
+    /// more tables means more probes per lookup).
+    pub fn num_tables(&self) -> usize {
+        self.tables.iter().filter(|t| !t.is_empty()).count()
+    }
+
+    /// Largest bucket across tables (collision-limit verification).
+    pub fn max_bucket(&self) -> usize {
+        self.tables.iter().map(Table::max_bucket).max().unwrap_or(0)
+    }
+
+    fn table_tuple_for(&self, natural: &Tuple) -> Tuple {
+        if self.cfg.relax {
+            natural.relaxed(&self.spec)
+        } else {
+            natural.clone()
+        }
+    }
+
+    /// Picks the finest existing table the rule fits in, if any.
+    fn find_table(&self, natural: &Tuple) -> Option<usize> {
+        let mut best: Option<(usize, u32)> = None;
+        for (i, t) in self.tables.iter().enumerate() {
+            if natural.fits_in(&t.lens) {
+                let fineness: u32 = t.lens.0.iter().map(|&l| l as u32).sum();
+                if best.map_or(true, |(_, bf)| fineness > bf) {
+                    best = Some((i, fineness));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn resort_order(&mut self) {
+        self.order = (0..self.tables.len() as u32).collect();
+        let tables = &self.tables;
+        self.order.sort_by_key(|&i| tables[i as usize].best_priority);
+    }
+
+    fn insert_slab(&mut self, rule: Rule) -> u32 {
+        let idx = self.slab.len() as u32;
+        self.by_id.insert(rule.id, idx);
+        self.slab.push(Some(rule));
+        idx
+    }
+
+    fn insert_into_tables(&mut self, slab_idx: u32) {
+        let rule = self.slab[slab_idx as usize].clone().expect("live rule");
+        let natural = Tuple::natural(&rule.fields, &self.spec);
+        let table_idx = match self.find_table(&natural) {
+            Some(i) => i,
+            None => {
+                self.tables.push(Table::new(self.table_tuple_for(&natural)));
+                self.tables.len() - 1
+            }
+        };
+        let h = self.tables[table_idx].hash_rule(&rule, &self.spec);
+        let bucket_len = self.tables[table_idx].insert(h, slab_idx, rule.priority);
+        if bucket_len > self.cfg.collision_limit {
+            self.split(table_idx);
+        }
+        self.resort_order();
+    }
+
+    /// Splits an overflowing table: refine the field with the most headroom
+    /// (the rules' natural lengths allow a longer mask) and re-file every
+    /// rule. Rules are re-inserted through the normal path, so they land in
+    /// the refined table when they fit and in coarser tables otherwise.
+    fn split(&mut self, table_idx: usize) {
+        let lens = self.tables[table_idx].lens.clone();
+        let members = self.tables[table_idx].drain_all();
+        // Per-field headroom: min over members of natural − table length.
+        let nf = lens.0.len();
+        let mut headroom = vec![u8::MAX; nf];
+        for &m in &members {
+            let rule = self.slab[m as usize].as_ref().expect("live rule");
+            let nat = Tuple::natural(&rule.fields, &self.spec);
+            for d in 0..nf {
+                headroom[d] = headroom[d].min(nat.0[d] - lens.0[d].min(nat.0[d]));
+            }
+        }
+        let best_dim = (0..nf).max_by_key(|&d| headroom[d]).unwrap_or(0);
+        if headroom[best_dim] == 0 || headroom[best_dim] == u8::MAX {
+            // Nothing to refine (identical natural tuples): accept the long
+            // bucket — correctness is unaffected, the scan just costs more.
+            let mut t = Table::new(lens);
+            for m in &members {
+                let rule = self.slab[*m as usize].as_ref().expect("live rule");
+                let h = t.hash_rule(rule, &self.spec);
+                t.insert(h, *m, rule.priority);
+            }
+            self.tables[table_idx] = t;
+            return;
+        }
+        let step = headroom[best_dim].min(4);
+        let mut new_lens = lens.clone();
+        new_lens.0[best_dim] += step;
+        self.tables[table_idx] = Table::new(new_lens);
+        for m in members {
+            self.insert_into_tables_no_split(m);
+        }
+        // One refinement round per overflow keeps splits terminating; if a
+        // bucket still exceeds the limit the next insert refines again.
+    }
+
+    fn insert_into_tables_no_split(&mut self, slab_idx: u32) {
+        let rule = self.slab[slab_idx as usize].clone().expect("live rule");
+        let natural = Tuple::natural(&rule.fields, &self.spec);
+        let table_idx = match self.find_table(&natural) {
+            Some(i) => i,
+            None => {
+                self.tables.push(Table::new(self.table_tuple_for(&natural)));
+                self.tables.len() - 1
+            }
+        };
+        let h = self.tables[table_idx].hash_rule(&rule, &self.spec);
+        self.tables[table_idx].insert(h, slab_idx, rule.priority);
+    }
+
+    #[inline]
+    fn probe(&self, key: &[u64], mut best: Option<MatchResult>, floor: Priority) -> Option<MatchResult> {
+        for &ti in &self.order {
+            let table = &self.tables[ti as usize];
+            let bound = best.map_or(floor, |b| b.priority.min(floor));
+            if bound <= table.best_priority {
+                break; // no remaining table can beat the bound
+            }
+            if table.is_empty() {
+                continue;
+            }
+            let h = table.hash_key(key, &self.spec);
+            if let Some(bucket) = table.bucket(h) {
+                for &si in bucket {
+                    if let Some(rule) = &self.slab[si as usize] {
+                        let cur = best.map_or(floor, |b| b.priority.min(floor));
+                        if rule.priority < cur && rule.matches(key) {
+                            best = Some(MatchResult::new(rule.id, rule.priority));
+                        }
+                    }
+                }
+            }
+        }
+        best.filter(|m| m.priority < floor)
+    }
+}
+
+impl Classifier for TupleMerge {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        self.probe(key, None, Priority::MAX)
+    }
+
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        self.probe(key, None, floor)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Lookup-path index: tables (+ their buckets of slab indices) and the
+        // probe order. The slab is rule storage; by_id is update bookkeeping.
+        self.tables.iter().map(Table::memory_bytes).sum::<usize>()
+            + memsize::vec_bytes(&self.order)
+            + self.tables.len() * std::mem::size_of::<Table>()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn num_rules(&self) -> usize {
+        self.by_id.len()
+    }
+}
+
+impl Updatable for TupleMerge {
+    fn insert(&mut self, rule: Rule) {
+        if let Some(&old) = self.by_id.get(&rule.id) {
+            // Same id re-inserted: drop the stale version first.
+            self.remove_slab(old);
+        }
+        let idx = self.insert_slab(rule);
+        self.insert_into_tables(idx);
+    }
+
+    fn remove(&mut self, id: RuleId) -> bool {
+        match self.by_id.remove(&id) {
+            Some(idx) => {
+                self.remove_slab(idx);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl TupleMerge {
+    fn remove_slab(&mut self, idx: u32) {
+        if let Some(rule) = self.slab[idx as usize].take() {
+            for t in &mut self.tables {
+                let h = t.hash_rule(&rule, &self.spec);
+                if t.remove(h, idx) {
+                    break;
+                }
+            }
+            self.by_id.remove(&rule.id);
+        }
+    }
+}
+
+/// Classic Tuple Space Search: one table per natural tuple, no merging.
+pub struct TupleSpaceSearch;
+
+impl TupleSpaceSearch {
+    /// Builds a TSS classifier (a [`TupleMerge`] with relaxation disabled
+    /// and no collision limit).
+    pub fn build(set: &RuleSet) -> TupleMerge {
+        TupleMerge::with_config(
+            set,
+            TupleMergeConfig { collision_limit: usize::MAX, relax: false },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_common::{FiveTuple, LinearSearch, SplitMix64};
+
+    fn random_set(seed: u64, n: usize) -> RuleSet {
+        let mut rng = SplitMix64::new(seed);
+        let rules: Vec<Rule> = (0..n)
+            .map(|i| {
+                let mut ft = FiveTuple::new();
+                match rng.below(4) {
+                    0 => {
+                        ft = ft
+                            .src_prefix_raw(rng.next_u64() as u32, 8 + rng.below(25) as u8)
+                            .proto_exact(6);
+                    }
+                    1 => {
+                        ft = ft
+                            .dst_prefix_raw(rng.next_u64() as u32, 8 + rng.below(25) as u8)
+                            .dst_port_exact(rng.below(1024) as u16);
+                    }
+                    2 => {
+                        let lo = rng.below(60_000) as u16;
+                        ft = ft.dst_port_range(lo, lo + rng.below(5_000) as u16);
+                    }
+                    _ => {
+                        ft = ft
+                            .src_prefix_raw(rng.next_u64() as u32, 16)
+                            .dst_prefix_raw(rng.next_u64() as u32, 16);
+                    }
+                }
+                ft.into_rule(i as RuleId, i as Priority)
+            })
+            .collect();
+        RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+    }
+
+    fn random_keys(seed: u64, n: usize, set: &RuleSet) -> Vec<[u64; 5]> {
+        // Half random, half generated inside random rules so matches happen.
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 || set.is_empty() {
+                    [
+                        rng.next_u64() & 0xffff_ffff,
+                        rng.next_u64() & 0xffff_ffff,
+                        rng.below(65_536),
+                        rng.below(65_536),
+                        rng.below(256),
+                    ]
+                } else {
+                    let rule = set.rule_at(rng.below(set.len() as u64) as usize);
+                    let mut k = [0u64; 5];
+                    for (d, f) in rule.fields.iter().enumerate() {
+                        k[d] = rng.range_inclusive(f.lo, f.hi);
+                    }
+                    k
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_linear_search() {
+        for seed in [1u64, 2] {
+            let set = random_set(seed, 300);
+            let tm = TupleMerge::build(&set);
+            let tss = TupleSpaceSearch::build(&set);
+            let oracle = LinearSearch::build(&set);
+            for key in random_keys(seed + 100, 500, &set) {
+                let want = oracle.classify(&key);
+                assert_eq!(tm.classify(&key), want, "tm diverged on {key:?}");
+                assert_eq!(tss.classify(&key), want, "tss diverged on {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merging_uses_fewer_tables_than_tss() {
+        let set = random_set(7, 500);
+        let tm = TupleMerge::build(&set);
+        let tss = TupleSpaceSearch::build(&set);
+        assert!(
+            tm.num_tables() <= tss.num_tables(),
+            "tm {} vs tss {}",
+            tm.num_tables(),
+            tss.num_tables()
+        );
+    }
+
+    #[test]
+    fn collision_limit_triggers_splits() {
+        // 300 exact dst-IP rules under /0 would share one bucket without
+        // splitting; the limit must refine the table.
+        let rules: Vec<Rule> = (0..300u32)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_prefix_raw(0x0a00_0000 | i, 32)
+                    .into_rule(i, i)
+            })
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let tm = TupleMerge::with_config(&set, Default::default());
+        assert!(tm.max_bucket() <= 40, "max bucket {}", tm.max_bucket());
+        let oracle = LinearSearch::build(&set);
+        for i in 0..300u64 {
+            let key = [0, 0x0a00_0000 | i, 0, 0, 0];
+            assert_eq!(tm.classify(&key), oracle.classify(&key));
+        }
+    }
+
+    #[test]
+    fn floor_prunes_consistently() {
+        let set = random_set(3, 200);
+        let tm = TupleMerge::build(&set);
+        for key in random_keys(33, 300, &set) {
+            let full = tm.classify(&key);
+            for floor in [0u32, 10, 100, Priority::MAX] {
+                let got = tm.classify_with_floor(&key, floor);
+                let want = full.filter(|m| m.priority < floor);
+                assert_eq!(got, want, "floor {floor} key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn updates_match_rebuild() {
+        let set = random_set(5, 200);
+        let mut tm = TupleMerge::build(&set);
+        // Remove every third rule, add 20 new ones.
+        let mut rules: Vec<Rule> = set.rules().to_vec();
+        rules.retain(|r| r.id % 3 != 0);
+        for id in 0..200u32 {
+            if id % 3 == 0 {
+                assert!(tm.remove(id));
+            }
+        }
+        for i in 0..20u32 {
+            let rule = FiveTuple::new()
+                .dst_port_exact(40_000 + i as u16)
+                .into_rule(1_000 + i, 500 + i);
+            rules.push(rule.clone());
+            tm.insert(rule);
+        }
+        let rebuilt = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let oracle = LinearSearch::build(&rebuilt);
+        for key in random_keys(55, 400, &rebuilt) {
+            assert_eq!(tm.classify(&key), oracle.classify(&key), "key {key:?}");
+        }
+        assert_eq!(tm.num_rules(), rebuilt.len());
+    }
+
+    #[test]
+    fn memory_grows_with_rules() {
+        let small = TupleMerge::build(&random_set(9, 50));
+        let large = TupleMerge::build(&random_set(9, 2_000));
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn empty_set_classifies_nothing() {
+        let set = RuleSet::new(FieldsSpec::five_tuple(), vec![]).unwrap();
+        let tm = TupleMerge::build(&set);
+        assert_eq!(tm.classify(&[1, 2, 3, 4, 5]), None);
+        assert_eq!(tm.num_rules(), 0);
+    }
+
+    #[test]
+    fn range_rules_survive_relaxation() {
+        // Arbitrary port ranges whose covering prefix is /0 must still match.
+        let rules = vec![
+            FiveTuple::new().dst_port_range(100, 40_000).into_rule(0, 0),
+            FiveTuple::new().dst_port_range(30_000, 65_000).into_rule(1, 1),
+        ];
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let tm = TupleMerge::build(&set);
+        assert_eq!(tm.classify(&[0, 0, 0, 35_000, 0]).unwrap().rule, 0);
+        assert_eq!(tm.classify(&[0, 0, 0, 50_000, 0]).unwrap().rule, 1);
+        assert_eq!(tm.classify(&[0, 0, 0, 99, 0]), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! # nm-tuplemerge — hash-based packet classification
+//!
+//! Two engines sharing one table substrate:
+//!
+//! * [`TupleSpaceSearch`] — the classic algorithm (Srinivasan, Suri,
+//!   Varghese 1999): rules grouped by their per-field prefix-length tuple,
+//!   one hash table per distinct tuple, every table probed per lookup.
+//! * [`TupleMerge`] — Daly et al. 2019: tuples are *relaxed* (coarsened) so
+//!   many related tuples share one table, cutting the number of probes; a
+//!   collision limit splits tables that grow pathological buckets. This is
+//!   the paper's strongest baseline and the remainder engine NuevoMatch
+//!   pairs with for update support (§3.9).
+//!
+//! Arbitrary ranges (ports) are filed under their *covering prefix* — the
+//! longest aligned block containing the whole range — so a table mask never
+//! splits a rule's matches across buckets. Matching is still exact: every
+//! bucket candidate is validated against the full rule box.
+//!
+//! Both engines keep a per-table best-priority bound, probe tables in
+//! priority order, and stop as soon as no remaining table can beat the
+//! current best — the "early termination" contract NuevoMatch relies on
+//! (`classify_with_floor`).
+
+#![warn(missing_docs)]
+
+pub mod hasher;
+pub mod table;
+pub mod tuple;
+
+mod engine;
+
+pub use engine::{TupleMerge, TupleMergeConfig, TupleSpaceSearch};

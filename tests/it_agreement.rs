@@ -1,0 +1,108 @@
+//! The workspace's master correctness test: every engine must agree with
+//! linear search on every generated workload family.
+//!
+//! This is the property the whole paper rests on — NuevoMatch is only an
+//! *accelerator*; its classification results must be bit-identical to the
+//! baseline's, which must be identical to brute force.
+
+use nm_classbench::{generate, stanford_fib, AppKind};
+use nm_common::{Classifier, LinearSearch, RuleSet};
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
+use nm_trace::{caida_like_trace, uniform_trace, zipf_trace, CaidaLikeConfig};
+use nm_tuplemerge::{TupleMerge, TupleSpaceSearch};
+use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
+
+fn engines(set: &RuleSet) -> Vec<(String, Box<dyn Classifier>)> {
+    let nc_cfg = NeuroCutsConfig { iterations: 6, sample: 512, ..Default::default() };
+    let nm_cfg = NuevoMatchConfig {
+        rqrmi: RqRmiParams { samples_init: 512, ..Default::default() },
+        ..Default::default()
+    };
+    let nm_cfg_no_et = NuevoMatchConfig { early_termination: false, ..nm_cfg.clone() };
+    vec![
+        ("tss".into(), Box::new(TupleSpaceSearch::build(set))),
+        ("tm".into(), Box::new(TupleMerge::build(set))),
+        ("cs".into(), Box::new(CutSplit::build(set))),
+        ("nc".into(), Box::new(NeuroCuts::with_config(set, nc_cfg))),
+        (
+            "nm/tm".into(),
+            Box::new(NuevoMatch::build(set, &nm_cfg, TupleMerge::build).unwrap()),
+        ),
+        (
+            "nm/cs-noet".into(),
+            Box::new(NuevoMatch::build(set, &nm_cfg_no_et, CutSplit::build).unwrap()),
+        ),
+    ]
+}
+
+fn check_traces(name: &str, set: &RuleSet) {
+    let oracle = LinearSearch::build(set);
+    let engines = engines(set);
+    let traces = [
+        ("uniform", uniform_trace(set, 1_500, 1)),
+        ("zipf", zipf_trace(set, 1_500, 1.2, 2)),
+        ("caida-like", caida_like_trace(set, 1_500, CaidaLikeConfig::default(), 3)),
+    ];
+    for (tname, trace) in &traces {
+        for key in trace.iter() {
+            let want = oracle.classify(key);
+            for (ename, engine) in &engines {
+                assert_eq!(
+                    engine.classify(key),
+                    want,
+                    "{ename} diverged from linear search on {name}/{tname}, key {key:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn acl_profile_all_engines_agree() {
+    check_traces("acl", &generate(AppKind::Acl, 1_200, 7));
+}
+
+#[test]
+fn fw_profile_all_engines_agree() {
+    check_traces("fw", &generate(AppKind::Fw, 1_200, 8));
+}
+
+#[test]
+fn ipc_profile_all_engines_agree() {
+    check_traces("ipc", &generate(AppKind::Ipc, 1_200, 9));
+}
+
+#[test]
+fn stanford_fib_all_engines_agree() {
+    check_traces("stanford", &stanford_fib(1_500, 10));
+}
+
+#[test]
+fn low_diversity_blend_all_engines_agree() {
+    let base = generate(AppKind::Acl, 1_000, 11);
+    let blended = nm_classbench::blend_low_diversity(&base, 0.5, 8, 12);
+    check_traces("lowdiv", &blended);
+}
+
+#[test]
+fn random_misses_agree_too() {
+    // Keys not drawn from rules: mostly misses; engines must agree on None.
+    let set = generate(AppKind::Acl, 800, 13);
+    let oracle = LinearSearch::build(&set);
+    let engines = engines(&set);
+    let mut rng = nm_common::SplitMix64::new(14);
+    for _ in 0..2_000 {
+        let key = [
+            rng.next_u64() & 0xffff_ffff,
+            rng.next_u64() & 0xffff_ffff,
+            rng.below(65_536),
+            rng.below(65_536),
+            rng.below(256),
+        ];
+        let want = oracle.classify(&key);
+        for (ename, engine) in &engines {
+            assert_eq!(engine.classify(&key), want, "{ename} diverged on random key");
+        }
+    }
+}

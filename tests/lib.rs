@@ -1,0 +1,1 @@
+//! nm-integration: all content lives in the [[test]] targets.
