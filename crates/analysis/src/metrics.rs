@@ -19,11 +19,8 @@ pub fn diversity(set: &RuleSet, dim: usize) -> f64 {
     if set.is_empty() {
         return 0.0;
     }
-    let distinct: HashSet<(u64, u64)> = set
-        .rules()
-        .iter()
-        .map(|r| (r.fields[dim].lo, r.fields[dim].hi))
-        .collect();
+    let distinct: HashSet<(u64, u64)> =
+        set.rules().iter().map(|r| (r.fields[dim].lo, r.fields[dim].hi)).collect();
     distinct.len() as f64 / set.len() as f64
 }
 

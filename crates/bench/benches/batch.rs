@@ -1,0 +1,90 @@
+//! Criterion bench: batched vs per-key classification cost, tracking the
+//! speedup of the batched pipeline (`classify_batch`, batch = 128) over the
+//! per-key loop on the same NuevoMatch instance, plus the cross-packet
+//! stage-0 kernel in isolation (`CompiledRqRmi::predict_batch`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nm_classbench::{generate, AppKind};
+use nm_common::Classifier;
+use nm_trace::uniform_trace;
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
+use std::hint::black_box;
+
+fn bench_classify_batch(c: &mut Criterion) {
+    let set = generate(AppKind::Acl, 2_000, 0xbeef);
+    let cfg = NuevoMatchConfig {
+        rqrmi: RqRmiParams { error_target: 64, ..Default::default() },
+        ..Default::default()
+    };
+    let nm = NuevoMatch::build(&set, &cfg, TupleMerge::build).expect("build nm/tm");
+    let trace = uniform_trace(&set, 10_240, 42);
+    let stride = trace.stride();
+    let raw = trace.raw();
+
+    let mut group = c.benchmark_group("classify_2k_acl");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &batch in &[1usize, 8, 128] {
+        group.bench_with_input(BenchmarkId::new("batched", batch), &batch, |b, &batch| {
+            let mut out = vec![None; batch];
+            let mut lo = 0usize;
+            b.iter(|| {
+                // One batch per iteration, cycling through the trace.
+                if lo + batch > trace.len() {
+                    lo = 0;
+                }
+                nm.classify_batch(
+                    black_box(&raw[lo * stride..(lo + batch) * stride]),
+                    stride,
+                    &mut out,
+                );
+                lo += batch;
+                out[0]
+            });
+        });
+    }
+    group.bench_function("per_key", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % trace.len();
+            nm.classify(black_box(trace.key(i)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_predict_batch(c: &mut Criterion) {
+    let ranges: Vec<nm_common::FieldRange> = (0..10_000u64)
+        .map(|i| nm_common::FieldRange::new(i * 400_000, i * 400_000 + 200_000))
+        .collect();
+    let model =
+        nuevomatch::rqrmi::train_rqrmi(&ranges, 32, &RqRmiParams::default()).expect("train");
+    let compiled = nuevomatch::CompiledRqRmi::new(&model);
+    let keys: Vec<u64> = (0..1_024u64).map(|i| (i * 0x9e37_79b9) & 0xffff_ffff).collect();
+    let mut group = c.benchmark_group("rqrmi_predict_batch");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("batch_1024_keys", |b| {
+        let mut preds = vec![0usize; keys.len()];
+        let mut errs = vec![0u32; keys.len()];
+        b.iter(|| {
+            compiled.predict_batch(black_box(&keys), &mut preds, &mut errs);
+            preds[0]
+        });
+    });
+    group.bench_function("scalar_1024_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &k in &keys {
+                acc = acc.wrapping_add(compiled.predict(black_box(k)).0);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify_batch, bench_predict_batch);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nm_nn::Mlp;
-use nuevomatch::rqrmi::{detect, train_rqrmi, CompiledRqRmi, Isa, Kernel};
+use nuevomatch::rqrmi::{train_rqrmi, CompiledRqRmi, Isa, Kernel};
 use nuevomatch::RqRmiParams;
 use std::hint::black_box;
 
@@ -14,9 +14,14 @@ fn bench_kernels(c: &mut Criterion) {
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(1));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    let isas: &[(&str, Isa)] = &[("serial", Isa::Scalar), ("sse4", Isa::Sse), ("avx8", Isa::Avx)];
+    let isas: &[(&str, Isa)] = &[
+        ("serial", Isa::Scalar),
+        ("sse4", Isa::Sse),
+        ("avx8", Isa::Avx),
+        ("avx2fma8", Isa::AvxFma),
+    ];
     for &(name, isa) in isas {
-        if isa == Isa::Avx && detect() != Isa::Avx {
+        if !isa.available() {
             continue;
         }
         group.bench_with_input(BenchmarkId::from_parameter(name), &isa, |b, &isa| {
@@ -32,8 +37,9 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 fn bench_full_predict(c: &mut Criterion) {
-    let ranges: Vec<nm_common::FieldRange> =
-        (0..10_000u64).map(|i| nm_common::FieldRange::new(i * 400_000, i * 400_000 + 200_000)).collect();
+    let ranges: Vec<nm_common::FieldRange> = (0..10_000u64)
+        .map(|i| nm_common::FieldRange::new(i * 400_000, i * 400_000 + 200_000))
+        .collect();
     let model = train_rqrmi(&ranges, 32, &RqRmiParams::default()).expect("train");
     let compiled = CompiledRqRmi::new(&model);
     let mut group = c.benchmark_group("rqrmi_predict");

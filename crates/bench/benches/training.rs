@@ -20,10 +20,7 @@ fn bench_training(c: &mut Criterion) {
 
     for (name, trainer) in [
         ("hinge", TrainerKind::Hinge),
-        (
-            "hinge_adam",
-            TrainerKind::HingeThenAdam(AdamConfig { epochs: 30, ..Default::default() }),
-        ),
+        ("hinge_adam", TrainerKind::HingeThenAdam(AdamConfig { epochs: 30, ..Default::default() })),
     ] {
         group.bench_with_input(BenchmarkId::new("trainer", name), &trainer, |b, t| {
             let params = RqRmiParams { trainer: *t, samples_init: 512, ..Default::default() };
@@ -33,7 +30,8 @@ fn bench_training(c: &mut Criterion) {
 
     for bound in [64u32, 512] {
         group.bench_with_input(BenchmarkId::new("bound", bound), &bound, |b, &bound| {
-            let params = RqRmiParams { error_target: bound, samples_init: 512, ..Default::default() };
+            let params =
+                RqRmiParams { error_target: bound, samples_init: 512, ..Default::default() };
             b.iter(|| train_rqrmi(&rs, 32, &params).unwrap());
         });
     }

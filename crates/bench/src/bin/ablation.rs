@@ -64,10 +64,8 @@ fn main() {
         ] {
             let nm = NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap();
             let (bare, _, c1) = measure_seq(&nm, &t, s.warmups);
-            let cached = FlowCache::new(
-                NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap(),
-                1 << 16,
-            );
+            let cached =
+                FlowCache::new(NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap(), 1 << 16);
             let (fast, _, c2) = measure_seq(&cached, &t, s.warmups);
             assert_eq!(c1, c2, "cache changed results");
             table.row(vec![
@@ -90,8 +88,7 @@ fn main() {
         let ranges: Vec<nm_common::FieldRange> =
             iset.rule_ids.iter().map(|&id| acl.rule(id).fields[iset.dim]).collect();
         let bits = acl.spec().bits(iset.dim);
-        let mut table =
-            Table::new(&["configuration", "achieved bound", "train time (s)"]);
+        let mut table = Table::new(&["configuration", "achieved bound", "train time (s)"]);
         let configs: Vec<(&str, RqRmiParams, SampleMode)> = vec![
             ("hinge + rank labels (default)", RqRmiParams::default(), SampleMode::Rank),
             ("hinge + rejection (paper-literal)", RqRmiParams::default(), SampleMode::Reject),

@@ -1,0 +1,94 @@
+//! Batch-size sweep — throughput of the batched lookup pipeline.
+//!
+//! The paper batches 128 packets for parallelization (§5.1); this binary
+//! quantifies what batching buys on a single core: cross-packet AVX
+//! inference in stage 0, software-prefetched secondary-search windows, and
+//! amortised (monomorphized) dispatch. Sweeps batch sizes 1/8/32/128/512
+//! through [`nuevomatch::system::parallel::run_batched`] for NuevoMatch and
+//! a baseline engine, on the quick-scale workload (`NM_SCALE=full` for the
+//! paper-scale one — see `nm_bench::scale`).
+//!
+//! Every row's checksum is asserted against the sequential per-key
+//! reference, so the sweep double-checks batch/scalar equivalence on the
+//! measured trace. Machine-readable `BENCH {...}` json lines accompany the
+//! table for the tracking harness.
+
+use nm_analysis::{geomean, Table};
+use nm_bench::{measure_seq, nm_tm, scale, suite};
+use nm_common::Classifier;
+use nm_trace::uniform_trace;
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::system::parallel::run_batched;
+
+const BATCHES: &[usize] = &[1, 8, 32, 128, 512];
+
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    name: &str,
+    set_name: &str,
+    rules: usize,
+    c: &dyn Classifier,
+    trace: &nm_common::TraceBuf,
+    warmups: usize,
+    table: &mut Table,
+) -> f64 {
+    // Sequential per-key reference: the honest batch-size-1 "before" point.
+    let (seq_pps, _, seq_sum) = measure_seq(c, trace, warmups);
+    let mut row = vec![set_name.to_string(), name.to_string(), format!("{:.2}", seq_pps / 1e6)];
+    let mut pps_at = Vec::new();
+    for &b in BATCHES {
+        for _ in 0..warmups {
+            let _ = run_batched(c, trace, b);
+        }
+        let stats = run_batched(c, trace, b);
+        assert_eq!(
+            stats.checksum, seq_sum,
+            "{name}/{set_name}: batch {b} diverged from the sequential reference"
+        );
+        pps_at.push((b, stats.pps));
+        row.push(format!("{:.2}", stats.pps / 1e6));
+    }
+    let b1 = pps_at[0].1;
+    let b128 = pps_at.iter().find(|&&(b, _)| b == 128).map_or(b1, |&(_, p)| p);
+    row.push(format!("{:.2}x", b128 / b1));
+    table.row(row);
+    for &(b, pps) in &pps_at {
+        println!(
+            "BENCH {{\"bench\":\"batch\",\"engine\":\"{name}\",\"app\":\"{set_name}\",\
+             \"rules\":{rules},\"batch\":{b},\"mpps\":{:.4},\"speedup_vs_b1\":{:.3}}}",
+            pps / 1e6,
+            pps / b1
+        );
+    }
+    b128 / b1
+}
+
+fn main() {
+    let s = scale();
+    let n = *s.sizes.last().expect("scale has sizes");
+    println!("=== Batch-size sweep — {n} rules, uniform traffic, single core ===");
+    println!("(columns in Mpps; seq = per-key classify loop; speedup = batch 128 vs batch 1)\n");
+    let mut table =
+        Table::new(&["set", "engine", "seq", "b=1", "b=8", "b=32", "b=128", "b=512", "128/1"]);
+    let mut nm_speedups = Vec::new();
+    for (set_name, set) in suite(n, &s) {
+        let trace = uniform_trace(&set, s.trace_len, 0xba7c4 + n as u64);
+        let nm = nm_tm(&set);
+        nm_speedups.push(sweep("nm/tm", &set_name, n, &nm, &trace, s.warmups, &mut table));
+        let tm = TupleMerge::build(&set);
+        sweep("tm", &set_name, n, &tm, &trace, s.warmups, &mut table);
+    }
+    print!("{}", table.render());
+    let gm = geomean(&nm_speedups);
+    println!("\nNuevoMatch batch-128 speedup over batch-1, geomean across apps: {gm:.2}x");
+    println!(
+        "BENCH {{\"bench\":\"batch\",\"engine\":\"nm/tm\",\"app\":\"geomean\",\"rules\":{n},\
+         \"batch\":128,\"speedup_vs_b1\":{gm:.3}}}"
+    );
+    println!(
+        "\nNuevoMatch gains come from cross-packet stage-0 AVX inference, prefetched\n\
+         secondary-search windows, per-iSet batch sweeps (model stays in L1) and\n\
+         batch-wide early termination against the remainder; the standalone\n\
+         TupleMerge rows show its own table-major batched probe."
+    );
+}

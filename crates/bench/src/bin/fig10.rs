@@ -19,9 +19,8 @@ fn main() {
     // (same regime as the paper's small-set Figure 17).
     let n = if s.full { 183_376 } else { 60_000 };
     println!("Figure 10 — Stanford-like FIBs ({n} single-field rules), nm w/ tm vs tm\n");
-    let mut table = Table::new(&[
-        "set", "tm pps", "nm pps", "thr speedup", "lat speedup", "coverage",
-    ]);
+    let mut table =
+        Table::new(&["set", "tm pps", "nm pps", "thr speedup", "lat speedup", "coverage"]);
 
     for i in 0..4u64 {
         let set = stanford_fib(n, 0x57a4 + i);

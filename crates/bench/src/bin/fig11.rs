@@ -18,7 +18,13 @@ fn main() {
     let s = scale();
     println!("Figure 11 — throughput vs rules (ACL profile), tm vs nm w/ tm\n");
     let mut table = Table::new(&[
-        "rules", "tm pps", "nm pps", "speedup", "coverage", "tm index", "nm remainder:total",
+        "rules",
+        "tm pps",
+        "nm pps",
+        "speedup",
+        "coverage",
+        "tm index",
+        "nm remainder:total",
     ]);
 
     for &n in &s.sizes {

@@ -14,12 +14,7 @@ use nm_cutsplit::CutSplit;
 use nm_trace::{caida_like_trace, zipf_trace, CaidaLikeConfig, FIG12_SKEWS};
 use nm_tuplemerge::TupleMerge;
 
-fn speedup(
-    base: &dyn Classifier,
-    ours: &dyn Classifier,
-    trace: &TraceBuf,
-    warmups: usize,
-) -> f64 {
+fn speedup(base: &dyn Classifier, ours: &dyn Classifier, trace: &TraceBuf, warmups: usize) -> f64 {
     let (b, _, bs) = measure_seq(base, trace, warmups);
     let (o, _, os) = measure_seq(ours, trace, warmups);
     assert_same_results(base.name(), bs, ours.name(), os);

@@ -18,8 +18,16 @@ fn main() {
     let s = scale();
     println!("Figure 13 — index memory, geomean over {} apps per size\n", s.apps);
     let mut table = Table::new(&[
-        "rules", "cs", "nm-rem+rmi (cs)", "nc", "nm-rem+rmi (nc)", "tm", "nm-rem+rmi (tm)",
-        "x-cs", "x-nc", "x-tm",
+        "rules",
+        "cs",
+        "nm-rem+rmi (cs)",
+        "nc",
+        "nm-rem+rmi (nc)",
+        "tm",
+        "nm-rem+rmi (tm)",
+        "x-cs",
+        "x-nc",
+        "x-tm",
     ]);
 
     for &n in &s.sizes {

@@ -18,7 +18,12 @@ fn main() {
     let n = *s.sizes.last().unwrap();
     println!("Figure 14 — breakdown vs #iSets, {n} rules, remainder = cs\n");
     let mut table = Table::new(&[
-        "#iSets", "coverage", "inference ns", "search ns", "validation ns", "remainder ns",
+        "#iSets",
+        "coverage",
+        "inference ns",
+        "search ns",
+        "validation ns",
+        "remainder ns",
         "total ns",
     ]);
 

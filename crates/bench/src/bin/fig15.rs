@@ -19,9 +19,8 @@ fn main() {
     let s = scale();
     println!("Figure 15 — training time (s) vs error-bound target\n");
     let bounds = [64u32, 128, 256, 512, 1024];
-    let mut table = Table::new(&[
-        "rules", "b=64", "b=128", "b=256", "b=512", "b=1024", "achieved(64)",
-    ]);
+    let mut table =
+        Table::new(&["rules", "b=64", "b=128", "b=256", "b=512", "b=1024", "achieved(64)"]);
 
     for &n in &s.sizes {
         if n < 10_000 {
@@ -31,11 +30,8 @@ fn main() {
         // Train on the largest iSet's projection, like the real build.
         let part = partition_isets(&set, 1, 0.0);
         let iset = &part.isets[0];
-        let ranges: Vec<nm_common::FieldRange> = iset
-            .rule_ids
-            .iter()
-            .map(|&id| set.rule(id).fields[iset.dim])
-            .collect();
+        let ranges: Vec<nm_common::FieldRange> =
+            iset.rule_ids.iter().map(|&id| set.rule(id).fields[iset.dim]).collect();
         let bits = set.spec().bits(iset.dim);
 
         let mut cells = vec![format!("{n}")];
@@ -96,11 +92,8 @@ fn main() {
     let set = generate(AppKind::Acl, n, 0x5d15);
     let part = partition_isets(&set, 1, 0.0);
     let iset = &part.isets[0];
-    let ranges: Vec<nm_common::FieldRange> = iset
-        .rule_ids
-        .iter()
-        .map(|&id| set.rule(id).fields[iset.dim])
-        .collect();
+    let ranges: Vec<nm_common::FieldRange> =
+        iset.rule_ids.iter().map(|&id| set.rule(id).fields[iset.dim]).collect();
     let model = train_rqrmi(
         &ranges,
         set.spec().bits(iset.dim),

@@ -17,8 +17,13 @@ fn main() {
         fresh_throughput: 1.0,
         remainder_throughput: 1.0 / 2.6, // tm-scale update-free speedup
     };
-    println!("Figure 7: normalized throughput over time (u = 4K updates/s, 500K rules, tau = 120s)\n");
-    println!("{:>8}  {:>14}  {:>14}  {:>14}", "t (s)", "fast (T=10s)", "paper-ish (60s)", "slow (T=110s)");
+    println!(
+        "Figure 7: normalized throughput over time (u = 4K updates/s, 500K rules, tau = 120s)\n"
+    );
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>14}",
+        "t (s)", "fast (T=10s)", "paper-ish (60s)", "slow (T=110s)"
+    );
     let fast = UpdateModel { train_time: 10.0, ..base };
     let slow = UpdateModel { train_time: 110.0, ..base };
     let horizon = 600.0;
@@ -27,10 +32,7 @@ fn main() {
     let b = throughput_over_time(&base, horizon, pts);
     let c = throughput_over_time(&slow, horizon, pts);
     for i in 0..pts {
-        println!(
-            "{:>8.0}  {:>14.3}  {:>14.3}  {:>14.3}",
-            a[i].0, a[i].1, b[i].1, c[i].1
-        );
+        println!("{:>8.0}  {:>14.3}  {:>14.3}  {:>14.3}", a[i].0, a[i].1, b[i].1, c[i].1);
     }
 
     let rate = sustained_update_rate(500_000.0, 120.0, 60.0, 1.0, 1.0 / 2.6, 0.75);

@@ -27,7 +27,13 @@ fn main() {
     for n in sizes {
         println!("=== Figure 8 — {n} rules, two workers, uniform traffic ===\n");
         let mut table = Table::new(&[
-            "set", "lat-speedup/cs", "lat/nc", "lat/tm", "thr-speedup/cs", "thr/nc", "thr/tm",
+            "set",
+            "lat-speedup/cs",
+            "lat/nc",
+            "lat/tm",
+            "thr-speedup/cs",
+            "thr/nc",
+            "thr/tm",
         ]);
         let mut lat = [Vec::new(), Vec::new(), Vec::new()];
         let mut thr = [Vec::new(), Vec::new(), Vec::new()];

@@ -30,7 +30,12 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "trained bound", "achieved bound", "median dist", "p80 dist", "p99 dist", "% <=32",
+        "trained bound",
+        "achieved bound",
+        "median dist",
+        "p80 dist",
+        "p99 dist",
+        "% <=32",
         "% <=64",
     ]);
     for &bound in &[64u32, 128, 256, 512] {
@@ -45,9 +50,8 @@ fn main() {
         }
         dists.sort_unstable();
         let pct = |p: f64| dists[((dists.len() - 1) as f64 * p) as usize];
-        let frac_within = |d: u64| {
-            100.0 * dists.iter().filter(|&&x| x <= d).count() as f64 / dists.len() as f64
-        };
+        let frac_within =
+            |d: u64| 100.0 * dists.iter().filter(|&&x| x <= d).count() as f64 / dists.len() as f64;
         table.row(vec![
             format!("{bound}"),
             format!("{}", model.max_error_bound()),

@@ -56,5 +56,7 @@ fn main() {
     ]);
 
     print!("{}", table.render());
-    println!("\nPaper row for 500K: 84.2 / 98.8 / 99.4 / 99.7; Stanford: 57.8 / 91.6 / 96.5 / 98.2");
+    println!(
+        "\nPaper row for 500K: 84.2 / 98.8 / 99.4 / 99.7; Stanford: 57.8 / 91.6 / 96.5 / 98.2"
+    );
 }

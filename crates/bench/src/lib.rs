@@ -19,6 +19,21 @@
 //! This module holds the pieces every binary shares: scale selection,
 //! classifier constructors with the paper's §5.1 configurations, and timing
 //! wrappers.
+//!
+//! ## The batch sweep (`--bin batch`)
+//!
+//! `cargo run -p nm-bench --release --bin batch` sweeps the batched lookup
+//! pipeline over batch sizes 1/8/32/128/512 (single core, uniform traffic)
+//! and prints both a table and machine-readable `BENCH {...}` json lines.
+//! It honours `NM_SCALE` like every other binary: `quick` (default) runs
+//! the three-application suite at the largest quick size; `NM_SCALE=full`
+//! runs the 12-application 500K-rule suite — budget accordingly. Columns
+//! report Mpps through `run_batched` (the `classify_batch` path); the `seq`
+//! column is the per-key `classify` loop for reference, and every batched
+//! row's checksum is asserted equal to it, so the sweep doubles as a
+//! batch/scalar equivalence check on real traffic. The criterion companion
+//! (`cargo bench -p nm-bench --bench batch`) tracks the same speedup on a
+//! fixed 2K-rule workload.
 
 #![warn(missing_docs)]
 

@@ -6,9 +6,8 @@ use std::collections::HashSet;
 
 /// Well-known ports favoured by the EM (exact-match) class, mirroring the
 /// service mix of published ClassBench seeds.
-const POPULAR_PORTS: &[u16] = &[
-    80, 443, 53, 22, 25, 110, 143, 8080, 3306, 123, 161, 389, 445, 993, 995, 1433, 5060, 179,
-];
+const POPULAR_PORTS: &[u16] =
+    &[80, 443, 53, 22, 25, 110, 143, 8080, 3306, 123, 161, 389, 445, 993, 995, 1433, 5060, 179];
 
 /// Generates an `n`-rule ClassBench-style 5-tuple set, deterministic in
 /// `seed`. Rules are unique boxes; priorities follow position (rule 0 wins
@@ -166,10 +165,7 @@ mod tests {
         let fw = generate(AppKind::Fw, 3_000, 3);
         let acl_cov = coverage_curve(&acl, 2)[1];
         let fw_cov = coverage_curve(&fw, 2)[1];
-        assert!(
-            acl_cov > fw_cov,
-            "expected ACL 2-iSet coverage ({acl_cov:.2}) > FW ({fw_cov:.2})"
-        );
+        assert!(acl_cov > fw_cov, "expected ACL 2-iSet coverage ({acl_cov:.2}) > FW ({fw_cov:.2})");
         assert!(acl_cov > 0.6, "ACL coverage too low: {acl_cov:.2}");
     }
 

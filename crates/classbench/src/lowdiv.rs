@@ -35,12 +35,17 @@ pub fn cartesian_rules(n: usize, values_per_field: usize, seed: u64) -> Vec<Vec<
 /// Replaces a `fraction` of `base`'s rules (selected pseudo-randomly) with
 /// Cartesian low-diversity rules, keeping the set size and the replaced
 /// rules' priorities.
-pub fn blend_low_diversity(base: &RuleSet, fraction: f64, values_per_field: usize, seed: u64) -> RuleSet {
+pub fn blend_low_diversity(
+    base: &RuleSet,
+    fraction: f64,
+    values_per_field: usize,
+    seed: u64,
+) -> RuleSet {
     assert!((0.0..=1.0).contains(&fraction));
     let n = base.len();
     let k = (n as f64 * fraction).round() as usize;
     let low = cartesian_rules(k, values_per_field, seed);
-    let mut rng = SplitMix64::new(seed ^ 0xb1e_4d);
+    let mut rng = SplitMix64::new(seed ^ 0x000b_1e4d);
     let mut rules: Vec<Rule> = base.rules().to_vec();
     let mut replaced = vec![false; n];
     let mut li = 0usize;

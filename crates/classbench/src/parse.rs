@@ -3,7 +3,7 @@
 //! Each line looks like:
 //!
 //! ```text
-//! @192.168.1.0/24	10.0.0.0/8	0 : 65535	80 : 80	0x06/0xFF
+//! @192.168.1.0/24    10.0.0.0/8    0 : 65535    80 : 80    0x06/0xFF
 //! ```
 //!
 //! (source prefix, destination prefix, source-port range, destination-port
@@ -60,14 +60,9 @@ fn parse_prefix(s: &str) -> Result<FieldRange, String> {
     Ok(FieldRange::from_prefix(value, len, 32))
 }
 
-fn parse_port_range<'a>(
-    fields: &mut impl Iterator<Item = &'a str>,
-) -> Result<FieldRange, String> {
-    let lo: u64 = fields
-        .next()
-        .ok_or("missing port low")?
-        .parse()
-        .map_err(|_| "bad port low".to_string())?;
+fn parse_port_range<'a>(fields: &mut impl Iterator<Item = &'a str>) -> Result<FieldRange, String> {
+    let lo: u64 =
+        fields.next().ok_or("missing port low")?.parse().map_err(|_| "bad port low".to_string())?;
     let colon = fields.next().ok_or("missing ':' in port range")?;
     if colon != ":" {
         return Err(format!("expected ':' got '{colon}'"));

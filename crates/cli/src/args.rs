@@ -36,9 +36,7 @@ impl Args {
         let mut it = raw.iter();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
                 if out.flags.insert(name.to_string(), value.clone()).is_some() {
                     return Err(format!("flag --{name} given twice"));
                 }

@@ -9,7 +9,7 @@ use nm_cutsplit::CutSplit;
 use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
 use nm_trace::{caida_like_trace, uniform_trace, zipf_trace, CaidaLikeConfig};
 use nm_tuplemerge::{TupleMerge, TupleSpaceSearch};
-use nuevomatch::system::parallel::run_sequential;
+use nuevomatch::system::parallel::{run_batched, run_sequential};
 use nuevomatch::{NuevoMatch, NuevoMatchConfig};
 
 /// Usage text.
@@ -19,7 +19,7 @@ nmctl — NuevoMatch reproduction toolkit
 USAGE:
   nmctl generate --kind <acl|fw|ipc> [--rules N] [--seed S]        # ClassBench text to stdout
   nmctl inspect  <rules.cb>                                        # structure metrics
-  nmctl bench    <rules.cb> [--engine E] [--trace T] [--packets N] # throughput/memory
+  nmctl bench    <rules.cb> [--engine E] [--trace T] [--packets N] [--batch B] # throughput/memory
   nmctl classify <rules.cb> --key a.b.c.d,a.b.c.d,sport,dport,proto
   nmctl train    <rules.cb> --out <model.rqrmi>                    # persist largest-iSet RQ-RMI
 
@@ -39,10 +39,7 @@ pub fn run(cmd: ParsedCommand) -> Result<String, String> {
 }
 
 fn load_rules(a: &Args) -> Result<RuleSet, String> {
-    let path = a
-        .positional
-        .first()
-        .ok_or_else(|| "expected a rule file argument".to_string())?;
+    let path = a.positional.first().ok_or_else(|| "expected a rule file argument".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     parse_classbench(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
@@ -114,12 +111,12 @@ fn build_engine(name: &str, set: &RuleSet) -> Result<Box<dyn Classifier>, String
             set,
             NeuroCutsConfig { iterations: 12, sample: 2_048, ..Default::default() },
         )),
-        "nm-tm" => Box::new(
-            NuevoMatch::build(set, &nm_cfg, TupleMerge::build).map_err(|e| e.to_string())?,
-        ),
-        "nm-cs" => Box::new(
-            NuevoMatch::build(set, &nm_cfg, CutSplit::build).map_err(|e| e.to_string())?,
-        ),
+        "nm-tm" => {
+            Box::new(NuevoMatch::build(set, &nm_cfg, TupleMerge::build).map_err(|e| e.to_string())?)
+        }
+        "nm-cs" => {
+            Box::new(NuevoMatch::build(set, &nm_cfg, CutSplit::build).map_err(|e| e.to_string())?)
+        }
         "nm-nc" => Box::new(
             NuevoMatch::build(set, &nm_cfg, |rem| {
                 NeuroCuts::with_config(
@@ -150,17 +147,26 @@ fn cmd_bench(a: &Args) -> Result<String, String> {
         return Err(format!("unknown --trace '{trace_spec}'"));
     };
 
+    let batch: usize = a.num_or("batch", 1)?;
+
     let t0 = std::time::Instant::now();
     let engine = build_engine(&engine_name, &set)?;
     let build_s = t0.elapsed().as_secs_f64();
-    let stats = run_sequential(engine.as_ref(), &trace);
+    // --batch 1 (default) is the per-key reference loop; larger sizes go
+    // through the engine's batched pipeline (`classify_batch`).
+    let stats = if batch <= 1 {
+        run_sequential(engine.as_ref(), &trace)
+    } else {
+        run_batched(engine.as_ref(), &trace, batch)
+    };
     Ok(format!(
-        "engine: {}\nrules: {}\nbuild time: {:.2}s\nindex memory: {}\npackets: {}\nthroughput: {:.3e} pps ({:.0} ns/packet)\n",
+        "engine: {}\nrules: {}\nbuild time: {:.2}s\nindex memory: {}\npackets: {}\nbatch: {}\nthroughput: {:.3e} pps ({:.0} ns/packet)\n",
         engine_name,
         set.len(),
         build_s,
         human_bytes(engine.memory_bytes()),
         trace.len(),
+        batch,
         stats.pps,
         1e9 / stats.pps.max(1e-9),
     ))
@@ -180,15 +186,9 @@ fn cmd_train(a: &Args) -> Result<String, String> {
     let set = load_rules(a)?;
     let out_path = a.require("out")?;
     let part = nuevomatch::iset::partition_isets(&set, 1, 0.0);
-    let iset = part
-        .isets
-        .first()
-        .ok_or_else(|| "no iSet could be formed".to_string())?;
-    let ranges: Vec<nm_common::FieldRange> = iset
-        .rule_ids
-        .iter()
-        .map(|&id| set.rule(id).fields[iset.dim])
-        .collect();
+    let iset = part.isets.first().ok_or_else(|| "no iSet could be formed".to_string())?;
+    let ranges: Vec<nm_common::FieldRange> =
+        iset.rule_ids.iter().map(|&id| set.rule(id).fields[iset.dim]).collect();
     let bits = set.spec().bits(iset.dim);
     let t0 = std::time::Instant::now();
     let model = nuevomatch::train_rqrmi(&ranges, bits, &nuevomatch::RqRmiParams::default())
@@ -285,24 +285,19 @@ mod tests {
         assert!(out.contains("rules: 300"));
         assert!(out.contains("iSet coverage"));
 
-        let out = run(parse_command(&v(&[
-            "bench", rp, "--engine", "tm", "--packets", "2000",
-        ]))
-        .unwrap())
-        .unwrap();
+        let out =
+            run(parse_command(&v(&["bench", rp, "--engine", "tm", "--packets", "2000"])).unwrap())
+                .unwrap();
         assert!(out.contains("throughput"));
 
-        let out = run(parse_command(&v(&[
-            "classify", rp, "--key", "10.0.0.1,10.0.0.2,1,2,6",
-        ]))
-        .unwrap())
-        .unwrap();
+        let out =
+            run(parse_command(&v(&["classify", rp, "--key", "10.0.0.1,10.0.0.2,1,2,6"])).unwrap())
+                .unwrap();
         assert!(out.contains("match") || out.contains("no match"));
 
         let model = dir.join("m.rqrmi");
-        let out = run(parse_command(&v(&["train", rp, "--out", model.to_str().unwrap()]))
-            .unwrap())
-        .unwrap();
+        let out = run(parse_command(&v(&["train", rp, "--out", model.to_str().unwrap()])).unwrap())
+            .unwrap();
         assert!(out.contains("worst error bound"));
         // The persisted model loads back.
         let bytes = std::fs::read(&model).unwrap();
@@ -312,10 +307,7 @@ mod tests {
 
     #[test]
     fn parse_key_formats() {
-        assert_eq!(
-            parse_key("10.0.0.1,0.0.0.2,80,443,6").unwrap(),
-            [0x0a00_0001, 2, 80, 443, 6]
-        );
+        assert_eq!(parse_key("10.0.0.1,0.0.0.2,80,443,6").unwrap(), [0x0a00_0001, 2, 80, 443, 6]);
         assert_eq!(parse_key("1,2,3,4,5").unwrap(), [1, 2, 3, 4, 5]);
         assert!(parse_key("1,2,3,4").is_err());
         assert!(parse_key("1.2.3,2,3,4,5").is_err());

@@ -25,7 +25,8 @@ impl MatchResult {
         match (a, b) {
             (None, x) | (x, None) => x,
             (Some(x), Some(y)) => {
-                let (rule, priority) = crate::rule::better((x.rule, x.priority), (y.rule, y.priority));
+                let (rule, priority) =
+                    crate::rule::better((x.rule, x.priority), (y.rule, y.priority));
                 Some(MatchResult { rule, priority })
             }
         }
@@ -67,6 +68,73 @@ pub trait Classifier: Send + Sync {
         self.classify(key).filter(|m| m.priority < floor)
     }
 
+    /// Batched lookup over a flat key buffer (§5.1 of the paper processes
+    /// packets in batches of 128).
+    ///
+    /// `keys` packs `out.len()` keys back-to-back, each `stride` fields wide
+    /// in the rule-set's schema order (the [`crate::TraceBuf`] layout —
+    /// `trace.raw()` + `trace.stride()` feed this directly). On return,
+    /// `out[i]` holds the verdict for key `i`.
+    ///
+    /// **Contract:** results are bit-identical to calling [`Self::classify`]
+    /// on each key in order. The default implementation is exactly that
+    /// loop; engines override it to amortise dispatch, vectorise *across*
+    /// packets, and overlap memory latency (see `nuevomatch`'s batched
+    /// pipeline).
+    ///
+    /// Panics if `keys.len() != stride * out.len()` or `stride == 0`.
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+        assert!(stride > 0, "classify_batch: stride must be positive");
+        assert_eq!(
+            keys.len(),
+            stride * out.len(),
+            "classify_batch: key buffer length must equal stride * out.len()"
+        );
+        for (key, slot) in keys.chunks_exact(stride).zip(out.iter_mut()) {
+            *slot = self.classify(key);
+        }
+    }
+
+    /// Batched lookup with **per-key priority floors** — the batch form of
+    /// [`Self::classify_with_floor`], used for batch-wide early termination:
+    /// NuevoMatch hands its remainder engine the iSet candidates' priorities
+    /// so the remainder can prune per key while sweeping the whole batch.
+    ///
+    /// `floors[i] == Priority::MAX` is the "no candidate" sentinel and means
+    /// plain [`Self::classify`] semantics for that key (not a `< MAX`
+    /// filter), exactly mirroring the per-key dispatch
+    /// `match candidate { Some(b) => classify_with_floor(key, b.priority),
+    /// None => classify(key) }`.
+    ///
+    /// Panics on the same length mismatches as [`Self::classify_batch`],
+    /// plus `floors.len() != out.len()`.
+    fn classify_batch_with_floors(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: &[Priority],
+        out: &mut [Option<MatchResult>],
+    ) {
+        assert!(stride > 0, "classify_batch_with_floors: stride must be positive");
+        assert_eq!(
+            keys.len(),
+            stride * out.len(),
+            "classify_batch_with_floors: key buffer length must equal stride * out.len()"
+        );
+        assert_eq!(
+            floors.len(),
+            out.len(),
+            "classify_batch_with_floors: one floor per output slot"
+        );
+        for (i, key) in keys.chunks_exact(stride).enumerate() {
+            out[i] = if floors[i] == Priority::MAX {
+                self.classify(key)
+            } else {
+                self.classify_with_floor(key, floors[i])
+            };
+        }
+    }
+
     /// Bytes used by the *index* data structures (hash tables, tree nodes,
     /// model weights) — excluding the rules themselves, matching the paper's
     /// §5.2.1 memory-footprint definition.
@@ -93,6 +161,32 @@ pub trait Updatable: Classifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_classify_batch_matches_per_key() {
+        use crate::range::FieldRange;
+        use crate::ruleset::{FieldsSpec, RuleSet};
+        let rows: Vec<Vec<FieldRange>> =
+            (0..40u64).map(|i| vec![FieldRange::new(i * 25, i * 25 + 20)]).collect();
+        let set = RuleSet::from_ranges(FieldsSpec::single("f", 10), rows).unwrap();
+        let ls = crate::LinearSearch::build(&set);
+        let keys: Vec<u64> = (0..200u64).map(|i| i * 5 % 1024).collect();
+        let mut out = vec![None; keys.len()];
+        ls.classify_batch(&keys, 1, &mut out);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(out[i], ls.classify(std::slice::from_ref(k)));
+        }
+        // Empty batch is a no-op.
+        ls.classify_batch(&[], 1, &mut []);
+    }
+
+    #[test]
+    #[should_panic]
+    fn classify_batch_checks_lengths() {
+        let ls = crate::LinearSearch::from_rules(Vec::new());
+        let mut out = [None; 2];
+        ls.classify_batch(&[1, 2, 3], 2, &mut out);
+    }
 
     #[test]
     fn better_prefers_lower_priority() {

@@ -124,7 +124,10 @@ impl FiveTuple {
 /// Packs dotted-quad octets into the `u64` key value.
 #[inline]
 pub fn ipv4(octets: [u8; 4]) -> u64 {
-    ((octets[0] as u64) << 24) | ((octets[1] as u64) << 16) | ((octets[2] as u64) << 8) | octets[3] as u64
+    ((octets[0] as u64) << 24)
+        | ((octets[1] as u64) << 16)
+        | ((octets[2] as u64) << 8)
+        | octets[3] as u64
 }
 
 /// Formats a `u64` key value as dotted-quad (for reports).

@@ -36,6 +36,7 @@ pub mod fivetuple;
 pub mod linear;
 pub mod memsize;
 pub mod packet;
+pub mod prefetch;
 pub mod range;
 pub mod rng;
 pub mod rule;
@@ -45,7 +46,7 @@ pub mod wire;
 
 pub use classifier::{Classifier, MatchResult, Updatable};
 pub use error::Error;
-pub use fivetuple::{FiveTuple, FIVE_TUPLE_FIELDS, PROTO, DST_IP, DST_PORT, SRC_IP, SRC_PORT};
+pub use fivetuple::{FiveTuple, DST_IP, DST_PORT, FIVE_TUPLE_FIELDS, PROTO, SRC_IP, SRC_PORT};
 pub use linear::LinearSearch;
 pub use packet::TraceBuf;
 pub use range::FieldRange;

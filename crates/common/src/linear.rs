@@ -31,10 +31,7 @@ impl LinearSearch {
 
 impl Classifier for LinearSearch {
     fn classify(&self, key: &[u64]) -> Option<MatchResult> {
-        self.rules
-            .iter()
-            .find(|r| r.matches(key))
-            .map(|r| MatchResult::new(r.id, r.priority))
+        self.rules.iter().find(|r| r.matches(key)).map(|r| MatchResult::new(r.id, r.priority))
     }
 
     fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
@@ -67,9 +64,7 @@ impl Classifier for LinearSearch {
 
 impl Updatable for LinearSearch {
     fn insert(&mut self, rule: Rule) {
-        let pos = self
-            .rules
-            .partition_point(|r| (r.priority, r.id) < (rule.priority, rule.id));
+        let pos = self.rules.partition_point(|r| (r.priority, r.id) < (rule.priority, rule.id));
         self.rules.insert(pos, rule);
     }
 

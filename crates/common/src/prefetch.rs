@@ -1,0 +1,37 @@
+//! Best-effort software prefetch for batched lookup pipelines.
+//!
+//! Batched classifiers issue these a phase ahead of their data-dependent
+//! loads (secondary-search windows, hash-bucket rule slots) so the cache
+//! misses of independent packets resolve in parallel.
+
+/// Prefetches `slice[i]` into L1 (no-op off x86_64 or out of bounds).
+#[inline(always)]
+pub fn prefetch_index<T>(slice: &[T], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if i < slice.len() {
+        // SAFETY: the pointer is in bounds (checked above); prefetch has no
+        // architectural effect beyond cache state.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(i) as *const i8,
+                std::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, i);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_and_out_of_bounds_are_safe() {
+        let v = vec![1u64, 2, 3];
+        prefetch_index(&v, 0);
+        prefetch_index(&v, 2);
+        prefetch_index(&v, 3); // out of bounds: must be a no-op
+        prefetch_index::<u64>(&[], 0);
+    }
+}

@@ -117,8 +117,7 @@ impl FieldRange {
         if host_bits > bits {
             return None;
         }
-        (self.lo.trailing_zeros() as u8 >= host_bits || host_bits == 0)
-            .then_some(bits - host_bits)
+        (self.lo.trailing_zeros() as u8 >= host_bits || host_bits == 0).then_some(bits - host_bits)
     }
 
     /// Decomposes an arbitrary range into the minimal set of aligned prefix
@@ -170,13 +169,21 @@ impl FieldRange {
 #[inline]
 pub fn domain_max(bits: u8) -> u64 {
     debug_assert!(bits <= 64);
-    if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 }
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
 }
 
 /// A mask with the low `n` bits set.
 #[inline]
 pub fn low_mask(n: u8) -> u64 {
-    if n >= 64 { u64::MAX } else { (1u64 << n) - 1 }
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
 }
 
 #[cfg(test)]

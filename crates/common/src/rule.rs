@@ -68,7 +68,11 @@ impl Rule {
 /// priority rule (smaller priority, then smaller id).
 #[inline]
 pub fn better(a: (RuleId, Priority), b: (RuleId, Priority)) -> (RuleId, Priority) {
-    if (b.1, b.0) < (a.1, a.0) { b } else { a }
+    if (b.1, b.0) < (a.1, a.0) {
+        b
+    } else {
+        a
+    }
 }
 
 #[cfg(test)]

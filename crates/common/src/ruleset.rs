@@ -18,7 +18,7 @@ pub struct FieldSpec {
 impl FieldSpec {
     /// Creates a field spec. Panics if `bits` is 0 or > 64.
     pub fn new(name: impl Into<String>, bits: u8) -> Self {
-        assert!(bits >= 1 && bits <= 64, "field width must be in 1..=64");
+        assert!((1..=64).contains(&bits), "field width must be in 1..=64");
         Self { name: name.into(), bits }
     }
 }
@@ -261,12 +261,7 @@ impl RuleSet {
         let keep: std::collections::HashSet<RuleId> = seen.values().map(|&(id, _)| id).collect();
         let before = self.rules.len();
         self.rules.retain(|r| keep.contains(&r.id));
-        self.index = self
-            .rules
-            .iter()
-            .enumerate()
-            .map(|(pos, r)| (r.id, pos as u32))
-            .collect();
+        self.index = self.rules.iter().enumerate().map(|(pos, r)| (r.id, pos as u32)).collect();
         before - self.rules.len()
     }
 
@@ -284,7 +279,9 @@ impl RuleSet {
     pub fn storage_bytes(&self) -> usize {
         self.rules
             .iter()
-            .map(|r| std::mem::size_of::<Rule>() + r.fields.len() * std::mem::size_of::<FieldRange>())
+            .map(|r| {
+                std::mem::size_of::<Rule>() + r.fields.len() * std::mem::size_of::<FieldRange>()
+            })
             .sum()
     }
 }
@@ -306,10 +303,7 @@ mod tests {
     fn schema_validation_rejects_bad_rules() {
         let spec = FieldsSpec::uniform(2, 8);
         let bad_arity = vec![Rule::new(0, 0, vec![FieldRange::exact(1)])];
-        assert!(matches!(
-            RuleSet::new(spec.clone(), bad_arity),
-            Err(Error::SchemaMismatch { .. })
-        ));
+        assert!(matches!(RuleSet::new(spec.clone(), bad_arity), Err(Error::SchemaMismatch { .. })));
         let bad_domain = vec![Rule::new(0, 0, vec![FieldRange::exact(1), FieldRange::exact(256)])];
         assert!(matches!(RuleSet::new(spec, bad_domain), Err(Error::OutOfDomain { .. })));
     }

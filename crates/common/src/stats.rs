@@ -146,7 +146,11 @@ mod tests {
 
     fn sample() -> RuleSet {
         let rules = vec![
-            FiveTuple::new().src_prefix([10, 0, 0, 0], 8).dst_port_exact(80).proto_exact(6).into_rule(0, 0),
+            FiveTuple::new()
+                .src_prefix([10, 0, 0, 0], 8)
+                .dst_port_exact(80)
+                .proto_exact(6)
+                .into_rule(0, 0),
             FiveTuple::new().dst_port_range(1024, 65_535).proto_exact(6).into_rule(1, 1),
             FiveTuple::new().dst_port_range(0, 1_023).proto_exact(17).into_rule(2, 2),
             FiveTuple::new().dst_port_range(100, 200).into_rule(3, 3),

@@ -187,7 +187,18 @@ fn parse_ipv6(mut buf: &[u8]) -> Result<SixTupleV6, WireError> {
         return Err(WireError::BadIpVersion(version));
     }
     let next_header = buf[6];
-    let rd = |b: &[u8], o: usize| u64::from_be_bytes([b[o], b[o+1], b[o+2], b[o+3], b[o+4], b[o+5], b[o+6], b[o+7]]);
+    let rd = |b: &[u8], o: usize| {
+        u64::from_be_bytes([
+            b[o],
+            b[o + 1],
+            b[o + 2],
+            b[o + 3],
+            b[o + 4],
+            b[o + 5],
+            b[o + 6],
+            b[o + 7],
+        ])
+    };
     let src_hi = rd(buf, 8);
     let src_lo = rd(buf, 16);
     let dst_hi = rd(buf, 24);
@@ -335,10 +346,7 @@ mod tests {
                 assert!(r.is_ok(), "rejected a parseable {len}-byte frame");
             }
         }
-        assert_eq!(
-            parse_five_tuple(&good[..10]),
-            Err(WireError::Truncated { layer: "ethernet" })
-        );
+        assert_eq!(parse_five_tuple(&good[..10]), Err(WireError::Truncated { layer: "ethernet" }));
     }
 
     #[test]

@@ -5,20 +5,15 @@ use nm_nn::AdamConfig;
 /// How submodels are optimised. The model family (1×H×1 ReLU MLP) and the
 /// analytic correctness machinery are identical in all modes; only the weight
 /// search differs.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum TrainerKind {
     /// Closed-form hinge least squares (deterministic, fastest; default).
+    #[default]
     Hinge,
     /// Paper-faithful: random init + Adam with MSE loss (§3.5.5).
     Adam(AdamConfig),
     /// Hinge initialisation refined by Adam — best accuracy per second.
     HingeThenAdam(AdamConfig),
-}
-
-impl Default for TrainerKind {
-    fn default() -> Self {
-        TrainerKind::Hinge
-    }
 }
 
 /// RQ-RMI structure and training parameters.

@@ -35,7 +35,7 @@ impl KeyMap {
     /// stays exact; wider fields must be split, see
     /// [`nm_common::FieldsSpec::split_wide`]).
     pub fn new(bits: u8) -> Self {
-        assert!(bits >= 1 && bits <= 52, "KeyMap supports 1..=52-bit fields, got {bits}");
+        assert!((1..=52).contains(&bits), "KeyMap supports 1..=52-bit fields, got {bits}");
         let dm = domain_max(bits);
         Self { scale: 1.0 / (dm as f64 + 1.0), domain_max: dm }
     }
@@ -358,7 +358,7 @@ mod tests {
         let km = KeyMap::new(16);
         let net = Mlp::random(8, 3);
         let children = child_responsibilities(&net, &vec![(0, km.domain_max())], 16, &km);
-        let total: u64 = children.iter().map(|c| responsibility_size(c)).sum();
+        let total: u64 = children.iter().map(responsibility_size).sum();
         let dom = km.domain_max() + 1;
         assert!(total >= dom, "children must cover the domain");
         assert!(total < dom + dom / 10, "overlap too large: {total} vs {dom}");

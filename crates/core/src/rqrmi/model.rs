@@ -108,7 +108,8 @@ impl RqRmi {
     /// RQ-RMI contributes to the Figure 13 memory footprint.
     pub fn memory_bytes(&self) -> usize {
         let weights: usize = self.nets.iter().flatten().map(Mlp::weight_bytes).sum();
-        weights + self.leaf_err.len() * std::mem::size_of::<u32>()
+        weights
+            + self.leaf_err.len() * std::mem::size_of::<u32>()
             + self.widths.len() * std::mem::size_of::<usize>()
     }
 
@@ -147,10 +148,7 @@ mod tests {
             for key in [r.lo, (r.lo + r.hi) / 2, r.hi] {
                 let (pred, err) = m.predict(key);
                 let dist = (pred as i64 - true_idx as i64).unsigned_abs();
-                assert!(
-                    dist <= err as u64,
-                    "key {key}: true {true_idx} pred {pred} err {err}"
-                );
+                assert!(dist <= err as u64, "key {key}: true {true_idx} pred {pred} err {err}");
             }
         }
     }

@@ -4,12 +4,49 @@
 //! neurons, a ReLU, and a dot product — a handful of vector instructions.
 //! The paper reports 126 ns serial, 62 ns SSE (4 floats/op), 49 ns AVX
 //! (8 floats/op) per inference; the Table 1 bench regenerates that
-//! comparison with these kernels.
+//! comparison with these kernels, plus an **FMA column** the paper's 2016-era
+//! Xeon lacked: `avx2+fma` fuses the `w1·x + b1` and accumulate steps into
+//! single `vfmadd` instructions, halving the arithmetic chain of both the
+//! per-packet and the cross-packet kernels below.
+//!
+//! ## Two axes of vectorization
+//!
+//! * **Within a packet** ([`Kernel::forward_clamped`]): the 8 hidden neurons
+//!   of one submodel fill one 256-bit register; a single packet's input is
+//!   broadcast across lanes. This is the paper's Table 1 kernel, and it is
+//!   the only option when consecutive packets route to *different*
+//!   submodels (the leaf stage).
+//! * **Across packets** ([`Kernel::forward_batch8`]): one AVX *lane per
+//!   packet*, 8 packets evaluated against one submodel per instruction
+//!   sequence. Stage 0 of every RQ-RMI has a single root submodel shared by
+//!   all keys, so a batched lookup pipeline feeds whole batches through this
+//!   kernel — 8× the per-instruction work of the broadcast kernel with no
+//!   horizontal reduction at all (the per-packet kernel spends ~half its
+//!   instructions summing lanes). Deeper shared stages use it
+//!   opportunistically whenever all 8 lanes agree on the submodel index.
+//!
+//! ## Dispatch
+//!
+//! [`CompiledRqRmi`] picks the instruction set **once at compile time**
+//! ([`detect`] or an explicit [`CompiledRqRmi::with_isa`]) and stores
+//! monomorphized function pointers for the whole staged walk. The hot path
+//! pays one indirect call per prediction (or per 8-packet group) instead of
+//! the per-stage `match isa` branch the scalar path used to take, and each
+//! monomorphized body carries its ISA's `#[target_feature]`, so the kernels
+//! inline into their own staged loop.
 //!
 //! Correctness note: the SIMD summation order differs from the scalar loop,
-//! so results can differ in the last ULPs. The RQ-RMI error bounds are
-//! computed over a `±delta` band that covers *any* summation order (see
-//! `analyze::eval_delta`), so every kernel here is safe to use for lookups.
+//! so results can differ in the last ULPs; FMA additionally skips the
+//! intermediate rounding of `w1·x` (one rounding per fused op instead of
+//! two, i.e. *smaller* deviation from the `f64` reference). The RQ-RMI error
+//! bounds are computed over a `±delta` band that covers any summation order
+//! and any per-flop rounding at most one ULP of the running magnitude (see
+//! `analyze::eval_delta`), which includes every fused variant, so every
+//! kernel here is safe to use for lookups: a batched lookup may route a
+//! boundary key to a neighbouring leaf, but both leaves' error bounds cover
+//! such keys (the trainer assigns boundary-band keys to both children), so
+//! the secondary search still finds the same range and classification
+//! results stay bit-identical.
 
 use nm_nn::{Mlp, ONE_MINUS_EPS};
 
@@ -20,15 +57,40 @@ pub enum Isa {
     Scalar,
     /// SSE: two 4-float halves.
     Sse,
-    /// AVX: all 8 neurons in one 256-bit register.
+    /// AVX: all 8 neurons (or 8 packets) in one 256-bit register.
     Avx,
+    /// AVX2 + FMA: as [`Isa::Avx`] with fused multiply-adds.
+    AvxFma,
+}
+
+impl Isa {
+    /// True when the running CPU can execute this instruction set.
+    pub fn available(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx => std::arch::is_x86_feature_detected!("avx"),
+            #[cfg(target_arch = "x86_64")]
+            Isa::AvxFma => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
 }
 
 /// Best instruction set available on this CPU.
 pub fn detect() -> Isa {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx") {
+        if Isa::AvxFma.available() {
+            return Isa::AvxFma;
+        }
+        if Isa::Avx.available() {
             return Isa::Avx;
         }
         // SSE2 is part of the x86_64 baseline.
@@ -71,10 +133,30 @@ impl Kernel {
             Isa::Sse => unsafe { self.forward_sse(x) },
             #[cfg(target_arch = "x86_64")]
             Isa::Avx => unsafe { self.forward_avx(x) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::AvxFma => unsafe { self.forward_fma(x) },
             #[cfg(not(target_arch = "x86_64"))]
             _ => self.forward_scalar(x),
         };
         y.clamp(0.0, ONE_MINUS_EPS)
+    }
+
+    /// Clamped cross-packet forward pass: evaluates **8 packets** against
+    /// this one submodel, one lane per packet (see the module docs). Outputs
+    /// are clamped into `[0, 1)` like [`Kernel::forward_clamped`].
+    #[inline]
+    pub fn forward_batch8(&self, xs: &[f32; 8], isa: Isa) -> [f32; 8] {
+        match isa {
+            Isa::Scalar => self.batch8_scalar(xs),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse => unsafe { self.batch8_sse(xs) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx => unsafe { self.batch8_avx(xs) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::AvxFma => unsafe { self.batch8_fma(xs) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.batch8_scalar(xs),
+        }
     }
 
     /// Scalar reference over the padded lanes.
@@ -88,6 +170,12 @@ impl Kernel {
             }
         }
         acc + self.b2
+    }
+
+    /// Scalar reference for the cross-packet pass (clamped).
+    #[inline]
+    fn batch8_scalar(&self, xs: &[f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|l| self.forward_scalar(xs[l]).clamp(0.0, ONE_MINUS_EPS))
     }
 
     /// SSE path: two 4-lane halves.
@@ -146,6 +234,115 @@ impl Kernel {
         _mm_cvtss_f32(total) + self.b2
     }
 
+    /// FMA path: as [`Kernel::forward_avx`] with the multiply-add fused.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn forward_fma(&self, x: f32) -> f32 {
+        use std::arch::x86_64::*;
+        let xv = _mm256_set1_ps(x);
+        let w1 = _mm256_loadu_ps(self.w1.as_ptr());
+        let b1 = _mm256_loadu_ps(self.b1.as_ptr());
+        let w2 = _mm256_loadu_ps(self.w2.as_ptr());
+        let pre = _mm256_fmadd_ps(w1, xv, b1);
+        let hid = _mm256_max_ps(pre, _mm256_setzero_ps());
+        let prod = _mm256_mul_ps(hid, w2);
+        let hi = _mm256_extractf128_ps(prod, 1);
+        let lo = _mm256_castps256_ps128(prod);
+        let sum4 = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(sum4);
+        let sums = _mm_add_ps(sum4, shuf);
+        let shuf2 = _mm_movehl_ps(shuf, sums);
+        let total = _mm_add_ss(sums, shuf2);
+        _mm_cvtss_f32(total) + self.b2
+    }
+
+    /// SSE cross-packet pass: 8 packets as two 4-lane halves, clamped.
+    ///
+    /// # Safety
+    /// Requires SSE (always present on x86_64).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn batch8_sse(&self, xs: &[f32; 8]) -> [f32; 8] {
+        use std::arch::x86_64::*;
+        let zero = _mm_setzero_ps();
+        let one_minus = _mm_set1_ps(ONE_MINUS_EPS);
+        let mut out = [0.0f32; 8];
+        for half in 0..2 {
+            let xv = _mm_loadu_ps(xs.as_ptr().add(half * 4));
+            let mut acc = _mm_set1_ps(self.b2);
+            for j in 0..8 {
+                let w1 = _mm_set1_ps(self.w1[j]);
+                let b1 = _mm_set1_ps(self.b1[j]);
+                let w2 = _mm_set1_ps(self.w2[j]);
+                let pre = _mm_add_ps(_mm_mul_ps(w1, xv), b1);
+                let hid = _mm_max_ps(pre, zero);
+                acc = _mm_add_ps(acc, _mm_mul_ps(hid, w2));
+            }
+            let y = _mm_min_ps(_mm_max_ps(acc, zero), one_minus);
+            _mm_storeu_ps(out.as_mut_ptr().add(half * 4), y);
+        }
+        out
+    }
+
+    /// AVX cross-packet pass: 8 packets, one lane each, clamped. No
+    /// horizontal reduction — the neuron loop accumulates vertically.
+    ///
+    /// # Safety
+    /// Requires AVX; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    #[inline]
+    unsafe fn batch8_avx(&self, xs: &[f32; 8]) -> [f32; 8] {
+        use std::arch::x86_64::*;
+        let xv = _mm256_loadu_ps(xs.as_ptr());
+        let zero = _mm256_setzero_ps();
+        let mut acc = _mm256_set1_ps(self.b2);
+        for j in 0..8 {
+            let w1 = _mm256_set1_ps(self.w1[j]);
+            let b1 = _mm256_set1_ps(self.b1[j]);
+            let w2 = _mm256_set1_ps(self.w2[j]);
+            let pre = _mm256_add_ps(_mm256_mul_ps(w1, xv), b1);
+            let hid = _mm256_max_ps(pre, zero);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(hid, w2));
+        }
+        let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
+        let mut out = [0.0f32; 8];
+        _mm256_storeu_ps(out.as_mut_ptr(), y);
+        out
+    }
+
+    /// FMA cross-packet pass: as [`Kernel::batch8_avx`] with both the
+    /// pre-activation and the accumulate fused.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn batch8_fma(&self, xs: &[f32; 8]) -> [f32; 8] {
+        use std::arch::x86_64::*;
+        let xv = _mm256_loadu_ps(xs.as_ptr());
+        let zero = _mm256_setzero_ps();
+        let mut acc = _mm256_set1_ps(self.b2);
+        for j in 0..8 {
+            let w1 = _mm256_set1_ps(self.w1[j]);
+            let b1 = _mm256_set1_ps(self.b1[j]);
+            let w2 = _mm256_set1_ps(self.w2[j]);
+            let pre = _mm256_fmadd_ps(w1, xv, b1);
+            let hid = _mm256_max_ps(pre, zero);
+            acc = _mm256_fmadd_ps(hid, w2, acc);
+        }
+        let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
+        let mut out = [0.0f32; 8];
+        _mm256_storeu_ps(out.as_mut_ptr(), y);
+        out
+    }
+
     /// Kernel weight bytes (same as the source submodel plus padding).
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
@@ -166,8 +363,33 @@ impl Kernel {
             Isa::Sse => unsafe { self.chain_sse(x0, iters) },
             #[cfg(target_arch = "x86_64")]
             Isa::Avx => unsafe { self.chain_avx(x0, iters) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::AvxFma => unsafe { self.chain_fma(x0, iters) },
             #[cfg(not(target_arch = "x86_64"))]
             _ => self.chain_scalar(x0, iters),
+        }
+    }
+
+    /// Like [`Kernel::latency_chain`] but for the cross-packet kernel: a
+    /// dependent chain of 8-packet groups (each group's inputs derived from
+    /// the previous outputs). Returns ns-comparable work for Table 1's
+    /// batched column; divide the measured time by `8 · iters` for the
+    /// per-packet cost.
+    pub fn latency_chain_batch8(&self, x0: f32, iters: usize, isa: Isa) -> f32 {
+        let mut xs = [0.0f32; 8];
+        for (l, x) in xs.iter_mut().enumerate() {
+            *x = (x0 + l as f32 * 0.11).fract();
+        }
+        match isa {
+            Isa::Scalar => self.chain8_scalar(xs, iters),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse => unsafe { self.chain8_sse(xs, iters) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx => unsafe { self.chain8_avx(xs, iters) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::AvxFma => unsafe { self.chain8_fma(xs, iters) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.chain8_scalar(xs, iters),
         }
     }
 
@@ -205,10 +427,156 @@ impl Kernel {
         }
         x
     }
+
+    /// # Safety
+    /// Requires AVX2 + FMA; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn chain_fma(&self, mut x: f32, iters: usize) -> f32 {
+        for _ in 0..iters {
+            let y = self.forward_fma(x).clamp(0.0, ONE_MINUS_EPS);
+            x = (y + 0.618_034).fract();
+        }
+        x
+    }
+
+    fn chain8_scalar(&self, mut xs: [f32; 8], iters: usize) -> f32 {
+        for _ in 0..iters {
+            let ys = self.batch8_scalar(&xs);
+            for l in 0..8 {
+                xs[l] = (ys[l] + 0.618_034).fract();
+            }
+        }
+        xs[0]
+    }
+
+    /// # Safety
+    /// Requires SSE2 (x86_64 baseline).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse2")]
+    unsafe fn chain8_sse(&self, mut xs: [f32; 8], iters: usize) -> f32 {
+        for _ in 0..iters {
+            let ys = self.batch8_sse(&xs);
+            for l in 0..8 {
+                xs[l] = (ys[l] + 0.618_034).fract();
+            }
+        }
+        xs[0]
+    }
+
+    /// # Safety
+    /// Requires AVX; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn chain8_avx(&self, mut xs: [f32; 8], iters: usize) -> f32 {
+        for _ in 0..iters {
+            let ys = self.batch8_avx(&xs);
+            for l in 0..8 {
+                xs[l] = (ys[l] + 0.618_034).fract();
+            }
+        }
+        xs[0]
+    }
+
+    /// # Safety
+    /// Requires AVX2 + FMA; dispatch through [`detect`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn chain8_fma(&self, mut xs: [f32; 8], iters: usize) -> f32 {
+        for _ in 0..iters {
+            let ys = self.batch8_fma(&xs);
+            for l in 0..8 {
+                xs[l] = (ys[l] + 0.618_034).fract();
+            }
+        }
+        xs[0]
+    }
 }
 
+/// Monomorphized staged walks: one `(predict, predict8)` pair per ISA, each
+/// carrying its `#[target_feature]` so the kernels inline into the loop and
+/// the per-stage ISA `match` disappears from the hot path.
+macro_rules! mono_staged {
+    ($( #[$attr:meta] )* ($predict:ident, $predict8:ident, $fwd:ident, $fwd8:ident)) => {
+        $( #[$attr] )*
+        unsafe fn $predict(m: &CompiledRqRmi, x: f32) -> (usize, u32) {
+            let nstages = m.stages.len();
+            let mut idx = 0usize;
+            for s in 0..nstages - 1 {
+                let y = m.stages[s][idx].$fwd(x).clamp(0.0, ONE_MINUS_EPS);
+                let w_next = m.widths[s + 1];
+                idx = ((y * w_next as f32) as usize).min(w_next - 1);
+            }
+            let y = m.stages[nstages - 1][idx].$fwd(x).clamp(0.0, ONE_MINUS_EPS) as f64;
+            let pred = ((y * m.n_values as f64) as usize).min(m.n_values - 1);
+            (pred, m.leaf_err[idx])
+        }
+
+        $( #[$attr] )*
+        unsafe fn $predict8(
+            m: &CompiledRqRmi,
+            xs: &[f32; 8],
+            preds: &mut [usize; 8],
+            errs: &mut [u32; 8],
+        ) {
+            let nstages = m.stages.len();
+            let mut idx = [0usize; 8];
+            let mut ys = [0.0f32; 8];
+            for s in 0..nstages {
+                // Stage 0 always shares the root submodel; deeper stages
+                // share whenever the batch routes uniformly — take the
+                // lane-per-packet kernel in both cases.
+                if idx.iter().all(|&i| i == idx[0]) {
+                    ys = m.stages[s][idx[0]].$fwd8(xs);
+                } else {
+                    for l in 0..8 {
+                        ys[l] = m.stages[s][idx[l]].$fwd(xs[l]).clamp(0.0, ONE_MINUS_EPS);
+                    }
+                }
+                if s + 1 < nstages {
+                    let w_next = m.widths[s + 1];
+                    for l in 0..8 {
+                        idx[l] = ((ys[l] * w_next as f32) as usize).min(w_next - 1);
+                    }
+                }
+            }
+            for l in 0..8 {
+                // Final multiply in f64, matching `RqRmi::predict_x`.
+                let y = ys[l] as f64;
+                preds[l] = ((y * m.n_values as f64) as usize).min(m.n_values - 1);
+                errs[l] = m.leaf_err[idx[l]];
+            }
+        }
+    };
+}
+
+mono_staged!((predict_mono_scalar, predict8_mono_scalar, forward_scalar, batch8_scalar));
+
+#[cfg(target_arch = "x86_64")]
+mono_staged!(
+    #[target_feature(enable = "sse2")]
+    (predict_mono_sse, predict8_mono_sse, forward_sse, batch8_sse)
+);
+
+#[cfg(target_arch = "x86_64")]
+mono_staged!(
+    #[target_feature(enable = "avx")]
+    (predict_mono_avx, predict8_mono_avx, forward_avx, batch8_avx)
+);
+
+#[cfg(target_arch = "x86_64")]
+mono_staged!(
+    #[target_feature(enable = "avx2,fma")]
+    (predict_mono_fma, predict8_mono_fma, forward_fma, batch8_fma)
+);
+
+/// Signature of a monomorphized single-key staged walk.
+type PredictFn = unsafe fn(&CompiledRqRmi, f32) -> (usize, u32);
+/// Signature of a monomorphized 8-packet staged walk.
+type Predict8Fn = unsafe fn(&CompiledRqRmi, &[f32; 8], &mut [usize; 8], &mut [u32; 8]);
+
 /// An [`super::RqRmi`] compiled for the hot path: padded kernels per stage,
-/// one ISA chosen up front.
+/// one ISA chosen up front, the staged walk monomorphized per ISA.
 #[derive(Clone, Debug)]
 pub struct CompiledRqRmi {
     stages: Vec<Vec<Kernel>>,
@@ -217,6 +585,10 @@ pub struct CompiledRqRmi {
     n_values: usize,
     scale: f64,
     isa: Isa,
+    /// Monomorphized single-key walk for `isa`; see [`mono_staged`].
+    predict_fn: PredictFn,
+    /// Monomorphized 8-packet walk for `isa`.
+    predict8_fn: Predict8Fn,
 }
 
 impl CompiledRqRmi {
@@ -227,12 +599,19 @@ impl CompiledRqRmi {
 
     /// Compiles with an explicit instruction set (Table 1 sweeps this).
     pub fn with_isa(model: &super::RqRmi, isa: Isa) -> Self {
-        let stages = model
-            .nets
-            .iter()
-            .map(|st| st.iter().map(Kernel::from_mlp).collect())
-            .collect();
+        let stages: Vec<Vec<Kernel>> =
+            model.nets.iter().map(|st| st.iter().map(Kernel::from_mlp).collect()).collect();
         let km = model.key_map();
+        #[cfg(target_arch = "x86_64")]
+        let (predict_fn, predict8_fn): (PredictFn, Predict8Fn) = match isa {
+            Isa::Scalar => (predict_mono_scalar, predict8_mono_scalar),
+            Isa::Sse => (predict_mono_sse, predict8_mono_sse),
+            Isa::Avx => (predict_mono_avx, predict8_mono_avx),
+            Isa::AvxFma => (predict_mono_fma, predict8_mono_fma),
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let (predict_fn, predict8_fn): (PredictFn, Predict8Fn) =
+            (predict_mono_scalar, predict8_mono_scalar);
         Self {
             stages,
             widths: model.widths.clone(),
@@ -240,6 +619,8 @@ impl CompiledRqRmi {
             n_values: model.n_values,
             scale: 1.0 / (km.domain_max() as f64 + 1.0),
             isa,
+            predict_fn,
+            predict8_fn,
         }
     }
 
@@ -259,20 +640,54 @@ impl CompiledRqRmi {
     }
 
     /// Predicted index + error bound for `key` (same contract as
-    /// [`super::RqRmi::predict`]).
+    /// [`super::RqRmi::predict`]). An empty model predicts `(0, 0)` — there
+    /// is nothing to search.
     #[inline]
     pub fn predict(&self, key: u64) -> (usize, u32) {
-        let x = (key as f64 * self.scale) as f32;
-        let nstages = self.stages.len();
-        let mut idx = 0usize;
-        for s in 0..nstages - 1 {
-            let y = self.stages[s][idx].forward_clamped(x, self.isa);
-            let w_next = self.widths[s + 1];
-            idx = ((y * w_next as f32) as usize).min(w_next - 1);
+        if self.n_values == 0 {
+            return (0, 0);
         }
-        let y = self.stages[nstages - 1][idx].forward_clamped(x, self.isa) as f64;
-        let pred = ((y * self.n_values as f64) as usize).min(self.n_values - 1);
-        (pred, self.leaf_err[idx])
+        let x = (key as f64 * self.scale) as f32;
+        // SAFETY: predict_fn was selected for `self.isa` at construction;
+        // callers pick the ISA through `detect` (or knowingly via with_isa).
+        unsafe { (self.predict_fn)(self, x) }
+    }
+
+    /// Batched prediction: fills `preds[i]`/`errs[i]` for `keys[i]`.
+    ///
+    /// Keys are processed in groups of 8 through the cross-packet kernel
+    /// (see the module docs); the tail shorter than 8 goes through the
+    /// single-key walk. Every `(pred, err)` obeys the same containment
+    /// contract as [`CompiledRqRmi::predict`] — batch and scalar predictions
+    /// may differ in the last ULPs near leaf boundaries but both windows are
+    /// guaranteed to contain the true index.
+    ///
+    /// Panics unless `keys.len() == preds.len() == errs.len()`.
+    pub fn predict_batch(&self, keys: &[u64], preds: &mut [usize], errs: &mut [u32]) {
+        assert_eq!(keys.len(), preds.len(), "predict_batch: preds length mismatch");
+        assert_eq!(keys.len(), errs.len(), "predict_batch: errs length mismatch");
+        if self.n_values == 0 {
+            preds.fill(0);
+            errs.fill(0);
+            return;
+        }
+        let n = keys.len();
+        let groups = n / 8;
+        for g in 0..groups {
+            let base = g * 8;
+            let xs: [f32; 8] = std::array::from_fn(|l| (keys[base + l] as f64 * self.scale) as f32);
+            let mut p8 = [0usize; 8];
+            let mut e8 = [0u32; 8];
+            // SAFETY: as in `predict` — the fn matches `self.isa`.
+            unsafe { (self.predict8_fn)(self, &xs, &mut p8, &mut e8) };
+            preds[base..base + 8].copy_from_slice(&p8);
+            errs[base..base + 8].copy_from_slice(&e8);
+        }
+        for i in groups * 8..n {
+            let (p, e) = self.predict(keys[i]);
+            preds[i] = p;
+            errs[i] = e;
+        }
     }
 
     /// Kernel memory (Figure 13 accounting mirrors [`super::RqRmi::memory_bytes`]).
@@ -286,6 +701,13 @@ impl CompiledRqRmi {
 mod tests {
     use super::*;
 
+    fn testable_isas() -> Vec<Isa> {
+        [Isa::Scalar, Isa::Sse, Isa::Avx, Isa::AvxFma]
+            .into_iter()
+            .filter(|i| i.available())
+            .collect()
+    }
+
     #[test]
     fn kernels_match_scalar_reference() {
         for seed in 0..20u64 {
@@ -295,19 +717,39 @@ mod tests {
                 let x = i as f32 / 200.0;
                 let reference = net.forward_clamped(x);
                 let scalar = k.forward_clamped(x, Isa::Scalar);
-                assert!(
-                    (reference - scalar).abs() <= 1e-6,
-                    "scalar kernel diverged at x={x}"
-                );
-                for isa in [Isa::Sse, Isa::Avx] {
-                    if isa == Isa::Avx && detect() != Isa::Avx {
-                        continue;
-                    }
+                assert!((reference - scalar).abs() <= 1e-6, "scalar kernel diverged at x={x}");
+                for isa in testable_isas() {
                     let v = k.forward_clamped(x, isa);
                     assert!(
                         (reference - v).abs() <= 1e-5,
                         "{isa:?} diverged at x={x}: {reference} vs {v}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch8_matches_scalar_reference_within_delta() {
+        // The module docs promise every kernel stays inside the ±delta band
+        // of `analyze::eval_delta`; the 1e-5 tolerance used here is far
+        // below the band for random weights of this magnitude.
+        for seed in 0..20u64 {
+            let net = Mlp::random(8, seed);
+            let k = Kernel::from_mlp(&net);
+            for base in 0..25 {
+                let xs: [f32; 8] = std::array::from_fn(|l| (base * 8 + l) as f32 / 200.0);
+                for isa in testable_isas() {
+                    let ys = k.forward_batch8(&xs, isa);
+                    for l in 0..8 {
+                        let reference = k.forward_scalar(xs[l]).clamp(0.0, ONE_MINUS_EPS);
+                        assert!(
+                            (reference - ys[l]).abs() <= 1e-5,
+                            "{isa:?} lane {l} diverged at x={}: {reference} vs {}",
+                            xs[l],
+                            ys[l]
+                        );
+                    }
                 }
             }
         }
@@ -320,13 +762,18 @@ mod tests {
         for i in 0..50 {
             let x = i as f32 / 50.0;
             assert!((net.forward_clamped(x) - k.forward_clamped(x, Isa::Scalar)).abs() < 1e-6);
+            let ys = k.forward_batch8(&[x; 8], Isa::Scalar);
+            assert!((net.forward_clamped(x) - ys[7]).abs() < 1e-6);
         }
     }
 
     #[test]
     fn detect_never_scalar_on_x86_64() {
         #[cfg(target_arch = "x86_64")]
-        assert_ne!(detect(), Isa::Scalar);
+        {
+            assert_ne!(detect(), Isa::Scalar);
+            assert!(detect().available());
+        }
     }
 
     #[test]
@@ -345,5 +792,58 @@ mod tests {
                 assert!(dist <= err as u64, "key {key}: pred {pred} true {idx} err {err}");
             }
         }
+    }
+
+    #[test]
+    fn predict_batch_within_bounds_for_every_isa() {
+        use crate::config::RqRmiParams;
+        use crate::rqrmi::train::train_rqrmi;
+        use nm_common::FieldRange;
+        let ranges: Vec<FieldRange> =
+            (0..300).map(|i| FieldRange::new(i * 200, i * 200 + 99)).collect();
+        let m = train_rqrmi(&ranges, 16, &RqRmiParams::default()).unwrap();
+        // Probe lo/mid/hi of every range, deliberately not a multiple of 8
+        // so the tail path is exercised too.
+        let keys: Vec<u64> = ranges.iter().flat_map(|r| [r.lo, (r.lo + r.hi) / 2, r.hi]).collect();
+        let true_idx: Vec<usize> = (0..ranges.len()).flat_map(|i| [i, i, i]).collect();
+        for isa in testable_isas() {
+            let compiled = CompiledRqRmi::with_isa(&m, isa);
+            let mut preds = vec![0usize; keys.len()];
+            let mut errs = vec![0u32; keys.len()];
+            compiled.predict_batch(&keys, &mut preds, &mut errs);
+            for i in 0..keys.len() {
+                let dist = (preds[i] as i64 - true_idx[i] as i64).unsigned_abs();
+                assert!(
+                    dist <= errs[i] as u64,
+                    "{isa:?} key {}: pred {} true {} err {}",
+                    keys[i],
+                    preds[i],
+                    true_idx[i],
+                    errs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_model_predicts_nothing() {
+        use crate::rqrmi::RqRmi;
+        // Hand-build an empty model (training rejects empty inputs).
+        let m = RqRmi {
+            widths: vec![1],
+            nets: vec![vec![Mlp::zeros(8)]],
+            leaf_err: vec![0],
+            n_values: 0,
+            bits: 16,
+        };
+        let compiled = CompiledRqRmi::new(&m);
+        assert!(compiled.is_empty());
+        assert_eq!(compiled.predict(1234), (0, 0));
+        let keys = [1u64, 2, 3, 4, 5, 6, 7, 8, 9];
+        let mut preds = [7usize; 9];
+        let mut errs = [7u32; 9];
+        compiled.predict_batch(&keys, &mut preds, &mut errs);
+        assert_eq!(preds, [0; 9]);
+        assert_eq!(errs, [0; 9]);
     }
 }

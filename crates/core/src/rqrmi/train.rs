@@ -63,7 +63,10 @@ pub fn train_rqrmi_mode(
     for w in ranges.windows(2) {
         if w[1].lo <= w[0].hi {
             return Err(Error::Build {
-                msg: format!("ranges must be sorted and non-overlapping: {:?} then {:?}", w[0], w[1]),
+                msg: format!(
+                    "ranges must be sorted and non-overlapping: {:?} then {:?}",
+                    w[0], w[1]
+                ),
             });
         }
     }
@@ -328,9 +331,7 @@ pub fn verify_exhaustive(model: &RqRmi, ranges: &[FieldRange]) -> Result<(), Str
             let (pred, err) = model.predict(key);
             let dist = (pred as i64 - idx as i64).unsigned_abs();
             if dist > err as u64 {
-                return Err(format!(
-                    "key {key}: true index {idx}, predicted {pred}, bound {err}"
-                ));
+                return Err(format!("key {key}: true index {idx}, predicted {pred}, bound {err}"));
             }
         }
     }

@@ -120,6 +120,25 @@ impl<C: Classifier> FlowCache<C> {
         }
         h
     }
+
+    /// Installs `verdict` for `key` in the set at `base`, evicting a
+    /// stale/vacant way or the least recently touched one.
+    fn install(state: &mut CacheState, base: usize, key: &[u64], verdict: Option<MatchResult>) {
+        let tick = state.tick;
+        let generation = state.generation;
+        let victim = (0..WAYS)
+            .min_by_key(|&w| {
+                let e = &state.entries[base + w];
+                if e.generation != generation || e.key.is_empty() {
+                    (0, 0)
+                } else {
+                    (1, e.stamp)
+                }
+            })
+            .expect("ways > 0");
+        state.entries[base + victim] =
+            Entry { key: key.to_vec(), verdict, generation, stamp: tick };
+    }
 }
 
 impl<C: Classifier> Classifier for FlowCache<C> {
@@ -146,26 +165,77 @@ impl<C: Classifier> Classifier for FlowCache<C> {
         // slow; holding the lock would serialise concurrent workers).
         let verdict = self.inner.classify(key);
         let mut state = self.sets.lock();
-        let tick = state.tick;
-        let generation = state.generation;
-        // Victim: any stale/vacant way, else the least recently touched.
-        let victim = (0..WAYS)
-            .min_by_key(|&w| {
-                let e = &state.entries[base + w];
-                if e.generation != generation || e.key.is_empty() {
-                    (0, 0)
-                } else {
-                    (1, e.stamp)
-                }
-            })
-            .expect("ways > 0");
-        state.entries[base + victim] =
-            Entry { key: key.to_vec(), verdict, generation, stamp: tick };
+        Self::install(&mut state, base, key, verdict);
         verdict
     }
 
     fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
         self.classify(key).filter(|m| m.priority < floor)
+    }
+
+    /// Batched probe: all hits resolve under one lock acquisition, the
+    /// misses flow through the inner classifier's own `classify_batch` in a
+    /// single gathered call, and the fresh verdicts install under one more
+    /// lock acquisition. Verdicts are bit-identical to per-key `classify`
+    /// (a key duplicated inside one batch is classified once per duplicate
+    /// and both installs write the same entry).
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+        assert!(stride > 0, "classify_batch: stride must be positive");
+        assert_eq!(
+            keys.len(),
+            stride * out.len(),
+            "classify_batch: key buffer length must equal stride * out.len()"
+        );
+        // Hash outside the lock, like the per-key path (holding it through
+        // the hash loop would serialise concurrent workers); the bases are
+        // reused by the install pass below.
+        let bases: Vec<usize> = keys
+            .chunks_exact(stride)
+            .map(|key| ((Self::hash_key(key) as usize) & self.mask) * WAYS)
+            .collect();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let mut state = self.sets.lock();
+            for (i, key) in keys.chunks_exact(stride).enumerate() {
+                let base = bases[i];
+                state.tick += 1;
+                let tick = state.tick;
+                let generation = state.generation;
+                let mut hit = false;
+                for way in 0..WAYS {
+                    let e = &mut state.entries[base + way];
+                    if e.generation == generation && e.key == key {
+                        e.stamp = tick;
+                        out[i] = e.verdict;
+                        hit = true;
+                        break;
+                    }
+                }
+                if hit {
+                    state.stats.hits += 1;
+                } else {
+                    state.stats.misses += 1;
+                    miss_idx.push(i);
+                }
+            }
+        }
+        if miss_idx.is_empty() {
+            return;
+        }
+        // Gather the missing keys into one contiguous buffer for the inner
+        // engine's batched path.
+        let mut miss_keys = Vec::with_capacity(miss_idx.len() * stride);
+        for &i in &miss_idx {
+            miss_keys.extend_from_slice(&keys[i * stride..(i + 1) * stride]);
+        }
+        let mut verdicts = vec![None; miss_idx.len()];
+        self.inner.classify_batch(&miss_keys, stride, &mut verdicts);
+        let mut state = self.sets.lock();
+        for (j, &i) in miss_idx.iter().enumerate() {
+            let key = &keys[i * stride..(i + 1) * stride];
+            out[i] = verdicts[j];
+            Self::install(&mut state, bases[i], key, verdicts[j]);
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -193,9 +263,7 @@ mod tests {
     fn engine() -> FlowCache<LinearSearch> {
         let rules: Vec<_> = (0..100u16)
             .map(|i| {
-                FiveTuple::new()
-                    .dst_port_range(i * 100, i * 100 + 99)
-                    .into_rule(i as u32, i as u32)
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
             })
             .collect();
         let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
@@ -249,6 +317,25 @@ mod tests {
             c.classify(&[9, 9, 9, flow * 77, 17]);
         }
         assert!(c.stats().hit_rate() > 0.99, "hit rate {:.3}", c.stats().hit_rate());
+    }
+
+    #[test]
+    fn batch_probe_matches_per_key_and_caches() {
+        let c = engine();
+        let keys: Vec<u64> = (0..300u64).flat_map(|i| [1, 2, 3, (i % 40) * 111, 6]).collect();
+        let n = keys.len() / 5;
+        let mut out = vec![None; n];
+        c.classify_batch(&keys, 5, &mut out);
+        for i in 0..n {
+            assert_eq!(out[i], c.inner().classify(&keys[i * 5..(i + 1) * 5]), "packet {i}");
+        }
+        // Second pass over the same batch must be all hits.
+        let misses_before = c.stats().misses;
+        c.classify_batch(&keys, 5, &mut out);
+        assert_eq!(c.stats().misses, misses_before, "re-probe should not miss");
+        for i in 0..n {
+            assert_eq!(out[i], c.inner().classify(&keys[i * 5..(i + 1) * 5]));
+        }
     }
 
     #[test]

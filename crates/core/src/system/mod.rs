@@ -14,7 +14,9 @@ pub mod update;
 
 pub use breakdown::{measure_breakdown, LookupBreakdown};
 pub use flow_cache::{CacheStats, FlowCache};
-pub use parallel::{run_replicated, run_two_workers, ParallelStats};
+pub use parallel::{run_batched, run_replicated, run_two_workers, ParallelStats};
+
+use nm_common::prefetch::prefetch_index;
 
 use nm_common::classifier::{Classifier, MatchResult};
 use nm_common::rule::{Priority, RuleId};
@@ -74,11 +76,8 @@ impl TrainedISet {
                 boxes.push(f.hi);
             }
         }
-        let ranges: Vec<nm_common::FieldRange> = los
-            .iter()
-            .zip(&his)
-            .map(|(&lo, &hi)| nm_common::FieldRange::new(lo, hi))
-            .collect();
+        let ranges: Vec<nm_common::FieldRange> =
+            los.iter().zip(&his).map(|(&lo, &hi)| nm_common::FieldRange::new(lo, hi)).collect();
         let reference = train_rqrmi(&ranges, bits, &cfg.rqrmi)?;
         let model = CompiledRqRmi::new(&reference);
         Ok(Self {
@@ -122,8 +121,19 @@ impl TrainedISet {
     /// Returns the position in the iSet arrays.
     #[inline]
     pub fn search(&self, pred: usize, err: u32, key: &[u64]) -> Option<usize> {
-        let v = key[self.dim];
+        self.search_value(pred, err, key[self.dim])
+    }
+
+    /// [`TrainedISet::search`] on an already-extracted field value (the
+    /// batched pipeline gathers the projection once per batch).
+    #[inline]
+    pub fn search_value(&self, pred: usize, err: u32, v: u64) -> Option<usize> {
         let n = self.los.len();
+        if n == 0 {
+            // An iSet emptied by updates has nothing to search; without this
+            // guard the `n - 1` window clamp below underflows.
+            return None;
+        }
         let lo = pred.saturating_sub(err as usize);
         let hi = (pred + err as usize).min(n - 1);
         // First range in the window whose upper bound is >= v.
@@ -155,6 +165,78 @@ impl TrainedISet {
         let (pred, err) = self.predict(key);
         let pos = self.search(pred, err, key)?;
         self.validate(pos, key)
+    }
+
+    /// Batched iSet lookup over a flat key buffer, phase-structured (§4's
+    /// three lookup phases run batch-wide instead of packet-wide):
+    ///
+    /// 1. **predict** — gather this iSet's field projection and run the
+    ///    RQ-RMI over 8 packets per register ([`CompiledRqRmi::predict_batch`]);
+    /// 2. **prefetch** — touch each packet's `his`/`los` secondary-search
+    ///    window so the (data-dependent, cache-missing) loads overlap;
+    /// 3. **search** — the short windowed binary searches, prefetching the
+    ///    validation boxes of every hit;
+    /// 4. **validate + merge** — full multi-field check, folding winners
+    ///    into `best` via [`MatchResult::better`].
+    ///
+    /// `best[i]` is merged, not overwritten, so callers chain iSets by
+    /// passing the same buffer. Results are bit-identical to per-key
+    /// [`TrainedISet::lookup`] merges (see `rqrmi::simd` docs for why the
+    /// batch kernels cannot change search outcomes).
+    pub fn lookup_batch(&self, keys: &[u64], stride: usize, best: &mut [Option<MatchResult>]) {
+        const CHUNK: usize = 64;
+        let n = best.len();
+        assert!(stride > 0, "lookup_batch: stride must be positive");
+        assert_eq!(keys.len(), stride * n, "lookup_batch: key buffer length mismatch");
+        assert!(self.dim < stride, "lookup_batch: iSet field outside key stride");
+        let mut vals = [0u64; CHUNK];
+        let mut preds = [0usize; CHUNK];
+        let mut errs = [0u32; CHUNK];
+        let mut pos = [usize::MAX; CHUNK];
+        let mut base = 0;
+        while base < n {
+            let m = CHUNK.min(n - base);
+            // Phase 1: gather the projection, predict across packets.
+            for i in 0..m {
+                vals[i] = keys[(base + i) * stride + self.dim];
+            }
+            self.model.predict_batch(&vals[..m], &mut preds[..m], &mut errs[..m]);
+            // Phase 2: prefetch every search window before any search runs,
+            // so the misses resolve in parallel. The first two binary-search
+            // probe addresses are deterministic (midpoint, then one of the
+            // quarter points), so prefetching ends + mid + quarters covers
+            // the first three levels of every search.
+            for i in 0..m {
+                let lo = preds[i].saturating_sub(errs[i] as usize);
+                let hi = (preds[i] + errs[i] as usize).min(self.los.len().saturating_sub(1));
+                let mid = lo + (hi - lo) / 2;
+                prefetch_index(&self.his, lo);
+                prefetch_index(&self.his, mid);
+                prefetch_index(&self.his, hi);
+                prefetch_index(&self.his, lo + (mid - lo) / 2);
+                prefetch_index(&self.his, mid + (hi - mid) / 2);
+                prefetch_index(&self.los, mid);
+            }
+            // Phase 3: secondary searches; prefetch hit boxes for phase 4.
+            for i in 0..m {
+                pos[i] = match self.search_value(preds[i], errs[i], vals[i]) {
+                    Some(p) => {
+                        prefetch_index(&self.boxes, p * self.nfields * 2);
+                        p
+                    }
+                    None => usize::MAX,
+                };
+            }
+            // Phase 4: validate and merge.
+            for i in 0..m {
+                if pos[i] != usize::MAX {
+                    let key = &keys[(base + i) * stride..(base + i + 1) * stride];
+                    best[base + i] =
+                        MatchResult::better(best[base + i], self.validate(pos[i], key));
+                }
+            }
+            base += m;
+        }
     }
 
     /// Index memory: the RQ-RMI weights (the sorted projections and boxes
@@ -255,6 +337,28 @@ impl<R: Classifier> NuevoMatch<R> {
         }
         best
     }
+
+    /// Batched [`NuevoMatch::classify_isets`]: runs every iSet's phase
+    /// pipeline over the whole batch (each iSet's model and arrays stay hot
+    /// across all packets) and leaves the merged iSet-side candidates in
+    /// `out`. The two-worker split sends this to the iSet worker.
+    pub fn classify_isets_batch(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        assert!(stride > 0, "classify_isets_batch: stride must be positive");
+        assert_eq!(
+            keys.len(),
+            stride * out.len(),
+            "classify_isets_batch: key buffer length mismatch"
+        );
+        out.fill(None);
+        for iset in &self.isets {
+            iset.lookup_batch(keys, stride, out);
+        }
+    }
 }
 
 impl<R: Classifier> Classifier for NuevoMatch<R> {
@@ -274,6 +378,52 @@ impl<R: Classifier> Classifier for NuevoMatch<R> {
 
     fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
         self.classify(key).filter(|m| m.priority < floor)
+    }
+
+    /// The batched pipeline: all iSets sweep the batch first (phase
+    /// structure inside [`TrainedISet::lookup_batch`]), then the remainder
+    /// runs with **batch-wide early termination** — every key that already
+    /// holds an iSet candidate hands the remainder its priority floor, so
+    /// the remainder prunes exactly as in the per-key path.
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+        const CHUNK: usize = 128;
+        self.classify_isets_batch(keys, stride, out);
+        let mut rem = [None; CHUNK];
+        let mut floors = [Priority::MAX; CHUNK];
+        let mut base = 0;
+        while base < out.len() {
+            let m = CHUNK.min(out.len() - base);
+            let chunk_keys = &keys[base * stride..(base + m) * stride];
+            if self.early_termination {
+                // Batch-wide early termination: each key's iSet candidate
+                // becomes its remainder floor (MAX = no candidate).
+                for i in 0..m {
+                    floors[i] = out[base + i].map_or(Priority::MAX, |b| b.priority);
+                }
+                self.remainder.classify_batch_with_floors(
+                    chunk_keys,
+                    stride,
+                    &floors[..m],
+                    &mut rem[..m],
+                );
+                // A real candidate whose priority *is* `Priority::MAX`
+                // collides with the no-candidate sentinel above (the batch
+                // call ran plain `classify` for it); redo those rare keys
+                // with the explicit floor the per-key path would use.
+                for i in 0..m {
+                    if matches!(out[base + i], Some(b) if b.priority == Priority::MAX) {
+                        let key = &chunk_keys[i * stride..(i + 1) * stride];
+                        rem[i] = self.remainder.classify_with_floor(key, Priority::MAX);
+                    }
+                }
+            } else {
+                self.remainder.classify_batch(chunk_keys, stride, &mut rem[..m]);
+            }
+            for i in 0..m {
+                out[base + i] = MatchResult::better(out[base + i], rem[i]);
+            }
+            base += m;
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -299,9 +449,7 @@ mod tests {
     fn port_set(n: u16) -> RuleSet {
         let rules: Vec<_> = (0..n)
             .map(|i| {
-                FiveTuple::new()
-                    .dst_port_range(i * 100, i * 100 + 99)
-                    .into_rule(i as u32, i as u32)
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
             })
             .collect();
         RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
@@ -321,11 +469,7 @@ mod tests {
         let oracle = LinearSearch::build(&set);
         for port in (0u64..65536).step_by(53) {
             let key = [1, 2, 3, port, 6];
-            assert_eq!(
-                nm.classify(&key),
-                oracle.classify(&key),
-                "diverged at port {port}"
-            );
+            assert_eq!(nm.classify(&key), oracle.classify(&key), "diverged at port {port}");
         }
     }
 
@@ -359,6 +503,66 @@ mod tests {
         // The RQ-RMI index for 600 rules must be way below the raw rule data.
         let iset_bytes: usize = nm.isets().iter().map(TrainedISet::memory_bytes).sum();
         assert!(iset_bytes < set.storage_bytes() / 2, "{iset_bytes} vs {}", set.storage_bytes());
+    }
+
+    #[test]
+    fn classify_batch_bit_identical_to_per_key() {
+        use nm_common::Classifier as _;
+        let set = port_set(400);
+        for et in [true, false] {
+            let cfg = NuevoMatchConfig { early_termination: et, ..fast_cfg() };
+            let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+            let keys: Vec<u64> =
+                (0..600u64).flat_map(|i| [i, i * 3, i % 7, (i * 131) % 65_536, i % 256]).collect();
+            let n = keys.len() / 5;
+            // Ragged batch sizes exercise both the 8-lane groups and tails.
+            for batch in [1usize, 3, 8, 127, 128, 600] {
+                let mut out = vec![None; n];
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + batch).min(n);
+                    nm.classify_batch(&keys[lo * 5..hi * 5], 5, &mut out[lo..hi]);
+                    lo = hi;
+                }
+                for i in 0..n {
+                    let expect = nm.classify(&keys[i * 5..(i + 1) * 5]);
+                    assert_eq!(out[i], expect, "et={et} batch={batch} packet {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_batch_handles_priority_max_candidates() {
+        use nm_common::Classifier as _;
+        // A wildcard rule (remainder, smaller id) and an iSet rule share
+        // priority MAX — the batch path must not let the no-candidate floor
+        // sentinel swallow the iSet candidate's floor. max_isets = 1 keeps
+        // the wildcard in the remainder (with more iSets allowed it would
+        // become a trivial single-rule iSet of its own).
+        let mut rules = vec![FiveTuple::new().into_rule(0, Priority::MAX)];
+        for i in 0..60u16 {
+            let pri = if i == 30 { Priority::MAX } else { i as u32 };
+            rules.push(
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(1 + i as u32, pri),
+            );
+        }
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let cfg = NuevoMatchConfig {
+            early_termination: true,
+            max_isets: 1,
+            min_iset_coverage: 0.0,
+            ..fast_cfg()
+        };
+        let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+        assert!(nm.remainder().num_rules() > 0, "wildcard must stay in the remainder");
+        let keys: Vec<u64> = (0..60u64).flat_map(|i| [1, 2, 3, i * 100 + 50, 6]).collect();
+        let mut out = vec![None; 60];
+        nm.classify_batch(&keys, 5, &mut out);
+        for i in 0..60 {
+            let key = &keys[i * 5..(i + 1) * 5];
+            assert_eq!(out[i], nm.classify(key), "packet {i} (port {})", key[3]);
+        }
     }
 
     #[test]

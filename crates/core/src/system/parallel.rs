@@ -69,24 +69,28 @@ pub fn run_two_workers<R: Classifier>(
     let mut latency_sum = 0.0f64;
     let start = std::time::Instant::now();
 
+    let stride = trace.stride();
+    let raw = trace.raw();
     crossbeam::thread::scope(|scope| {
-        // Worker A: iSets.
+        // Worker A: iSets, whole batches through the phase pipeline.
         scope.spawn(|_| {
             for b in a_rx.iter() {
                 let lo = b * batch;
                 let hi = ((b + 1) * batch).min(n);
-                let out: Vec<_> = (lo..hi).map(|i| nm.classify_isets(trace.key(i))).collect();
+                let mut out = vec![None; hi - lo];
+                nm.classify_isets_batch(&raw[lo * stride..hi * stride], stride, &mut out);
                 if ra_tx.send((b, out)).is_err() {
                     break;
                 }
             }
         });
-        // Worker B: remainder.
+        // Worker B: remainder, batched through the engine's own path.
         scope.spawn(|_| {
             for b in b_rx.iter() {
                 let lo = b * batch;
                 let hi = ((b + 1) * batch).min(n);
-                let out: Vec<_> = (lo..hi).map(|i| nm.remainder().classify(trace.key(i))).collect();
+                let mut out = vec![None; hi - lo];
+                nm.remainder().classify_batch(&raw[lo * stride..hi * stride], stride, &mut out);
                 if rb_tx.send((b, out)).is_err() {
                     break;
                 }
@@ -129,7 +133,12 @@ pub fn run_two_workers<R: Classifier>(
 
 /// Runs `threads` instances of any classifier over the trace, batches
 /// distributed round-robin (the baselines' multi-core mode in §5.1).
-pub fn run_replicated(c: &dyn Classifier, trace: &TraceBuf, threads: usize, batch: usize) -> ParallelStats {
+pub fn run_replicated(
+    c: &dyn Classifier,
+    trace: &TraceBuf,
+    threads: usize,
+    batch: usize,
+) -> ParallelStats {
     let n = trace.len();
     if n == 0 {
         return ParallelStats { seconds: 0.0, pps: 0.0, mean_batch_latency_ns: 0.0, checksum: 0 };
@@ -140,6 +149,8 @@ pub fn run_replicated(c: &dyn Classifier, trace: &TraceBuf, threads: usize, batc
     let start = std::time::Instant::now();
     let mut partials: Vec<(u64, f64, usize)> = Vec::new();
 
+    let stride = trace.stride();
+    let raw = trace.raw();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -147,13 +158,15 @@ pub fn run_replicated(c: &dyn Classifier, trace: &TraceBuf, threads: usize, batc
                 let mut checksum = 0u64;
                 let mut lat = 0.0f64;
                 let mut batches = 0usize;
+                let mut out: Vec<Option<MatchResult>> = vec![None; batch];
                 let mut b = t;
                 while b < n_batches {
                     let t0 = std::time::Instant::now();
                     let lo = b * batch;
                     let hi = ((b + 1) * batch).min(n);
-                    for i in lo..hi {
-                        fold(&mut checksum, c.classify(trace.key(i)));
+                    c.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out[..hi - lo]);
+                    for &m in &out[..hi - lo] {
+                        fold(&mut checksum, m);
                     }
                     lat += t0.elapsed().as_nanos() as f64;
                     batches += 1;
@@ -177,6 +190,41 @@ pub fn run_replicated(c: &dyn Classifier, trace: &TraceBuf, threads: usize, batc
         seconds,
         pps: n as f64 / seconds,
         mean_batch_latency_ns: lat_sum / total_batches.max(1) as f64,
+        checksum,
+    }
+}
+
+/// Single-core **batched** run: the trace flows through
+/// [`Classifier::classify_batch`] in batches of `batch` packets on the
+/// caller's thread. The checksum folds per-packet results in trace order, so
+/// it must equal [`run_sequential`]'s — the batch-size sweep in
+/// `nm-bench --bin batch` measures exactly this path against `batch = 1`.
+pub fn run_batched(c: &dyn Classifier, trace: &TraceBuf, batch: usize) -> ParallelStats {
+    let n = trace.len();
+    if n == 0 {
+        return ParallelStats { seconds: 0.0, pps: 0.0, mean_batch_latency_ns: 0.0, checksum: 0 };
+    }
+    let batch = batch.max(1);
+    let stride = trace.stride();
+    let raw = trace.raw();
+    let mut out: Vec<Option<MatchResult>> = vec![None; batch];
+    let mut checksum = 0u64;
+    let n_batches = n.div_ceil(batch);
+    let start = std::time::Instant::now();
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + batch).min(n);
+        c.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out[..hi - lo]);
+        for &m in &out[..hi - lo] {
+            fold(&mut checksum, m);
+        }
+        lo = hi;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    ParallelStats {
+        seconds,
+        pps: n as f64 / seconds.max(1e-12),
+        mean_batch_latency_ns: seconds * 1e9 / n_batches as f64,
         checksum,
     }
 }
@@ -225,6 +273,16 @@ mod tests {
             trace.push(&[i, i * 7, i % 65_536, (i * 37) % 65_536, (i % 256)]);
         }
         (nm, trace)
+    }
+
+    #[test]
+    fn batched_matches_sequential_checksum() {
+        let (nm, trace) = setup();
+        let seq = run_sequential(&nm, &trace);
+        for batch in [1, 8, 128, 512, 4096, 10_000] {
+            let b = run_batched(&nm, &trace, batch);
+            assert_eq!(seq.checksum, b.checksum, "diverged at batch {batch}");
+        }
     }
 
     #[test]

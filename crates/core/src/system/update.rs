@@ -87,9 +87,7 @@ mod tests {
     fn build(n: u16) -> NuevoMatch<LinearSearch> {
         let rules: Vec<_> = (0..n)
             .map(|i| {
-                FiveTuple::new()
-                    .dst_port_range(i * 100, i * 100 + 99)
-                    .into_rule(i as u32, i as u32)
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
             })
             .collect();
         let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
@@ -115,11 +113,7 @@ mod tests {
         let mut nm = build(50);
         let key = [0u64, 0, 0, 60_000, 0];
         assert_eq!(nm.classify(&key), None);
-        nm.insert(
-            FiveTuple::new()
-                .dst_port_range(59_000, 61_000)
-                .into_rule(999, 0),
-        );
+        nm.insert(FiveTuple::new().dst_port_range(59_000, 61_000).into_rule(999, 0));
         assert_eq!(nm.classify(&key).unwrap().rule, 999);
         assert_eq!(nm.moved_to_remainder(), 1);
         assert!(nm.remainder_fraction() > 0.0);
@@ -141,9 +135,7 @@ mod tests {
         // Apply a batch of mixed updates, mirror them in a linear oracle.
         let rules: Vec<_> = (0..80u16)
             .map(|i| {
-                FiveTuple::new()
-                    .dst_port_range(i * 100, i * 100 + 99)
-                    .into_rule(i as u32, i as u32)
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
             })
             .collect();
         let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();

@@ -24,12 +24,7 @@ pub struct CutSplitConfig {
 
 impl Default for CutSplitConfig {
     fn default() -> Self {
-        Self {
-            binth: 8,
-            small_threshold: 16,
-            ip_dims: (0, 1),
-            tree: TreeConfig::default(),
-        }
+        Self { binth: 8, small_threshold: 16, ip_dims: (0, 1), tree: TreeConfig::default() }
     }
 }
 
@@ -76,11 +71,8 @@ impl CutSplit {
             let policy = CutSplitPolicy::for_subset(cut_dims, cfg.binth);
             trees.push(DTree::build(rules, spec, &policy, &tree_cfg));
         }
-        let mut order: Vec<(Priority, u32)> = trees
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.best_priority(), i as u32))
-            .collect();
+        let mut order: Vec<(Priority, u32)> =
+            trees.iter().enumerate().map(|(i, t)| (t.best_priority(), i as u32)).collect();
         order.sort_unstable();
         Self { trees, order, total_rules: set.len() }
     }
@@ -131,7 +123,7 @@ impl Classifier for CutSplit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nm_common::{FiveTuple, FieldsSpec, LinearSearch, SplitMix64};
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch, SplitMix64};
 
     fn acl_like(seed: u64, n: usize) -> RuleSet {
         let mut rng = SplitMix64::new(seed);
@@ -209,7 +201,10 @@ mod tests {
             ];
             let full = cs.classify(&key);
             for floor in [0u32, 100, 250] {
-                assert_eq!(cs.classify_with_floor(&key, floor), full.filter(|m| m.priority < floor));
+                assert_eq!(
+                    cs.classify_with_floor(&key, floor),
+                    full.filter(|m| m.priority < floor)
+                );
             }
         }
     }

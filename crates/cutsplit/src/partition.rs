@@ -89,7 +89,10 @@ mod tests {
     fn partitions_by_prefix_length() {
         let spec = FieldsSpec::five_tuple();
         let rules = vec![
-            FiveTuple::new().src_prefix([10, 0, 0, 0], 24).dst_prefix([10, 0, 0, 0], 24).into_rule(0, 0),
+            FiveTuple::new()
+                .src_prefix([10, 0, 0, 0], 24)
+                .dst_prefix([10, 0, 0, 0], 24)
+                .into_rule(0, 0),
             FiveTuple::new().src_prefix([10, 0, 0, 0], 24).into_rule(1, 1), // dst wildcard
             FiveTuple::new().dst_prefix([10, 0, 0, 0], 24).into_rule(2, 2), // src wildcard
             FiveTuple::new().into_rule(3, 3),                               // both wildcard

@@ -150,7 +150,12 @@ pub struct TreeStats {
 
 impl DTree {
     /// Builds a tree over `rules` with the given policy.
-    pub fn build(rules: Vec<Rule>, spec: &FieldsSpec, policy: &dyn Policy, cfg: &TreeConfig) -> DTree {
+    pub fn build(
+        rules: Vec<Rule>,
+        spec: &FieldsSpec,
+        policy: &dyn Policy,
+        cfg: &TreeConfig,
+    ) -> DTree {
         let bounds_root: Vec<(u64, u64)> =
             (0..spec.len()).map(|d| (0, spec.max_value(d))).collect();
         let mut tree = DTree { nodes: Vec::new(), refs: Vec::new(), rules, depth_max: 0 };
@@ -181,8 +186,11 @@ impl DTree {
         cfg: &TreeConfig,
     ) {
         self.depth_max = self.depth_max.max(depth);
-        let best_priority =
-            rule_ids.iter().map(|&i| self.rules[i as usize].priority).min().unwrap_or(Priority::MAX);
+        let best_priority = rule_ids
+            .iter()
+            .map(|&i| self.rules[i as usize].priority)
+            .min()
+            .unwrap_or(Priority::MAX);
 
         if rule_ids.len() <= cfg.binth
             || depth >= cfg.max_depth
@@ -226,9 +234,11 @@ impl DTree {
                     }
                 }
                 let non_spill = rule_ids.len() - spill_ids.len();
-                let progress = spill_ids.is_empty()
-                    .then(|| buckets.iter().any(|b| b.len() < non_spill))
-                    .unwrap_or(true);
+                let progress = if spill_ids.is_empty() {
+                    buckets.iter().any(|b| b.len() < non_spill)
+                } else {
+                    true
+                };
                 if non_spill == 0 || !progress {
                     let refs = self.push_refs(rule_ids);
                     self.nodes[slot] = Node::Leaf { refs, best_priority };
@@ -237,8 +247,10 @@ impl DTree {
                 let spill = self.push_refs(spill_ids);
                 let first_child = self.nodes.len() as u32;
                 for _ in 0..children {
-                    self.nodes
-                        .push(Node::Leaf { refs: RefSlice::default(), best_priority: Priority::MAX });
+                    self.nodes.push(Node::Leaf {
+                        refs: RefSlice::default(),
+                        best_priority: Priority::MAX,
+                    });
                 }
                 self.nodes[slot] = Node::Cut {
                     dim: dim as u16,
@@ -565,10 +577,7 @@ mod tests {
             let key = [rng.below(65_536), rng.below(65_536)];
             let full = tree.classify_floor(&key, Priority::MAX);
             for floor in [0u32, 50, 150] {
-                assert_eq!(
-                    tree.classify_floor(&key, floor),
-                    full.filter(|m| m.priority < floor)
-                );
+                assert_eq!(tree.classify_floor(&key, floor), full.filter(|m| m.priority < floor));
             }
         }
     }

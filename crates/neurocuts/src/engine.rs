@@ -87,15 +87,10 @@ impl NeuroCuts {
             vec![set.rules().to_vec()]
         };
 
-        let trees: Vec<DTree> = groups
-            .into_iter()
-            .map(|g| DTree::build(g, spec, &report.policy, &tree_cfg))
-            .collect();
-        let mut order: Vec<(Priority, u32)> = trees
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.best_priority(), i as u32))
-            .collect();
+        let trees: Vec<DTree> =
+            groups.into_iter().map(|g| DTree::build(g, spec, &report.policy, &tree_cfg)).collect();
+        let mut order: Vec<(Priority, u32)> =
+            trees.iter().enumerate().map(|(i, t)| (t.best_priority(), i as u32)).collect();
         order.sort_unstable();
         Self {
             trees,
@@ -252,7 +247,10 @@ mod tests {
             ];
             let full = nc.classify(&key);
             for floor in [0u32, 80, 199] {
-                assert_eq!(nc.classify_with_floor(&key, floor), full.filter(|m| m.priority < floor));
+                assert_eq!(
+                    nc.classify_with_floor(&key, floor),
+                    full.filter(|m| m.priority < floor)
+                );
             }
         }
     }

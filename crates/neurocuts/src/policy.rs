@@ -33,11 +33,7 @@ pub struct ParamPolicy {
 impl ParamPolicy {
     /// Neutral starting point for `nf` dimensions.
     pub fn neutral(nf: usize, binth: usize) -> Self {
-        Self {
-            dim_pref: vec![[0.0; BUCKETS]; nf],
-            cut_bits: [3; BUCKETS],
-            split_below: binth * 4,
-        }
+        Self { dim_pref: vec![[0.0; BUCKETS]; nf], cut_bits: [3; BUCKETS], split_below: binth * 4 }
     }
 
     /// Random policy (search restarts), deterministic in the RNG state.
@@ -52,11 +48,7 @@ impl ParamPolicy {
                     b
                 })
                 .collect(),
-            cut_bits: [
-                1 + rng.below(5) as u8,
-                1 + rng.below(5) as u8,
-                1 + rng.below(5) as u8,
-            ],
+            cut_bits: [1 + rng.below(5) as u8, 1 + rng.below(5) as u8, 1 + rng.below(5) as u8],
             split_below: binth * (1 + rng.below(8) as usize),
         }
     }
@@ -104,11 +96,8 @@ impl Policy for ParamPolicy {
                 if lo == hi {
                     continue;
                 }
-                let mut endpoints: Vec<u64> = ctx
-                    .rules
-                    .iter()
-                    .map(|&id| ctx.all[id as usize].fields[d].hi.min(hi))
-                    .collect();
+                let mut endpoints: Vec<u64> =
+                    ctx.rules.iter().map(|&id| ctx.all[id as usize].fields[d].hi.min(hi)).collect();
                 endpoints.sort_unstable();
                 endpoints.dedup();
                 if endpoints.len() > 1 && best.map_or(true, |(_, n)| endpoints.len() > n) {

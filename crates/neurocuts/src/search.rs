@@ -52,11 +52,7 @@ fn evaluate(
     let mut access = 0.0;
     for _ in 0..probes {
         let rule = &sample[rng.below(sample.len() as u64) as usize];
-        let key: Vec<u64> = rule
-            .fields
-            .iter()
-            .map(|f| rng.range_inclusive(f.lo, f.hi))
-            .collect();
+        let key: Vec<u64> = rule.fields.iter().map(|f| rng.range_inclusive(f.lo, f.hi)).collect();
         access += tree.access_cost(&key) as f64;
     }
     access /= probes as f64;
@@ -77,6 +73,7 @@ fn evaluate(
 /// the NuevoMatch paper gave NeuroCuts a multi-hour hyper-parameter sweep —
 /// here a few dozen evaluations on a sample land in the same tree family in
 /// milliseconds-to-seconds.
+#[allow(clippy::too_many_arguments)]
 pub fn policy_search(
     rules: &[Rule],
     spec: &FieldsSpec,
@@ -160,8 +157,10 @@ mod tests {
     fn deterministic_in_seed() {
         let spec = FieldsSpec::five_tuple();
         let rs = rules(200);
-        let a = policy_search(&rs, &spec, 8, 100, 10, RewardKind::Memory, &TreeConfig::default(), 7);
-        let b = policy_search(&rs, &spec, 8, 100, 10, RewardKind::Memory, &TreeConfig::default(), 7);
+        let a =
+            policy_search(&rs, &spec, 8, 100, 10, RewardKind::Memory, &TreeConfig::default(), 7);
+        let b =
+            policy_search(&rs, &spec, 8, 100, 10, RewardKind::Memory, &TreeConfig::default(), 7);
         assert_eq!(a.policy, b.policy);
         assert_eq!(a.cost, b.cost);
     }

@@ -115,14 +115,14 @@ impl Adam {
             let vhat = self.v[idx] / b2c;
             *p -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
         };
-        for j in 0..h {
-            upd(j, grad[j], &mut net.w1[j]);
+        for (j, w) in net.w1.iter_mut().enumerate() {
+            upd(j, grad[j], w);
         }
-        for j in 0..h {
-            upd(h + j, grad[h + j], &mut net.b1[j]);
+        for (j, b) in net.b1.iter_mut().enumerate() {
+            upd(h + j, grad[h + j], b);
         }
-        for j in 0..h {
-            upd(2 * h + j, grad[2 * h + j], &mut net.w2[j]);
+        for (j, w) in net.w2.iter_mut().enumerate() {
+            upd(2 * h + j, grad[2 * h + j], w);
         }
         upd(3 * h, grad[3 * h], &mut net.b2);
     }
@@ -133,17 +133,23 @@ mod tests {
     use super::*;
 
     fn linear_data(n: usize) -> Vec<(f32, f32)> {
-        (0..n).map(|i| {
-            let x = i as f32 / n as f32;
-            (x, 0.25 + 0.5 * x)
-        }).collect()
+        (0..n)
+            .map(|i| {
+                let x = i as f32 / n as f32;
+                (x, 0.25 + 0.5 * x)
+            })
+            .collect()
     }
 
     #[test]
     fn learns_a_line() {
         let data = linear_data(64);
         let mut net = Mlp::random(8, 1);
-        let loss = Adam::train(&mut net, &data, AdamConfig { epochs: 2000, tol: 0.0, ..Default::default() });
+        let loss = Adam::train(
+            &mut net,
+            &data,
+            AdamConfig { epochs: 2000, tol: 0.0, ..Default::default() },
+        );
         assert!(loss < 1e-4, "final loss {loss}");
     }
 
@@ -153,13 +159,23 @@ mod tests {
         let data: Vec<(f32, f32)> = (0..256)
             .map(|i| {
                 let x = i as f32 / 256.0;
-                let y = if x < 0.3 { 0.2 } else if x < 0.7 { 0.5 } else { 0.9 };
+                let y = if x < 0.3 {
+                    0.2
+                } else if x < 0.7 {
+                    0.5
+                } else {
+                    0.9
+                };
                 (x, y)
             })
             .collect();
         let mut net = Mlp::random(8, 2);
         let before = net.mse(&data);
-        let loss = Adam::train(&mut net, &data, AdamConfig { epochs: 3000, tol: 0.0, ..Default::default() });
+        let loss = Adam::train(
+            &mut net,
+            &data,
+            AdamConfig { epochs: 3000, tol: 0.0, ..Default::default() },
+        );
         // The target has jump discontinuities, so a continuous model bottoms
         // out near the quantisation floor — just require the rough shape.
         assert!(loss < 2e-2, "final loss {loss}");

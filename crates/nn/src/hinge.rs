@@ -125,10 +125,12 @@ mod tests {
 
     #[test]
     fn exact_on_linear_target() {
-        let data: Vec<(f32, f32)> = (0..100).map(|i| {
-            let x = i as f32 / 100.0;
-            (x, 0.1 + 0.8 * x)
-        }).collect();
+        let data: Vec<(f32, f32)> = (0..100)
+            .map(|i| {
+                let x = i as f32 / 100.0;
+                (x, 0.1 + 0.8 * x)
+            })
+            .collect();
         let net = fit_hinge(8, &data);
         assert!(net.mse(&data) < 1e-10, "mse {}", net.mse(&data));
     }
@@ -136,11 +138,13 @@ mod tests {
     #[test]
     fn exact_on_piecewise_linear_target() {
         // Target with a kink at 0.5 — needs at least one interior knot.
-        let data: Vec<(f32, f32)> = (0..200).map(|i| {
-            let x = i as f32 / 200.0;
-            let y = if x < 0.5 { 0.2 * x } else { 0.1 + 0.9 * (x - 0.5) };
-            (x, y)
-        }).collect();
+        let data: Vec<(f32, f32)> = (0..200)
+            .map(|i| {
+                let x = i as f32 / 200.0;
+                let y = if x < 0.5 { 0.2 * x } else { 0.1 + 0.9 * (x - 0.5) };
+                (x, y)
+            })
+            .collect();
         let net = fit_hinge(8, &data);
         assert!(net.mse(&data) < 1e-5, "mse {}", net.mse(&data));
     }
@@ -148,11 +152,13 @@ mod tests {
     #[test]
     fn good_on_cdf_staircase() {
         // The real workload: a monotone staircase (scaled rank of x).
-        let data: Vec<(f32, f32)> = (0..512).map(|i| {
-            let x = i as f32 / 512.0;
-            let y = (x * x * 0.9) + 0.05; // convex monotone curve
-            (x, y)
-        }).collect();
+        let data: Vec<(f32, f32)> = (0..512)
+            .map(|i| {
+                let x = i as f32 / 512.0;
+                let y = (x * x * 0.9) + 0.05; // convex monotone curve
+                (x, y)
+            })
+            .collect();
         let net = fit_hinge(8, &data);
         assert!(net.mse(&data) < 1e-5, "mse {}", net.mse(&data));
     }
@@ -178,7 +184,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let data: Vec<(f32, f32)> = (0..64).map(|i| (i as f32 / 64.0, (i as f32 / 64.0).sqrt())).collect();
+        let data: Vec<(f32, f32)> =
+            (0..64).map(|i| (i as f32 / 64.0, (i as f32 / 64.0).sqrt())).collect();
         let a = fit_hinge(8, &data);
         let b = fit_hinge(8, &data);
         assert_eq!(a, b);

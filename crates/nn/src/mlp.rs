@@ -175,10 +175,12 @@ mod tests {
     #[test]
     fn mse_zero_on_perfect_fit() {
         let m = tiny();
-        let data: Vec<(f32, f32)> = (0..10).map(|i| {
-            let x = i as f32 / 10.0;
-            (x, m.forward(x))
-        }).collect();
+        let data: Vec<(f32, f32)> = (0..10)
+            .map(|i| {
+                let x = i as f32 / 10.0;
+                (x, m.forward(x))
+            })
+            .collect();
         assert_eq!(m.mse(&data), 0.0);
         assert!(m.mse(&[(0.5, 0.0)]) > 0.0);
     }

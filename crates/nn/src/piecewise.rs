@@ -148,10 +148,7 @@ mod tests {
                 let x = p.x0 + (p.x1 - p.x0) * k as f64 / 8.0;
                 let want = net.forward_clamped_f64(x);
                 let got = p.eval(x);
-                assert!(
-                    (want - got).abs() < 1e-9,
-                    "x={x}: model {want} vs segment {got} in {p:?}"
-                );
+                assert!((want - got).abs() < 1e-9, "x={x}: model {want} vs segment {got} in {p:?}");
             }
         }
     }
@@ -176,9 +173,8 @@ mod tests {
         assert_matches_model(&net, &pieces);
         // Should have: flat at 0, rising, flat at 1-.
         let flat_lo = pieces.iter().any(|p| p.y0 == 0.0 && p.y1 == 0.0 && p.x1 > p.x0);
-        let flat_hi = pieces
-            .iter()
-            .any(|p| p.y0 == ONE_MINUS_EPS as f64 && p.y1 == p.y0 && p.x1 > p.x0);
+        let flat_hi =
+            pieces.iter().any(|p| p.y0 == ONE_MINUS_EPS as f64 && p.y1 == p.y0 && p.x1 > p.x0);
         assert!(flat_lo, "missing lower clamp piece: {pieces:?}");
         assert!(flat_hi, "missing upper clamp piece: {pieces:?}");
     }

@@ -47,7 +47,7 @@ pub fn zipf_alpha_for_top3(share: f64) -> f64 {
 /// One representative header per rule — the paper's "for each rule, we
 /// generate one matching five-tuple".
 pub fn flow_headers(set: &RuleSet, seed: u64) -> Vec<Vec<u64>> {
-    let mut rng = SplitMix64::new(seed ^ 0xf10e_5);
+    let mut rng = SplitMix64::new(seed ^ 0x000f_10e5);
     set.rules()
         .iter()
         .map(|r| r.fields.iter().map(|f| rng.range_inclusive(f.lo, f.hi)).collect())
@@ -63,7 +63,7 @@ pub fn uniform_trace(set: &RuleSet, n: usize, seed: u64) -> TraceBuf {
     if set.is_empty() {
         return trace;
     }
-    let mut rng = SplitMix64::new(seed ^ 0x0171_f0);
+    let mut rng = SplitMix64::new(seed ^ 0x0001_71f0);
     let mut key = vec![0u64; stride];
     for _ in 0..n {
         let rule = set.rule_at(rng.below(set.len() as u64) as usize);
@@ -160,7 +160,7 @@ pub fn caida_like_trace(set: &RuleSet, n: usize, cfg: CaidaLikeConfig, seed: u64
     }
     let flows = flow_headers(set, seed);
     let zipf = ZipfSampler::new(flows.len(), cfg.alpha);
-    let mut rng = SplitMix64::new(seed ^ 0xca1d_a);
+    let mut rng = SplitMix64::new(seed ^ 0x000c_a1da);
     let p = (1.0 / cfg.mean_train).clamp(1e-6, 1.0);
     while trace.len() < n {
         let flow = &flows[zipf.sample(rng.f64())];
@@ -254,10 +254,7 @@ mod tests {
     fn deterministic_in_seed() {
         let set = small_set();
         assert_eq!(uniform_trace(&set, 100, 1).raw(), uniform_trace(&set, 100, 1).raw());
-        assert_eq!(
-            zipf_trace(&set, 100, 1.1, 2).raw(),
-            zipf_trace(&set, 100, 1.1, 2).raw()
-        );
+        assert_eq!(zipf_trace(&set, 100, 1.1, 2).raw(), zipf_trace(&set, 100, 1.1, 2).raw());
         assert_ne!(uniform_trace(&set, 100, 1).raw(), uniform_trace(&set, 100, 2).raw());
     }
 

@@ -4,6 +4,7 @@ use crate::table::Table;
 use crate::tuple::Tuple;
 use nm_common::classifier::{Classifier, MatchResult, Updatable};
 use nm_common::memsize;
+use nm_common::prefetch::prefetch_index;
 use nm_common::rule::{Priority, Rule, RuleId};
 use nm_common::ruleset::{FieldsSpec, RuleSet};
 use std::collections::HashMap;
@@ -139,8 +140,8 @@ impl TupleMerge {
         for &m in &members {
             let rule = self.slab[m as usize].as_ref().expect("live rule");
             let nat = Tuple::natural(&rule.fields, &self.spec);
-            for d in 0..nf {
-                headroom[d] = headroom[d].min(nat.0[d] - lens.0[d].min(nat.0[d]));
+            for (d, hr) in headroom.iter_mut().enumerate() {
+                *hr = (*hr).min(nat.0[d] - lens.0[d].min(nat.0[d]));
             }
         }
         let best_dim = (0..nf).max_by_key(|&d| headroom[d]).unwrap_or(0);
@@ -181,8 +182,109 @@ impl TupleMerge {
         self.tables[table_idx].insert(h, slab_idx, rule.priority);
     }
 
+    /// Table-major batched probe — the batch form of [`TupleMerge::probe`].
+    ///
+    /// The per-key probe walks every table for one packet before touching
+    /// the next packet, reloading each table's tuple masks and hash state
+    /// per packet. This walks every *packet* for one table before moving to
+    /// the next table: the table metadata stays in registers, the hash loop
+    /// runs tight, and the independent bucket lookups give the out-of-order
+    /// core memory-level parallelism. Per-key results are bit-identical to
+    /// [`TupleMerge::probe`] — the loop interchange never reorders work
+    /// *within* a key, and each key keeps its own early-exit bound
+    /// (`min(best.priority, floor)`, checked against the same
+    /// priority-sorted table order).
+    ///
+    /// `floors[i] == Priority::MAX` means no floor for key `i` (see
+    /// [`Classifier::classify_batch_with_floors`]).
+    fn probe_batch(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
+        const CHUNK: usize = 64;
+        let n = out.len();
+        assert!(stride > 0, "probe_batch: stride must be positive");
+        assert_eq!(keys.len(), stride * n, "probe_batch: key buffer length mismatch");
+        let mut hashes = [0u64; CHUNK];
+        let mut base = 0usize;
+        while base < n {
+            let m = CHUNK.min(n - base);
+            let mut best: [Option<MatchResult>; CHUNK] = [None; CHUNK];
+            // bound[i] = min(best[i].priority, floor[i]): a rule must beat it.
+            let mut bound = [Priority::MAX; CHUNK];
+            if let Some(f) = floors {
+                bound[..m].copy_from_slice(&f[base..base + m]);
+            }
+            for &ti in &self.order {
+                let table = &self.tables[ti as usize];
+                // A key is live while some rule in this (or a later) table
+                // could still beat its bound; tables are sorted by
+                // best_priority, so a key dead here stays dead.
+                let mut any_live = false;
+                if !table.is_empty() {
+                    // Phase 1: hash every live key against this table.
+                    for i in 0..m {
+                        if bound[i] > table.best_priority {
+                            let key = &keys[(base + i) * stride..(base + i + 1) * stride];
+                            hashes[i] = table.hash_key(key, &self.spec);
+                            any_live = true;
+                        }
+                    }
+                } else {
+                    any_live = (0..m).any(|i| bound[i] > table.best_priority);
+                }
+                if !any_live {
+                    break;
+                }
+                if table.is_empty() {
+                    continue;
+                }
+                // Phase 2a: bucket lookups for all live keys, prefetching the
+                // head of each bucket's slab rules so phase 2b's (pointer-
+                // chasing) scans start with warm lines.
+                let mut buckets: [&[u32]; CHUNK] = [&[]; CHUNK];
+                for i in 0..m {
+                    if bound[i] <= table.best_priority {
+                        continue;
+                    }
+                    if let Some(bucket) = table.bucket(hashes[i]) {
+                        buckets[i] = bucket;
+                        for &si in bucket.iter().take(8) {
+                            prefetch_index(&self.slab, si as usize);
+                        }
+                    }
+                }
+                // Phase 2b: bucket scans (independent across keys).
+                for i in 0..m {
+                    if bound[i] <= table.best_priority {
+                        continue;
+                    }
+                    let key = &keys[(base + i) * stride..(base + i + 1) * stride];
+                    for &si in buckets[i] {
+                        if let Some(rule) = &self.slab[si as usize] {
+                            if rule.priority < bound[i] && rule.matches(key) {
+                                best[i] = Some(MatchResult::new(rule.id, rule.priority));
+                                bound[i] = rule.priority;
+                            }
+                        }
+                    }
+                }
+            }
+            out[base..base + m].copy_from_slice(&best[..m]);
+            base += m;
+        }
+    }
+
     #[inline]
-    fn probe(&self, key: &[u64], mut best: Option<MatchResult>, floor: Priority) -> Option<MatchResult> {
+    fn probe(
+        &self,
+        key: &[u64],
+        mut best: Option<MatchResult>,
+        floor: Priority,
+    ) -> Option<MatchResult> {
         for &ti in &self.order {
             let table = &self.tables[ti as usize];
             let bound = best.map_or(floor, |b| b.priority.min(floor));
@@ -215,6 +317,25 @@ impl Classifier for TupleMerge {
 
     fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
         self.probe(key, None, floor)
+    }
+
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+        self.probe_batch(keys, stride, None, out);
+    }
+
+    fn classify_batch_with_floors(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: &[Priority],
+        out: &mut [Option<MatchResult>],
+    ) {
+        assert_eq!(
+            floors.len(),
+            out.len(),
+            "classify_batch_with_floors: one floor per output slot"
+        );
+        self.probe_batch(keys, stride, Some(floors), out);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -276,10 +397,7 @@ impl TupleSpaceSearch {
     /// Builds a TSS classifier (a [`TupleMerge`] with relaxation disabled
     /// and no collision limit).
     pub fn build(set: &RuleSet) -> TupleMerge {
-        TupleMerge::with_config(
-            set,
-            TupleMergeConfig { collision_limit: usize::MAX, relax: false },
-        )
+        TupleMerge::with_config(set, TupleMergeConfig { collision_limit: usize::MAX, relax: false })
     }
 }
 
@@ -378,11 +496,7 @@ mod tests {
         // 300 exact dst-IP rules under /0 would share one bucket without
         // splitting; the limit must refine the table.
         let rules: Vec<Rule> = (0..300u32)
-            .map(|i| {
-                FiveTuple::new()
-                    .dst_prefix_raw(0x0a00_0000 | i, 32)
-                    .into_rule(i, i)
-            })
+            .map(|i| FiveTuple::new().dst_prefix_raw(0x0a00_0000 | i, 32).into_rule(i, i))
             .collect();
         let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
         let tm = TupleMerge::with_config(&set, Default::default());
@@ -421,9 +535,8 @@ mod tests {
             }
         }
         for i in 0..20u32 {
-            let rule = FiveTuple::new()
-                .dst_port_exact(40_000 + i as u16)
-                .into_rule(1_000 + i, 500 + i);
+            let rule =
+                FiveTuple::new().dst_port_exact(40_000 + i as u16).into_rule(1_000 + i, 500 + i);
             rules.push(rule.clone());
             tm.insert(rule);
         }

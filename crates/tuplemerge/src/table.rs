@@ -118,13 +118,17 @@ mod tests {
     use nm_common::{FieldRange, FieldsSpec};
 
     fn rule_five(dst_port: (u16, u16), pri: Priority) -> Rule {
-        Rule::new(pri, pri, vec![
-            FieldRange::wildcard(32),
-            FieldRange::wildcard(32),
-            FieldRange::wildcard(16),
-            FieldRange::new(dst_port.0 as u64, dst_port.1 as u64),
-            FieldRange::wildcard(8),
-        ])
+        Rule::new(
+            pri,
+            pri,
+            vec![
+                FieldRange::wildcard(32),
+                FieldRange::wildcard(32),
+                FieldRange::wildcard(16),
+                FieldRange::new(dst_port.0 as u64, dst_port.1 as u64),
+                FieldRange::wildcard(8),
+            ],
+        )
     }
 
     #[test]

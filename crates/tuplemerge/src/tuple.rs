@@ -15,13 +15,7 @@ impl Tuple {
     /// its range (exact value → full width, wildcard → 0, arbitrary range →
     /// longest aligned block containing it).
     pub fn natural(fields: &[FieldRange], spec: &FieldsSpec) -> Tuple {
-        Tuple(
-            fields
-                .iter()
-                .enumerate()
-                .map(|(d, r)| r.covering_prefix(spec.bits(d)).1)
-                .collect(),
-        )
+        Tuple(fields.iter().enumerate().map(|(d, r)| r.covering_prefix(spec.bits(d)).1).collect())
     }
 
     /// TupleMerge relaxation: IP-like fields (> 16 bits) are rounded down to
@@ -40,7 +34,11 @@ impl Tuple {
                     if bits > 16 {
                         len & !3
                     } else if bits > 8 {
-                        if len == bits { bits } else { 0 }
+                        if len == bits {
+                            bits
+                        } else {
+                            0
+                        }
                     } else {
                         len
                     }

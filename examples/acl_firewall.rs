@@ -38,7 +38,11 @@ fn run_suite(label: &str, set: &RuleSet, packets: usize) {
             Box::new(
                 NuevoMatch::build(
                     set,
-                    &NuevoMatchConfig { max_isets: 2, min_iset_coverage: 0.25, ..Default::default() },
+                    &NuevoMatchConfig {
+                        max_isets: 2,
+                        min_iset_coverage: 0.25,
+                        ..Default::default()
+                    },
                     CutSplit::build,
                 )
                 .unwrap(),

@@ -23,8 +23,8 @@ fn main() {
     // Control plane: rules + classifier + cache.
     let rules = 10_000usize;
     let set = generate(AppKind::Acl, rules, 3);
-    let nm = NuevoMatch::build(&set, &NuevoMatchConfig::default(), TupleMerge::build)
-        .expect("build");
+    let nm =
+        NuevoMatch::build(&set, &NuevoMatchConfig::default(), TupleMerge::build).expect("build");
     println!(
         "classifier: {} rules, {} iSets, {:.0}% coverage, {} B index",
         rules,
@@ -67,7 +67,10 @@ fn main() {
     let pps = frames.len() as f64 / dt.as_secs_f64();
     let stats = datapath.stats();
     println!("\nprocessed {} frames in {:.3}s = {:.3e} pps", frames.len(), dt.as_secs_f64(), pps);
-    println!("  forwarded: {}   unmatched: {}   parse errors: {}", actions[1], actions[0], parse_errors);
+    println!(
+        "  forwarded: {}   unmatched: {}   parse errors: {}",
+        actions[1], actions[0], parse_errors
+    );
     println!(
         "  flow-cache: {:.1}% hit rate ({} hits / {} misses)",
         stats.hit_rate() * 100.0,

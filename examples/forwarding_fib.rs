@@ -30,8 +30,8 @@ fn main() {
     println!("  centrality: {} (lower bound on iSets for full coverage)", centrality_1d(&fib, 0));
 
     let tm = TupleMerge::build(&fib);
-    let nm = NuevoMatch::build(&fib, &NuevoMatchConfig::default(), TupleMerge::build)
-        .expect("build nm");
+    let nm =
+        NuevoMatch::build(&fib, &NuevoMatchConfig::default(), TupleMerge::build).expect("build nm");
     println!("\nNuevoMatch: {} iSets, {:.1}% coverage", nm.isets().len(), nm.coverage() * 100.0);
     for (i, iset) in nm.isets().iter().enumerate() {
         println!(

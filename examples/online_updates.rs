@@ -18,8 +18,8 @@ fn main() {
     let n = 10_000usize;
     let set = generate(AppKind::Acl, n, 11);
     let trace = uniform_trace(&set, 50_000, 12);
-    let mut nm = NuevoMatch::build(&set, &NuevoMatchConfig::default(), TupleMerge::build)
-        .expect("build");
+    let mut nm =
+        NuevoMatch::build(&set, &NuevoMatchConfig::default(), TupleMerge::build).expect("build");
     let fresh_pps = run_sequential(&nm, &trace).pps;
     println!(
         "built: {} rules, {:.1}% iSet coverage, remainder {} rules, {:.2e} pps",
@@ -45,14 +45,14 @@ fn main() {
                 // Matching-set change: remove + reinsert via the remainder.
                 let id = rng.below(n as u64) as u32;
                 let lo = rng.below(60_000) as u16;
-                nm.modify(
-                    FiveTuple::new().dst_port_range(lo, lo + 100).into_rule(id, id),
-                );
+                nm.modify(FiveTuple::new().dst_port_range(lo, lo + 100).into_rule(id, id));
             }
             _ => {
                 // Brand-new rule.
                 let id = n as u32 + i;
-                nm.insert(FiveTuple::new().dst_port_exact(rng.below(65_536) as u16).into_rule(id, id));
+                nm.insert(
+                    FiveTuple::new().dst_port_exact(rng.below(65_536) as u16).into_rule(id, id),
+                );
             }
         }
     }

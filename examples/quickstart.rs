@@ -13,26 +13,11 @@ fn main() {
     // 1. A hand-written rule-set: the paper's Figure 2 flavour — overlapping
     //    prefixes and port ranges, highest priority (lowest number) wins.
     let rules = vec![
-        FiveTuple::new()
-            .dst_prefix([10, 10, 0, 0], 16)
-            .dst_port_range(10, 18)
-            .into_rule(0, 0),
-        FiveTuple::new()
-            .dst_prefix([10, 10, 1, 0], 24)
-            .dst_port_range(15, 25)
-            .into_rule(1, 1),
-        FiveTuple::new()
-            .dst_prefix([10, 0, 0, 0], 8)
-            .dst_port_range(5, 8)
-            .into_rule(2, 2),
-        FiveTuple::new()
-            .dst_prefix([10, 10, 3, 0], 24)
-            .dst_port_range(7, 20)
-            .into_rule(3, 3),
-        FiveTuple::new()
-            .dst_prefix([10, 10, 3, 100], 32)
-            .dst_port_exact(19)
-            .into_rule(4, 4),
+        FiveTuple::new().dst_prefix([10, 10, 0, 0], 16).dst_port_range(10, 18).into_rule(0, 0),
+        FiveTuple::new().dst_prefix([10, 10, 1, 0], 24).dst_port_range(15, 25).into_rule(1, 1),
+        FiveTuple::new().dst_prefix([10, 0, 0, 0], 8).dst_port_range(5, 8).into_rule(2, 2),
+        FiveTuple::new().dst_prefix([10, 10, 3, 0], 24).dst_port_range(7, 20).into_rule(3, 3),
+        FiveTuple::new().dst_prefix([10, 10, 3, 100], 32).dst_port_exact(19).into_rule(4, 4),
     ];
     let set = RuleSet::new(FieldsSpec::five_tuple(), rules).expect("valid rules");
 
@@ -51,11 +36,11 @@ fn main() {
     // 3. Classify: the paper's example packet 10.10.3.100:19 matches rules
     //    R3 (priority 4 in the paper's 1-based table) and R4; R3 wins.
     let packet = [
-        0u64,                                 // src-ip (wildcarded by all rules)
-        fivetuple::ipv4([10, 10, 3, 100]),    // dst-ip
-        0,                                    // src-port
-        19,                                   // dst-port
-        6,                                    // proto
+        0u64,                              // src-ip (wildcarded by all rules)
+        fivetuple::ipv4([10, 10, 3, 100]), // dst-ip
+        0,                                 // src-port
+        19,                                // dst-port
+        6,                                 // proto
     ];
     let verdict = nm.classify(&packet).expect("matches");
     println!("\npacket 10.10.3.100:19 -> rule R{} (action a{})", verdict.rule, verdict.rule + 1);

@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! groups, per-group sample/time knobs, [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a plain
+//! median-of-samples timer instead of criterion's full statistics engine.
+//! Each benchmark prints one `name … time: [median ns]` line, so the BENCH
+//! json scraper keys on the same shape of output.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` in a loop: a warm-up period, then `samples` timed samples
+    /// within the measurement budget; records the median ns/iteration.
+    pub fn iter<O, R>(&mut self, mut f: O)
+    where
+        O: FnMut() -> R,
+    {
+        // Warm-up, and calibrate iterations per sample while at it.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        self.result_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// A named collection of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measured time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    fn run_one<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.sample_size,
+            result_ns: f64::NAN,
+        };
+        f(&mut b);
+        println!("{}/{} … time: [{:.1} ns]", self.name, id.0, b.result_ns);
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), f);
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id, |b| f(b, input));
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group with default timing settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+}
+
+/// Re-export matching criterion's: benches use `std::hint::black_box` via
+/// this path in some styles.
+pub use std::hint::black_box;
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(30));
+        g.warm_up_time(Duration::from_millis(5));
+        g.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn runner_completes() {
+        benches();
+    }
+}

@@ -25,10 +25,7 @@ fn engines(set: &RuleSet) -> Vec<(String, Box<dyn Classifier>)> {
         ("tm".into(), Box::new(TupleMerge::build(set))),
         ("cs".into(), Box::new(CutSplit::build(set))),
         ("nc".into(), Box::new(NeuroCuts::with_config(set, nc_cfg))),
-        (
-            "nm/tm".into(),
-            Box::new(NuevoMatch::build(set, &nm_cfg, TupleMerge::build).unwrap()),
-        ),
+        ("nm/tm".into(), Box::new(NuevoMatch::build(set, &nm_cfg, TupleMerge::build).unwrap())),
         (
             "nm/cs-noet".into(),
             Box::new(NuevoMatch::build(set, &nm_cfg_no_et, CutSplit::build).unwrap()),

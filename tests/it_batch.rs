@@ -1,0 +1,167 @@
+//! Batch/scalar equivalence: `classify_batch` must be **bit-identical** to
+//! per-key `classify` for every engine in the workspace — the contract the
+//! batched pipeline (`nuevomatch::system`) is built on. See
+//! `crates/core/src/rqrmi/simd.rs` module docs for why the cross-packet AVX
+//! kernels cannot change classification results.
+
+use nm_classbench::{generate, AppKind};
+use nm_common::{Classifier, FieldRange, FieldsSpec, LinearSearch, RuleSet};
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
+use nm_trace::{uniform_trace, zipf_trace};
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::system::FlowCache;
+use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
+use proptest::prelude::*;
+
+fn fast_cfg(early_termination: bool) -> NuevoMatchConfig {
+    NuevoMatchConfig {
+        rqrmi: RqRmiParams { samples_init: 256, max_attempts: 2, ..Default::default() },
+        min_iset_coverage: 0.0,
+        early_termination,
+        ..Default::default()
+    }
+}
+
+/// Asserts batch == per-key over the trace, in several ragged batch sizes
+/// (covering the 8-lane SIMD groups, their tails, and whole-trace calls).
+fn assert_batch_equivalent(c: &dyn Classifier, trace: &nm_common::TraceBuf) {
+    let stride = trace.stride();
+    let raw = trace.raw();
+    let n = trace.len();
+    let expect: Vec<_> = trace.iter().map(|k| c.classify(k)).collect();
+    for batch in [1usize, 5, 8, 32, 127, 128, n] {
+        let mut out = vec![None; n];
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + batch).min(n);
+            c.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out[lo..hi]);
+            lo = hi;
+        }
+        assert_eq!(out, expect, "{} diverged from per-key at batch {batch}", c.name());
+    }
+}
+
+#[test]
+fn every_engine_batch_matches_per_key() {
+    for (app, seed) in [(AppKind::Acl, 11u64), (AppKind::Fw, 22), (AppKind::Ipc, 33)] {
+        let set = generate(app, 300, seed);
+        let trace = uniform_trace(&set, 2_000, seed * 7 + 1);
+        let engines: Vec<Box<dyn Classifier>> = vec![
+            Box::new(LinearSearch::build(&set)),
+            Box::new(TupleMerge::build(&set)),
+            Box::new(CutSplit::build(&set)),
+            Box::new(NeuroCuts::with_config(
+                &set,
+                NeuroCutsConfig { iterations: 4, sample: 512, ..Default::default() },
+            )),
+        ];
+        for engine in &engines {
+            assert_batch_equivalent(engine.as_ref(), &trace);
+        }
+    }
+}
+
+#[test]
+fn nuevomatch_batch_matches_per_key_all_remainders() {
+    let set = generate(AppKind::Acl, 400, 5);
+    let uni = uniform_trace(&set, 2_000, 99);
+    let skew = zipf_trace(&set, 2_000, 1.1, 77);
+    for et in [true, false] {
+        let cfg = fast_cfg(et);
+        let nm_tm = NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap();
+        let nm_cs = NuevoMatch::build(&set, &cfg, CutSplit::build).unwrap();
+        let nm_ls = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+        for trace in [&uni, &skew] {
+            assert_batch_equivalent(&nm_tm, trace);
+            assert_batch_equivalent(&nm_cs, trace);
+            assert_batch_equivalent(&nm_ls, trace);
+        }
+    }
+}
+
+#[test]
+fn batch_with_floors_matches_per_key_dispatch() {
+    use nm_common::rule::Priority;
+    let set = generate(AppKind::Fw, 300, 8);
+    let trace = uniform_trace(&set, 1_500, 21);
+    let engines: Vec<Box<dyn Classifier>> = vec![
+        Box::new(TupleMerge::build(&set)),   // table-major batched override
+        Box::new(LinearSearch::build(&set)), // default per-key loop
+    ];
+    let stride = trace.stride();
+    let raw = trace.raw();
+    let n = trace.len();
+    // Floors cycle through no-floor, permissive, and aggressive pruning.
+    let floors: Vec<Priority> = (0..n as u32)
+        .map(|i| match i % 4 {
+            0 => Priority::MAX,
+            1 => 500,
+            2 => 10,
+            _ => 0,
+        })
+        .collect();
+    for engine in &engines {
+        let mut out = vec![None; n];
+        engine.classify_batch_with_floors(raw, stride, &floors, &mut out);
+        for (i, key) in trace.iter().enumerate() {
+            let expect = if floors[i] == Priority::MAX {
+                engine.classify(key)
+            } else {
+                engine.classify_with_floor(key, floors[i])
+            };
+            assert_eq!(out[i], expect, "{} diverged at packet {i}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn flow_cache_batch_matches_per_key() {
+    let set = generate(AppKind::Ipc, 250, 3);
+    let trace = zipf_trace(&set, 3_000, 1.2, 13);
+    let nm = NuevoMatch::build(&set, &fast_cfg(true), TupleMerge::build).unwrap();
+    let cached = FlowCache::new(nm, 256);
+    // Equivalence must hold across repeated passes (cold cache, then warm).
+    assert_batch_equivalent(&cached, &trace);
+    assert_batch_equivalent(&cached, &trace);
+    assert!(cached.stats().hits > 0, "warm pass should hit the cache");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Property: for arbitrary 2-field rule boxes and arbitrary probe keys,
+    /// NuevoMatch's batched path is bit-identical to the per-key path with
+    /// early termination both on and off (and both agree with linear scan).
+    #[test]
+    fn batch_bit_identical_on_arbitrary_boxes(
+        boxes in proptest::collection::vec((0u64..60_000, 0u64..8_000, 0u64..60_000, 0u64..8_000), 1..50),
+        probes in proptest::collection::vec((0u64..65_536, 0u64..65_536), 64),
+    ) {
+        let rows: Vec<Vec<FieldRange>> = boxes
+            .iter()
+            .map(|&(lo0, w0, lo1, w1)| {
+                vec![
+                    FieldRange::new(lo0, (lo0 + w0).min(65_535)),
+                    FieldRange::new(lo1, (lo1 + w1).min(65_535)),
+                ]
+            })
+            .collect();
+        let set = RuleSet::from_ranges(FieldsSpec::uniform(2, 16), rows).unwrap();
+        let oracle = LinearSearch::build(&set);
+        let mut keys = Vec::with_capacity(probes.len() * 2);
+        for &(a, b) in &probes {
+            keys.push(a);
+            keys.push(b);
+        }
+        for et in [true, false] {
+            let nm = NuevoMatch::build(&set, &fast_cfg(et), LinearSearch::build).unwrap();
+            let mut out = vec![None; probes.len()];
+            nm.classify_batch(&keys, 2, &mut out);
+            for (i, &(a, b)) in probes.iter().enumerate() {
+                prop_assert_eq!(out[i], nm.classify(&[a, b]), "batch vs per-key, et={}", et);
+                prop_assert_eq!(out[i], oracle.classify(&[a, b]), "batch vs oracle, et={}", et);
+            }
+        }
+    }
+}

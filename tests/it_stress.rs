@@ -138,10 +138,8 @@ fn wire_to_classifier_pipeline() {
     use nuevomatch::system::FlowCache;
     let set = nm_classbench::generate(nm_classbench::AppKind::Ipc, 800, 5);
     let oracle = LinearSearch::build(&set);
-    let cached = FlowCache::new(
-        NuevoMatch::build(&set, &fast_cfg(), TupleMerge::build).unwrap(),
-        256,
-    );
+    let cached =
+        FlowCache::new(NuevoMatch::build(&set, &fast_cfg(), TupleMerge::build).unwrap(), 256);
     let mut rng = SplitMix64::new(7);
     for _ in 0..3_000 {
         let key = [
@@ -183,9 +181,7 @@ fn flow_cache_invalidation_after_update() {
 #[test]
 fn fully_nested_rules_degrade_gracefully() {
     let n = 200u64;
-    let rows: Vec<Vec<FieldRange>> = (0..n)
-        .map(|i| vec![FieldRange::new(i, 2 * n - i)])
-        .collect();
+    let rows: Vec<Vec<FieldRange>> = (0..n).map(|i| vec![FieldRange::new(i, 2 * n - i)]).collect();
     let set = RuleSet::from_ranges(FieldsSpec::single("f", 16), rows).unwrap();
     let cfg = NuevoMatchConfig { max_isets: 4, min_iset_coverage: 0.25, ..fast_cfg() };
     let nm = NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap();

@@ -1,8 +1,8 @@
 //! Property-based tests over the workspace's core invariants.
 
-use nm_common::{FieldRange, FieldsSpec, LinearSearch, RuleSet, SplitMix64};
 use nm_common::range::low_mask;
 use nm_common::Classifier;
+use nm_common::{FieldRange, FieldsSpec, LinearSearch, RuleSet, SplitMix64};
 use proptest::prelude::*;
 
 /// Strategy: a sorted list of disjoint inclusive ranges in a 16-bit domain.
