@@ -23,4 +23,4 @@ pub mod updates;
 pub use metrics::{centrality_1d, centrality_sampled, diversity};
 pub use report::{geomean, Table};
 pub use thrash::CacheThrasher;
-pub use updates::{sustained_update_rate, throughput_over_time, UpdateModel};
+pub use updates::{sustained_update_rate, throughput_at, throughput_over_time, UpdateModel};

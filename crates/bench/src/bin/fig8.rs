@@ -18,6 +18,7 @@ use nm_neurocuts::NeuroCuts;
 use nm_trace::uniform_trace;
 use nm_tuplemerge::TupleMerge;
 use nuevomatch::system::parallel::{run_replicated, run_two_workers, BATCH};
+use nuevomatch::ClassifierHandle;
 
 fn main() {
     let s = scale();
@@ -48,7 +49,7 @@ fn main() {
                 let cs = CutSplit::build(&set);
                 let nm = nm_cs(&set);
                 let base = run_replicated(&cs, &trace, 2, BATCH);
-                let ours = run_two_workers(&nm, &trace, BATCH);
+                let ours = run_two_workers(&ClassifierHandle::read_only(nm), &trace, BATCH);
                 lat_row.push(base.mean_batch_latency_ns / ours.mean_batch_latency_ns);
                 thr_row.push(ours.pps / base.pps);
             }
@@ -57,7 +58,7 @@ fn main() {
                 let nc = NeuroCuts::with_config(&set, nc_config(!s.full));
                 let nm = nm_nc(&set, !s.full);
                 let base = run_replicated(&nc, &trace, 2, BATCH);
-                let ours = run_two_workers(&nm, &trace, BATCH);
+                let ours = run_two_workers(&ClassifierHandle::read_only(nm), &trace, BATCH);
                 lat_row.push(base.mean_batch_latency_ns / ours.mean_batch_latency_ns);
                 thr_row.push(ours.pps / base.pps);
             }
@@ -66,7 +67,7 @@ fn main() {
                 let tm = TupleMerge::build(&set);
                 let nm = nm_tm(&set);
                 let base = run_replicated(&tm, &trace, 2, BATCH);
-                let ours = run_two_workers(&nm, &trace, BATCH);
+                let ours = run_two_workers(&ClassifierHandle::read_only(nm), &trace, BATCH);
                 lat_row.push(base.mean_batch_latency_ns / ours.mean_batch_latency_ns);
                 thr_row.push(ours.pps / base.pps);
             }

@@ -3,10 +3,16 @@
 //! One binary per paper table/figure (see DESIGN.md §4 for the index):
 //!
 //! ```text
-//! cargo run -p nm-bench --release --bin table1   # … table2, table3
-//! cargo run -p nm-bench --release --bin fig7     # … fig8 … fig17
+//! cargo run -p nm-bench --release --bin table1       # … table2, table3
+//! cargo run -p nm-bench --release --bin fig7         # … fig8 … fig17
 //! cargo run -p nm-bench --release --bin fields contention search_dist
+//! cargo run -p nm-bench --release --bin update_bench # measured Figure 7
 //! ```
+//!
+//! `update_bench` is the live counterpart to `fig7`: it drives a
+//! `ClassifierHandle` with a paced update stream plus background retrains,
+//! measures the throughput-vs-time curve a lock-free reader actually sees,
+//! and validates it against the analytic §3.9 model.
 //!
 //! Every binary prints the same rows/series the paper reports. The `NM_SCALE`
 //! environment variable selects the workload scale:
@@ -41,7 +47,7 @@ use nm_common::{Classifier, RuleSet, TraceBuf};
 use nm_cutsplit::CutSplit;
 use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
 use nm_tuplemerge::TupleMerge;
-use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
+use nuevomatch::{ClassifierHandle, NuevoMatch, NuevoMatchConfig, RqRmiParams};
 
 /// Workload scale for the harness.
 #[derive(Clone, Debug)]
@@ -97,16 +103,29 @@ pub fn rqrmi_params() -> RqRmiParams {
     RqRmiParams { error_target: 64, ..Default::default() }
 }
 
-/// NuevoMatch paired with a TupleMerge remainder (§5.1: iSets below 5%
-/// coverage discarded, 4 iSets best for tm).
-pub fn nm_tm(set: &RuleSet) -> NuevoMatch<TupleMerge> {
-    let cfg = NuevoMatchConfig {
+/// The §5.1 configuration for a TupleMerge remainder: iSets below 5%
+/// coverage discarded, 4 iSets best for tm. One definition serves both the
+/// static build and the handle, so the measured-update baselines can never
+/// drift from the table/figure benches.
+pub fn nm_tm_config() -> NuevoMatchConfig {
+    NuevoMatchConfig {
         max_isets: 4,
         min_iset_coverage: 0.05,
         rqrmi: rqrmi_params(),
         early_termination: true,
-    };
-    NuevoMatch::build(set, &cfg, TupleMerge::build).expect("nm/tm build")
+    }
+}
+
+/// NuevoMatch paired with a TupleMerge remainder ([`nm_tm_config`]).
+pub fn nm_tm(set: &RuleSet) -> NuevoMatch<TupleMerge> {
+    NuevoMatch::build(set, &nm_tm_config(), TupleMerge::build).expect("nm/tm build")
+}
+
+/// The [`nm_tm`] configuration served through a live [`ClassifierHandle`]:
+/// lock-free snapshot readers, transactional updates, background retrains.
+/// `--bin update_bench` and the update-soak jobs go through this.
+pub fn nm_tm_handle(set: &RuleSet) -> ClassifierHandle<TupleMerge> {
+    ClassifierHandle::new(set, &nm_tm_config(), TupleMerge::build).expect("nm/tm handle build")
 }
 
 /// NuevoMatch paired with a CutSplit remainder (§5.1: 25% minimum coverage,
@@ -130,7 +149,8 @@ pub fn nm_nc(set: &RuleSet, quick: bool) -> NuevoMatch<NeuroCuts> {
         early_termination: true,
     };
     let nc_cfg = nc_config(quick);
-    NuevoMatch::build(set, &cfg, |rem| NeuroCuts::with_config(rem, nc_cfg)).expect("nm/nc build")
+    NuevoMatch::build(set, &cfg, |rem: &RuleSet| NeuroCuts::with_config(rem, nc_cfg))
+        .expect("nm/nc build")
 }
 
 /// NeuroCuts configuration per scale (the paper gave nc a 36-hour sweep; the

@@ -23,6 +23,11 @@ pub enum ParsedCommand {
     Classify(Args),
     /// `nmctl train <file> --out …`
     Train(Args),
+    /// `nmctl serve <file> …` — concurrent readers + a live update stream
+    /// against a `ClassifierHandle`.
+    Serve(Args),
+    /// `nmctl update-bench <file> …` — the measured Figure 7 curve.
+    UpdateBench(Args),
     /// `nmctl help` or anything unrecognised.
     Help,
 }
@@ -81,6 +86,8 @@ pub fn parse_command(argv: &[String]) -> Result<ParsedCommand, String> {
         "bench" => ParsedCommand::Bench(rest),
         "classify" => ParsedCommand::Classify(rest),
         "train" => ParsedCommand::Train(rest),
+        "serve" => ParsedCommand::Serve(rest),
+        "update-bench" => ParsedCommand::UpdateBench(rest),
         _ => ParsedCommand::Help,
     })
 }
@@ -111,6 +118,11 @@ mod tests {
     #[test]
     fn command_dispatch() {
         assert!(matches!(parse_command(&v(&["generate"])).unwrap(), ParsedCommand::Generate(_)));
+        assert!(matches!(parse_command(&v(&["serve", "x"])).unwrap(), ParsedCommand::Serve(_)));
+        assert!(matches!(
+            parse_command(&v(&["update-bench", "x"])).unwrap(),
+            ParsedCommand::UpdateBench(_)
+        ));
         assert!(matches!(parse_command(&v(&["nope"])).unwrap(), ParsedCommand::Help));
         assert!(matches!(parse_command(&v(&[])).unwrap(), ParsedCommand::Help));
     }

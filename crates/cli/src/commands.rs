@@ -4,13 +4,16 @@ use crate::args::{Args, ParsedCommand};
 use nm_analysis::{centrality_1d, diversity, Table};
 use nm_classbench::{generate, parse_classbench, AppKind};
 use nm_common::memsize::human_bytes;
-use nm_common::{fivetuple, Classifier, RuleSet};
+use nm_common::{fivetuple, Classifier, FiveTuple, RuleSet, UpdateBatch};
 use nm_cutsplit::CutSplit;
 use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
 use nm_trace::{caida_like_trace, uniform_trace, zipf_trace, CaidaLikeConfig};
 use nm_tuplemerge::{TupleMerge, TupleSpaceSearch};
 use nuevomatch::system::parallel::{run_batched, run_sequential};
-use nuevomatch::{NuevoMatch, NuevoMatchConfig};
+use nuevomatch::{
+    measure_update_curve, ClassifierHandle, NuevoMatch, NuevoMatchConfig, UpdateBenchConfig,
+    UpdatePacer,
+};
 
 /// Usage text.
 pub const HELP: &str = "\
@@ -19,9 +22,13 @@ nmctl — NuevoMatch reproduction toolkit
 USAGE:
   nmctl generate --kind <acl|fw|ipc> [--rules N] [--seed S]        # ClassBench text to stdout
   nmctl inspect  <rules.cb>                                        # structure metrics
-  nmctl bench    <rules.cb> [--engine E] [--trace T] [--packets N] [--batch B] # throughput/memory
+  nmctl bench    <rules.cb> [--engine E] [--trace T] [--packets N] [--batch B] [--json true]
   nmctl classify <rules.cb> --key a.b.c.d,a.b.c.d,sport,dport,proto
   nmctl train    <rules.cb> --out <model.rqrmi>                    # persist largest-iSet RQ-RMI
+  nmctl serve    <rules.cb> [--seconds S] [--readers K] [--update-rate U]
+                 [--retrain-every R] [--batch B] [--json true]     # live handle: readers + updates
+  nmctl update-bench <rules.cb> [--seconds S] [--update-rate U] [--retrain-every R]
+                 [--batch B] [--json true]                         # measured Figure 7 curve
 
 engines: linear tss tm cs nc nm-tm nm-cs nm-nc     traces: uniform zipf:<alpha> caida
 ";
@@ -35,6 +42,8 @@ pub fn run(cmd: ParsedCommand) -> Result<String, String> {
         ParsedCommand::Bench(a) => cmd_bench(&a),
         ParsedCommand::Classify(a) => cmd_classify(&a),
         ParsedCommand::Train(a) => cmd_train(&a),
+        ParsedCommand::Serve(a) => cmd_serve(&a),
+        ParsedCommand::UpdateBench(a) => cmd_update_bench(&a),
     }
 }
 
@@ -118,7 +127,7 @@ fn build_engine(name: &str, set: &RuleSet) -> Result<Box<dyn Classifier>, String
             Box::new(NuevoMatch::build(set, &nm_cfg, CutSplit::build).map_err(|e| e.to_string())?)
         }
         "nm-nc" => Box::new(
-            NuevoMatch::build(set, &nm_cfg, |rem| {
+            NuevoMatch::build(set, &nm_cfg, |rem: &RuleSet| {
                 NeuroCuts::with_config(
                     rem,
                     NeuroCutsConfig { iterations: 12, sample: 2_048, ..Default::default() },
@@ -148,6 +157,7 @@ fn cmd_bench(a: &Args) -> Result<String, String> {
     };
 
     let batch: usize = a.num_or("batch", 1)?;
+    let json: bool = a.num_or("json", false)?;
 
     let t0 = std::time::Instant::now();
     let engine = build_engine(&engine_name, &set)?;
@@ -159,8 +169,26 @@ fn cmd_bench(a: &Args) -> Result<String, String> {
     } else {
         run_batched(engine.as_ref(), &trace, batch)
     };
+    if json {
+        // Machine-readable form, shape-compatible with the `update-bench`
+        // samples: static benches report generation 0 and update_rate 0.
+        return Ok(format!(
+            "{{\"engine\":\"{}\",\"rules\":{},\"build_s\":{:.3},\"memory_bytes\":{},\
+             \"packets\":{},\"batch\":{},\"pps\":{:.1},\"ns_per_packet\":{:.1},\
+             \"generation\":{},\"update_rate\":0.0}}\n",
+            engine_name,
+            set.len(),
+            build_s,
+            engine.memory_bytes(),
+            trace.len(),
+            batch,
+            stats.pps,
+            1e9 / stats.pps.max(1e-9),
+            engine.generation(),
+        ));
+    }
     Ok(format!(
-        "engine: {}\nrules: {}\nbuild time: {:.2}s\nindex memory: {}\npackets: {}\nbatch: {}\nthroughput: {:.3e} pps ({:.0} ns/packet)\n",
+        "engine: {}\nrules: {}\nbuild time: {:.2}s\nindex memory: {}\npackets: {}\nbatch: {}\nthroughput: {:.3e} pps ({:.0} ns/packet)\ngeneration: {}\n",
         engine_name,
         set.len(),
         build_s,
@@ -169,6 +197,7 @@ fn cmd_bench(a: &Args) -> Result<String, String> {
         batch,
         stats.pps,
         1e9 / stats.pps.max(1e-9),
+        engine.generation(),
     ))
 }
 
@@ -208,6 +237,190 @@ fn cmd_train(a: &Args) -> Result<String, String> {
         human_bytes(bytes.len()),
         out_path,
     ))
+}
+
+/// Builds the update stream both live-update commands replay: transaction
+/// `seq` modifies `ops` existing rules to fresh random dst-port ranges, so
+/// every op drifts one rule from its iSet to the remainder (the worst case
+/// for §3.9, and the one Figure 7 models).
+fn drift_batch(set: &RuleSet, rng: &mut nm_common::SplitMix64, ops: usize) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for _ in 0..ops {
+        let rule = set.rule_at(rng.below(set.len() as u64) as usize);
+        let lo = rng.below(60_000) as u16;
+        batch = batch.modify(
+            FiveTuple::new()
+                .dst_port_range(lo, lo.saturating_add(200))
+                .into_rule(rule.id, rule.priority),
+        );
+    }
+    batch
+}
+
+fn cmd_serve(a: &Args) -> Result<String, String> {
+    let set = load_rules(a)?;
+    if set.is_empty() {
+        return Err("serve: the rule file holds no rules (nothing to update or classify)".into());
+    }
+    let seconds: f64 = a.num_or("seconds", 2.0)?;
+    let readers: usize = a.num_or("readers", 2)?;
+    let update_rate: f64 = a.num_or("update-rate", 1_000.0)?;
+    let retrain_every: f64 = a.num_or("retrain-every", 0.0)?;
+    let batch: usize = a.num_or("batch", 128)?;
+    let packets: usize = a.num_or("packets", 50_000)?;
+    let seed: u64 = a.num_or("seed", 1)?;
+    let json: bool = a.num_or("json", false)?;
+
+    let trace = uniform_trace(&set, packets, seed);
+    let t0 = std::time::Instant::now();
+    let handle = ClassifierHandle::new(&set, &NuevoMatchConfig::default(), TupleMerge::build)
+        .map_err(|e| e.to_string())?;
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let ops_per_batch = 16usize;
+    let mut updates_applied = 0u64;
+    let mut reader_packets = vec![0u64; readers.max(1)];
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..readers.max(1) {
+            let handle = handle.clone();
+            let trace = &trace;
+            let stop = &stop;
+            joins.push(scope.spawn(move || {
+                let (raw, stride, n) = (trace.raw(), trace.stride(), trace.len());
+                let mut out = vec![None; batch.max(1)];
+                let mut lo = 0usize;
+                let mut count = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let hi = (lo + batch.max(1)).min(n);
+                    handle.classify_batch(
+                        &raw[lo * stride..hi * stride],
+                        stride,
+                        &mut out[..hi - lo],
+                    );
+                    count += (hi - lo) as u64;
+                    lo = if hi == n { 0 } else { hi };
+                }
+                count
+            }));
+        }
+        // Updater + retrain trigger on the caller's thread, through the
+        // shared pacer (same loop body `measure_update_curve` uses).
+        let mut rng = nm_common::SplitMix64::new(seed ^ 0xdead_beef);
+        let mut pacer = UpdatePacer::new(update_rate, ops_per_batch, retrain_every);
+        let mut retrain_joins = Vec::new();
+        while start.elapsed().as_secs_f64() < seconds {
+            pacer.tick(&handle, &mut retrain_joins, |_| drift_batch(&set, &mut rng, ops_per_batch));
+        }
+        updates_applied = pacer.ops_applied();
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        for (i, j) in joins.into_iter().enumerate() {
+            reader_packets[i] = j.join().expect("reader panicked");
+        }
+        // Wait out every retrain the pacer spawned so the stats below are
+        // settled and no trainer is killed by process exit.
+        UpdatePacer::drain(retrain_joins);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: u64 = reader_packets.iter().sum();
+    let snap = handle.snapshot();
+    if json {
+        return Ok(format!(
+            "{{\"engine\":\"nm-tm\",\"rules\":{},\"build_s\":{:.3},\"readers\":{},\"seconds\":{:.3},\
+             \"packets\":{},\"pps\":{:.1},\"update_rate\":{:.1},\"updates_applied\":{},\
+             \"generation\":{},\"retrains\":{},\"remainder_fraction\":{:.4}}}\n",
+            set.len(),
+            build_s,
+            readers.max(1),
+            elapsed,
+            total,
+            total as f64 / elapsed,
+            update_rate,
+            updates_applied,
+            handle.generation(),
+            handle.retrains_completed(),
+            snap.engine().remainder_fraction(),
+        ));
+    }
+    Ok(format!(
+        "served {} packets over {:.2}s with {} readers: {:.3e} pps aggregate\n\
+         updates applied: {} ({:.0}/s target) -> generation {}\n\
+         retrains completed: {}   remainder fraction now: {:.1}%\n\
+         readers never blocked: every classify ran against a pinned snapshot\n",
+        total,
+        elapsed,
+        readers.max(1),
+        total as f64 / elapsed,
+        updates_applied,
+        update_rate,
+        handle.generation(),
+        handle.retrains_completed(),
+        snap.engine().remainder_fraction() * 100.0,
+    ))
+}
+
+fn cmd_update_bench(a: &Args) -> Result<String, String> {
+    let set = load_rules(a)?;
+    if set.is_empty() {
+        return Err("update-bench: the rule file holds no rules (nothing to drift)".into());
+    }
+    let seconds: f64 = a.num_or("seconds", 4.0)?;
+    let update_rate: f64 = a.num_or("update-rate", 1_000.0)?;
+    let retrain_every: f64 = a.num_or("retrain-every", 1.5)?;
+    let batch: usize = a.num_or("batch", 128)?;
+    let packets: usize = a.num_or("packets", 50_000)?;
+    let seed: u64 = a.num_or("seed", 1)?;
+    let json: bool = a.num_or("json", false)?;
+
+    let trace = uniform_trace(&set, packets, seed);
+    let handle = ClassifierHandle::new(&set, &NuevoMatchConfig::default(), TupleMerge::build)
+        .map_err(|e| e.to_string())?;
+    let cfg = UpdateBenchConfig {
+        duration_s: seconds,
+        sample_every_s: (seconds / 20.0).max(0.05),
+        updates_per_s: update_rate,
+        ops_per_batch: 16,
+        retrain_period_s: retrain_every,
+        batch,
+    };
+    let mut rng = nm_common::SplitMix64::new(seed ^ 0x5eed);
+    let curve = measure_update_curve(&handle, &trace, &cfg, |_| drift_batch(&set, &mut rng, 16));
+    let mut out = String::new();
+    if json {
+        for p in &curve {
+            out.push_str(&format!(
+                "{{\"t_s\":{:.3},\"pps\":{:.1},\"generation\":{},\"update_rate\":{:.1},\
+                 \"remainder_fraction\":{:.4},\"retrains\":{}}}\n",
+                p.t_s, p.pps, p.generation, update_rate, p.remainder_fraction, p.retrains
+            ));
+        }
+        return Ok(out);
+    }
+    out.push_str(&format!(
+        "measured Figure 7 curve: {} rules, {:.0} updates/s, retrain every {:.1}s\n\n",
+        set.len(),
+        update_rate,
+        retrain_every
+    ));
+    out.push_str(&format!(
+        "{:>7}  {:>12}  {:>6}  {:>10}  {:>9}  {:>8}\n",
+        "t (s)", "pps", "rel", "generation", "rem-frac", "retrains"
+    ));
+    let peak = curve.iter().map(|p| p.pps).fold(0.0f64, f64::max).max(1e-9);
+    for p in &curve {
+        out.push_str(&format!(
+            "{:>7.2}  {:>12.3e}  {:>6.2}  {:>10}  {:>9.3}  {:>8}\n",
+            p.t_s,
+            p.pps,
+            p.pps / peak,
+            p.generation,
+            p.remainder_fraction,
+            p.retrains
+        ));
+    }
+    Ok(out)
 }
 
 /// Parses `a.b.c.d,a.b.c.d,sport,dport,proto` into a 5-tuple key.
@@ -302,6 +515,74 @@ mod tests {
         // The persisted model loads back.
         let bytes = std::fs::read(&model).unwrap();
         assert!(nuevomatch::load_rqrmi(&bytes).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_update_bench_smoke() {
+        let dir = std::env::temp_dir().join(format!("nmctl-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.cb");
+        let gen = run(parse_command(&v(&["generate", "--kind", "acl", "--rules", "300"])).unwrap())
+            .unwrap();
+        std::fs::write(&rules, gen).unwrap();
+        let rp = rules.to_str().unwrap();
+
+        let out = run(parse_command(&v(&[
+            "serve",
+            rp,
+            "--seconds",
+            "0.4",
+            "--readers",
+            "2",
+            "--update-rate",
+            "500",
+            "--retrain-every",
+            "0.2",
+            "--packets",
+            "3000",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("updates applied"), "{out}");
+        assert!(out.contains("retrains completed"), "{out}");
+
+        let out = run(parse_command(&v(&[
+            "update-bench",
+            rp,
+            "--seconds",
+            "0.4",
+            "--update-rate",
+            "500",
+            "--retrain-every",
+            "0",
+            "--packets",
+            "3000",
+            "--json",
+            "true",
+        ]))
+        .unwrap())
+        .unwrap();
+        // JSON samples with the generation/update-rate fields downstream
+        // tooling consumes.
+        assert!(out.lines().count() >= 2, "{out}");
+        assert!(out.contains("\"generation\":"), "{out}");
+        assert!(out.contains("\"update_rate\":500.0"), "{out}");
+
+        let out = run(parse_command(&v(&[
+            "bench",
+            rp,
+            "--engine",
+            "tm",
+            "--packets",
+            "2000",
+            "--json",
+            "true",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("\"generation\":0"), "{out}");
+        assert!(out.contains("\"update_rate\":0.0"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

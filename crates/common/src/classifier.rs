@@ -33,12 +33,23 @@ impl MatchResult {
     }
 }
 
-/// A packet classifier over a fixed rule-set.
+/// A packet classifier — the **data-plane** read interface.
 ///
 /// Implementations: [`crate::LinearSearch`], `nm_tuplemerge::TupleMerge`,
-/// `nm_cutsplit::CutSplit`, `nm_neurocuts::NeuroCuts`, and
-/// `nuevomatch::NuevoMatch` itself (which *wraps* one of the others as its
-/// remainder engine).
+/// `nm_cutsplit::CutSplit`, `nm_neurocuts::NeuroCuts`,
+/// `nuevomatch::NuevoMatch` (which *wraps* one of the others as its
+/// remainder engine), and the wrappers layered above them:
+/// [`crate::Snapshot`] (a generation-stamped immutable view),
+/// `nuevomatch::ClassifierHandle` (lock-free reads against an atomically
+/// swapped snapshot) and `nuevomatch::FlowCache`.
+///
+/// Every method takes `&self` and implementations are `Send + Sync`, so a
+/// built classifier can be shared by any number of reader threads. Writes
+/// go through the separate control-plane traits: [`crate::BatchUpdatable`]
+/// for engines that accept transactional [`crate::UpdateBatch`]es, and
+/// [`crate::EngineBuilder`] for (re)construction. The [`Self::generation`]
+/// stamp ties the two planes together — it bumps whenever the served rule
+/// content changes, which is how caches above the classifier invalidate.
 ///
 /// ## Tie semantics
 ///
@@ -135,6 +146,19 @@ pub trait Classifier: Send + Sync {
         }
     }
 
+    /// Monotone data-plane version stamp: bumps whenever the rule content
+    /// this classifier serves changes (see [`crate::Generation`]).
+    ///
+    /// Engines that never change after build keep the default (a constant
+    /// `0`). Updatable engines bump it on every applied batch; snapshot
+    /// handles report the published snapshot's generation. Caches layered
+    /// above a classifier (e.g. `nuevomatch::FlowCache`) probe this to drop
+    /// stale verdicts, so a non-bumping implementation on a mutable engine
+    /// is a correctness bug, not a missed optimisation.
+    fn generation(&self) -> crate::update::Generation {
+        0
+    }
+
     /// Bytes used by the *index* data structures (hash tables, tree nodes,
     /// model weights) — excluding the rules themselves, matching the paper's
     /// §5.2.1 memory-footprint definition.
@@ -147,9 +171,29 @@ pub trait Classifier: Send + Sync {
     fn num_rules(&self) -> usize;
 }
 
-/// Classifiers supporting online rule updates (§3.9). In this workspace only
-/// TupleMerge (and linear search, trivially) implement it; NuevoMatch routes
-/// updates to its remainder engine.
+/// Deprecated per-op update interface, superseded by
+/// [`crate::BatchUpdatable`].
+///
+/// The `&mut self` insert/remove pair cannot express the §3.9 lifecycle the
+/// runtime now implements: it forbids concurrent readers, offers no
+/// transaction boundary for multi-op updates, and gives wrappers nothing to
+/// hang atomic publication on. Migrate by wrapping ops in a
+/// [`crate::UpdateBatch`]:
+///
+/// ```ignore
+/// // before                        // after
+/// engine.insert(rule);             engine.apply(&UpdateBatch::new().insert(rule));
+/// let hit = engine.remove(id);     let hit = engine.apply(&UpdateBatch::new().remove(id)).removed == 1;
+/// ```
+///
+/// TupleMerge and LinearSearch keep (deprecated) impls of this trait for
+/// one release so out-of-tree callers still compile; the impls delegate to
+/// the batch path and will be removed together with this trait.
+#[deprecated(
+    since = "0.2.0",
+    note = "use BatchUpdatable::apply with an UpdateBatch; this per-op trait \
+            cannot coexist with lock-free readers and will be removed"
+)]
 pub trait Updatable: Classifier {
     /// Inserts a rule (id/priority/box taken from the rule itself).
     fn insert(&mut self, rule: crate::rule::Rule);

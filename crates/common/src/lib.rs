@@ -12,6 +12,11 @@
 //!   (NuevoMatch, TupleMerge, CutSplit, NeuroCuts, linear search), including
 //!   the *early-termination* entry point `classify_with_floor` from §4 of the
 //!   paper and the memory-footprint accounting used by Figure 13.
+//! * [`EngineBuilder`], [`UpdateBatch`], [`BatchUpdatable`] and
+//!   [`Snapshot`] — the control-plane vocabulary of the
+//!   control-plane/data-plane split: reusable engine construction,
+//!   transactional updates, and the generation-stamped immutable views the
+//!   data plane publishes (see [`update`]).
 //! * [`LinearSearch`] — the trivially-correct reference classifier used as
 //!   ground truth by every correctness test in the workspace.
 //! * [`TraceBuf`] — a flat, zero-copy packet-trace container for the
@@ -42,9 +47,12 @@ pub mod rng;
 pub mod rule;
 pub mod ruleset;
 pub mod stats;
+pub mod update;
 pub mod wire;
 
-pub use classifier::{Classifier, MatchResult, Updatable};
+#[allow(deprecated)]
+pub use classifier::Updatable;
+pub use classifier::{Classifier, MatchResult};
 pub use error::Error;
 pub use fivetuple::{FiveTuple, DST_IP, DST_PORT, FIVE_TUPLE_FIELDS, PROTO, SRC_IP, SRC_PORT};
 pub use linear::LinearSearch;
@@ -53,3 +61,6 @@ pub use range::FieldRange;
 pub use rng::SplitMix64;
 pub use rule::{Priority, Rule, RuleId};
 pub use ruleset::{FieldSpec, FieldsSpec, RuleSet};
+pub use update::{
+    BatchUpdatable, EngineBuilder, Generation, Snapshot, UpdateBatch, UpdateOp, UpdateReport,
+};

@@ -1,31 +1,44 @@
 //! Linear-scan reference classifier — the ground truth for every
 //! correctness test in the workspace.
 
-use crate::classifier::{Classifier, MatchResult, Updatable};
+use crate::classifier::{Classifier, MatchResult};
 use crate::rule::{Priority, Rule, RuleId};
 use crate::ruleset::RuleSet;
+use crate::update::{BatchUpdatable, Generation, UpdateBatch, UpdateReport};
 
 /// Brute-force classifier: rules sorted by priority, first match wins.
 ///
 /// O(n) per lookup, O(1) extra memory. Used as the correctness oracle and as
 /// the degenerate baseline in scaling plots.
+#[derive(Clone)]
 pub struct LinearSearch {
     /// Rules sorted by (priority, id) so the first hit is the answer.
     rules: Vec<Rule>,
+    /// Update stamp (see [`Classifier::generation`]).
+    generation: Generation,
 }
 
 impl LinearSearch {
     /// Builds from a rule-set (copies the rules and sorts by priority).
     pub fn build(set: &RuleSet) -> Self {
-        let mut rules = set.rules().to_vec();
-        rules.sort_by_key(|r| (r.priority, r.id));
-        Self { rules }
+        Self::from_rules(set.rules().to_vec())
     }
 
     /// Builds from an explicit rule list.
     pub fn from_rules(mut rules: Vec<Rule>) -> Self {
         rules.sort_by_key(|r| (r.priority, r.id));
-        Self { rules }
+        Self { rules, generation: 0 }
+    }
+
+    fn insert_rule(&mut self, rule: Rule) {
+        let pos = self.rules.partition_point(|r| (r.priority, r.id) < (rule.priority, rule.id));
+        self.rules.insert(pos, rule);
+    }
+
+    fn remove_rule(&mut self, id: RuleId) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id != id);
+        self.rules.len() != before
     }
 }
 
@@ -60,18 +73,38 @@ impl Classifier for LinearSearch {
     fn num_rules(&self) -> usize {
         self.rules.len()
     }
+
+    fn generation(&self) -> Generation {
+        self.generation
+    }
 }
 
-impl Updatable for LinearSearch {
+impl BatchUpdatable for LinearSearch {
+    fn apply(&mut self, batch: &UpdateBatch) -> UpdateReport {
+        let report =
+            crate::update::apply_ops(self, batch, Self::insert_rule, |s, id| s.remove_rule(id));
+        if !batch.is_empty() {
+            self.generation += 1;
+        }
+        report
+    }
+
+    fn export_rules(&self) -> Vec<Rule> {
+        self.rules.clone()
+    }
+}
+
+// One-release compatibility shim: the deprecated per-op interface delegates
+// to the batch path so out-of-tree callers keep compiling (and keep the
+// generation stamp honest).
+#[allow(deprecated)]
+impl crate::classifier::Updatable for LinearSearch {
     fn insert(&mut self, rule: Rule) {
-        let pos = self.rules.partition_point(|r| (r.priority, r.id) < (rule.priority, rule.id));
-        self.rules.insert(pos, rule);
+        self.apply(&UpdateBatch::new().insert(rule));
     }
 
     fn remove(&mut self, id: RuleId) -> bool {
-        let before = self.rules.len();
-        self.rules.retain(|r| r.id != id);
-        self.rules.len() != before
+        self.apply(&UpdateBatch::new().remove(id)).removed == 1
     }
 }
 
@@ -117,11 +150,32 @@ mod tests {
     fn updates() {
         let set = tiny_set();
         let mut ls = LinearSearch::build(&set);
-        assert!(ls.remove(0));
-        assert!(!ls.remove(0));
+        assert_eq!(ls.generation(), 0);
+        let report = ls.apply(&UpdateBatch::new().remove(0).remove(0));
+        assert_eq!((report.removed, report.missing), (1, 1), "double delete reports absence");
         assert_eq!(ls.classify(&[99, 1]), None);
-        ls.insert(Rule::new(7, 0, vec![FieldRange::new(90, 100), FieldRange::new(0, 10)]));
+        assert_eq!(ls.generation(), 1);
+        let add = Rule::new(7, 0, vec![FieldRange::new(90, 100), FieldRange::new(0, 10)]);
+        assert_eq!(ls.apply(&UpdateBatch::new().insert(add)).inserted, 1);
         assert_eq!(ls.classify(&[99, 1]).unwrap().rule, 7);
         assert_eq!(ls.num_rules(), 3);
+        assert_eq!(ls.generation(), 2);
+        // The empty batch is a no-op and does not bump the generation.
+        assert_eq!(ls.apply(&UpdateBatch::new()), UpdateReport::default());
+        assert_eq!(ls.generation(), 2);
+        assert_eq!(ls.export_rules().len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_updatable_shim_still_works() {
+        use crate::classifier::Updatable;
+        let set = tiny_set();
+        let mut ls = LinearSearch::build(&set);
+        assert!(ls.remove(0));
+        assert!(!ls.remove(0));
+        ls.insert(Rule::new(9, 0, vec![FieldRange::exact(1), FieldRange::exact(1)]));
+        assert_eq!(ls.classify(&[1, 1]).unwrap().rule, 9);
+        assert!(ls.generation() >= 3, "shim must keep the generation stamp honest");
     }
 }

@@ -34,15 +34,23 @@
 //!     .collect();
 //! let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
 //!
-//! // Build NuevoMatch with a linear-search remainder.
-//! let nm = NuevoMatch::build(&set, &NuevoMatchConfig::default(), |rem| {
-//!     LinearSearch::build(rem)
-//! })
-//! .unwrap();
+//! // Build NuevoMatch with a linear-search remainder. Any
+//! // `EngineBuilder` (for example a plain `fn(&RuleSet) -> R`) works; the
+//! // same builder value drives background retrains when the classifier is
+//! // served through a `ClassifierHandle`.
+//! let nm = NuevoMatch::build(&set, &NuevoMatchConfig::default(), LinearSearch::build).unwrap();
 //!
 //! let key = [0u64, 0, 0, 5_500, 6]; // dst-port 5500 -> rule 5
 //! assert_eq!(nm.classify(&key).unwrap().rule, 5);
 //! ```
+//!
+//! ## Serving under updates
+//!
+//! For the §3.9 lifecycle — concurrent readers, transactional updates, and
+//! background retrains that reset the remainder drift — wrap the build in a
+//! [`ClassifierHandle`]: readers pin generation-stamped immutable snapshots
+//! and never block, a writer applies `UpdateBatch` transactions, and
+//! `retrain()` republishes fresh models RCU-style (see [`system::handle`]).
 //!
 //! See `DESIGN.md` at the workspace root for the full system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -57,6 +65,9 @@ pub mod system;
 
 pub use config::{NuevoMatchConfig, RqRmiParams, TrainerKind};
 pub use iset::{partition_isets, ISet, PartitionResult};
-pub use persist::{load_rqrmi, save_rqrmi};
+pub use persist::{load_rqrmi, load_snapshot, save_rqrmi, save_snapshot};
 pub use rqrmi::{train_rqrmi, CompiledRqRmi, Isa, RqRmi};
-pub use system::{FlowCache, LookupBreakdown, NuevoMatch, TrainedISet};
+pub use system::handle::{measure_update_curve, UpdateBenchConfig, UpdateCurvePoint, UpdatePacer};
+pub use system::{
+    ClassifierHandle, FlowCache, LookupBreakdown, NmSnapshot, NuevoMatch, TrainedISet,
+};

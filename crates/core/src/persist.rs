@@ -1,13 +1,20 @@
-//! Binary persistence for trained models.
+//! Binary persistence for trained models and whole classifier snapshots.
 //!
 //! Training a 500K-rule RQ-RMI takes seconds-to-minutes; classification
 //! starts in microseconds if the trained weights can be loaded instead.
-//! This module provides a small, versioned, checksummed binary codec for
-//! [`RqRmi`] models — no external serialisation format needed (the format
-//! is simple enough that a schema language would cost more than it saves,
-//! and the workspace's dependency policy is deliberately tight).
+//! This module provides a small, versioned, checksummed binary codec — no
+//! external serialisation format needed (the format is simple enough that a
+//! schema language would cost more than it saves, and the workspace's
+//! dependency policy is deliberately tight) — at two granularities:
 //!
-//! Layout (all little-endian):
+//! * [`save_rqrmi`] / [`load_rqrmi`] — one trained [`RqRmi`] model.
+//! * [`save_snapshot`] / [`load_snapshot`] — a full `NuevoMatch` data
+//!   plane: every iSet's model *and* lookup tables (projections, rule
+//!   boxes, tombstones) plus the remainder engine's live rules, so a
+//!   `ClassifierHandle` can warm-start from disk without retraining
+//!   (`ClassifierHandle::from_snapshot`).
+//!
+//! RQ-RMI layout (all little-endian):
 //!
 //! ```text
 //! magic  "NMRQRMI1"                      8 bytes
@@ -18,15 +25,35 @@
 //! fnv64 checksum over everything above   8 bytes
 //! ```
 //!
+//! Snapshot layout:
+//!
+//! ```text
+//! magic  "NMSNAP01"                      8 bytes
+//! generation u64, flags u8 (bit 0 = early termination)
+//! total_rules u64, moved_updates u64
+//! spec: nfields u32, per field (name_len u32 + utf8, bits u8)
+//! isets: count u32, per iset:
+//!   dim u32, n u64
+//!   los/his  n × u64 each, rule_ids/priorities  n × u32 each
+//!   boxes    n × nfields × 2 × u64
+//!   tombstone bitmap  ceil(n/8) bytes
+//!   embedded RQ-RMI blob (u32 length prefix, save_rqrmi format)
+//! remainder: count u64, per rule (id u32, priority u32, nfields × lo/hi u64)
+//! fnv64 checksum over everything above   8 bytes
+//! ```
+//!
 //! The checksum catches truncation and bit rot; the magic catches format
 //! confusion. Forward compatibility is handled by bumping the magic suffix.
 
 use crate::rqrmi::RqRmi;
+use crate::system::{NuevoMatch, TrainedISet};
 use bytes::{Buf, BufMut};
-use nm_common::Error;
+use nm_common::update::{BatchUpdatable, EngineBuilder, Generation};
+use nm_common::{Classifier, Error, FieldSpec, FieldsSpec, Rule, RuleSet};
 use nm_nn::Mlp;
 
 const MAGIC: &[u8; 8] = b"NMRQRMI1";
+const SNAP_MAGIC: &[u8; 8] = b"NMSNAP01";
 
 fn fnv64(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -147,6 +174,193 @@ pub fn load_rqrmi(data: &[u8]) -> Result<RqRmi, Error> {
     Ok(RqRmi { widths, nets, leaf_err, n_values, bits })
 }
 
+/// Serialises a full `NuevoMatch` data plane — every iSet's trained model
+/// and lookup tables plus the remainder's live rules — under `generation`
+/// (pass the handle's published generation, or 0 for a bare classifier).
+///
+/// Requires `R: BatchUpdatable` for the remainder rule export.
+pub fn save_snapshot<R: BatchUpdatable>(nm: &NuevoMatch<R>, generation: Generation) -> Vec<u8> {
+    let mut out = Vec::with_capacity(nm.memory_bytes() + 4096);
+    out.put_slice(SNAP_MAGIC);
+    out.put_u64_le(generation);
+    out.put_u8(nm.early_termination() as u8);
+    out.put_u64_le(nm.num_rules() as u64);
+    out.put_u64_le(nm.moved_to_remainder() as u64);
+    let spec = nm.spec();
+    out.put_u32_le(spec.len() as u32);
+    for field in spec.iter() {
+        out.put_u32_le(field.name.len() as u32);
+        out.put_slice(field.name.as_bytes());
+        out.put_u8(field.bits);
+    }
+    out.put_u32_le(nm.isets().len() as u32);
+    for iset in nm.isets() {
+        let (dim, model, los, his, rule_ids, priorities, boxes, deleted) = iset.parts();
+        out.put_u32_le(dim as u32);
+        out.put_u64_le(los.len() as u64);
+        for &v in los {
+            out.put_u64_le(v);
+        }
+        for &v in his {
+            out.put_u64_le(v);
+        }
+        for &v in rule_ids {
+            out.put_u32_le(v);
+        }
+        for &v in priorities {
+            out.put_u32_le(v);
+        }
+        for &v in boxes {
+            out.put_u64_le(v);
+        }
+        for chunk in deleted.chunks(8) {
+            let mut byte = 0u8;
+            for (bit, &dead) in chunk.iter().enumerate() {
+                byte |= (dead as u8) << bit;
+            }
+            out.put_u8(byte);
+        }
+        let blob = save_rqrmi(model);
+        out.put_u32_le(blob.len() as u32);
+        out.put_slice(&blob);
+    }
+    let remainder_rules = nm.remainder().export_rules();
+    out.put_u64_le(remainder_rules.len() as u64);
+    for rule in &remainder_rules {
+        out.put_u32_le(rule.id);
+        out.put_u32_le(rule.priority);
+        for f in &rule.fields {
+            out.put_u64_le(f.lo);
+            out.put_u64_le(f.hi);
+        }
+    }
+    let sum = fnv64(&out);
+    out.put_u64_le(sum);
+    out
+}
+
+/// Deserialises a [`save_snapshot`] image, rebuilding the remainder engine
+/// with `builder` over the persisted remainder rules. Returns the restored
+/// classifier and the generation it was saved under. No retraining happens:
+/// the iSet models load as trained.
+pub fn load_snapshot<R: Classifier>(
+    data: &[u8],
+    builder: &(impl EngineBuilder<Engine = R> + ?Sized),
+) -> Result<(NuevoMatch<R>, Generation), Error> {
+    let fail = |msg: &str| Error::Build { msg: format!("load_snapshot: {msg}") };
+    if data.len() < SNAP_MAGIC.len() + 8 {
+        return Err(fail("too short"));
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let want = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv64(body) != want {
+        return Err(fail("checksum mismatch"));
+    }
+    let mut buf = body;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != SNAP_MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), Error> {
+        if buf.remaining() < n {
+            Err(fail(&format!("truncated {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8 + 1 + 8 + 8 + 4, "header")?;
+    let generation = buf.get_u64_le();
+    let early_termination = buf.get_u8() != 0;
+    let total_rules = buf.get_u64_le() as usize;
+    let moved_updates = buf.get_u64_le() as usize;
+    let nfields = buf.get_u32_le() as usize;
+    if nfields == 0 || nfields > 256 {
+        return Err(fail("field count out of range"));
+    }
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        need(&buf, 4, "field name length")?;
+        let len = buf.get_u32_le() as usize;
+        if len > 4096 {
+            return Err(fail("field name too long"));
+        }
+        need(&buf, len + 1, "field descriptor")?;
+        let mut name = vec![0u8; len];
+        buf.copy_to_slice(&mut name);
+        let name = String::from_utf8(name).map_err(|_| fail("field name not utf-8"))?;
+        let bits = buf.get_u8();
+        fields.push(FieldSpec::new(name, bits));
+    }
+    let spec = FieldsSpec::new(fields);
+    need(&buf, 4, "iset count")?;
+    let n_isets = buf.get_u32_le() as usize;
+    if n_isets > 1 << 16 {
+        return Err(fail("iset count out of range"));
+    }
+    let mut isets = Vec::with_capacity(n_isets);
+    for _ in 0..n_isets {
+        need(&buf, 4 + 8, "iset header")?;
+        let dim = buf.get_u32_le() as usize;
+        if dim >= nfields {
+            return Err(fail("iset dim outside schema"));
+        }
+        let n = buf.get_u64_le() as usize;
+        let words = n
+            .checked_mul(2 + nfields * 2)
+            .and_then(|w| w.checked_mul(8))
+            .ok_or_else(|| fail("iset size overflow"))?;
+        need(&buf, words + n * 8 + n.div_ceil(8), "iset arrays")?;
+        let read_u64s = |buf: &mut &[u8], count: usize| -> Vec<u64> {
+            (0..count).map(|_| buf.get_u64_le()).collect()
+        };
+        let los = read_u64s(&mut buf, n);
+        let his = read_u64s(&mut buf, n);
+        let rule_ids: Vec<u32> = (0..n).map(|_| buf.get_u32_le()).collect();
+        let priorities: Vec<u32> = (0..n).map(|_| buf.get_u32_le()).collect();
+        let boxes = read_u64s(&mut buf, n * nfields * 2);
+        let mut deleted = Vec::with_capacity(n);
+        for chunk_base in (0..n).step_by(8) {
+            let byte = buf.get_u8();
+            for bit in 0..8.min(n - chunk_base) {
+                deleted.push(byte & (1 << bit) != 0);
+            }
+        }
+        need(&buf, 4, "model blob length")?;
+        let blob_len = buf.get_u32_le() as usize;
+        need(&buf, blob_len, "model blob")?;
+        let model = load_rqrmi(&buf[..blob_len])?;
+        buf.advance(blob_len);
+        isets.push(TrainedISet::from_parts(
+            dim, model, los, his, rule_ids, priorities, boxes, deleted,
+        ));
+    }
+    need(&buf, 8, "remainder count")?;
+    let n_remainder = buf.get_u64_le() as usize;
+    let mut remainder_rules = Vec::with_capacity(n_remainder.min(1 << 20));
+    for _ in 0..n_remainder {
+        need(&buf, 8 + nfields * 16, "remainder rule")?;
+        let id = buf.get_u32_le();
+        let priority = buf.get_u32_le();
+        let fields: Vec<nm_common::FieldRange> = (0..nfields)
+            .map(|_| {
+                let lo = buf.get_u64_le();
+                let hi = buf.get_u64_le();
+                nm_common::FieldRange::new(lo, hi)
+            })
+            .collect();
+        remainder_rules.push(Rule::new(id, priority, fields));
+    }
+    if buf.has_remaining() {
+        return Err(fail("trailing bytes"));
+    }
+    let remainder_set = RuleSet::new(spec.clone(), remainder_rules)?;
+    let remainder = builder.build_engine(&remainder_set);
+    let mut nm = NuevoMatch::assemble(isets, remainder, early_termination, total_rules, spec);
+    nm.moved_updates = moved_updates;
+    Ok((nm, generation))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +418,113 @@ mod tests {
         let bytes = save_rqrmi(&m);
         // Serialised form should be within 2x of the in-memory weight bytes.
         assert!(bytes.len() < m.memory_bytes() * 2 + 128);
+    }
+
+    mod snapshot {
+        use super::super::*;
+        use crate::config::{NuevoMatchConfig, RqRmiParams};
+        use crate::system::ClassifierHandle;
+        use nm_common::{FieldsSpec, FiveTuple, LinearSearch, UpdateBatch};
+
+        fn cfg() -> NuevoMatchConfig {
+            NuevoMatchConfig {
+                rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+                ..Default::default()
+            }
+        }
+
+        fn updated_nm() -> NuevoMatch<LinearSearch> {
+            let rules: Vec<_> = (0..250u16)
+                .map(|i| {
+                    FiveTuple::new()
+                        .dst_port_range(i * 100, i * 100 + 99)
+                        .into_rule(i as u32, i as u32)
+                })
+                .collect();
+            let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+            let mut nm = NuevoMatch::build(&set, &cfg(), LinearSearch::build).unwrap();
+            // Leave history in every structure: tombstones, remainder
+            // inserts, a modify.
+            nm.apply(
+                &UpdateBatch::new()
+                    .remove(17)
+                    .remove(200)
+                    .insert(FiveTuple::new().dst_port_exact(61_234).into_rule(900, 3))
+                    .modify(FiveTuple::new().dst_port_range(45_000, 45_050).into_rule(30, 30)),
+            );
+            nm
+        }
+
+        #[test]
+        fn roundtrip_preserves_all_verdicts() {
+            let nm = updated_nm();
+            let bytes = save_snapshot(&nm, 7);
+            let (back, generation) = load_snapshot(&bytes, &LinearSearch::build).unwrap();
+            assert_eq!(generation, 7);
+            assert_eq!(back.num_rules(), nm.num_rules());
+            assert_eq!(back.isets().len(), nm.isets().len());
+            assert_eq!(back.moved_to_remainder(), nm.moved_to_remainder());
+            assert_eq!(back.early_termination(), nm.early_termination());
+            assert_eq!(back.remainder().num_rules(), nm.remainder().num_rules());
+            for port in (0u64..65_536).step_by(31) {
+                let key = [1, 2, 3, port, 6];
+                assert_eq!(back.classify(&key), nm.classify(&key), "port {port}");
+            }
+            // Tombstones and the modify must have survived.
+            assert_eq!(back.classify(&[0, 0, 0, 1_750, 0]), None, "tombstone lost");
+            assert_eq!(back.classify(&[0, 0, 0, 45_025, 0]).unwrap().rule, 30);
+            assert_eq!(back.classify(&[0, 0, 0, 61_234, 0]).unwrap().rule, 900);
+        }
+
+        #[test]
+        fn corruption_and_truncation_rejected() {
+            let bytes = save_snapshot(&updated_nm(), 1);
+            for pos in [0usize, 9, bytes.len() / 2, bytes.len() - 9] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 0x20;
+                assert!(
+                    load_snapshot(&bad, &LinearSearch::build).is_err(),
+                    "corruption at {pos} accepted"
+                );
+            }
+            for len in (0..bytes.len()).step_by(97) {
+                assert!(
+                    load_snapshot(&bytes[..len], &LinearSearch::build).is_err(),
+                    "accepted {len}-byte prefix"
+                );
+            }
+            // An RQ-RMI blob is not a snapshot.
+            let m = super::model();
+            assert!(load_snapshot(&save_rqrmi(&m), &LinearSearch::build).is_err());
+        }
+
+        #[test]
+        fn handle_warm_start_resumes_lifecycle() {
+            let rules: Vec<_> = (0..300u16)
+                .map(|i| {
+                    FiveTuple::new()
+                        .dst_port_range(i * 100, i * 100 + 99)
+                        .into_rule(i as u32, i as u32)
+                })
+                .collect();
+            let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+            let handle = ClassifierHandle::new(&set, &cfg(), LinearSearch::build).unwrap();
+            handle.apply(&UpdateBatch::new().remove(5).remove(7));
+            let image = handle.save();
+
+            let revived =
+                ClassifierHandle::from_snapshot(&image, &cfg(), LinearSearch::build).unwrap();
+            assert_eq!(revived.generation(), handle.generation());
+            assert_eq!(revived.classify(&[0, 0, 0, 550, 0]), None, "tombstone lost");
+            assert_eq!(revived.classify(&[0, 0, 0, 850, 0]).unwrap().rule, 8);
+            // The revived handle keeps updating and retraining.
+            revived.apply(&UpdateBatch::new().remove(8));
+            assert_eq!(revived.classify(&[0, 0, 0, 850, 0]), None);
+            let g = revived.retrain().unwrap();
+            assert_eq!(revived.generation(), g);
+            assert_eq!(revived.classify(&[0, 0, 0, 550, 0]), None, "retrain resurrected rule 5");
+            assert_eq!(revived.classify(&[0, 0, 0, 850, 0]), None, "retrain resurrected rule 8");
+            assert_eq!(revived.classify(&[0, 0, 0, 950, 0]).unwrap().rule, 9);
+        }
     }
 }

@@ -10,12 +10,24 @@
 //!
 //! The cache is a fixed-size, open-addressed, 2-way set-associative table
 //! keyed by the full field vector. Eviction is touch-ordered within the
-//! set (the older way is replaced). Updates invalidate by generation: the
-//! owner bumps [`FlowCache::invalidate_all`] after any rule change, which
-//! is O(1) — stale entries die lazily on their next probe.
+//! set (the older way is replaced). Updates invalidate by generation, two
+//! ways:
+//!
+//! * **automatically** — every probe compares the inner classifier's
+//!   [`Classifier::generation`] stamp against the one recorded at the last
+//!   probe; a bump (an applied `UpdateBatch`, a snapshot swap behind a
+//!   `ClassifierHandle`) invalidates the whole cache in O(1). This closes
+//!   the staleness hole where a cached verdict outlived a `remove()` of its
+//!   rule because the caller forgot the manual step;
+//! * **manually** — [`FlowCache::invalidate_all`] remains for rule changes
+//!   the generation stamp cannot see (e.g. an engine mutated through
+//!   interior paths that predate the stamp).
+//!
+//! Stale entries die lazily on their next probe either way.
 
 use nm_common::classifier::{Classifier, MatchResult};
 use nm_common::rule::Priority;
+use nm_common::update::Generation;
 use parking_lot::Mutex;
 
 const WAYS: usize = 2;
@@ -69,8 +81,25 @@ pub struct FlowCache<C> {
 struct CacheState {
     entries: Vec<Entry>,
     generation: u64,
+    /// The inner classifier's [`Classifier::generation`] observed at the
+    /// last probe; a change invalidates every entry.
+    source_generation: Generation,
     tick: u64,
     stats: CacheStats,
+}
+
+impl CacheState {
+    /// Folds the inner classifier's current stamp in, invalidating the
+    /// cache when the data plane moved underneath it. Strictly forward-only:
+    /// generations are monotone, so a smaller observed stamp is just a
+    /// reader that sampled before a concurrent bump — rolling back would
+    /// make two interleaved readers ping-pong whole-cache invalidations.
+    fn sync_source(&mut self, source: Generation) {
+        if source > self.source_generation {
+            self.source_generation = source;
+            self.generation += 1;
+        }
+    }
 }
 
 impl<C: Classifier> FlowCache<C> {
@@ -79,11 +108,13 @@ impl<C: Classifier> FlowCache<C> {
     pub fn new(inner: C, capacity: usize) -> Self {
         let sets = (capacity.div_ceil(WAYS)).next_power_of_two().max(8);
         let vacant = Entry { key: Vec::new(), verdict: None, generation: 0, stamp: 0 };
+        let source_generation = inner.generation();
         Self {
             inner,
             sets: Mutex::new(CacheState {
                 entries: vec![vacant; sets * WAYS],
                 generation: 1,
+                source_generation,
                 tick: 0,
                 stats: CacheStats::default(),
             }),
@@ -96,8 +127,13 @@ impl<C: Classifier> FlowCache<C> {
         &self.inner
     }
 
-    /// Mutable access to the wrapped classifier. Callers that mutate rules
-    /// must call [`FlowCache::invalidate_all`] afterwards.
+    /// Mutable access to the wrapped classifier.
+    ///
+    /// Rule changes applied through an engine that bumps
+    /// [`Classifier::generation`] (every `BatchUpdatable` in the workspace)
+    /// are picked up automatically on the next probe. Only mutations
+    /// invisible to the stamp still require a manual
+    /// [`FlowCache::invalidate_all`].
     pub fn inner_mut(&mut self) -> &mut C {
         &mut self.inner
     }
@@ -145,8 +181,10 @@ impl<C: Classifier> Classifier for FlowCache<C> {
     fn classify(&self, key: &[u64]) -> Option<MatchResult> {
         let set = (Self::hash_key(key) as usize) & self.mask;
         let base = set * WAYS;
+        let source = self.inner.generation();
         {
             let mut state = self.sets.lock();
+            state.sync_source(source);
             state.tick += 1;
             let tick = state.tick;
             let generation = state.generation;
@@ -165,7 +203,13 @@ impl<C: Classifier> Classifier for FlowCache<C> {
         // slow; holding the lock would serialise concurrent workers).
         let verdict = self.inner.classify(key);
         let mut state = self.sets.lock();
-        Self::install(&mut state, base, key, verdict);
+        // Install only if the data plane has not moved since we probed: a
+        // concurrent update could otherwise stamp this (possibly stale)
+        // verdict into the new generation. If the verdict is stale under the
+        // *old* generation the next probe's sync invalidates it.
+        if state.source_generation == source {
+            Self::install(&mut state, base, key, verdict);
+        }
         verdict
     }
 
@@ -193,9 +237,11 @@ impl<C: Classifier> Classifier for FlowCache<C> {
             .chunks_exact(stride)
             .map(|key| ((Self::hash_key(key) as usize) & self.mask) * WAYS)
             .collect();
+        let source = self.inner.generation();
         let mut miss_idx: Vec<usize> = Vec::new();
         {
             let mut state = self.sets.lock();
+            state.sync_source(source);
             for (i, key) in keys.chunks_exact(stride).enumerate() {
                 let base = bases[i];
                 state.tick += 1;
@@ -231,10 +277,15 @@ impl<C: Classifier> Classifier for FlowCache<C> {
         let mut verdicts = vec![None; miss_idx.len()];
         self.inner.classify_batch(&miss_keys, stride, &mut verdicts);
         let mut state = self.sets.lock();
+        // Same install guard as the per-key path: never stamp verdicts from
+        // a superseded generation into a newer one.
+        let install = state.source_generation == source;
         for (j, &i) in miss_idx.iter().enumerate() {
             let key = &keys[i * stride..(i + 1) * stride];
             out[i] = verdicts[j];
-            Self::install(&mut state, bases[i], key, verdicts[j]);
+            if install {
+                Self::install(&mut state, bases[i], key, verdicts[j]);
+            }
         }
     }
 
@@ -252,6 +303,13 @@ impl<C: Classifier> Classifier for FlowCache<C> {
 
     fn num_rules(&self) -> usize {
         self.inner.num_rules()
+    }
+
+    fn generation(&self) -> Generation {
+        // The cache serves verdicts exactly as fresh as the inner stamp
+        // (stale entries are invalidated on the probe that observes a bump),
+        // so forwarding keeps stacked caches honest.
+        self.inner.generation()
     }
 }
 
@@ -336,6 +394,38 @@ mod tests {
         for i in 0..n {
             assert_eq!(out[i], c.inner().classify(&keys[i * 5..(i + 1) * 5]));
         }
+    }
+
+    #[test]
+    fn remove_invalidates_cached_verdict() {
+        // Regression: a cached verdict used to survive a `remove()` of its
+        // rule unless the caller remembered to call `invalidate_all`. The
+        // generation sync must now catch it on the next probe.
+        use nm_common::{BatchUpdatable, UpdateBatch};
+        let mut c = engine();
+        let key = [1u64, 2, 3, 550, 6]; // rule 5
+        assert_eq!(c.classify(&key).unwrap().rule, 5);
+        assert_eq!(c.classify(&key).unwrap().rule, 5); // cached
+        c.inner_mut().apply(&UpdateBatch::new().remove(5));
+        // No manual invalidate_all: the stale verdict must still die.
+        assert_eq!(c.classify(&key), None, "cached verdict survived its rule's removal");
+        // And the batched probe path must agree.
+        c.inner_mut().apply(&UpdateBatch::new().remove(6));
+        let batch_key = [1u64, 2, 3, 650, 6];
+        let mut out = [None];
+        let mut flat = Vec::new();
+        flat.extend_from_slice(&batch_key);
+        c.classify_batch(&flat, 5, &mut out);
+        assert_eq!(out[0], None, "batched probe served a stale verdict");
+    }
+
+    #[test]
+    fn generation_forwards_inner_stamp() {
+        use nm_common::{BatchUpdatable, UpdateBatch};
+        let mut c = engine();
+        assert_eq!(Classifier::generation(&c), 0);
+        c.inner_mut().apply(&UpdateBatch::new().remove(1));
+        assert_eq!(Classifier::generation(&c), 1);
     }
 
     #[test]

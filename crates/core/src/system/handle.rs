@@ -1,0 +1,782 @@
+//! `ClassifierHandle` — the control-plane/data-plane split for NuevoMatch.
+//!
+//! The paper's §3.9 lifecycle (updates drift rules to the remainder until a
+//! background retrain swaps in a fresh model, Figure 7) needs three roles
+//! running *concurrently*:
+//!
+//! * **Readers** classify packets continuously. They must never block — not
+//!   on updates and not on the retrain swap.
+//! * A single **writer** applies [`UpdateBatch`] transactions: tombstones in
+//!   the iSets, inserts/removes in the remainder.
+//! * A **retrainer** periodically rebuilds the whole classifier from the
+//!   current rule truth and publishes it, resetting the remainder drift.
+//!
+//! The handle implements this with epoch-style snapshot publication: the
+//! live classifier is an immutable [`NmSnapshot`] behind an
+//! [`arc_swap::ArcSwap`]. Readers [`ClassifierHandle::snapshot`] (two atomic
+//! ops, never a lock) and classify against the pinned generation; the writer
+//! clones the current `NuevoMatch` — cheap, because the trained models and
+//! packed arrays sit behind `Arc`s and only tombstones + remainder are
+//! copied — applies the batch to the clone, and publishes it under the next
+//! generation. A batch is therefore **atomic**: readers observe all of it or
+//! none of it.
+//!
+//! Retraining pins the rule truth under the control lock, trains *without*
+//! the lock (readers and the writer proceed untouched), then replays the
+//! updates that arrived during training and publishes. The swap itself is
+//! one atomic pointer store; readers pinned to the old generation finish
+//! their batches on it and drop it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+use arc_swap::ArcSwap;
+use parking_lot::Mutex;
+
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::packet::TraceBuf;
+use nm_common::rule::{Priority, Rule, RuleId};
+use nm_common::ruleset::RuleSet;
+use nm_common::update::{
+    BatchUpdatable, EngineBuilder, Generation, Snapshot, UpdateBatch, UpdateOp, UpdateReport,
+};
+use nm_common::Error;
+
+use crate::config::NuevoMatchConfig;
+use crate::system::NuevoMatch;
+
+/// A generation-stamped immutable NuevoMatch — what the handle publishes and
+/// readers pin.
+pub type NmSnapshot<R> = Snapshot<NuevoMatch<R>>;
+
+/// How to rebuild the classifier from scratch: the build parameters plus the
+/// remainder [`EngineBuilder`], held by the control plane for every retrain.
+struct RetrainRecipe<R> {
+    cfg: NuevoMatchConfig,
+    builder: Arc<dyn EngineBuilder<Engine = R>>,
+}
+
+/// Control-plane state, touched only by writers (apply / retrain).
+struct Control<R> {
+    recipe: Option<RetrainRecipe<R>>,
+    /// Current rule truth (id → live version). `None` on handles constructed
+    /// from a bare classifier — those never maintain a map; a retrain
+    /// re-derives the truth from the live snapshot at its pin instead.
+    rules: Option<HashMap<RuleId, Rule>>,
+    /// Ops applied while a retrain is in flight; replayed onto the fresh
+    /// classifier before it is published.
+    pending: Vec<UpdateOp>,
+}
+
+struct Shared<R: Classifier> {
+    live: ArcSwap<NmSnapshot<R>>,
+    ctl: Mutex<Control<R>>,
+    /// Mirror of the published snapshot's generation (readable without
+    /// loading the snapshot).
+    generation: AtomicU64,
+    retraining: AtomicBool,
+    retrains: AtomicU64,
+}
+
+/// Shared handle to a live NuevoMatch classifier: lock-free reads against an
+/// atomically swapped immutable snapshot, transactional writes, background
+/// retrains. Clone it freely — clones address the same classifier.
+///
+/// ```
+/// use nm_common::{Classifier, FieldsSpec, FiveTuple, LinearSearch, RuleSet, UpdateBatch};
+/// use nuevomatch::{ClassifierHandle, NuevoMatchConfig, RqRmiParams};
+///
+/// let rules: Vec<_> = (0..300u16)
+///     .map(|i| FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32))
+///     .collect();
+/// let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+/// let cfg = NuevoMatchConfig {
+///     rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let handle = ClassifierHandle::new(&set, &cfg, LinearSearch::build).unwrap();
+///
+/// // Reader side: pin a snapshot, classify lock-free.
+/// let snap = handle.snapshot();
+/// assert_eq!(snap.classify(&[0, 0, 0, 550, 0]).unwrap().rule, 5);
+///
+/// // Writer side: one transaction, atomically visible.
+/// handle.apply(&UpdateBatch::new().remove(5));
+/// assert_eq!(handle.classify(&[0, 0, 0, 550, 0]), None);
+/// assert_eq!(snap.classify(&[0, 0, 0, 550, 0]).unwrap().rule, 5); // pinned view unchanged
+///
+/// // Control side: retrain folds the drift back into fresh models.
+/// handle.retrain().unwrap();
+/// assert_eq!(handle.classify(&[0, 0, 0, 550, 0]), None);
+/// ```
+pub struct ClassifierHandle<R: Classifier> {
+    shared: Arc<Shared<R>>,
+}
+
+impl<R: Classifier> Clone for ClassifierHandle<R> {
+    fn clone(&self) -> Self {
+        Self { shared: self.shared.clone() }
+    }
+}
+
+impl<R: Classifier> ClassifierHandle<R> {
+    /// Builds the classifier from `set` and wraps it in a handle that can
+    /// update and retrain. The builder is retained: every retrain re-invokes
+    /// it on the then-current rule truth.
+    pub fn new<B>(set: &RuleSet, cfg: &NuevoMatchConfig, builder: B) -> Result<Self, Error>
+    where
+        B: EngineBuilder<Engine = R> + 'static,
+    {
+        let builder: Arc<dyn EngineBuilder<Engine = R>> = Arc::new(builder);
+        let nm = NuevoMatch::build(set, cfg, builder.clone())?;
+        let rules = set.rules().iter().map(|r| (r.id, r.clone())).collect();
+        Ok(Self::assemble(nm, 1, Some(RetrainRecipe { cfg: cfg.clone(), builder }), Some(rules)))
+    }
+
+    /// Wraps an already-built classifier in a read/serve-only handle:
+    /// snapshots, generation tracking, updates and the parallel runtime all
+    /// work, but no rule truth is tracked and no builder retained, so
+    /// [`ClassifierHandle::retrain`] reports an error.
+    pub fn read_only(nm: NuevoMatch<R>) -> Self {
+        Self::assemble(nm, 1, None, None)
+    }
+
+    /// Restores a handle around a classifier that already carries history
+    /// (snapshot warm-start): `generation` seeds the published stamp and the
+    /// rule truth comes from `rules`.
+    pub(crate) fn restore<B>(
+        nm: NuevoMatch<R>,
+        generation: Generation,
+        cfg: &NuevoMatchConfig,
+        builder: B,
+        rules: Vec<Rule>,
+    ) -> Self
+    where
+        B: EngineBuilder<Engine = R> + 'static,
+    {
+        let builder: Arc<dyn EngineBuilder<Engine = R>> = Arc::new(builder);
+        Self::assemble(
+            nm,
+            generation.max(1),
+            Some(RetrainRecipe { cfg: cfg.clone(), builder }),
+            Some(rules.into_iter().map(|r| (r.id, r)).collect()),
+        )
+    }
+
+    fn assemble(
+        nm: NuevoMatch<R>,
+        generation: Generation,
+        recipe: Option<RetrainRecipe<R>>,
+        rules: Option<HashMap<RuleId, Rule>>,
+    ) -> Self {
+        debug_assert!(
+            recipe.is_none() || rules.is_some(),
+            "a handle that can retrain must track the rule truth"
+        );
+        Self {
+            shared: Arc::new(Shared {
+                live: ArcSwap::new(Arc::new(Snapshot::new(nm, generation))),
+                ctl: Mutex::new(Control { recipe, rules, pending: Vec::new() }),
+                generation: AtomicU64::new(generation),
+                retraining: AtomicBool::new(false),
+                retrains: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Pins the current snapshot. Never blocks (two atomic ops); the
+    /// returned `Arc` keeps that generation's models alive for as long as
+    /// the reader holds it, regardless of concurrent updates and retrains.
+    pub fn snapshot(&self) -> Arc<NmSnapshot<R>> {
+        self.shared.live.load_full()
+    }
+
+    /// The published generation (bumps on every applied batch and every
+    /// retrain publish).
+    pub fn generation(&self) -> Generation {
+        self.shared.generation.load(SeqCst)
+    }
+
+    /// True while a retrain is between pin and publish.
+    pub fn retrain_in_progress(&self) -> bool {
+        self.shared.retraining.load(SeqCst)
+    }
+
+    /// Completed retrain publishes since construction.
+    pub fn retrains_completed(&self) -> u64 {
+        self.shared.retrains.load(SeqCst)
+    }
+
+    /// Publishes `snap` as the next generation. Caller must hold the ctl
+    /// lock (single-writer discipline).
+    fn publish(&self, nm: NuevoMatch<R>) -> Generation {
+        let generation = self.shared.generation.load(SeqCst) + 1;
+        self.shared.live.store(Arc::new(Snapshot::new(nm, generation)));
+        self.shared.generation.store(generation, SeqCst);
+        generation
+    }
+}
+
+impl<R: BatchUpdatable + Clone> ClassifierHandle<R> {
+    /// Warm-starts a handle from a [`crate::persist::save_snapshot`] image:
+    /// models, iSet tables, tombstones and remainder rules all load as
+    /// persisted — no retraining — and the handle resumes at the persisted
+    /// generation, ready to update and retrain.
+    pub fn from_snapshot<B>(data: &[u8], cfg: &NuevoMatchConfig, builder: B) -> Result<Self, Error>
+    where
+        B: EngineBuilder<Engine = R> + 'static,
+    {
+        let (nm, generation) = crate::persist::load_snapshot(data, &builder)?;
+        let rules = nm.live_rules();
+        Ok(Self::restore(nm, generation, cfg, builder, rules))
+    }
+
+    /// Serialises the live snapshot (see [`crate::persist::save_snapshot`]);
+    /// a later [`ClassifierHandle::from_snapshot`] resumes from it without
+    /// retraining.
+    pub fn save(&self) -> Vec<u8> {
+        let snap = self.snapshot();
+        crate::persist::save_snapshot(snap.engine(), snap.generation())
+    }
+
+    /// Applies one transaction and publishes the result as a new snapshot.
+    ///
+    /// Concurrent readers never see a partially-applied batch: they keep
+    /// classifying against the previous snapshot until the atomic swap, then
+    /// see all of it. Writers are serialised by the control lock; returns
+    /// the same accounting as [`NuevoMatch::apply`].
+    pub fn apply(&self, batch: &UpdateBatch) -> UpdateReport {
+        if batch.is_empty() {
+            // Nothing to publish: cloning the engine and bumping the
+            // generation for zero ops would only stampede the caches layered
+            // above (the generation contract is "bumps when content
+            // changes").
+            return UpdateReport::default();
+        }
+        let mut ctl = self.shared.ctl.lock();
+        Self::fold_truth(&mut ctl.rules, batch);
+        if self.shared.retraining.load(SeqCst) {
+            ctl.pending.extend(batch.ops().iter().cloned());
+        }
+        // Copy-on-write: clone the live engine (Arc-shared models +
+        // tombstones and remainder), mutate the clone, publish.
+        let mut next = self.snapshot().engine().clone();
+        let report = next.apply(batch);
+        self.publish(next);
+        report
+    }
+
+    /// Rebuilds the classifier from the current rule truth and atomically
+    /// swaps it in, resetting the §3.9 remainder drift. Training runs
+    /// *without* the control lock, so the writer keeps applying batches (they
+    /// are replayed onto the fresh classifier before it publishes) and
+    /// readers never block. Returns the published generation.
+    ///
+    /// Errors if the handle was built [`ClassifierHandle::read_only`], if a
+    /// retrain is already in flight, or if training fails.
+    pub fn retrain(&self) -> Result<Generation, Error> {
+        // Pin: capture the truth and the recipe under the lock.
+        let (set, cfg, builder) = {
+            let mut ctl = self.shared.ctl.lock();
+            let recipe = ctl.recipe.as_ref().ok_or_else(|| Error::Build {
+                msg: "ClassifierHandle::retrain: read-only handle (no EngineBuilder retained)"
+                    .to_string(),
+            })?;
+            if self.shared.retraining.swap(true, SeqCst) {
+                return Err(Error::Build {
+                    msg: "ClassifierHandle::retrain: a retrain is already in flight".to_string(),
+                });
+            }
+            let (cfg, builder) = (recipe.cfg.clone(), recipe.builder.clone());
+            let snapshot = self.snapshot();
+            // Invariant (held by every constructor): a handle with a
+            // retrain recipe also tracks the rule truth.
+            let mut rules: Vec<Rule> = ctl
+                .rules
+                .as_ref()
+                .expect("recipe-bearing handles always track rule truth")
+                .values()
+                .cloned()
+                .collect();
+            // Rebuild in priority order, not map order: engines whose build
+            // is insertion-order-sensitive (TupleMerge's table formation)
+            // degrade badly on a randomised rule order, and determinism
+            // makes retrains reproducible.
+            rules.sort_by_key(|r| (r.priority, r.id));
+            ctl.pending.clear();
+            let spec = snapshot.engine().spec().clone();
+            match RuleSet::new(spec, rules) {
+                Ok(set) => (set, cfg, builder),
+                Err(e) => {
+                    self.shared.retraining.store(false, SeqCst);
+                    return Err(e);
+                }
+            }
+        };
+        // Train: the long pole, executed with no locks held.
+        let fresh = match NuevoMatch::build(&set, &cfg, builder) {
+            Ok(nm) => nm,
+            Err(e) => {
+                self.shared.retraining.store(false, SeqCst);
+                return Err(e);
+            }
+        };
+        // Publish: replay what arrived during training, swap, unmark.
+        let mut ctl = self.shared.ctl.lock();
+        let mut fresh = fresh;
+        if !ctl.pending.is_empty() {
+            let replay: UpdateBatch = ctl.pending.drain(..).collect();
+            fresh.apply(&replay);
+        }
+        let generation = self.publish(fresh);
+        self.shared.retraining.store(false, SeqCst);
+        self.shared.retrains.fetch_add(1, SeqCst);
+        Ok(generation)
+    }
+
+    /// Folds a batch into the truth map. Handles without a map (started from
+    /// a bare classifier) skip this — their retrains re-derive the truth
+    /// from the live snapshot instead of maintaining it incrementally.
+    fn fold_truth(rules: &mut Option<HashMap<RuleId, Rule>>, batch: &UpdateBatch) {
+        let Some(map) = rules.as_mut() else { return };
+        for op in batch.ops() {
+            match op {
+                UpdateOp::Insert(r) | UpdateOp::Modify(r) => {
+                    map.insert(r.id, r.clone());
+                }
+                UpdateOp::Remove(id) => {
+                    map.remove(id);
+                }
+            }
+        }
+    }
+}
+
+impl<R: BatchUpdatable + Clone + Send + Sync + 'static> ClassifierHandle<R> {
+    /// Kicks a retrain off on a background thread and returns its join
+    /// handle. Dropping the join handle detaches the retrain; its publish
+    /// still lands.
+    pub fn spawn_retrain(&self) -> std::thread::JoinHandle<Result<Generation, Error>> {
+        let handle = self.clone();
+        std::thread::spawn(move || handle.retrain())
+    }
+}
+
+impl<R: Classifier> Classifier for ClassifierHandle<R> {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        self.snapshot().classify(key)
+    }
+
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        self.snapshot().classify_with_floor(key, floor)
+    }
+
+    /// One snapshot pin per batch: every packet in the batch is classified
+    /// against the same generation.
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+        self.snapshot().classify_batch(keys, stride, out);
+    }
+
+    fn classify_batch_with_floors(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: &[Priority],
+        out: &mut [Option<MatchResult>],
+    ) {
+        self.snapshot().classify_batch_with_floors(keys, stride, floors, out);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.snapshot().memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        self.snapshot().name()
+    }
+
+    fn num_rules(&self) -> usize {
+        self.snapshot().num_rules()
+    }
+
+    fn generation(&self) -> Generation {
+        ClassifierHandle::generation(self)
+    }
+}
+
+/// Parameters for [`measure_update_curve`] — the measured analogue of the
+/// paper's Figure 7 experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateBenchConfig {
+    /// Total measurement horizon (seconds).
+    pub duration_s: f64,
+    /// Sampling period for throughput points (seconds).
+    pub sample_every_s: f64,
+    /// Target update rate (rule updates per second).
+    pub updates_per_s: f64,
+    /// Updates grouped per [`UpdateBatch`] transaction.
+    pub ops_per_batch: usize,
+    /// Retrain trigger period (seconds); `0.0` disables retraining.
+    pub retrain_period_s: f64,
+    /// Classification batch size for the reader (paper: 128).
+    pub batch: usize,
+}
+
+impl Default for UpdateBenchConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 10.0,
+            sample_every_s: 0.25,
+            updates_per_s: 1_000.0,
+            ops_per_batch: 32,
+            retrain_period_s: 4.0,
+            batch: 128,
+        }
+    }
+}
+
+/// One sample of the measured Figure 7 curve.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateCurvePoint {
+    /// Sample time since measurement start (seconds).
+    pub t_s: f64,
+    /// Reader throughput over the sample window (packets per second).
+    pub pps: f64,
+    /// Published generation at the sample instant.
+    pub generation: Generation,
+    /// Fraction of rules served by the remainder at the sample instant.
+    pub remainder_fraction: f64,
+    /// Retrains completed so far.
+    pub retrains: u64,
+}
+
+/// Paces a live-serving control plane: applies update transactions at a
+/// target ops/second (grouped into batches) and spawns background retrains
+/// on a fixed period, tracking their join handles so [`UpdatePacer::drain`]
+/// can wait out every retrain it started.
+///
+/// This is the writer-side loop body shared by [`measure_update_curve`] and
+/// `nmctl serve`: call [`UpdatePacer::tick`] repeatedly from the writer
+/// thread; it either applies one due batch or sleeps a beat.
+pub struct UpdatePacer {
+    interval: Option<std::time::Duration>,
+    next_fire: std::time::Instant,
+    retrain_period_s: f64,
+    last_retrain: std::time::Instant,
+    seq: u64,
+    ops_applied: u64,
+}
+
+impl UpdatePacer {
+    /// A pacer firing `ops_per_batch`-op transactions so that roughly
+    /// `updates_per_s` ops land per second (`<= 0.0` disables updates), and
+    /// triggering a background retrain every `retrain_period_s` seconds
+    /// (`<= 0.0` disables retrains).
+    pub fn new(updates_per_s: f64, ops_per_batch: usize, retrain_period_s: f64) -> Self {
+        let interval = (updates_per_s > 0.0).then(|| {
+            std::time::Duration::from_secs_f64(ops_per_batch.max(1) as f64 / updates_per_s)
+        });
+        let now = std::time::Instant::now();
+        Self {
+            interval,
+            next_fire: now,
+            retrain_period_s,
+            last_retrain: now,
+            seq: 0,
+            ops_applied: 0,
+        }
+    }
+
+    /// One pacing step against `handle`: applies `make_batch(seq)` if a
+    /// transaction is due (otherwise sleeps ~200µs), and spawns a retrain if
+    /// the period elapsed and none is in flight. Returns the ops applied by
+    /// this tick. `joins` collects the handles of spawned retrains — pass
+    /// the same vector to every tick and hand it to [`UpdatePacer::drain`]
+    /// when the serving loop stops.
+    pub fn tick<R, F>(
+        &mut self,
+        handle: &ClassifierHandle<R>,
+        joins: &mut Vec<std::thread::JoinHandle<Result<Generation, Error>>>,
+        make_batch: F,
+    ) -> usize
+    where
+        R: BatchUpdatable + Clone + Send + Sync + 'static,
+        F: FnOnce(u64) -> UpdateBatch,
+    {
+        let mut applied = 0;
+        match self.interval {
+            Some(interval) if std::time::Instant::now() >= self.next_fire => {
+                let batch = make_batch(self.seq);
+                self.seq += 1;
+                applied = batch.len();
+                self.ops_applied += applied as u64;
+                handle.apply(&batch);
+                self.next_fire += interval;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_micros(200)),
+        }
+        if self.retrain_period_s > 0.0
+            && self.last_retrain.elapsed().as_secs_f64() >= self.retrain_period_s
+            && !handle.retrain_in_progress()
+        {
+            self.last_retrain = std::time::Instant::now();
+            joins.push(handle.spawn_retrain());
+        }
+        applied
+    }
+
+    /// Total update ops applied across all ticks.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Joins every retrain this pacer spawned (results discarded — an
+    /// "already in flight" loss is benign). Without this, a retrain spawned
+    /// on the final tick could still be warming up when the caller reads its
+    /// "settled" stats, or be killed mid-train by process exit.
+    pub fn drain(joins: Vec<std::thread::JoinHandle<Result<Generation, Error>>>) {
+        for join in joins {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Measures throughput-under-updates (Figure 7, §3.9) against a live
+/// [`ClassifierHandle`]: one reader thread classifies the trace in batches
+/// continuously, an updater thread applies `make_batch(i)` transactions at
+/// the configured rate, and retrains fire on their period in the background.
+/// Readers never block on any of it — that is the property under test.
+///
+/// Returns the sampled curve; validate it against
+/// `nm_analysis::throughput_at` to close the loop with the analytic model.
+pub fn measure_update_curve<R, F>(
+    handle: &ClassifierHandle<R>,
+    trace: &TraceBuf,
+    cfg: &UpdateBenchConfig,
+    make_batch: F,
+) -> Vec<UpdateCurvePoint>
+where
+    R: BatchUpdatable + Clone + Send + Sync + 'static,
+    F: FnMut(u64) -> UpdateBatch + Send,
+{
+    use std::time::Instant;
+    let n = trace.len();
+    if n == 0 || cfg.duration_s <= 0.0 {
+        return Vec::new();
+    }
+    let stride = trace.stride();
+    let raw = trace.raw();
+    let batch = cfg.batch.max(1);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let mut curve = Vec::new();
+    let mut make_batch = make_batch;
+
+    crossbeam::thread::scope(|scope| {
+        // Updater: paced transactions + periodic background retrains, all
+        // through the shared pacer. The spawned-retrain joins are drained
+        // before the thread exits so the caller reads settled stats.
+        scope.spawn(|_| {
+            let mut pacer =
+                UpdatePacer::new(cfg.updates_per_s, cfg.ops_per_batch, cfg.retrain_period_s);
+            let mut joins = Vec::new();
+            while !stop.load(SeqCst) {
+                pacer.tick(handle, &mut joins, &mut make_batch);
+            }
+            UpdatePacer::drain(joins);
+        });
+
+        // Reader: the measured data plane. One snapshot pin per batch.
+        let mut out: Vec<Option<MatchResult>> = vec![None; batch];
+        let mut lo = 0usize;
+        let mut window_packets = 0u64;
+        let mut window_start = start;
+        loop {
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= cfg.duration_s {
+                break;
+            }
+            let hi = (lo + batch).min(n);
+            handle.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out[..hi - lo]);
+            window_packets += (hi - lo) as u64;
+            lo = if hi == n { 0 } else { hi };
+            let window_s = window_start.elapsed().as_secs_f64();
+            if window_s >= cfg.sample_every_s {
+                let snap = handle.snapshot();
+                curve.push(UpdateCurvePoint {
+                    t_s: start.elapsed().as_secs_f64(),
+                    pps: window_packets as f64 / window_s,
+                    generation: snap.generation(),
+                    remainder_fraction: snap.engine().remainder_fraction(),
+                    retrains: handle.retrains_completed(),
+                });
+                window_packets = 0;
+                window_start = Instant::now();
+            }
+        }
+        stop.store(true, SeqCst);
+    })
+    .expect("update-bench worker panicked");
+    // Every retrain the pacer spawned was joined inside the scope, so the
+    // stats are settled the moment this returns.
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RqRmiParams;
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch};
+
+    fn port_set(n: u16) -> RuleSet {
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
+            })
+            .collect();
+        RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+    }
+
+    fn fast_cfg() -> NuevoMatchConfig {
+        NuevoMatchConfig {
+            rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn handle(n: u16) -> ClassifierHandle<LinearSearch> {
+        ClassifierHandle::new(&port_set(n), &fast_cfg(), LinearSearch::build).unwrap()
+    }
+
+    #[test]
+    fn apply_is_atomic_and_pinned_snapshots_are_stable() {
+        let h = handle(200);
+        let pinned = h.snapshot();
+        let g0 = h.generation();
+        let report = h.apply(
+            &UpdateBatch::new()
+                .remove(5)
+                .insert(FiveTuple::new().dst_port_exact(61_000).into_rule(900, 0)),
+        );
+        assert_eq!((report.removed, report.inserted), (1, 1));
+        assert_eq!(h.generation(), g0 + 1);
+        // New reads see the whole batch.
+        assert_eq!(h.classify(&[0, 0, 0, 550, 0]), None);
+        assert_eq!(h.classify(&[0, 0, 0, 61_000, 0]).unwrap().rule, 900);
+        // The pinned generation is frozen.
+        assert_eq!(pinned.generation(), g0);
+        assert_eq!(pinned.classify(&[0, 0, 0, 550, 0]).unwrap().rule, 5);
+        assert_eq!(pinned.classify(&[0, 0, 0, 61_000, 0]), None);
+        // An empty transaction publishes nothing and bumps nothing (the
+        // generation contract: bumps only when content changes).
+        assert_eq!(h.apply(&UpdateBatch::new()), UpdateReport::default());
+        assert_eq!(h.generation(), g0 + 1);
+    }
+
+    #[test]
+    fn retrain_resets_drift_and_preserves_semantics() {
+        let h = handle(300);
+        // Drift a quarter of the rules to the remainder.
+        for i in 0..75u32 {
+            let port = 40_000 + i as u16;
+            h.apply(
+                &UpdateBatch::new()
+                    .modify(FiveTuple::new().dst_port_range(port, port).into_rule(i, i)),
+            );
+        }
+        let drifted = h.snapshot().engine().remainder_fraction();
+        assert!(drifted > 0.2, "expected drift, got {drifted}");
+        let oracle_before: Vec<_> =
+            (0u64..65_536).step_by(97).map(|p| h.classify(&[0, 0, 0, p, 0])).collect();
+        let gen = h.retrain().unwrap();
+        assert_eq!(gen, h.generation());
+        assert_eq!(h.retrains_completed(), 1);
+        let fresh = h.snapshot().engine().remainder_fraction();
+        assert!(fresh < drifted, "retrain must shrink the remainder: {drifted} -> {fresh}");
+        // Same classification behaviour, new structure. Priorities are
+        // unique here, so rule identity must be preserved exactly.
+        for (i, p) in (0u64..65_536).step_by(97).enumerate() {
+            assert_eq!(h.classify(&[0, 0, 0, p, 0]), oracle_before[i], "port {p}");
+        }
+    }
+
+    #[test]
+    fn updates_during_retrain_are_replayed() {
+        let h = handle(300);
+        // Start a slow-ish retrain on a background thread, then race updates
+        // against it.
+        let join = h.spawn_retrain();
+        for i in 0..20u32 {
+            h.apply(&UpdateBatch::new().insert(
+                FiveTuple::new().dst_port_exact(50_000 + i as u16).into_rule(10_000 + i, 0),
+            ));
+        }
+        join.join().unwrap().unwrap();
+        // Whether an update landed before the pin or during training, the
+        // published classifier must serve it.
+        for i in 0..20u32 {
+            let key = [0u64, 0, 0, 50_000 + i as u64, 0];
+            assert_eq!(h.classify(&key).unwrap().rule, 10_000 + i, "update {i} lost by retrain");
+        }
+    }
+
+    #[test]
+    fn read_only_handle_serves_but_refuses_retrain() {
+        let set = port_set(100);
+        let nm = NuevoMatch::build(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        let h = ClassifierHandle::read_only(nm);
+        assert_eq!(h.classify(&[0, 0, 0, 550, 0]).unwrap().rule, 5);
+        assert!(h.retrain().is_err());
+        // Updates still work (truth is simply not tracked for retrains).
+        h.apply(&UpdateBatch::new().remove(5));
+        assert_eq!(h.classify(&[0, 0, 0, 550, 0]), None);
+    }
+
+    #[test]
+    fn concurrent_retrain_attempts_do_not_stack() {
+        let h = handle(250);
+        let a = h.spawn_retrain();
+        let b = h.spawn_retrain();
+        let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+        // At least one must succeed; both may if they did not overlap.
+        assert!(ra.is_ok() || rb.is_ok());
+        assert!(h.retrains_completed() >= 1);
+        assert!(!h.retrain_in_progress());
+    }
+
+    #[test]
+    fn measure_update_curve_samples_under_load() {
+        let h = handle(200);
+        let mut trace = TraceBuf::new(5);
+        let mut s = nm_common::SplitMix64::new(7);
+        for _ in 0..4_000 {
+            trace.push(&[0, 0, 0, s.below(20_000), 0]);
+        }
+        let cfg = UpdateBenchConfig {
+            duration_s: 0.6,
+            sample_every_s: 0.1,
+            updates_per_s: 2_000.0,
+            ops_per_batch: 16,
+            retrain_period_s: 0.2,
+            batch: 128,
+        };
+        let mut next_port = 30_000u16;
+        let curve = measure_update_curve(&h, &trace, &cfg, |seq| {
+            let mut b = UpdateBatch::new();
+            for k in 0..16u64 {
+                next_port = next_port.wrapping_add(1).max(30_000);
+                let id = (seq * 16 + k) as u32 % 200;
+                b = b.modify(FiveTuple::new().dst_port_exact(next_port).into_rule(id, id));
+            }
+            b
+        });
+        assert!(curve.len() >= 3, "expected several samples, got {}", curve.len());
+        assert!(curve.iter().all(|p| p.pps > 0.0));
+        let last = curve.last().unwrap();
+        assert!(last.generation > 1, "updates must have published generations");
+        // The set drifts under modify load...
+        assert!(curve.iter().any(|p| p.remainder_fraction > 0.0));
+        assert!(!h.retrain_in_progress(), "no retrain left dangling");
+    }
+}

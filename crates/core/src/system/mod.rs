@@ -9,30 +9,37 @@
 
 pub mod breakdown;
 pub mod flow_cache;
+pub mod handle;
 pub mod parallel;
 pub mod update;
 
 pub use breakdown::{measure_breakdown, LookupBreakdown};
 pub use flow_cache::{CacheStats, FlowCache};
+pub use handle::{ClassifierHandle, NmSnapshot};
 pub use parallel::{run_batched, run_replicated, run_two_workers, ParallelStats};
+
+use std::sync::Arc;
 
 use nm_common::prefetch::prefetch_index;
 
 use nm_common::classifier::{Classifier, MatchResult};
-use nm_common::rule::{Priority, RuleId};
-use nm_common::ruleset::RuleSet;
+use nm_common::rule::{Priority, Rule, RuleId};
+use nm_common::ruleset::{FieldsSpec, RuleSet};
+use nm_common::update::{EngineBuilder, Generation};
 use nm_common::Error;
 
 use crate::config::NuevoMatchConfig;
 use crate::iset::{partition_isets, ISet};
 use crate::rqrmi::{train_rqrmi, CompiledRqRmi, RqRmi};
 
-/// One iSet lowered for the lookup hot path: a compiled RQ-RMI over the
-/// iSet's field projection, the sorted range arrays for the secondary
-/// search, and flattened rule boxes for multi-field validation.
-pub struct TrainedISet {
+/// The immutable, snapshot-shareable part of a trained iSet: the compiled
+/// RQ-RMI plus the packed lookup arrays. Never mutated after training, so
+/// every snapshot generation shares one copy behind an `Arc` — cloning a
+/// [`TrainedISet`] for a copy-on-write update costs a pointer bump plus the
+/// tombstone vector, not a model.
+struct ISetCore {
     /// Field this iSet does not overlap in.
-    pub dim: usize,
+    dim: usize,
     model: CompiledRqRmi,
     reference: RqRmi,
     /// Sorted range lower bounds in `dim` (the RQ-RMI value array order).
@@ -47,9 +54,21 @@ pub struct TrainedISet {
     /// packed so one rule's validation data is contiguous (§4 packs field
     /// values to minimise cache lines touched).
     boxes: Vec<u64>,
+    nfields: usize,
+}
+
+/// One iSet lowered for the lookup hot path: a compiled RQ-RMI over the
+/// iSet's field projection, the sorted range arrays for the secondary
+/// search, and flattened rule boxes for multi-field validation.
+///
+/// The trained arrays live in a shared immutable core; only the per-snapshot
+/// tombstone vector (§3.9 deletions) is owned, which is what makes
+/// [`NuevoMatch`] cloneable at update rates.
+#[derive(Clone)]
+pub struct TrainedISet {
+    core: Arc<ISetCore>,
     /// Tombstones for §3.9 updates: a deleted rule fails validation.
     deleted: Vec<bool>,
-    nfields: usize,
 }
 
 impl TrainedISet {
@@ -79,41 +98,70 @@ impl TrainedISet {
         let ranges: Vec<nm_common::FieldRange> =
             los.iter().zip(&his).map(|(&lo, &hi)| nm_common::FieldRange::new(lo, hi)).collect();
         let reference = train_rqrmi(&ranges, bits, &cfg.rqrmi)?;
+        Ok(Self::from_parts(dim, reference, los, his, rule_ids, priorities, boxes, vec![false; n]))
+    }
+
+    /// Assembles an iSet from already-trained parts (snapshot restore; also
+    /// the tail of [`TrainedISet::build`]). The arrays must be position-
+    /// aligned and `los`/`his` sorted in model order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        dim: usize,
+        reference: RqRmi,
+        los: Vec<u64>,
+        his: Vec<u64>,
+        rule_ids: Vec<RuleId>,
+        priorities: Vec<Priority>,
+        boxes: Vec<u64>,
+        deleted: Vec<bool>,
+    ) -> Self {
+        let n = rule_ids.len();
+        debug_assert_eq!(los.len(), n);
+        debug_assert_eq!(his.len(), n);
+        debug_assert_eq!(deleted.len(), n);
+        let nfields = if n == 0 { 0 } else { boxes.len() / (n * 2) };
         let model = CompiledRqRmi::new(&reference);
-        Ok(Self {
-            dim,
-            model,
-            reference,
-            los,
-            his,
-            rule_ids,
-            priorities,
-            boxes,
-            deleted: vec![false; n],
-            nfields,
-        })
+        Self {
+            core: Arc::new(ISetCore {
+                dim,
+                model,
+                reference,
+                los,
+                his,
+                rule_ids,
+                priorities,
+                boxes,
+                nfields,
+            }),
+            deleted,
+        }
+    }
+
+    /// Field this iSet does not overlap in.
+    pub fn dim(&self) -> usize {
+        self.core.dim
     }
 
     /// Number of rules in the iSet.
     pub fn len(&self) -> usize {
-        self.rule_ids.len()
+        self.core.rule_ids.len()
     }
 
     /// True when the iSet holds no rules.
     pub fn is_empty(&self) -> bool {
-        self.rule_ids.is_empty()
+        self.core.rule_ids.is_empty()
     }
 
     /// The trained model (diagnostics: error bounds, widths).
     pub fn model(&self) -> &RqRmi {
-        &self.reference
+        &self.core.reference
     }
 
     /// Phase 1 — RQ-RMI inference: predicted index + error bound for the
     /// key's value in this iSet's field.
     #[inline]
     pub fn predict(&self, key: &[u64]) -> (usize, u32) {
-        self.model.predict(key[self.dim])
+        self.core.model.predict(key[self.core.dim])
     }
 
     /// Phase 2 — secondary search: binary search within
@@ -121,14 +169,14 @@ impl TrainedISet {
     /// Returns the position in the iSet arrays.
     #[inline]
     pub fn search(&self, pred: usize, err: u32, key: &[u64]) -> Option<usize> {
-        self.search_value(pred, err, key[self.dim])
+        self.search_value(pred, err, key[self.core.dim])
     }
 
     /// [`TrainedISet::search`] on an already-extracted field value (the
     /// batched pipeline gathers the projection once per batch).
     #[inline]
     pub fn search_value(&self, pred: usize, err: u32, v: u64) -> Option<usize> {
-        let n = self.los.len();
+        let n = self.core.los.len();
         if n == 0 {
             // An iSet emptied by updates has nothing to search; without this
             // guard the `n - 1` window clamp below underflows.
@@ -137,9 +185,9 @@ impl TrainedISet {
         let lo = pred.saturating_sub(err as usize);
         let hi = (pred + err as usize).min(n - 1);
         // First range in the window whose upper bound is >= v.
-        let off = self.his[lo..=hi].partition_point(|&h| h < v);
+        let off = self.core.his[lo..=hi].partition_point(|&h| h < v);
         let pos = lo + off;
-        (pos <= hi && self.los[pos] <= v).then_some(pos)
+        (pos <= hi && self.core.los[pos] <= v).then_some(pos)
     }
 
     /// Phase 3 — multi-field validation (§3.6): checks the candidate rule's
@@ -149,14 +197,15 @@ impl TrainedISet {
         if self.deleted[pos] {
             return None;
         }
-        let base = pos * self.nfields * 2;
-        let b = &self.boxes[base..base + self.nfields * 2];
+        let nfields = self.core.nfields;
+        let base = pos * nfields * 2;
+        let b = &self.core.boxes[base..base + nfields * 2];
         for (d, &v) in key.iter().enumerate() {
             if v < b[2 * d] || v > b[2 * d + 1] {
                 return None;
             }
         }
-        Some(MatchResult::new(self.rule_ids[pos], self.priorities[pos]))
+        Some(MatchResult::new(self.core.rule_ids[pos], self.core.priorities[pos]))
     }
 
     /// Full iSet lookup: predict → search → validate.
@@ -188,7 +237,8 @@ impl TrainedISet {
         let n = best.len();
         assert!(stride > 0, "lookup_batch: stride must be positive");
         assert_eq!(keys.len(), stride * n, "lookup_batch: key buffer length mismatch");
-        assert!(self.dim < stride, "lookup_batch: iSet field outside key stride");
+        assert!(self.core.dim < stride, "lookup_batch: iSet field outside key stride");
+        let core = &*self.core;
         let mut vals = [0u64; CHUNK];
         let mut preds = [0usize; CHUNK];
         let mut errs = [0u32; CHUNK];
@@ -198,9 +248,9 @@ impl TrainedISet {
             let m = CHUNK.min(n - base);
             // Phase 1: gather the projection, predict across packets.
             for i in 0..m {
-                vals[i] = keys[(base + i) * stride + self.dim];
+                vals[i] = keys[(base + i) * stride + core.dim];
             }
-            self.model.predict_batch(&vals[..m], &mut preds[..m], &mut errs[..m]);
+            core.model.predict_batch(&vals[..m], &mut preds[..m], &mut errs[..m]);
             // Phase 2: prefetch every search window before any search runs,
             // so the misses resolve in parallel. The first two binary-search
             // probe addresses are deterministic (midpoint, then one of the
@@ -208,20 +258,20 @@ impl TrainedISet {
             // the first three levels of every search.
             for i in 0..m {
                 let lo = preds[i].saturating_sub(errs[i] as usize);
-                let hi = (preds[i] + errs[i] as usize).min(self.los.len().saturating_sub(1));
+                let hi = (preds[i] + errs[i] as usize).min(core.los.len().saturating_sub(1));
                 let mid = lo + (hi - lo) / 2;
-                prefetch_index(&self.his, lo);
-                prefetch_index(&self.his, mid);
-                prefetch_index(&self.his, hi);
-                prefetch_index(&self.his, lo + (mid - lo) / 2);
-                prefetch_index(&self.his, mid + (hi - mid) / 2);
-                prefetch_index(&self.los, mid);
+                prefetch_index(&core.his, lo);
+                prefetch_index(&core.his, mid);
+                prefetch_index(&core.his, hi);
+                prefetch_index(&core.his, lo + (mid - lo) / 2);
+                prefetch_index(&core.his, mid + (hi - mid) / 2);
+                prefetch_index(&core.los, mid);
             }
             // Phase 3: secondary searches; prefetch hit boxes for phase 4.
             for i in 0..m {
                 pos[i] = match self.search_value(preds[i], errs[i], vals[i]) {
                     Some(p) => {
-                        prefetch_index(&self.boxes, p * self.nfields * 2);
+                        prefetch_index(&core.boxes, p * core.nfields * 2);
                         p
                     }
                     None => usize::MAX,
@@ -242,7 +292,7 @@ impl TrainedISet {
     /// Index memory: the RQ-RMI weights (the sorted projections and boxes
     /// are rule storage, which the paper's footprint excludes — §5.2.1).
     pub fn memory_bytes(&self) -> usize {
-        self.reference.memory_bytes()
+        self.core.reference.memory_bytes()
     }
 
     /// Marks the rule at `pos` deleted (updates, §3.9).
@@ -250,37 +300,84 @@ impl TrainedISet {
         self.deleted[pos] = true;
     }
 
+    /// True when the rule at `pos` has been tombstoned.
+    pub(crate) fn is_deleted(&self, pos: usize) -> bool {
+        self.deleted[pos]
+    }
+
     /// Rule id at a position (updates bookkeeping).
     pub(crate) fn rule_id_at(&self, pos: usize) -> RuleId {
-        self.rule_ids[pos]
+        self.core.rule_ids[pos]
+    }
+
+    /// Reconstructs the full rule stored at `pos` from the packed arrays
+    /// (snapshot persistence and control-plane rule exports).
+    pub(crate) fn rule_at(&self, pos: usize) -> Rule {
+        let nfields = self.core.nfields;
+        let base = pos * nfields * 2;
+        let fields = (0..nfields)
+            .map(|d| {
+                nm_common::FieldRange::new(
+                    self.core.boxes[base + 2 * d],
+                    self.core.boxes[base + 2 * d + 1],
+                )
+            })
+            .collect();
+        Rule::new(self.core.rule_ids[pos], self.core.priorities[pos], fields)
+    }
+
+    /// Raw parts for snapshot persistence: `(dim, model, los, his, rule_ids,
+    /// priorities, boxes, deleted)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(
+        &self,
+    ) -> (usize, &RqRmi, &[u64], &[u64], &[RuleId], &[Priority], &[u64], &[bool]) {
+        let c = &*self.core;
+        (c.dim, &c.reference, &c.los, &c.his, &c.rule_ids, &c.priorities, &c.boxes, &self.deleted)
     }
 }
 
 /// The NuevoMatch classifier: iSets + a remainder engine `R`.
 ///
 /// `R` is any [`Classifier`]; the paper evaluates TupleMerge, CutSplit and
-/// NeuroCuts remainders. Build with [`NuevoMatch::build`], passing a closure
-/// that constructs the remainder engine from the remainder rule subset.
+/// NeuroCuts remainders. Build with [`NuevoMatch::build`], passing any
+/// [`EngineBuilder`] — a plain `Fn(&RuleSet) -> R` (such as
+/// `TupleMerge::build`) works via the blanket impl.
+///
+/// `NuevoMatch` is a pure **data-plane** value: lookups take `&self`.
+/// Direct `&mut self` updates exist for single-threaded callers (see
+/// [`update`]); the concurrent lifecycle — lock-free readers, transactional
+/// updates, background retrains — lives in [`ClassifierHandle`], which
+/// publishes clones of this type. Cloning shares the trained models and
+/// copies only the tombstones and the remainder engine.
+#[derive(Clone)]
 pub struct NuevoMatch<R> {
     isets: Vec<TrainedISet>,
     remainder: R,
     early_termination: bool,
     total_rules: usize,
+    /// Schema of the rule-set this classifier was built over.
+    spec: FieldsSpec,
+    /// Update stamp (see [`Classifier::generation`]).
+    pub(crate) generation: Generation,
     /// Rules that migrated to the remainder through updates (§3.9).
     pub(crate) moved_updates: usize,
-    /// Lazy id → (iset, position) map for update routing.
-    pub(crate) loc: Option<std::collections::HashMap<RuleId, (u32, u32)>>,
+    /// id → (iset, position) routing map. Immutable after build (tombstones
+    /// are recorded in the iSets, not here), so snapshots share one copy.
+    pub(crate) loc: Arc<std::collections::HashMap<RuleId, (u32, u32)>>,
 }
 
 impl<R: Classifier> NuevoMatch<R> {
     /// Partitions, trains and assembles the full classifier.
     ///
-    /// `make_remainder` receives the remainder rule subset (ids and
-    /// priorities preserved) and returns the external classifier.
+    /// `remainder_builder` receives the remainder rule subset (ids and
+    /// priorities preserved) and returns the external classifier. Pass the
+    /// same builder to [`ClassifierHandle::new`] so background retrains can
+    /// reconstruct the remainder.
     pub fn build(
         set: &RuleSet,
         cfg: &NuevoMatchConfig,
-        make_remainder: impl FnOnce(&RuleSet) -> R,
+        remainder_builder: impl EngineBuilder<Engine = R>,
     ) -> Result<Self, Error> {
         let partition = partition_isets(set, cfg.max_isets, cfg.min_iset_coverage);
         let mut isets = Vec::with_capacity(partition.isets.len());
@@ -288,15 +385,35 @@ impl<R: Classifier> NuevoMatch<R> {
             isets.push(TrainedISet::build(set, iset, cfg)?);
         }
         let remainder_set = set.subset(&partition.remainder);
-        let remainder = make_remainder(&remainder_set);
-        Ok(Self {
+        let remainder = remainder_builder.build_engine(&remainder_set);
+        Ok(Self::assemble(isets, remainder, cfg.early_termination, set.len(), set.spec().clone()))
+    }
+
+    /// Final assembly shared by [`NuevoMatch::build`] and snapshot restore:
+    /// derives the routing map from the iSets.
+    pub(crate) fn assemble(
+        isets: Vec<TrainedISet>,
+        remainder: R,
+        early_termination: bool,
+        total_rules: usize,
+        spec: FieldsSpec,
+    ) -> Self {
+        let mut loc = std::collections::HashMap::new();
+        for (i, iset) in isets.iter().enumerate() {
+            for pos in 0..iset.len() {
+                loc.insert(iset.rule_id_at(pos), (i as u32, pos as u32));
+            }
+        }
+        Self {
             isets,
             remainder,
-            early_termination: cfg.early_termination,
-            total_rules: set.len(),
+            early_termination,
+            total_rules,
+            spec,
+            generation: 0,
             moved_updates: 0,
-            loc: None,
-        })
+            loc: Arc::new(loc),
+        }
     }
 
     /// The trained iSets.
@@ -309,12 +426,24 @@ impl<R: Classifier> NuevoMatch<R> {
         &mut self.isets
     }
 
+    /// The schema of the rule-set this classifier serves.
+    pub fn spec(&self) -> &FieldsSpec {
+        &self.spec
+    }
+
+    /// Whether early termination (§4) is enabled.
+    pub fn early_termination(&self) -> bool {
+        self.early_termination
+    }
+
     /// The remainder engine.
     pub fn remainder(&self) -> &R {
         &self.remainder
     }
 
-    /// Mutable remainder engine (update path).
+    /// Mutable remainder engine (update path). Callers that mutate rules
+    /// through this must rely on the engine's own generation bump for cache
+    /// invalidation (see [`Classifier::generation`]).
     pub fn remainder_mut(&mut self) -> &mut R {
         &mut self.remainder
     }
@@ -437,6 +566,14 @@ impl<R: Classifier> Classifier for NuevoMatch<R> {
 
     fn num_rules(&self) -> usize {
         self.total_rules
+    }
+
+    fn generation(&self) -> Generation {
+        // Sum with the remainder's own stamp so rule changes applied
+        // straight through `remainder_mut` (bypassing this type's update
+        // path) still invalidate caches layered above. Both terms are
+        // monotone, so the sum is.
+        self.generation + self.remainder.generation()
     }
 }
 

@@ -13,16 +13,29 @@
 //!
 //! Batches of 128 packets amortise the synchronisation, as in §5.1.
 //!
+//! The runtime consumes [`ClassifierHandle`]s, not `&NuevoMatch`: workers
+//! classify against generation-pinned snapshots, so a control-plane update
+//! or retrain can land mid-run without stalling a single batch. The
+//! dispatcher pins one snapshot per batch and hands the *same* snapshot to
+//! both workers, which keeps the split halves of a batch on one generation
+//! (merging candidates from two generations would not be a classifier any
+//! sequential run could produce). [`run_batched`] / [`run_replicated`] /
+//! [`run_sequential`] take `&dyn Classifier` — pass a handle to serve under
+//! updates (its `classify_batch` pins per batch), or a bare engine for
+//! static workloads.
+//!
 //! This repository's CI machine has a single physical core, so the measured
 //! *numbers* time-share; the harness structure is identical to the paper's
 //! and scales on real multi-core hardware. EXPERIMENTS.md discusses the
 //! caveat.
 
+use std::sync::Arc;
+
 use crossbeam::channel;
 use nm_common::classifier::{Classifier, MatchResult};
 use nm_common::packet::TraceBuf;
 
-use super::NuevoMatch;
+use super::handle::{ClassifierHandle, NmSnapshot};
 
 /// Default batch size from the paper.
 pub const BATCH: usize = 128;
@@ -48,8 +61,13 @@ fn fold(checksum: &mut u64, m: Option<MatchResult>) {
 /// Runs NuevoMatch with the paper's two-worker split: worker A executes the
 /// iSet RQ-RMIs, worker B the remainder classifier; the caller's thread
 /// merges per-batch candidates in order.
+///
+/// Takes a [`ClassifierHandle`], not `&NuevoMatch`: the dispatcher pins one
+/// snapshot per batch and ships it to both workers, so updates and retrain
+/// swaps landing mid-run never stall a batch and never split one batch
+/// across generations.
 pub fn run_two_workers<R: Classifier>(
-    nm: &NuevoMatch<R>,
+    handle: &ClassifierHandle<R>,
     trace: &TraceBuf,
     batch: usize,
 ) -> ParallelStats {
@@ -59,9 +77,10 @@ pub fn run_two_workers<R: Classifier>(
     }
     let batch = batch.max(1);
     let n_batches = n.div_ceil(batch);
+    type Job<R> = (usize, Arc<NmSnapshot<R>>);
     // Bounded channels keep a small pipeline in flight, like a NIC queue.
-    let (a_tx, a_rx) = channel::bounded::<usize>(4);
-    let (b_tx, b_rx) = channel::bounded::<usize>(4);
+    let (a_tx, a_rx) = channel::bounded::<Job<R>>(4);
+    let (b_tx, b_rx) = channel::bounded::<Job<R>>(4);
     let (ra_tx, ra_rx) = channel::bounded::<(usize, Vec<Option<MatchResult>>)>(4);
     let (rb_tx, rb_rx) = channel::bounded::<(usize, Vec<Option<MatchResult>>)>(4);
 
@@ -74,11 +93,15 @@ pub fn run_two_workers<R: Classifier>(
     crossbeam::thread::scope(|scope| {
         // Worker A: iSets, whole batches through the phase pipeline.
         scope.spawn(|_| {
-            for b in a_rx.iter() {
+            for (b, snap) in a_rx.iter() {
                 let lo = b * batch;
                 let hi = ((b + 1) * batch).min(n);
                 let mut out = vec![None; hi - lo];
-                nm.classify_isets_batch(&raw[lo * stride..hi * stride], stride, &mut out);
+                snap.engine().classify_isets_batch(
+                    &raw[lo * stride..hi * stride],
+                    stride,
+                    &mut out,
+                );
                 if ra_tx.send((b, out)).is_err() {
                     break;
                 }
@@ -86,11 +109,15 @@ pub fn run_two_workers<R: Classifier>(
         });
         // Worker B: remainder, batched through the engine's own path.
         scope.spawn(|_| {
-            for b in b_rx.iter() {
+            for (b, snap) in b_rx.iter() {
                 let lo = b * batch;
                 let hi = ((b + 1) * batch).min(n);
                 let mut out = vec![None; hi - lo];
-                nm.remainder().classify_batch(&raw[lo * stride..hi * stride], stride, &mut out);
+                snap.engine().remainder().classify_batch(
+                    &raw[lo * stride..hi * stride],
+                    stride,
+                    &mut out,
+                );
                 if rb_tx.send((b, out)).is_err() {
                     break;
                 }
@@ -104,8 +131,11 @@ pub fn run_two_workers<R: Classifier>(
         while merged < n_batches {
             while next < n_batches && next - merged < 4 {
                 dispatch_times[next] = std::time::Instant::now();
-                a_tx.send(next).unwrap();
-                b_tx.send(next).unwrap();
+                // One pin per batch, shared by both workers.
+                let snap = handle.snapshot();
+                if a_tx.send((next, snap.clone())).is_err() || b_tx.send((next, snap)).is_err() {
+                    unreachable!("worker exited before channel close");
+                }
                 next += 1;
             }
             let (ba, va) = ra_rx.recv().unwrap();
@@ -254,7 +284,7 @@ mod tests {
     use crate::config::{NuevoMatchConfig, RqRmiParams};
     use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet};
 
-    fn setup() -> (NuevoMatch<LinearSearch>, TraceBuf) {
+    fn setup() -> (ClassifierHandle<LinearSearch>, TraceBuf) {
         let rules: Vec<_> = (0..200u16)
             .map(|i| {
                 FiveTuple::new()
@@ -267,7 +297,7 @@ mod tests {
             rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
             ..Default::default()
         };
-        let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
+        let nm = ClassifierHandle::new(&set, &cfg, LinearSearch::build).unwrap();
         let mut trace = TraceBuf::new(5);
         for i in 0..4_000u64 {
             trace.push(&[i, i * 7, i % 65_536, (i * 37) % 65_536, (i % 256)]);
@@ -316,5 +346,43 @@ mod tests {
         let s = run_two_workers(&nm, &empty, 128);
         assert_eq!(s.checksum, 0);
         assert_eq!(run_replicated(&nm, &empty, 2, 128).checksum, 0);
+    }
+
+    #[test]
+    fn two_workers_survive_concurrent_updates_and_retrain() {
+        // A run under live control-plane traffic must complete (readers
+        // never block) and every batch must stay internally consistent —
+        // generation pinning means the run equals *some* interleaving of
+        // the update stream, so we assert structural health, not a fixed
+        // checksum.
+        use nm_common::{FiveTuple, UpdateBatch};
+        let (handle, trace) = setup();
+        let writer = handle.clone();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut i = 0u32;
+                while !done.load(std::sync::atomic::Ordering::SeqCst) {
+                    writer.apply(
+                        &UpdateBatch::new().modify(
+                            FiveTuple::new()
+                                .dst_port_exact(50_000 + (i % 1_000) as u16)
+                                .into_rule(i % 200, i % 200),
+                        ),
+                    );
+                    i += 1;
+                    if i % 64 == 0 {
+                        let _ = writer.retrain();
+                    }
+                }
+            });
+            for _ in 0..5 {
+                let s = run_two_workers(&handle, &trace, 128);
+                assert!(s.pps > 0.0);
+            }
+            done.store(true, std::sync::atomic::Ordering::SeqCst);
+        })
+        .expect("scope");
+        assert!(handle.generation() > 1, "updates must have published");
     }
 }

@@ -1,4 +1,4 @@
-//! Rule updates (paper §3.9).
+//! Rule updates (paper §3.9) — the direct, `&mut self` control path.
 //!
 //! Four update types:
 //!
@@ -11,44 +11,117 @@
 //!   trained RQ-RMI in place.
 //! * **insertion** — straight to the remainder.
 //!
-//! Updates therefore grow the remainder over time; [`NuevoMatch::remainder_fraction`]
-//! tracks the drift and the operator retrains (rebuilds) when throughput
-//! degradation warrants it — exactly the Figure 7 model, which
-//! `nm-analysis` reproduces analytically.
+//! Updates therefore grow the remainder over time;
+//! [`NuevoMatch::remainder_fraction`] tracks the drift and a retrain
+//! (rebuild) resets it — exactly the Figure 7 model, which `nm-analysis`
+//! reproduces analytically and `nm-bench --bin update_bench` now measures.
+//!
+//! The entry point is [`NuevoMatch::apply`] with an
+//! [`UpdateBatch`](nm_common::UpdateBatch) transaction; `remove` / `insert` /
+//! `modify` remain as single-op conveniences. All of these require exclusive
+//! access (`&mut self`) and thus a quiesced data plane — concurrent readers
+//! belong to [`super::ClassifierHandle`], which applies the same batches
+//! against copy-on-write snapshots instead.
 
-use nm_common::classifier::Updatable;
+use nm_common::classifier::Classifier;
 use nm_common::rule::{Rule, RuleId};
+use nm_common::update::{BatchUpdatable, UpdateBatch, UpdateOp, UpdateReport};
 
 use super::NuevoMatch;
 
-impl<R: Updatable> NuevoMatch<R> {
+impl<R: BatchUpdatable> NuevoMatch<R> {
+    /// Applies a whole transaction: tombstones iSet rules, routes everything
+    /// else to the remainder engine in a single remainder batch, and bumps
+    /// the generation once. Returns the merged accounting.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> UpdateReport {
+        let mut report = UpdateReport::default();
+        let mut remainder_ops = UpdateBatch::new();
+        for op in batch.ops() {
+            match op {
+                UpdateOp::Insert(rule) => {
+                    self.moved_updates += 1;
+                    // Insert is an upsert on id, like the engines' own
+                    // inserts (TupleMerge replaces a re-inserted id): a live
+                    // iSet copy must die, or the stale version would keep
+                    // matching until a retrain silently changed verdicts.
+                    if self.tombstone_in_iset(rule.id) {
+                        report.removed += 1;
+                    }
+                    remainder_ops.push(UpdateOp::Insert(rule.clone()));
+                }
+                UpdateOp::Remove(id) => {
+                    if self.tombstone_in_iset(*id) {
+                        report.removed += 1;
+                    } else {
+                        remainder_ops.push(UpdateOp::Remove(*id));
+                    }
+                }
+                UpdateOp::Modify(rule) => {
+                    self.moved_updates += 1;
+                    if self.tombstone_in_iset(rule.id) {
+                        report.removed += 1;
+                        remainder_ops.push(UpdateOp::Insert(rule.clone()));
+                    } else {
+                        remainder_ops.push(UpdateOp::Modify(rule.clone()));
+                    }
+                }
+            }
+        }
+        report.absorb(self.remainder_mut().apply(&remainder_ops));
+        if !batch.is_empty() {
+            self.generation += 1;
+        }
+        report
+    }
+
     /// Removes a rule wherever it lives. Returns true if it was present.
     pub fn remove(&mut self, id: RuleId) -> bool {
-        self.ensure_loc();
-        let loc = self.loc.as_mut().expect("ensure_loc");
-        if let Some((iset_idx, pos)) = loc.remove(&id) {
-            self.isets_mut()[iset_idx as usize].tombstone(pos as usize);
-            true
-        } else {
-            self.remainder_mut().remove(id)
-        }
+        self.apply(&UpdateBatch::new().remove(id)).removed == 1
     }
 
     /// Inserts a new rule; it is indexed by the remainder engine until the
     /// next rebuild.
     pub fn insert(&mut self, rule: Rule) {
-        self.moved_updates += 1;
-        self.remainder_mut().insert(rule);
+        self.apply(&UpdateBatch::new().insert(rule));
     }
 
     /// Matching-set change: removes the old version and inserts the new one
     /// into the remainder. Returns true if the old version existed.
     pub fn modify(&mut self, rule: Rule) -> bool {
-        let existed = self.remove(rule.id);
-        self.insert(rule);
-        existed
+        self.apply(&UpdateBatch::new().modify(rule)).removed == 1
     }
 
+    /// Tombstones `id` in its owning iSet, if it lives in one and is not
+    /// already tombstoned (a modify may have moved the live version to the
+    /// remainder, in which case the remainder owns the removal).
+    fn tombstone_in_iset(&mut self, id: RuleId) -> bool {
+        if let Some(&(iset_idx, pos)) = self.loc.get(&id) {
+            let iset = &mut self.isets_mut()[iset_idx as usize];
+            if !iset.is_deleted(pos as usize) {
+                iset.tombstone(pos as usize);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Every rule this classifier currently serves: live (non-tombstoned)
+    /// iSet rules plus the remainder engine's export. This is the control
+    /// plane's ground truth for retrains and snapshot persistence.
+    pub fn live_rules(&self) -> Vec<Rule> {
+        let mut out = self.remainder().export_rules();
+        for iset in self.isets() {
+            for pos in 0..iset.len() {
+                if !iset.is_deleted(pos) {
+                    out.push(iset.rule_at(pos));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<R: Classifier> NuevoMatch<R> {
     /// Rules that migrated into the remainder via updates since build.
     pub fn moved_to_remainder(&self) -> usize {
         self.moved_updates
@@ -63,26 +136,15 @@ impl<R: Updatable> NuevoMatch<R> {
         }
         self.remainder().num_rules() as f64 / total as f64
     }
-
-    fn ensure_loc(&mut self) {
-        if self.loc.is_some() {
-            return;
-        }
-        let mut map = std::collections::HashMap::new();
-        for (i, iset) in self.isets().iter().enumerate() {
-            for pos in 0..iset.len() {
-                map.insert(iset.rule_id_at(pos), (i as u32, pos as u32));
-            }
-        }
-        self.loc = Some(map);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::config::{NuevoMatchConfig, RqRmiParams};
     use crate::system::NuevoMatch;
-    use nm_common::{Classifier, FieldsSpec, FiveTuple, LinearSearch, RuleSet};
+    use nm_common::{
+        BatchUpdatable, Classifier, FieldsSpec, FiveTuple, LinearSearch, RuleSet, UpdateBatch,
+    };
 
     fn build(n: u16) -> NuevoMatch<LinearSearch> {
         let rules: Vec<_> = (0..n)
@@ -113,10 +175,12 @@ mod tests {
         let mut nm = build(50);
         let key = [0u64, 0, 0, 60_000, 0];
         assert_eq!(nm.classify(&key), None);
+        let g0 = nm.generation();
         nm.insert(FiveTuple::new().dst_port_range(59_000, 61_000).into_rule(999, 0));
         assert_eq!(nm.classify(&key).unwrap().rule, 999);
         assert_eq!(nm.moved_to_remainder(), 1);
         assert!(nm.remainder_fraction() > 0.0);
+        assert!(nm.generation() > g0, "updates must bump the generation stamp");
     }
 
     #[test]
@@ -127,6 +191,52 @@ mod tests {
         assert!(nm.modify(newer));
         assert_eq!(nm.classify(&[0, 0, 0, 750, 0]), None);
         assert_eq!(nm.classify(&[0, 0, 0, 40_050, 0]).unwrap().rule, 7);
+        // Modifying it again: the live version now lives in the remainder.
+        let newest = FiveTuple::new().dst_port_range(50_000, 50_099).into_rule(7, 7);
+        assert!(nm.modify(newest));
+        assert_eq!(nm.classify(&[0, 0, 0, 40_050, 0]), None);
+        assert_eq!(nm.classify(&[0, 0, 0, 50_050, 0]).unwrap().rule, 7);
+    }
+
+    #[test]
+    fn batch_apply_is_one_generation_bump() {
+        let mut nm = build(60);
+        let g0 = nm.generation();
+        let batch = UpdateBatch::new()
+            .remove(3)
+            .remove(3) // second one is a miss
+            .insert(FiveTuple::new().dst_port_exact(61_111).into_rule(700, 0))
+            .modify(FiveTuple::new().dst_port_range(45_000, 45_100).into_rule(8, 8));
+        let report = nm.apply(&batch);
+        assert_eq!(report.removed, 2, "rule 3 tombstone + rule 8 modify-remove");
+        assert_eq!(report.inserted, 2);
+        assert_eq!(report.missing, 1);
+        assert!(nm.generation() > g0);
+        assert_eq!(nm.classify(&[0, 0, 0, 350, 0]), None);
+        assert_eq!(nm.classify(&[0, 0, 0, 61_111, 0]).unwrap().rule, 700);
+        assert_eq!(nm.classify(&[0, 0, 0, 45_050, 0]).unwrap().rule, 8);
+    }
+
+    #[test]
+    fn live_rules_track_update_stream() {
+        let mut nm = build(40);
+        nm.apply(
+            &UpdateBatch::new()
+                .remove(0)
+                .remove(39)
+                .insert(FiveTuple::new().dst_port_exact(62_000).into_rule(100, 1)),
+        );
+        let mut live = nm.live_rules();
+        live.sort_by_key(|r| r.id);
+        assert_eq!(live.len(), 39);
+        assert!(live.iter().all(|r| r.id != 0 && r.id != 39));
+        assert!(live.iter().any(|r| r.id == 100));
+        // The live set rebuilt as a fresh classifier agrees everywhere.
+        let rebuilt = LinearSearch::from_rules(live);
+        for port in (0u64..8_000).step_by(7) {
+            let key = [0, 0, 0, port, 0];
+            assert_eq!(nm.classify(&key), rebuilt.classify(&key), "port {port}");
+        }
     }
 
     #[test]
@@ -140,14 +250,14 @@ mod tests {
             .collect();
         let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
         let mut oracle = LinearSearch::build(&set);
-        use nm_common::Updatable;
+        let mut batch = UpdateBatch::new();
         for id in [3u32, 40, 77] {
-            nm.remove(id);
-            oracle.remove(id);
+            batch = batch.remove(id);
         }
         let add = FiveTuple::new().dst_port_range(300, 420).into_rule(500, 1);
-        nm.insert(add.clone());
-        oracle.insert(add);
+        batch = batch.insert(add);
+        nm.apply(&batch);
+        oracle.apply(&batch);
         for port in (0u64..8_200).step_by(13) {
             let key = [1, 1, 1, port, 6];
             assert_eq!(nm.classify(&key), oracle.classify(&key), "port {port}");

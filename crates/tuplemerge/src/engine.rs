@@ -2,11 +2,12 @@
 
 use crate::table::Table;
 use crate::tuple::Tuple;
-use nm_common::classifier::{Classifier, MatchResult, Updatable};
+use nm_common::classifier::{Classifier, MatchResult};
 use nm_common::memsize;
 use nm_common::prefetch::prefetch_index;
 use nm_common::rule::{Priority, Rule, RuleId};
 use nm_common::ruleset::{FieldsSpec, RuleSet};
+use nm_common::update::{BatchUpdatable, Generation, UpdateBatch, UpdateReport};
 use std::collections::HashMap;
 
 /// TupleMerge parameters.
@@ -25,7 +26,9 @@ impl Default for TupleMergeConfig {
     }
 }
 
-/// Hash-based classifier with tuple merging and online updates.
+/// Hash-based classifier with tuple merging and online updates (via
+/// [`BatchUpdatable`]; `Clone` supports copy-on-write snapshot pipelines).
+#[derive(Clone)]
 pub struct TupleMerge {
     spec: FieldsSpec,
     cfg: TupleMergeConfig,
@@ -36,6 +39,9 @@ pub struct TupleMerge {
     /// Rule storage; `None` marks a removed slot.
     slab: Vec<Option<Rule>>,
     by_id: HashMap<RuleId, u32>,
+    /// Update stamp (see [`Classifier::generation`]); build-time inserts do
+    /// not count.
+    generation: Generation,
     name: &'static str,
 }
 
@@ -55,10 +61,11 @@ impl TupleMerge {
             order: Vec::new(),
             slab: Vec::with_capacity(set.len()),
             by_id: HashMap::with_capacity(set.len()),
+            generation: 0,
             name,
         };
         for rule in set.rules() {
-            tm.insert(rule.clone());
+            tm.insert_rule(rule.clone());
         }
         tm
     }
@@ -127,25 +134,41 @@ impl TupleMerge {
         self.resort_order();
     }
 
-    /// Splits an overflowing table: refine the field with the most headroom
-    /// (the rules' natural lengths allow a longer mask) and re-file every
-    /// rule. Rules are re-inserted through the normal path, so they land in
-    /// the refined table when they fit and in coarser tables otherwise.
+    /// Splits an overflowing table: refine the field where the most members
+    /// have headroom (their natural lengths allow a longer mask) and re-file
+    /// every rule. Rules are re-inserted through the normal path, so they
+    /// land in the refined table when they fit and in coarser tables (or a
+    /// fresh one matching their own relaxed tuple) otherwise.
+    ///
+    /// The refinement step is the smallest *positive* headroom among the
+    /// members that can refine at all — a single mask-exact rule in a mixed
+    /// bucket must not veto the split (it simply stays behind in a coarser
+    /// table). Min-over-everyone here made table formation brutally
+    /// insertion-order-sensitive: one early coarse rule could pin thousands
+    /// of later, finer rules into an unsplittable bucket, which is exactly
+    /// what control-plane retrains (which re-file the whole rule list) kept
+    /// hitting.
     fn split(&mut self, table_idx: usize) {
         let lens = self.tables[table_idx].lens.clone();
         let members = self.tables[table_idx].drain_all();
-        // Per-field headroom: min over members of natural − table length.
+        // Per-field: how many members could accept a longer mask, and the
+        // smallest positive headroom among them.
         let nf = lens.0.len();
-        let mut headroom = vec![u8::MAX; nf];
+        let mut refinable = vec![0usize; nf];
+        let mut step = vec![u8::MAX; nf];
         for &m in &members {
             let rule = self.slab[m as usize].as_ref().expect("live rule");
             let nat = Tuple::natural(&rule.fields, &self.spec);
-            for (d, hr) in headroom.iter_mut().enumerate() {
-                *hr = (*hr).min(nat.0[d] - lens.0[d].min(nat.0[d]));
+            for d in 0..nf {
+                let hr = nat.0[d].saturating_sub(lens.0[d]);
+                if hr > 0 {
+                    refinable[d] += 1;
+                    step[d] = step[d].min(hr);
+                }
             }
         }
-        let best_dim = (0..nf).max_by_key(|&d| headroom[d]).unwrap_or(0);
-        if headroom[best_dim] == 0 || headroom[best_dim] == u8::MAX {
+        let best_dim = (0..nf).max_by_key(|&d| refinable[d]).unwrap_or(0);
+        if refinable[best_dim] == 0 {
             // Nothing to refine (identical natural tuples): accept the long
             // bucket — correctness is unaffected, the scan just costs more.
             let mut t = Table::new(lens);
@@ -157,7 +180,7 @@ impl TupleMerge {
             self.tables[table_idx] = t;
             return;
         }
-        let step = headroom[best_dim].min(4);
+        let step = step[best_dim].clamp(1, 4);
         let mut new_lens = lens.clone();
         new_lens.0[best_dim] += step;
         self.tables[table_idx] = Table::new(new_lens);
@@ -353,10 +376,44 @@ impl Classifier for TupleMerge {
     fn num_rules(&self) -> usize {
         self.by_id.len()
     }
+
+    fn generation(&self) -> Generation {
+        self.generation
+    }
 }
 
-impl Updatable for TupleMerge {
+impl BatchUpdatable for TupleMerge {
+    fn apply(&mut self, batch: &UpdateBatch) -> UpdateReport {
+        let report =
+            nm_common::update::apply_ops(self, batch, Self::insert_rule, |s, id| s.remove_rule(id));
+        if !batch.is_empty() {
+            self.generation += 1;
+        }
+        report
+    }
+
+    fn export_rules(&self) -> Vec<Rule> {
+        self.slab.iter().filter_map(|slot| slot.clone()).collect()
+    }
+}
+
+// One-release compatibility shim: the deprecated per-op interface delegates
+// to the batch path so out-of-tree callers keep compiling.
+#[allow(deprecated)]
+impl nm_common::classifier::Updatable for TupleMerge {
     fn insert(&mut self, rule: Rule) {
+        self.apply(&UpdateBatch::new().insert(rule));
+    }
+
+    fn remove(&mut self, id: RuleId) -> bool {
+        self.apply(&UpdateBatch::new().remove(id)).removed == 1
+    }
+}
+
+impl TupleMerge {
+    /// Single-rule insert primitive shared by construction (which must not
+    /// bump the generation) and the batch path (which does).
+    fn insert_rule(&mut self, rule: Rule) {
         if let Some(&old) = self.by_id.get(&rule.id) {
             // Same id re-inserted: drop the stale version first.
             self.remove_slab(old);
@@ -365,7 +422,7 @@ impl Updatable for TupleMerge {
         self.insert_into_tables(idx);
     }
 
-    fn remove(&mut self, id: RuleId) -> bool {
+    fn remove_rule(&mut self, id: RuleId) -> bool {
         match self.by_id.remove(&id) {
             Some(idx) => {
                 self.remove_slab(idx);
@@ -374,9 +431,7 @@ impl Updatable for TupleMerge {
             None => false,
         }
     }
-}
 
-impl TupleMerge {
     fn remove_slab(&mut self, idx: u32) {
         if let Some(rule) = self.slab[idx as usize].take() {
             for t in &mut self.tables {
@@ -526,26 +581,53 @@ mod tests {
     fn updates_match_rebuild() {
         let set = random_set(5, 200);
         let mut tm = TupleMerge::build(&set);
-        // Remove every third rule, add 20 new ones.
+        assert_eq!(tm.generation(), 0, "build-time inserts must not count as updates");
+        // One transaction: remove every third rule, add 20 new ones.
         let mut rules: Vec<Rule> = set.rules().to_vec();
         rules.retain(|r| r.id % 3 != 0);
+        let mut batch = UpdateBatch::new();
         for id in 0..200u32 {
             if id % 3 == 0 {
-                assert!(tm.remove(id));
+                batch = batch.remove(id);
             }
         }
         for i in 0..20u32 {
             let rule =
                 FiveTuple::new().dst_port_exact(40_000 + i as u16).into_rule(1_000 + i, 500 + i);
             rules.push(rule.clone());
-            tm.insert(rule);
+            batch = batch.insert(rule);
         }
+        let report = tm.apply(&batch);
+        assert_eq!(report.removed, 67);
+        assert_eq!(report.inserted, 20);
+        assert_eq!(report.missing, 0);
+        assert_eq!(tm.generation(), 1);
         let rebuilt = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
         let oracle = LinearSearch::build(&rebuilt);
         for key in random_keys(55, 400, &rebuilt) {
             assert_eq!(tm.classify(&key), oracle.classify(&key), "key {key:?}");
         }
         assert_eq!(tm.num_rules(), rebuilt.len());
+        let mut exported = tm.export_rules();
+        exported.sort_by_key(|r| r.id);
+        assert_eq!(exported.len(), rebuilt.len());
+    }
+
+    #[test]
+    fn clone_then_update_leaves_original_untouched() {
+        // The copy-on-write property snapshot pipelines rely on.
+        let set = random_set(13, 150);
+        let tm = TupleMerge::build(&set);
+        let mut copy = tm.clone();
+        copy.apply(&UpdateBatch::new().remove(0).remove(1).remove(2));
+        assert_eq!(tm.num_rules(), 150);
+        assert_eq!(copy.num_rules(), 147);
+        assert_eq!(tm.generation(), 0);
+        assert_eq!(copy.generation(), 1);
+        let oracle = LinearSearch::build(&set);
+        for key in random_keys(77, 200, &set) {
+            assert_eq!(tm.classify(&key), oracle.classify(&key), "original drifted on {key:?}");
+        }
     }
 
     #[test]

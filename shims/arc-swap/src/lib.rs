@@ -1,0 +1,228 @@
+//! Offline stand-in for `arc-swap`.
+//!
+//! Provides the piece the workspace's control-plane/data-plane split uses:
+//! [`ArcSwap`], a shared slot holding an `Arc<T>` that readers can `load`
+//! without ever blocking while a writer atomically replaces the value.
+//!
+//! The real crate implements this with hazard-pointer-style debt tracking;
+//! this shim uses the *left-right* two-slot scheme, which needs only
+//! atomics and is simple enough to audit:
+//!
+//! * Two slots each hold an `Arc<T>` plus a reader registration counter;
+//!   an atomic `current` index names the live slot.
+//! * **Readers** register on the current slot (counter increment), re-check
+//!   that the slot is still current (a concurrent writer may have swapped
+//!   between the two steps — then they deregister and retry), clone the
+//!   `Arc`, and deregister. No locks, no syscalls; a retry can only be
+//!   forced once per concurrent `store`, so the load is wait-free in the
+//!   absence of writers and lock-free under them.
+//! * **Writers** (serialised by a mutex — swap traffic is control-plane
+//!   rate, not packet rate) wait for stragglers to drain off the *standby*
+//!   slot, write the new `Arc` into it, and flip `current`. The previous
+//!   value stays parked in the standby slot until the *next* store
+//!   overwrites it, so at most one superseded snapshot is kept alive —
+//!   that is the price of never making readers wait.
+//!
+//! Memory ordering: `SeqCst` throughout. The swap path runs at most a few
+//! thousand times per second; buying ordering headroom with weaker
+//! orderings here would be all risk and no measurable reward.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+struct Slot<T> {
+    /// Written only by the single active writer, and only while the slot is
+    /// standby with zero registered readers; read by readers only while
+    /// registered on a slot they re-verified as current.
+    value: UnsafeCell<Option<Arc<T>>>,
+    readers: AtomicUsize,
+}
+
+/// An atomic storage cell for an `Arc<T>` with never-blocking readers.
+///
+/// Mirrors the `arc_swap::ArcSwap` API surface the workspace needs:
+/// [`ArcSwap::new`], [`ArcSwap::load_full`], [`ArcSwap::store`] and
+/// [`ArcSwap::swap`].
+pub struct ArcSwap<T> {
+    slots: [Slot<T>; 2],
+    current: AtomicUsize,
+    /// Serialises writers; never touched by readers.
+    write_lock: Mutex<()>,
+}
+
+// Readers clone `Arc<T>` handles out of the cell from any thread, so the
+// usual `Arc` bounds apply.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates the cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            slots: [
+                Slot { value: UnsafeCell::new(Some(value)), readers: AtomicUsize::new(0) },
+                Slot { value: UnsafeCell::new(None), readers: AtomicUsize::new(0) },
+            ],
+            current: AtomicUsize::new(0),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Wraps `value` in an `Arc` and creates the cell (convenience matching
+    /// `arc_swap::ArcSwap::from_pointee`).
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Returns a clone of the current `Arc` without ever blocking.
+    ///
+    /// At most one retry per concurrent [`ArcSwap::store`] can occur; with
+    /// no writer in flight the fast path is two atomic ops and an `Arc`
+    /// clone.
+    pub fn load_full(&self) -> Arc<T> {
+        loop {
+            let idx = self.current.load(SeqCst);
+            let slot = &self.slots[idx];
+            slot.readers.fetch_add(1, SeqCst);
+            if self.current.load(SeqCst) == idx {
+                // The slot was current *after* we registered, so the writer
+                // path (which drains readers before touching a standby
+                // slot's value) cannot be mutating it concurrently.
+                let arc = unsafe { (*slot.value.get()).as_ref().expect("current slot") }.clone();
+                slot.readers.fetch_sub(1, SeqCst);
+                return arc;
+            }
+            // A store flipped `current` between our two reads; back off the
+            // stale slot and retry against the new one.
+            slot.readers.fetch_sub(1, SeqCst);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Alias for [`ArcSwap::load_full`] (the real crate's `load` returns a
+    /// guard; every call site here wants an owned `Arc` anyway).
+    pub fn load(&self) -> Arc<T> {
+        self.load_full()
+    }
+
+    /// Atomically publishes `value`; readers see either the old or the new
+    /// `Arc`, never anything in between.
+    pub fn store(&self, value: Arc<T>) {
+        drop(self.swap(value));
+    }
+
+    /// [`ArcSwap::store`] that also returns the replaced `Arc`.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let _guard = self.write_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cur = self.current.load(SeqCst);
+        let next = 1 - cur;
+        // Wait out stragglers still registered on the standby slot. Only
+        // readers that loaded `current` *two* flips ago can be here, and
+        // they deregister as soon as their re-check fails, so this drains in
+        // bounded time — and it is the writer waiting, never a reader.
+        while self.slots[next].readers.load(SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        let old_standby = unsafe { (*self.slots[next].value.get()).replace(value) };
+        self.current.store(next, SeqCst);
+        // `old_standby` is the snapshot superseded by the *previous* store;
+        // the one we just retired stays parked in `slots[cur]` until the
+        // next call reclaims it. Returning the freshest retired value would
+        // require draining `slots[cur]` here, which would make writers wait
+        // on *current* readers; handing back the older generation keeps the
+        // writer wait bounded and is all the call sites need (they drop it).
+        old_standby.unwrap_or_else(|| {
+            // First-ever store: the standby slot was empty, so the retired
+            // snapshot is the one still parked in the old current slot.
+            unsafe { (*self.slots[cur].value.get()).as_ref().expect("initial slot") }.clone()
+        })
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap").field("value", &self.load_full()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = ArcSwap::from_pointee(7usize);
+        assert_eq!(*cell.load_full(), 7);
+        cell.store(Arc::new(8));
+        assert_eq!(*cell.load_full(), 8);
+        cell.store(Arc::new(9));
+        assert_eq!(*cell.load(), 9);
+    }
+
+    #[test]
+    fn swap_returns_a_retired_arc() {
+        let cell = ArcSwap::from_pointee(1usize);
+        let old = cell.swap(Arc::new(2));
+        assert_eq!(*old, 1);
+        // Second swap returns the generation parked by the first.
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 1);
+        let old = cell.swap(Arc::new(4));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.load_full(), 4);
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_stay_coherent() {
+        // Readers hammer load_full while a writer publishes monotonically
+        // increasing values; every observed value must be one the writer
+        // published, and per-reader observations must be monotone.
+        let cell = Arc::new(ArcSwap::from_pointee(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = cell.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut seen = 0usize;
+                // Load-then-check so every reader samples at least once even
+                // if it is scheduled after the writer finishes.
+                loop {
+                    let v = *cell.load_full();
+                    assert!(v >= last, "went backwards: {last} -> {v}");
+                    last = v;
+                    seen += 1;
+                    if stop.load(SeqCst) {
+                        break;
+                    }
+                }
+                seen
+            }));
+        }
+        for i in 1..=10_000u64 {
+            cell.store(Arc::new(i));
+        }
+        stop.store(true, SeqCst);
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+        assert_eq!(*cell.load_full(), 10_000);
+    }
+
+    #[test]
+    fn old_snapshots_survive_while_held() {
+        let cell = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let pinned = cell.load_full();
+        cell.store(Arc::new(vec![4]));
+        cell.store(Arc::new(vec![5]));
+        cell.store(Arc::new(vec![6]));
+        // The pinned reader still sees its generation untouched.
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(*cell.load_full(), vec![6]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Concurrent soak test for the control-plane/data-plane split: reader
+//! threads classify continuously against `ClassifierHandle` snapshots while
+//! a writer thread applies proptest-generated `UpdateBatch` scripts and
+//! periodically retrains.
+//!
+//! The correctness bar is generation-exact: every classification a reader
+//! performs must equal a `LinearSearch` oracle rebuilt from the rule truth
+//! *at the reader's pinned generation* — not the latest truth. Zero
+//! mismatches across the whole run also demonstrates the liveness property
+//! the redesign exists for: readers keep classifying (and keep being right)
+//! straight through update publishes and retrain swaps, never blocking on
+//! either.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+use nm_common::{
+    Classifier, FieldsSpec, FiveTuple, LinearSearch, Rule, RuleSet, SplitMix64, UpdateBatch,
+};
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::{ClassifierHandle, NuevoMatchConfig, RqRmiParams};
+use proptest::prelude::*;
+
+const N_RULES: u16 = 400;
+const READERS: usize = 2;
+const KEYS_PER_CHECK: usize = 64;
+
+fn base_set() -> RuleSet {
+    let rules: Vec<_> = (0..N_RULES)
+        .map(|i| {
+            FiveTuple::new().dst_port_range(i * 150, i * 150 + 120).into_rule(i as u32, i as u32)
+        })
+        .collect();
+    RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+}
+
+fn cfg() -> NuevoMatchConfig {
+    NuevoMatchConfig {
+        rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Rule-truth history keyed by published generation. The writer records the
+/// post-batch truth for every generation it publishes; readers resolve their
+/// pinned generation to the truth that produced it.
+type History = Mutex<HashMap<u64, Arc<Vec<Rule>>>>;
+
+/// One scripted control-plane op: `(kind, x, y)` decodes to remove / insert
+/// / modify with pseudo-random-but-deterministic targets.
+fn decode_op(truth: &mut Vec<Rule>, next_id: &mut u32, kind: u64, x: u64, y: u64) -> UpdateBatch {
+    match kind {
+        0 => {
+            // Remove an id that may or may not exist (misses must be safe).
+            let id = (x % (N_RULES as u64 + 40)) as u32;
+            truth.retain(|r| r.id != id);
+            UpdateBatch::new().remove(id)
+        }
+        1 => {
+            let id = *next_id;
+            *next_id += 1;
+            let port = (x * 131 + y) % 65_000;
+            let rule = FiveTuple::new()
+                .dst_port_range(port as u16, (port as u16).saturating_add(90))
+                .into_rule(id, id);
+            truth.push(rule.clone());
+            UpdateBatch::new().insert(rule)
+        }
+        _ => {
+            let id = (x % N_RULES as u64) as u32;
+            let port = (y * 137) % 64_000;
+            let rule = FiveTuple::new()
+                .dst_port_range(port as u16, (port as u16).saturating_add(70))
+                .into_rule(id, id);
+            truth.retain(|r| r.id != id);
+            truth.push(rule.clone());
+            UpdateBatch::new().modify(rule)
+        }
+    }
+}
+
+/// Pins a snapshot AND the truth that generated it. A reader may observe a
+/// generation a beat before the writer records its truth; re-pinning until
+/// the entry exists keeps the pairing exact without ever blocking the
+/// writer.
+fn pin_with_truth(
+    handle: &ClassifierHandle<TupleMerge>,
+    history: &History,
+) -> (Arc<nuevomatch::NmSnapshot<TupleMerge>>, Arc<Vec<Rule>>) {
+    loop {
+        let snap = handle.snapshot();
+        if let Some(rules) = history.lock().unwrap().get(&snap.generation()).cloned() {
+            return (snap, rules);
+        }
+        std::thread::yield_now();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// The satellite acceptance test: concurrent updater + readers, every
+    /// batched classification checked against the pinned-generation oracle.
+    #[test]
+    fn concurrent_soak_matches_pinned_generation_oracle(
+        script in proptest::collection::vec((0u64..3, 0u64..65_536, 0u64..65_536), 30..60),
+        key_seed in 1u64..1_000_000,
+    ) {
+        let set = base_set();
+        let handle = ClassifierHandle::new(&set, &cfg(), TupleMerge::build).unwrap();
+        let history: History = Mutex::new(HashMap::new());
+        history
+            .lock()
+            .unwrap()
+            .insert(handle.generation(), Arc::new(set.rules().to_vec()));
+
+        let stop = AtomicBool::new(false);
+        let checks = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            // Readers: pin, oracle at the pinned generation, batched
+            // classification, compare per key.
+            let mut joins = Vec::new();
+            for reader in 0..READERS {
+                let handle = handle.clone();
+                let history = &history;
+                let stop = &stop;
+                let checks = &checks;
+                joins.push(scope.spawn(move || {
+                    let mut rng = SplitMix64::new(key_seed + reader as u64 * 7_919);
+                    let mut keys = vec![0u64; KEYS_PER_CHECK * 5];
+                    let mut out = vec![None; KEYS_PER_CHECK];
+                    while !stop.load(SeqCst) {
+                        let (snap, truth) = pin_with_truth(&handle, history);
+                        let oracle = LinearSearch::from_rules((*truth).clone());
+                        for k in keys.iter_mut() {
+                            *k = rng.below(66_000);
+                        }
+                        // Keys are 5-tuples; zero the non-port fields so the
+                        // port-range rules above decide everything.
+                        for i in 0..KEYS_PER_CHECK {
+                            keys[i * 5] = 0;
+                            keys[i * 5 + 1] = 0;
+                            keys[i * 5 + 4] = 0;
+                        }
+                        snap.classify_batch(&keys, 5, &mut out);
+                        for i in 0..KEYS_PER_CHECK {
+                            let key = &keys[i * 5..(i + 1) * 5];
+                            let want = oracle.classify(key);
+                            assert_eq!(
+                                out[i],
+                                want,
+                                "reader {reader} diverged from generation-{} oracle on {key:?}",
+                                snap.generation()
+                            );
+                        }
+                        checks.fetch_add(KEYS_PER_CHECK as u64, SeqCst);
+                    }
+                }));
+            }
+
+            // Writer: apply the script, retraining every ~15 ops. The truth
+            // entry for each published generation is recorded before readers
+            // can resolve it (they spin on the history map, not on a lock
+            // the writer holds during classification).
+            let mut truth = set.rules().to_vec();
+            let mut next_id = N_RULES as u32 + 1_000;
+            for (i, &(kind, x, y)) in script.iter().enumerate() {
+                let batch = decode_op(&mut truth, &mut next_id, kind, x, y);
+                handle.apply(&batch);
+                history
+                    .lock()
+                    .unwrap()
+                    .insert(handle.generation(), Arc::new(truth.clone()));
+                if i % 15 == 14 {
+                    // Synchronous retrain: same truth, new generation. The
+                    // readers keep running right through the swap.
+                    handle.retrain().unwrap();
+                    history
+                        .lock()
+                        .unwrap()
+                        .insert(handle.generation(), Arc::new(truth.clone()));
+                }
+            }
+            // Let the readers chew on the final state briefly, then stop.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            stop.store(true, SeqCst);
+            for j in joins {
+                j.join().expect("reader panicked");
+            }
+        });
+
+        prop_assert!(checks.load(SeqCst) > 0, "readers never got to classify");
+        prop_assert!(handle.retrains_completed() >= 1, "script too short to retrain");
+        // Final agreement: the handle equals a fresh oracle over the final
+        // truth at every port.
+        let truth = handle.snapshot();
+        let final_rules: Vec<Rule> = {
+            let h = history.lock().unwrap();
+            (**h.get(&truth.generation()).unwrap()).clone()
+        };
+        let oracle = LinearSearch::from_rules(final_rules);
+        for port in (0u64..66_000).step_by(61) {
+            let key = [0, 0, 0, port, 0];
+            prop_assert_eq!(truth.classify(&key), oracle.classify(&key), "port {}", port);
+        }
+    }
+}
+
+/// Readers must keep making progress *during* a retrain — the lock-free
+/// acceptance criterion, measured rather than assumed.
+#[test]
+fn readers_progress_while_retrain_runs() {
+    let set = base_set();
+    let handle = ClassifierHandle::new(&set, &cfg(), TupleMerge::build).unwrap();
+    // Drift some rules so the retrain has real work.
+    for i in 0..80u32 {
+        handle.apply(&UpdateBatch::new().modify(
+            FiveTuple::new().dst_port_range((i * 97) as u16, (i * 97 + 50) as u16).into_rule(i, i),
+        ));
+    }
+    let during = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let join = handle.spawn_retrain();
+        let handle2 = handle.clone();
+        let during = &during;
+        let reader = scope.spawn(move || {
+            let key = [0u64, 0, 0, 1_234, 0];
+            // Classify as long as the retrain is in flight (or until it was
+            // too fast to observe at all).
+            loop {
+                let _ = handle2.classify(&key);
+                during.fetch_add(1, SeqCst);
+                if !handle2.retrain_in_progress() {
+                    break;
+                }
+            }
+        });
+        join.join().unwrap().unwrap();
+        reader.join().unwrap();
+    });
+    assert!(during.load(SeqCst) > 0, "reader made no progress during retrain");
+    assert_eq!(handle.retrains_completed(), 1);
+}

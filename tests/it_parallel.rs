@@ -1,20 +1,24 @@
 //! Parallel-execution integration: the two-worker split and the replicated
 //! baseline mode must produce exactly the sequential results on real
 //! generated workloads, at several batch sizes.
+//!
+//! The runtime takes [`ClassifierHandle`]s: the handle is also a
+//! [`Classifier`](nm_common::Classifier), so the sequential/replicated
+//! reference paths run against the very same object.
 
 use nm_classbench::{generate, AppKind};
 use nm_trace::{uniform_trace, zipf_trace};
 use nm_tuplemerge::TupleMerge;
 use nuevomatch::system::parallel::{run_replicated, run_sequential, run_two_workers};
-use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
+use nuevomatch::{ClassifierHandle, NuevoMatchConfig, RqRmiParams};
 
-fn build(n: usize, seed: u64) -> (NuevoMatch<TupleMerge>, nm_common::RuleSet) {
+fn build(n: usize, seed: u64) -> (ClassifierHandle<TupleMerge>, nm_common::RuleSet) {
     let set = generate(AppKind::Acl, n, seed);
     let cfg = NuevoMatchConfig {
         rqrmi: RqRmiParams { samples_init: 512, ..Default::default() },
         ..Default::default()
     };
-    (NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap(), set)
+    (ClassifierHandle::new(&set, &cfg, TupleMerge::build).unwrap(), set)
 }
 
 #[test]

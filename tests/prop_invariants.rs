@@ -175,9 +175,11 @@ proptest! {
     }
 
     /// TupleMerge under random update interleavings equals a fresh build.
+    /// Ops flow through the transactional `UpdateBatch` path (one batch per
+    /// op keeps the interleaving maximal).
     #[test]
     fn tuplemerge_updates_equal_rebuild(ops in proptest::collection::vec((0u64..3, 0u64..50), 1..40)) {
-        use nm_common::{FiveTuple, Rule, Updatable};
+        use nm_common::{BatchUpdatable, FiveTuple, Rule, UpdateBatch};
         let base = nm_classbench::generate(nm_classbench::AppKind::Acl, 50, 77);
         let mut tm = nm_tuplemerge::TupleMerge::build(&base);
         let mut rules: Vec<Rule> = base.rules().to_vec();
@@ -186,7 +188,7 @@ proptest! {
             match kind {
                 0 => {
                     let id = x as u32;
-                    tm.remove(id);
+                    tm.apply(&UpdateBatch::new().remove(id));
                     rules.retain(|r| r.id != id);
                 }
                 1 => {
@@ -194,7 +196,7 @@ proptest! {
                         .dst_port_exact((x * 997 % 65_536) as u16)
                         .into_rule(next, next);
                     next += 1;
-                    tm.insert(rule.clone());
+                    tm.apply(&UpdateBatch::new().insert(rule.clone()));
                     rules.push(rule);
                 }
                 _ => {
@@ -202,7 +204,7 @@ proptest! {
                     let rule = FiveTuple::new()
                         .src_port_range((x * 131 % 60_000) as u16, (x * 131 % 60_000) as u16 + 100)
                         .into_rule(id, id);
-                    tm.insert(rule.clone());
+                    tm.apply(&UpdateBatch::new().modify(rule.clone()));
                     rules.retain(|r| r.id != id);
                     rules.push(rule);
                 }
