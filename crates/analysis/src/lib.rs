@@ -23,4 +23,6 @@ pub mod updates;
 pub use metrics::{centrality_1d, centrality_sampled, diversity};
 pub use report::{geomean, Table};
 pub use thrash::CacheThrasher;
-pub use updates::{sustained_update_rate, throughput_at, throughput_over_time, UpdateModel};
+pub use updates::{
+    drift_floor, sustained_update_rate, throughput_at, throughput_over_time, UpdateModel,
+};

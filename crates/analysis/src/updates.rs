@@ -7,6 +7,18 @@
 //! fraction of rules still unmodified after time `t` is `e^(−u·t/r)`.
 //! Retraining every `τ` seconds (taking `T` seconds per round) resets the
 //! drift — but only for updates that arrived before the retrain *started*.
+//!
+//! ## Partial retraining (the publish-period term)
+//!
+//! Incremental leaf-level retraining (`nuevomatch`'s
+//! `ClassifierHandle::retrain_partial`) changes exactly one parameter of
+//! this model: the **publish period** `T` drops from full-rebuild training
+//! time to the partial patch time. The drift accumulated at the worst point
+//! of a steady-state cycle is `u·(τ+T)/r`, so [`drift_floor`] rises as `T`
+//! shrinks; model a partial-retrain deployment with
+//! [`UpdateModel::with_train_time`] carrying the measured partial latency.
+//! `nm-bench --bin update_bench` measures both latencies and reports both
+//! predicted floors next to the measured curve.
 
 /// Model parameters.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +37,29 @@ pub struct UpdateModel {
     /// Relative throughput of the remainder alone (e.g. 1/speedup; the
     /// update-free speedup is `fresh/remainder`).
     pub remainder_throughput: f64,
+}
+
+impl UpdateModel {
+    /// The same deployment with a different publish period `T` — the
+    /// partial-retraining counterfactual: substitute the measured partial
+    /// patch latency for full training time and the drift floor rises
+    /// accordingly (everything else in the §3.9 model is unchanged).
+    pub fn with_train_time(&self, train_time: f64) -> Self {
+        Self { train_time, ..*self }
+    }
+}
+
+/// The steady-state throughput floor: the weighted average at the worst
+/// point of a retrain cycle, just before a retrain that started at `k·τ`
+/// publishes at `k·τ + T` — by then the freshest model is `τ + T` old, so
+/// the drifted fraction peaks at `1 − e^(−u·(τ+T)/r)`.
+///
+/// This is the quantity partial retraining exists to lift: `τ` can shrink
+/// to just above `T`, and `T` itself drops from full training time to the
+/// leaf-patch time, so the floor approaches the fresh throughput.
+pub fn drift_floor(m: &UpdateModel) -> f64 {
+    let unmodified = (-m.update_rate * (m.retrain_period + m.train_time) / m.rules).exp();
+    unmodified * m.fresh_throughput + (1.0 - unmodified) * m.remainder_throughput
 }
 
 /// Throughput at elapsed time `t` under the model: the drift accumulated
@@ -132,6 +167,24 @@ mod tests {
         let slow = UpdateModel { train_time: 110.0, ..model() };
         let probe = 240.0;
         assert!(throughput_at(&fast, probe) >= throughput_at(&slow, probe));
+    }
+
+    #[test]
+    fn drift_floor_bounds_the_curve_and_rises_with_partial_retraining() {
+        let m = model();
+        let floor = drift_floor(&m);
+        // The floor bounds the steady-state curve from below...
+        for i in 0..200 {
+            let t = m.retrain_period + m.train_time + i as f64 * 3.0;
+            assert!(throughput_at(&m, t) >= floor - 1e-12, "t={t}");
+        }
+        // ...is approached just before a steady-state publish...
+        let worst = throughput_at(&m, 2.0 * m.retrain_period + m.train_time - 1e-6);
+        assert!((worst - floor).abs() < 0.01, "worst {worst} vs floor {floor}");
+        // ...and rises when the publish period shrinks (partial retrains).
+        let partial = m.with_train_time(m.train_time / 20.0);
+        assert!(drift_floor(&partial) > floor);
+        assert!(partial.retrain_period == m.retrain_period && partial.rules == m.rules);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn build(nfields: usize) -> (NuevoMatch<LinearSearch>, Vec<Vec<u64>>) {
         min_iset_coverage: 0.0,
         rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
         early_termination: true,
+        partial_retrain: Default::default(),
     };
     let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).unwrap();
     let keys: Vec<Vec<u64>> = (0..4_096)

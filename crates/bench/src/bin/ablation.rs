@@ -36,6 +36,7 @@ fn main() {
             min_iset_coverage: 0.05,
             rqrmi: rqrmi_params(),
             early_termination: true,
+            partial_retrain: Default::default(),
         };
         let with_et = NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap();
         cfg.early_termination = false;
@@ -56,6 +57,7 @@ fn main() {
             min_iset_coverage: 0.05,
             rqrmi: rqrmi_params(),
             early_termination: true,
+            partial_retrain: Default::default(),
         };
         let mut table = Table::new(&["trace", "bare pps", "cached pps", "cache hit rate"]);
         for (label, t) in [
@@ -128,6 +130,7 @@ fn main() {
                 min_iset_coverage: 0.0,
                 rqrmi: rqrmi_params(),
                 early_termination: true,
+                partial_retrain: Default::default(),
             };
             let nm = NuevoMatch::build(&set, &cfg, TupleMerge::build).unwrap();
             let (pps, _, _) = measure_seq(&nm, &trace, s.warmups);

@@ -41,6 +41,7 @@ fn main() {
             min_iset_coverage: 0.0,
             rqrmi: RqRmiParams { samples_init: 512, ..Default::default() },
             early_termination: true,
+            partial_retrain: Default::default(),
         };
         let nm = NuevoMatch::build(&set, &cfg, LinearSearch::build).expect("build");
         let iset = &nm.isets()[0];

@@ -36,6 +36,7 @@ fn main() {
                 min_iset_coverage: 0.0,
                 rqrmi: rqrmi_params(),
                 early_termination: true,
+                partial_retrain: Default::default(),
             };
             let nm = NuevoMatch::build(&set, &cfg, CutSplit::build).expect("build");
             let trace = uniform_trace(&set, (s.trace_len / 4).max(10_000), 0xf14);

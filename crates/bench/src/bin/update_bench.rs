@@ -28,18 +28,31 @@
 //!   mean relative error ≤ 20% passes; a miss prints WARN (and fails the
 //!   process only under `NM_STRICT=1`).
 //!
+//! ## Partial vs full retraining
+//!
+//! After the curve, the binary measures the §3.9 refinement directly: a
+//! **single-leaf drift** workload (modifies concentrated in neighbouring
+//! positions of the largest iSet, boxes unchanged) is applied to two
+//! identical handles; one republishes through
+//! `ClassifierHandle::retrain_partial`, the other through `retrain_full`.
+//! The verdicts of both results are compared bit-identically over the whole
+//! trace, the latency ratio is reported (acceptance: partial ≥ 5× faster),
+//! and a `BENCH_update.json` artifact records the latencies, update rate
+//! and the analytic drift floors under both publish periods (override the
+//! path with `NM_BENCH_JSON`).
+//!
 //! ```sh
 //! cargo run -p nm-bench --release --bin update_bench
 //! ```
 
-use nm_analysis::{throughput_at, UpdateModel};
-use nm_bench::{nm_tm_handle, scale};
+use nm_analysis::{drift_floor, throughput_at, UpdateModel};
+use nm_bench::{nm_tm_config, scale};
 use nm_classbench::{generate, AppKind};
-use nm_common::{SplitMix64, UpdateBatch};
+use nm_common::{Classifier, SplitMix64, UpdateBatch};
 use nm_trace::uniform_trace;
 use nm_tuplemerge::TupleMerge;
 use nuevomatch::system::parallel::run_batched;
-use nuevomatch::{measure_update_curve, ClassifierHandle, UpdateBenchConfig};
+use nuevomatch::{measure_update_curve, ClassifierHandle, PartialRetrainPolicy, UpdateBenchConfig};
 
 /// One update transaction: `ops` uniform-random rules re-inserted with
 /// unchanged boxes — each a §3.9 matching-set change that tombstones the
@@ -68,10 +81,17 @@ fn main() {
 
     // Measured baselines: remainder-only throughput (TupleMerge over the
     // full set) and fresh NuevoMatch throughput parameterise the model's
-    // floor and ceiling.
+    // floor and ceiling. The curve handle disables partial retraining: the
+    // Figure 7 baseline is the *full-rebuild* regime the analytic model
+    // describes; the partial regime is measured separately below.
     let tm = TupleMerge::build(&set);
     let tm_pps = run_batched(&tm, &trace, 128).pps;
-    let handle: ClassifierHandle<TupleMerge> = nm_tm_handle(&set);
+    let full_only = nuevomatch::NuevoMatchConfig {
+        partial_retrain: PartialRetrainPolicy::never(),
+        ..nm_tm_config()
+    };
+    let handle: ClassifierHandle<TupleMerge> =
+        ClassifierHandle::new(&set, &full_only, TupleMerge::build).expect("nm/tm handle build");
     let fresh_pps = run_batched(&handle, &trace, 128).pps;
     let remainder_ratio = (tm_pps / fresh_pps).min(1.0);
     // Time one retrain under realistic drift to parameterise the model's T
@@ -97,79 +117,188 @@ fn main() {
     };
     let curve =
         measure_update_curve(&handle, &trace, &cfg, |_| drift_batch(&set, &mut rng, ops_per_batch));
+    let mut curve_pass = true;
     if curve.len() < 4 {
         println!("WARN: too few samples ({}) to compare against the model", curve.len());
-        return;
-    }
+    } else {
+        let model = UpdateModel {
+            rules: n as f64,
+            update_rate,
+            retrain_period,
+            train_time,
+            fresh_throughput: 1.0,
+            remainder_throughput: remainder_ratio,
+        };
+        // Anchor both curves at the first sample: constant single-core
+        // measurement overhead cancels, the drift/recovery shape remains.
+        let anchor_pps = curve[0].pps.max(1e-9);
+        let anchor_model = throughput_at(&model, curve[0].t_s);
 
-    let model = UpdateModel {
-        rules: n as f64,
-        update_rate,
-        retrain_period,
-        train_time,
-        fresh_throughput: 1.0,
-        remainder_throughput: remainder_ratio,
-    };
-    // Anchor both curves at the first sample: constant single-core
-    // measurement overhead cancels, the drift/recovery shape remains.
-    let anchor_pps = curve[0].pps.max(1e-9);
-    let anchor_model = throughput_at(&model, curve[0].t_s);
-
-    println!(
-        "{:>7}  {:>12}  {:>9}  {:>9}  {:>8}  {:>9}  {:>8}",
-        "t (s)", "pps", "measured", "modeled", "err", "rem-frac", "retrains"
-    );
-    let mut errs = Vec::new();
-    let mut prev_retrains = curve[0].retrains;
-    for p in &curve {
-        let measured = p.pps / anchor_pps;
-        let modeled = throughput_at(&model, p.t_s) / anchor_model;
-        let err = (measured - modeled) / modeled;
-        // A sample whose window straddles a retrain publish compares two
-        // different regimes; keep it out of the drift-point statistic.
-        let at_swap = p.retrains != prev_retrains;
-        prev_retrains = p.retrains;
-        if !at_swap {
-            errs.push(err.abs());
-        }
         println!(
-            "{:>7.2}  {:>12.3e}  {:>9.3}  {:>9.3}  {:>7.1}%{}  {:>9.3}  {:>8}",
-            p.t_s,
-            p.pps,
-            measured,
-            modeled,
-            err * 100.0,
-            if at_swap { "*" } else { " " },
-            p.remainder_fraction,
-            p.retrains
+            "{:>7}  {:>12}  {:>9}  {:>9}  {:>8}  {:>9}  {:>8}",
+            "t (s)", "pps", "measured", "modeled", "err", "rem-frac", "retrains"
         );
-        println!(
+        let mut errs = Vec::new();
+        let mut prev_retrains = curve[0].retrains;
+        for p in &curve {
+            let measured = p.pps / anchor_pps;
+            let modeled = throughput_at(&model, p.t_s) / anchor_model;
+            let err = (measured - modeled) / modeled;
+            // A sample whose window straddles a retrain publish compares two
+            // different regimes; keep it out of the drift-point statistic.
+            let at_swap = p.retrains != prev_retrains;
+            prev_retrains = p.retrains;
+            if !at_swap {
+                errs.push(err.abs());
+            }
+            println!(
+                "{:>7.2}  {:>12.3e}  {:>9.3}  {:>9.3}  {:>7.1}%{}  {:>9.3}  {:>8}",
+                p.t_s,
+                p.pps,
+                measured,
+                modeled,
+                err * 100.0,
+                if at_swap { "*" } else { " " },
+                p.remainder_fraction,
+                p.retrains
+            );
+            println!(
             "UPDATE_BENCH {{\"t_s\":{:.3},\"pps\":{:.1},\"normalized\":{:.4},\"modeled\":{:.4},\
              \"generation\":{},\"update_rate\":{:.1},\"remainder_fraction\":{:.4},\"retrains\":{}}}",
             p.t_s, p.pps, measured, modeled, p.generation, update_rate, p.remainder_fraction,
             p.retrains
         );
-    }
-    let mean_err = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
-    let within = errs.iter().filter(|e| **e <= 0.20).count();
-    println!(
-        "\nmodel tracking at {} drift points (samples at a retrain swap excluded): \
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        let within = errs.iter().filter(|e| **e <= 0.20).count();
+        println!(
+            "\nmodel tracking at {} drift points (samples at a retrain swap excluded): \
          mean |err| {:.1}%, {}/{} within 20%",
-        errs.len(),
-        mean_err * 100.0,
-        within,
-        errs.len()
+            errs.len(),
+            mean_err * 100.0,
+            within,
+            errs.len()
+        );
+        curve_pass = mean_err <= 0.20;
+        println!(
+            "{}",
+            if curve_pass {
+                "PASS: measured curve tracks the analytic model"
+            } else {
+                "WARN: tracking above 20% (single-core time-sharing skews the measurement)"
+            }
+        );
+    }
+
+    // === Partial vs full retraining (single-leaf drift) ======================
+    //
+    // The §3.9 refinement head-to-head: two identical handles take the same
+    // concentrated drift (neighbouring positions of the largest iSet,
+    // boxes unchanged — one or two leaf submodels' key regions); one
+    // republishes via the leaf-level partial path, the other via a full
+    // rebuild. Same rule truth in, so the verdicts must be bit-identical.
+    println!("\n=== partial vs full retrain (single-leaf drift) ===\n");
+    let h_partial = ClassifierHandle::new(&set, &nm_tm_config(), TupleMerge::build)
+        .expect("nm/tm handle build");
+    let h_full = ClassifierHandle::new(&set, &nm_tm_config(), TupleMerge::build)
+        .expect("nm/tm handle build");
+    // Latency, via the shared methodology (`measure_retrain_latencies`,
+    // also behind `nmctl update-bench --bench-json`): concentrated drift at
+    // the low end of the largest iSet, partial vs full timed on the same
+    // handle. Leaves h_full drift-free.
+    let lat = nuevomatch::measure_retrain_latencies(&h_full, &set)
+        .expect("retrain latency measurement (concentrated drift must pass gates)");
+    let (partial_s, full_s) = (lat.partial_s, lat.full_s);
+    let (drift_ops, dirty_fraction) = (lat.drift_ops, lat.dirty_leaf_fraction);
+    let speedup = lat.speedup();
+
+    // Verdict equivalence: the same concentrated drift on both handles, one
+    // republishing through each path — then bit-identical over the trace.
+    let leaf_batch = nuevomatch::concentrated_drift(h_partial.snapshot().engine(), &set, drift_ops)
+        .expect("concentrated drift batch");
+    h_partial.apply(&leaf_batch);
+    h_full.apply(&leaf_batch);
+    h_partial.retrain_partial().expect("partial retrain");
+    h_full.retrain_full().expect("full retrain");
+    let (raw, stride, packets) = (trace.raw(), trace.stride(), trace.len());
+    let (sp, sf) = (h_partial.snapshot(), h_full.snapshot());
+    let mut mismatches = 0usize;
+    let mut out_p = vec![None; 128];
+    let mut out_f = vec![None; 128];
+    let mut lo = 0usize;
+    while lo < packets {
+        let hi = (lo + 128).min(packets);
+        sp.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out_p[..hi - lo]);
+        sf.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out_f[..hi - lo]);
+        mismatches += (0..hi - lo).filter(|&i| out_p[i] != out_f[i]).count();
+        lo = hi;
+    }
+    let equivalent = mismatches == 0;
+
+    // The floor each publish latency *enables*: retraining as fast as the
+    // publish period permits (τ = 2T), drift peaks at u·3T/r — the §3.9
+    // refinement's payoff is that T (and with it the whole cycle) shrinks.
+    let floor_at = |train_time: f64| {
+        drift_floor(&UpdateModel {
+            rules: n as f64,
+            update_rate,
+            retrain_period: 2.0 * train_time,
+            train_time,
+            fresh_throughput: 1.0,
+            remainder_throughput: remainder_ratio,
+        })
+    };
+    let (floor_full, floor_partial) = (floor_at(full_s), floor_at(partial_s));
+    println!(
+        "drift: {drift_ops} ops, {:.0}% of leaves dirty\n\
+         partial retrain: {partial_s:.4}s   full rebuild: {full_s:.4}s   speedup: {speedup:.1}x\n\
+         verdicts: {}\n\
+         modeled drift floor at tau=2T (normalised): full {floor_full:.4} -> partial \
+         {floor_partial:.4}",
+        dirty_fraction * 100.0,
+        if equivalent {
+            format!("bit-identical over {packets} packets")
+        } else {
+            format!("DIVERGED on {mismatches}/{packets} packets")
+        },
     );
-    let pass = mean_err <= 0.20;
+    let partial_pass = speedup >= 5.0 && equivalent;
     println!(
         "{}",
-        if pass {
-            "PASS: measured curve tracks the analytic model"
+        if !equivalent {
+            "FAIL: partial and full retrain verdicts diverged — correctness bug"
+        } else if partial_pass {
+            "PASS: partial retrain republishes >= 5x faster than a full rebuild"
         } else {
-            "WARN: tracking above 20% (single-core time-sharing skews the measurement)"
+            "WARN: partial retrain speedup below 5x"
         }
     );
-    if !pass && std::env::var("NM_STRICT").as_deref() == Ok("1") {
+
+    // Machine-readable artifact for the CI update-soak job (perf trajectory
+    // over time); NM_BENCH_JSON overrides the output path.
+    let json_path =
+        std::env::var("NM_BENCH_JSON").unwrap_or_else(|_| "BENCH_update.json".to_string());
+    let artifact = format!(
+        "{{\"rules\":{n},\"update_rate\":{update_rate:.1},\"retrain_period_s\":{retrain_period:.2},\
+         \"train_full_s\":{full_s:.5},\"train_partial_s\":{partial_s:.5},\
+         \"partial_speedup\":{speedup:.2},\"drift_ops\":{drift_ops},\
+         \"dirty_leaf_fraction\":{dirty_fraction:.4},\"verdict_equivalent\":{equivalent},\
+         \"drift_floor_full\":{floor_full:.4},\"drift_floor_partial\":{floor_partial:.4},\
+         \"curve_points\":{},\"remainder_ratio\":{remainder_ratio:.4}}}\n",
+        curve.len()
+    );
+    match std::fs::write(&json_path, &artifact) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => println!("\nWARN: could not write {json_path}: {e}"),
+    }
+
+    // A verdict divergence is a correctness bug, not measurement noise: it
+    // always fails the process — but only after the artifact is on disk so
+    // CI records the regression instead of losing it.
+    if !equivalent {
+        std::process::exit(2);
+    }
+    if (!curve_pass || !partial_pass) && std::env::var("NM_STRICT").as_deref() == Ok("1") {
         std::process::exit(1);
     }
 }

@@ -113,6 +113,7 @@ pub fn nm_tm_config() -> NuevoMatchConfig {
         min_iset_coverage: 0.05,
         rqrmi: rqrmi_params(),
         early_termination: true,
+        partial_retrain: Default::default(),
     }
 }
 
@@ -136,6 +137,7 @@ pub fn nm_cs(set: &RuleSet) -> NuevoMatch<CutSplit> {
         min_iset_coverage: 0.25,
         rqrmi: rqrmi_params(),
         early_termination: true,
+        partial_retrain: Default::default(),
     };
     NuevoMatch::build(set, &cfg, CutSplit::build).expect("nm/cs build")
 }
@@ -147,6 +149,7 @@ pub fn nm_nc(set: &RuleSet, quick: bool) -> NuevoMatch<NeuroCuts> {
         min_iset_coverage: 0.25,
         rqrmi: rqrmi_params(),
         early_termination: true,
+        partial_retrain: Default::default(),
     };
     let nc_cfg = nc_config(quick);
     NuevoMatch::build(set, &cfg, |rem: &RuleSet| NeuroCuts::with_config(rem, nc_cfg))

@@ -28,7 +28,9 @@ USAGE:
   nmctl serve    <rules.cb> [--seconds S] [--readers K] [--update-rate U]
                  [--retrain-every R] [--batch B] [--json true]     # live handle: readers + updates
   nmctl update-bench <rules.cb> [--seconds S] [--update-rate U] [--retrain-every R]
-                 [--batch B] [--json true]                         # measured Figure 7 curve
+                 [--batch B] [--json true] [--bench-json PATH]     # measured Figure 7 curve
+                 # --bench-json also measures partial vs full retrain latency and
+                 # writes a BENCH_update.json-style perf artifact
 
 engines: linear tss tm cs nc nm-tm nm-cs nm-nc     traces: uniform zipf:<alpha> caida
 ";
@@ -373,6 +375,7 @@ fn cmd_update_bench(a: &Args) -> Result<String, String> {
     let packets: usize = a.num_or("packets", 50_000)?;
     let seed: u64 = a.num_or("seed", 1)?;
     let json: bool = a.num_or("json", false)?;
+    let bench_json = a.get_or("bench-json", "");
 
     let trace = uniform_trace(&set, packets, seed);
     let handle = ClassifierHandle::new(&set, &NuevoMatchConfig::default(), TupleMerge::build)
@@ -387,6 +390,51 @@ fn cmd_update_bench(a: &Args) -> Result<String, String> {
     };
     let mut rng = nm_common::SplitMix64::new(seed ^ 0x5eed);
     let curve = measure_update_curve(&handle, &trace, &cfg, |_| drift_batch(&set, &mut rng, 16));
+    if !bench_json.is_empty() {
+        // Perf-trajectory artifact (CI update-soak job): partial vs full
+        // retrain latency (shared methodology:
+        // `nuevomatch::measure_retrain_latencies`, same helper the
+        // update_bench binary uses), the configured update rate, and the
+        // analytic drift floor each publish period enables at tau=2T. The
+        // floor is parameterised by the *measured* remainder/fresh
+        // throughput ratio, like the bench binary's artifact.
+        let lat =
+            nuevomatch::measure_retrain_latencies(&handle, &set).map_err(|e| e.to_string())?;
+        let tm_pps = run_batched(&TupleMerge::build(&set), &trace, batch.max(1)).pps;
+        let fresh_pps = run_batched(&handle, &trace, batch.max(1)).pps;
+        let remainder_ratio = (tm_pps / fresh_pps.max(1e-9)).min(1.0);
+        let floor = |train_time: f64| {
+            nm_analysis::drift_floor(&nm_analysis::UpdateModel {
+                rules: set.len() as f64,
+                update_rate,
+                retrain_period: 2.0 * train_time,
+                train_time,
+                fresh_throughput: 1.0,
+                remainder_throughput: remainder_ratio,
+            })
+        };
+        let artifact = format!(
+            "{{\"rules\":{},\"update_rate\":{update_rate:.1},\
+             \"retrain_period_s\":{retrain_every:.2},\"train_full_s\":{:.5},\
+             \"train_partial_s\":{:.5},\"partial_speedup\":{:.2},\
+             \"drift_ops\":{},\"dirty_leaf_fraction\":{:.4},\"drift_floor_full\":{:.4},\
+             \"drift_floor_partial\":{:.4},\"curve_points\":{},\
+             \"remainder_ratio\":{remainder_ratio:.4},\
+             \"partial_retrains\":{},\"retrains\":{}}}\n",
+            set.len(),
+            lat.full_s,
+            lat.partial_s,
+            lat.speedup(),
+            lat.drift_ops,
+            lat.dirty_leaf_fraction,
+            floor(lat.full_s),
+            floor(lat.partial_s),
+            curve.len(),
+            handle.partial_retrains_completed(),
+            handle.retrains_completed(),
+        );
+        std::fs::write(bench_json, &artifact).map_err(|e| format!("writing {bench_json}: {e}"))?;
+    }
     let mut out = String::new();
     if json {
         for p in &curve {
@@ -583,6 +631,37 @@ mod tests {
         .unwrap();
         assert!(out.contains("\"generation\":0"), "{out}");
         assert!(out.contains("\"update_rate\":0.0"), "{out}");
+
+        // --bench-json measures partial vs full retrain latency and writes
+        // the perf-trajectory artifact the CI soak job uploads.
+        let artifact = dir.join("BENCH_update.json");
+        run(parse_command(&v(&[
+            "update-bench",
+            rp,
+            "--seconds",
+            "0.3",
+            "--update-rate",
+            "200",
+            "--retrain-every",
+            "0",
+            "--packets",
+            "3000",
+            "--bench-json",
+            artifact.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let blob = std::fs::read_to_string(&artifact).unwrap();
+        for key in [
+            "\"train_full_s\":",
+            "\"train_partial_s\":",
+            "\"partial_speedup\":",
+            "\"update_rate\":",
+            "\"drift_floor_full\":",
+            "\"drift_floor_partial\":",
+        ] {
+            assert!(blob.contains(key), "artifact missing {key}: {blob}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

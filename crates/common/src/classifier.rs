@@ -150,11 +150,13 @@ pub trait Classifier: Send + Sync {
     /// this classifier serves changes (see [`crate::Generation`]).
     ///
     /// Engines that never change after build keep the default (a constant
-    /// `0`). Updatable engines bump it on every applied batch; snapshot
-    /// handles report the published snapshot's generation. Caches layered
-    /// above a classifier (e.g. `nuevomatch::FlowCache`) probe this to drop
-    /// stale verdicts, so a non-bumping implementation on a mutable engine
-    /// is a correctness bug, not a missed optimisation.
+    /// `0`). [`crate::BatchUpdatable`] engines bump it per applied batch
+    /// whose report [`crate::UpdateReport::changed`]; snapshot handles
+    /// report the published snapshot's generation. Caches layered above a
+    /// classifier (e.g. `nuevomatch::FlowCache`) probe this to drop stale
+    /// verdicts, so a non-bumping implementation on a mutable engine is a
+    /// correctness bug — and a bump for a content-preserving batch is a
+    /// spurious cache stampede.
     fn generation(&self) -> crate::update::Generation {
         0
     }
@@ -171,36 +173,11 @@ pub trait Classifier: Send + Sync {
     fn num_rules(&self) -> usize;
 }
 
-/// Deprecated per-op update interface, superseded by
-/// [`crate::BatchUpdatable`].
-///
-/// The `&mut self` insert/remove pair cannot express the §3.9 lifecycle the
-/// runtime now implements: it forbids concurrent readers, offers no
-/// transaction boundary for multi-op updates, and gives wrappers nothing to
-/// hang atomic publication on. Migrate by wrapping ops in a
-/// [`crate::UpdateBatch`]:
-///
-/// ```ignore
-/// // before                        // after
-/// engine.insert(rule);             engine.apply(&UpdateBatch::new().insert(rule));
-/// let hit = engine.remove(id);     let hit = engine.apply(&UpdateBatch::new().remove(id)).removed == 1;
-/// ```
-///
-/// TupleMerge and LinearSearch keep (deprecated) impls of this trait for
-/// one release so out-of-tree callers still compile; the impls delegate to
-/// the batch path and will be removed together with this trait.
-#[deprecated(
-    since = "0.2.0",
-    note = "use BatchUpdatable::apply with an UpdateBatch; this per-op trait \
-            cannot coexist with lock-free readers and will be removed"
-)]
-pub trait Updatable: Classifier {
-    /// Inserts a rule (id/priority/box taken from the rule itself).
-    fn insert(&mut self, rule: crate::rule::Rule);
-
-    /// Removes the rule with the given id; returns true if it was present.
-    fn remove(&mut self, id: RuleId) -> bool;
-}
+// The deprecated per-op `Updatable` trait lived here for one release after
+// the control-plane split; it and its TupleMerge/LinearSearch shims are gone.
+// Migrate by wrapping ops in a [`crate::UpdateBatch`]:
+// `engine.apply(&UpdateBatch::new().insert(rule))` /
+// `engine.apply(&UpdateBatch::new().remove(id)).removed == 1`.
 
 #[cfg(test)]
 mod tests {

@@ -50,8 +50,6 @@ pub mod stats;
 pub mod update;
 pub mod wire;
 
-#[allow(deprecated)]
-pub use classifier::Updatable;
 pub use classifier::{Classifier, MatchResult};
 pub use error::Error;
 pub use fivetuple::{FiveTuple, DST_IP, DST_PORT, FIVE_TUPLE_FIELDS, PROTO, SRC_IP, SRC_PORT};

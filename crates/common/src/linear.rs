@@ -83,7 +83,9 @@ impl BatchUpdatable for LinearSearch {
     fn apply(&mut self, batch: &UpdateBatch) -> UpdateReport {
         let report =
             crate::update::apply_ops(self, batch, Self::insert_rule, |s, id| s.remove_rule(id));
-        if !batch.is_empty() {
+        // Bump only when content changed: a batch of pure misses serves the
+        // same rules, and a spurious bump stampedes caches layered above.
+        if report.changed() {
             self.generation += 1;
         }
         report
@@ -91,20 +93,6 @@ impl BatchUpdatable for LinearSearch {
 
     fn export_rules(&self) -> Vec<Rule> {
         self.rules.clone()
-    }
-}
-
-// One-release compatibility shim: the deprecated per-op interface delegates
-// to the batch path so out-of-tree callers keep compiling (and keep the
-// generation stamp honest).
-#[allow(deprecated)]
-impl crate::classifier::Updatable for LinearSearch {
-    fn insert(&mut self, rule: Rule) {
-        self.apply(&UpdateBatch::new().insert(rule));
-    }
-
-    fn remove(&mut self, id: RuleId) -> bool {
-        self.apply(&UpdateBatch::new().remove(id)).removed == 1
     }
 }
 
@@ -163,19 +151,23 @@ mod tests {
         // The empty batch is a no-op and does not bump the generation.
         assert_eq!(ls.apply(&UpdateBatch::new()), UpdateReport::default());
         assert_eq!(ls.generation(), 2);
+        // Neither does a non-empty batch of pure misses (regression: this
+        // used to bump per non-empty batch and stampede flow caches).
+        let r = ls.apply(&UpdateBatch::new().remove(555).remove(556));
+        assert_eq!((r.missing, r.changed()), (2, false));
+        assert_eq!(ls.generation(), 2, "no-op batch must not bump the generation");
         assert_eq!(ls.export_rules().len(), 3);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_updatable_shim_still_works() {
-        use crate::classifier::Updatable;
+    fn insert_is_an_upsert_on_id() {
         let set = tiny_set();
         let mut ls = LinearSearch::build(&set);
-        assert!(ls.remove(0));
-        assert!(!ls.remove(0));
-        ls.insert(Rule::new(9, 0, vec![FieldRange::exact(1), FieldRange::exact(1)]));
-        assert_eq!(ls.classify(&[1, 1]).unwrap().rule, 9);
-        assert!(ls.generation() >= 3, "shim must keep the generation stamp honest");
+        let replacement = Rule::new(0, 0, vec![FieldRange::exact(7), FieldRange::exact(7)]);
+        let r = ls.apply(&UpdateBatch::new().insert(replacement));
+        assert_eq!((r.inserted, r.replaced, r.removed), (1, 1, 0));
+        assert_eq!(ls.num_rules(), 3, "re-inserted id must not duplicate");
+        assert_eq!(ls.classify(&[7, 7]).unwrap().rule, 0);
+        assert_eq!(ls.classify(&[99, 1]), None, "old version of rule 0 must be gone");
     }
 }

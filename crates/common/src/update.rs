@@ -188,13 +188,22 @@ impl IntoIterator for UpdateBatch {
 }
 
 /// Per-batch accounting returned by [`BatchUpdatable::apply`].
+///
+/// `removed` counts **true deletions** only ([`UpdateOp::Remove`] hits). A
+/// live version displaced by an upsert ([`UpdateOp::Insert`] of an existing
+/// id, or the remove half of a [`UpdateOp::Modify`] that found its target)
+/// counts under `replaced` instead — the rule kept existing, its content
+/// changed. Conflating the two over-reports removal rates in update
+/// benchmarks and breaks `modify()`-style "did the target exist" returns.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UpdateReport {
     /// Rules inserted (including the insert half of every modify).
     pub inserted: usize,
-    /// Rules removed (including the remove half of modifies that found
-    /// their target).
+    /// Rules deleted by [`UpdateOp::Remove`] ops that found their target.
     pub removed: usize,
+    /// Live versions displaced by an upsert: [`UpdateOp::Insert`] over an
+    /// existing id, or the remove half of a [`UpdateOp::Modify`] hit.
+    pub replaced: usize,
     /// Remove/modify ops whose target id was absent.
     pub missing: usize,
 }
@@ -204,16 +213,26 @@ impl UpdateReport {
     pub fn absorb(&mut self, other: UpdateReport) {
         self.inserted += other.inserted;
         self.removed += other.removed;
+        self.replaced += other.replaced;
         self.missing += other.missing;
+    }
+
+    /// True when the batch changed the served rule content — the condition
+    /// under which [`crate::Classifier::generation`] must bump. A batch made
+    /// entirely of misses (removes/modifies of absent ids) changes nothing,
+    /// and bumping for it would stampede the caches layered above.
+    pub fn changed(&self) -> bool {
+        self.inserted > 0 || self.removed > 0 || self.replaced > 0
     }
 }
 
 /// Derives the standard [`BatchUpdatable::apply`] loop from an engine's
-/// single-rule primitives: inserts insert, removes report presence, and a
-/// modify is a remove-or-miss followed by an insert. Engines whose batch
-/// semantics match (LinearSearch, TupleMerge) delegate here so the op
+/// single-rule primitives: inserts are id-upserts (any live same-id version
+/// is displaced first and counted as `replaced`), removes report presence,
+/// and a modify is a replace-or-miss followed by an insert. Engines whose
+/// batch semantics match (LinearSearch, TupleMerge) delegate here so the op
 /// accounting has exactly one definition; the caller still owns its
-/// generation bump.
+/// generation bump (gate it on [`UpdateReport::changed`]).
 pub fn apply_ops<T>(
     target: &mut T,
     batch: &UpdateBatch,
@@ -224,6 +243,11 @@ pub fn apply_ops<T>(
     for op in batch.ops() {
         match op {
             UpdateOp::Insert(rule) => {
+                // Upsert on id: displacing a live version is a replacement,
+                // not a deletion — the id keeps existing.
+                if remove(target, rule.id) {
+                    report.replaced += 1;
+                }
                 insert(target, rule.clone());
                 report.inserted += 1;
             }
@@ -236,7 +260,7 @@ pub fn apply_ops<T>(
             }
             UpdateOp::Modify(rule) => {
                 if remove(target, rule.id) {
-                    report.removed += 1;
+                    report.replaced += 1;
                 } else {
                     report.missing += 1;
                 }
@@ -251,12 +275,14 @@ pub fn apply_ops<T>(
 /// Classifiers that accept transactional rule updates (§3.9) — the update
 /// path of the control-plane/data-plane split.
 ///
-/// `apply` replaces the deprecated [`crate::Updatable`] `&mut self`
-/// insert/remove pair: a whole [`UpdateBatch`] lands at once, which lets an
-/// engine amortise bookkeeping across the batch and lets wrappers
-/// (snapshot handles, flow caches) make the batch atomic with respect to
-/// readers. Implementations must bump [`Classifier::generation`] at least
-/// once per non-empty batch so caches layered above can invalidate.
+/// `apply` replaced the old per-op `Updatable` `&mut self` insert/remove
+/// pair (removed after its one-release deprecation): a whole [`UpdateBatch`]
+/// lands at once, which lets an engine amortise bookkeeping across the batch
+/// and lets wrappers (snapshot handles, flow caches) make the batch atomic
+/// with respect to readers. Implementations must bump
+/// [`Classifier::generation`] at least once per batch whose report
+/// [`UpdateReport::changed`] — and must *not* bump for a batch of pure
+/// misses, which changes nothing a cache could be stale about.
 pub trait BatchUpdatable: Classifier {
     /// Applies every op in order. With `&mut self` the batch is trivially
     /// atomic; wrappers that expose concurrent readers must not let a
@@ -399,8 +425,32 @@ mod tests {
 
     #[test]
     fn report_absorb_accumulates() {
-        let mut a = UpdateReport { inserted: 1, removed: 2, missing: 0 };
-        a.absorb(UpdateReport { inserted: 3, removed: 0, missing: 5 });
-        assert_eq!(a, UpdateReport { inserted: 4, removed: 2, missing: 5 });
+        let mut a = UpdateReport { inserted: 1, removed: 2, replaced: 1, missing: 0 };
+        a.absorb(UpdateReport { inserted: 3, removed: 0, replaced: 2, missing: 5 });
+        assert_eq!(a, UpdateReport { inserted: 4, removed: 2, replaced: 3, missing: 5 });
+    }
+
+    #[test]
+    fn report_changed_ignores_misses() {
+        assert!(!UpdateReport::default().changed());
+        assert!(!UpdateReport { missing: 3, ..Default::default() }.changed());
+        assert!(UpdateReport { inserted: 1, ..Default::default() }.changed());
+        assert!(UpdateReport { removed: 1, ..Default::default() }.changed());
+        assert!(UpdateReport { replaced: 1, ..Default::default() }.changed());
+    }
+
+    #[test]
+    fn apply_ops_distinguishes_replacement_from_deletion() {
+        let set = RuleSet::new(FieldsSpec::five_tuple(), vec![rule(0, 80), rule(1, 443)]).unwrap();
+        let mut ls = LinearSearch::build(&set);
+        // Insert over a live id is a replacement (upsert), not a removal.
+        let r = ls.apply(&UpdateBatch::new().insert(rule(0, 8080)));
+        assert_eq!((r.inserted, r.removed, r.replaced, r.missing), (1, 0, 1, 0));
+        assert_eq!(ls.num_rules(), 2, "upsert must not duplicate the id");
+        assert_eq!(ls.classify(&[0, 0, 0, 8080, 0]).unwrap().rule, 0);
+        assert_eq!(ls.classify(&[0, 0, 0, 80, 0]), None, "stale version must die");
+        // A modify hit is also a replacement; a true delete is `removed`.
+        let r = ls.apply(&UpdateBatch::new().modify(rule(1, 444)).remove(0).remove(99));
+        assert_eq!((r.inserted, r.removed, r.replaced, r.missing), (1, 1, 1, 1));
     }
 }

@@ -88,6 +88,49 @@ impl RqRmiParams {
     }
 }
 
+/// Policy for incremental (leaf-level) retraining — the §3.9 refinement
+/// that re-fits only the drifted leaf submodels of an iSet's RQ-RMI instead
+/// of rebuilding every iSet from scratch, cutting the publish period and
+/// hence the drift floor.
+///
+/// `ClassifierHandle::retrain` consults this policy: when the drift is
+/// concentrated enough to satisfy both gates, it takes the partial path and
+/// falls back to a full rebuild otherwise (or when validation fails).
+#[derive(Clone, Copy, Debug)]
+pub struct PartialRetrainPolicy {
+    /// Whether the automatic retrain path may go partial at all. Forced
+    /// calls (`retrain_partial`) ignore this switch but keep the gates.
+    pub enabled: bool,
+    /// Maximum fraction of an iSet's reachable leaf submodels that may need
+    /// re-fitting before the drift counts as "too broad" and the partial
+    /// path bails (full-rebuild fallback). `1.0` never bails on breadth.
+    pub max_refit_fraction: f64,
+    /// Minimum fraction of the drifted remainder rules (those that left an
+    /// iSet through updates) a partial retrain must be able to re-admit for
+    /// it to be worth publishing; below this the drift floor would barely
+    /// move and a full rebuild serves better. `0.0` never bails on yield.
+    pub min_readmit_fraction: f64,
+}
+
+impl Default for PartialRetrainPolicy {
+    fn default() -> Self {
+        Self { enabled: true, max_refit_fraction: 0.5, min_readmit_fraction: 0.5 }
+    }
+}
+
+impl PartialRetrainPolicy {
+    /// A policy that always takes the partial path when structurally
+    /// possible (tests and forced benchmarking).
+    pub fn always() -> Self {
+        Self { enabled: true, max_refit_fraction: 1.0, min_readmit_fraction: 0.0 }
+    }
+
+    /// A policy that never goes partial (the pre-refinement behaviour).
+    pub fn never() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+}
+
 /// NuevoMatch system parameters (§3.6–§3.8, §4).
 #[derive(Clone, Debug)]
 pub struct NuevoMatchConfig {
@@ -104,6 +147,8 @@ pub struct NuevoMatchConfig {
     /// beaten, and let the remainder prune by priority (§4 "early
     /// termination"). Single-core mode in the paper.
     pub early_termination: bool,
+    /// Incremental (leaf-level) retraining policy (§3.9 refinement).
+    pub partial_retrain: PartialRetrainPolicy,
 }
 
 impl Default for NuevoMatchConfig {
@@ -113,6 +158,7 @@ impl Default for NuevoMatchConfig {
             min_iset_coverage: 0.05,
             rqrmi: RqRmiParams::default(),
             early_termination: true,
+            partial_retrain: PartialRetrainPolicy::default(),
         }
     }
 }

@@ -8,4 +8,6 @@
 
 pub mod partition;
 
-pub use partition::{coverage_curve, largest_iset_in_dim, partition_isets, ISet, PartitionResult};
+pub use partition::{
+    admit_into_iset, coverage_curve, largest_iset_in_dim, partition_isets, ISet, PartitionResult,
+};

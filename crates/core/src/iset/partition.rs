@@ -112,6 +112,44 @@ pub fn partition_isets(set: &RuleSet, max_isets: usize, min_coverage: f64) -> Pa
     PartitionResult { isets, remainder: remaining, total }
 }
 
+/// Greedy re-admission for partial retrains (§3.9 refinement): which of
+/// `candidates` — `(rule id, lo, hi)` projections in the iSet's field — fit
+/// into the occupied interval set (`occ_los`/`occ_his`, sorted, disjoint)
+/// without overlapping it or each other.
+///
+/// Same interval-scheduling idea as [`largest_iset_in_dim`]: candidates are
+/// taken in ascending `(hi, lo, id)` order so the pick maximises the number
+/// admitted; occupied intervals are immovable. Returns the admitted ids (the
+/// rest stay in the remainder — admission is best-effort, never required).
+pub fn admit_into_iset(
+    occ_los: &[u64],
+    occ_his: &[u64],
+    candidates: &[(RuleId, u64, u64)],
+) -> Vec<RuleId> {
+    debug_assert_eq!(occ_los.len(), occ_his.len());
+    let mut order: Vec<(u64, u64, RuleId)> =
+        candidates.iter().map(|&(id, lo, hi)| (hi, lo, id)).collect();
+    order.sort_unstable();
+    let mut admitted = Vec::new();
+    // Upper bound of the last admitted candidate: candidates are processed
+    // in ascending hi, so overlap among picks reduces to this single bound.
+    let mut last_admitted_hi: Option<u64> = None;
+    for (hi, lo, id) in order {
+        if last_admitted_hi.is_some_and(|prev| lo <= prev) {
+            continue;
+        }
+        // Overlap against the occupied set: the first occupied interval
+        // whose hi is >= lo must start after our hi.
+        let i = occ_his.partition_point(|&h| h < lo);
+        if i < occ_los.len() && occ_los[i] <= hi {
+            continue;
+        }
+        admitted.push(id);
+        last_admitted_hi = Some(hi);
+    }
+    admitted
+}
+
 /// Cumulative coverage after 1..=k iSets with no minimum-coverage cutoff —
 /// the Table 2 measurement.
 pub fn coverage_curve(set: &RuleSet, k: usize) -> Vec<f64> {
@@ -231,6 +269,29 @@ mod tests {
         let set = RuleSet::from_ranges(spec, rows).unwrap();
         let picked = largest_iset_in_dim(&set, &[0, 1, 2], 0);
         assert_eq!(picked.len(), 2, "one copy of the duplicate plus the disjoint rule");
+    }
+
+    #[test]
+    fn admit_into_iset_respects_occupied_and_self_overlap() {
+        // Occupied: [10,20], [40,50].
+        let occ_los = [10u64, 40];
+        let occ_his = [20u64, 50];
+        let candidates = vec![
+            (1u32, 22, 30), // fits between the occupied intervals
+            (2, 25, 35),    // overlaps candidate 1 — loses (larger hi)
+            (3, 15, 18),    // inside occupied — rejected
+            (4, 51, 60),    // fits after the last occupied interval
+            (5, 38, 45),    // straddles occupied [40,50] — rejected
+            (6, 0, 9),      // fits before everything
+        ];
+        let mut admitted = admit_into_iset(&occ_los, &occ_his, &candidates);
+        admitted.sort_unstable();
+        assert_eq!(admitted, vec![1, 4, 6]);
+        // Empty occupied set: pure interval scheduling.
+        let all = admit_into_iset(&[], &[], &candidates);
+        assert!(all.len() >= 4, "{all:?}");
+        // No candidates: nothing admitted.
+        assert!(admit_into_iset(&occ_los, &occ_his, &[]).is_empty());
     }
 
     #[test]

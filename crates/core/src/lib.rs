@@ -63,11 +63,15 @@ pub mod persist;
 pub mod rqrmi;
 pub mod system;
 
-pub use config::{NuevoMatchConfig, RqRmiParams, TrainerKind};
+pub use config::{NuevoMatchConfig, PartialRetrainPolicy, RqRmiParams, TrainerKind};
 pub use iset::{partition_isets, ISet, PartitionResult};
 pub use persist::{load_rqrmi, load_snapshot, save_rqrmi, save_snapshot};
 pub use rqrmi::{train_rqrmi, CompiledRqRmi, Isa, RqRmi};
-pub use system::handle::{measure_update_curve, UpdateBenchConfig, UpdateCurvePoint, UpdatePacer};
+pub use system::handle::{
+    concentrated_drift, measure_retrain_latencies, measure_update_curve, RetrainLatencies,
+    UpdateBenchConfig, UpdateCurvePoint, UpdatePacer,
+};
 pub use system::{
-    ClassifierHandle, FlowCache, LookupBreakdown, NmSnapshot, NuevoMatch, TrainedISet,
+    ClassifierHandle, FlowCache, LookupBreakdown, NmSnapshot, NuevoMatch, PartialRetrainReport,
+    TrainedISet,
 };

@@ -499,6 +499,41 @@ mod tests {
         }
 
         #[test]
+        fn partially_retrained_snapshot_roundtrips_bit_identically() {
+            // A partial retrain patches leaf submodels in place (rescaled
+            // w2/b2, refit nets, changed n_values); the codec must
+            // round-trip the patched model exactly — no retraining, same
+            // verdicts, and a revived handle keeps partial-retraining.
+            use crate::config::PartialRetrainPolicy;
+            let cfg = NuevoMatchConfig { partial_retrain: PartialRetrainPolicy::always(), ..cfg() };
+            let mut nm = updated_nm();
+            let (patched, report) = nm.partial_retrain(&cfg).unwrap();
+            assert!(report.isets_patched >= 1, "{report:?}");
+            nm = patched;
+            let bytes = save_snapshot(&nm, 9);
+            let (back, generation) = load_snapshot(&bytes, &LinearSearch::build).unwrap();
+            assert_eq!(generation, 9);
+            assert_eq!(back.isets().len(), nm.isets().len());
+            for (a, b) in back.isets().iter().zip(nm.isets()) {
+                assert_eq!(a.len(), b.len());
+                assert_eq!(a.model().leaf_error_bounds(), b.model().leaf_error_bounds());
+                // Bit-identical predictions from the reloaded patched model.
+                for key in (0u64..65_536).step_by(101) {
+                    assert_eq!(a.model().predict(key), b.model().predict(key), "key {key}");
+                }
+            }
+            for port in (0u64..65_536).step_by(43) {
+                let key = [1, 2, 3, port, 6];
+                assert_eq!(back.classify(&key), nm.classify(&key), "port {port}");
+            }
+            // The revived classifier can itself be partially retrained.
+            let mut revived = back;
+            revived.apply(&UpdateBatch::new().remove(40));
+            let (again, _) = revived.partial_retrain(&cfg).unwrap();
+            assert_eq!(again.classify(&[0, 0, 0, 4_050, 0]), None, "rule 40 resurrected");
+        }
+
+        #[test]
         fn handle_warm_start_resumes_lifecycle() {
             let rules: Vec<_> = (0..300u16)
                 .map(|i| {

@@ -21,4 +21,6 @@ pub mod train;
 pub use analyze::KeyMap;
 pub use model::RqRmi;
 pub use simd::{detect, CompiledRqRmi, Isa, Kernel};
-pub use train::{train_rqrmi, train_rqrmi_mode, verify_exhaustive, SampleMode};
+pub use train::{
+    retrain_leaves, train_rqrmi, train_rqrmi_mode, verify_exhaustive, LeafRetrainStats, SampleMode,
+};

@@ -123,27 +123,273 @@ pub fn train_rqrmi_mode(
         if responsibility_size(&resp[j]) == 0 {
             continue;
         }
-        let mut bound = leaf_error_bound(&nets[leaf_stage][j], &resp[j], &km, &los, &his, n);
-        let mut best = (bound, nets[leaf_stage][j].clone());
-        let mut samples = params.samples_init;
-        let mut attempt = 1;
-        while bound > params.error_target && attempt < params.max_attempts {
-            samples *= 2;
-            attempt += 1;
-            let data = sample_dataset(&resp[j], samples, &mut rng, &km, &los, &his, n, mode);
-            let net = fit(&params.trainer, params.hidden, &data, rng.next_u64());
-            bound = leaf_error_bound(&net, &resp[j], &km, &los, &his, n);
-            if bound < best.0 {
-                best = (bound, net);
-            }
-        }
-        nets[leaf_stage][j] = best.1;
+        let initial = nets[leaf_stage][j].clone();
+        let (net, bound) =
+            refine_leaf(initial, &resp[j], &mut rng, &km, &los, &his, n, params, mode);
+        nets[leaf_stage][j] = net;
         // §3.5.6: if training does not converge the bound is raised to the
         // achieved value (lookups stay correct, just search further).
-        leaf_err[j] = best.0;
+        leaf_err[j] = bound;
     }
 
     Ok(RqRmi { widths, nets, leaf_err, n_values: n, bits })
+}
+
+/// The Figure 5 leaf loop shared by [`train_rqrmi`] and [`retrain_leaves`]:
+/// bounds `initial` analytically, then — while the bound misses the target
+/// and attempts remain — refits from a doubled sample count, keeping the
+/// best (bound, net) pair seen.
+#[allow(clippy::too_many_arguments)]
+fn refine_leaf(
+    initial: Mlp,
+    resp: &Responsibility,
+    rng: &mut SplitMix64,
+    km: &KeyMap,
+    los: &[u64],
+    his: &[u64],
+    n: usize,
+    params: &RqRmiParams,
+    mode: SampleMode,
+) -> (Mlp, u32) {
+    let mut bound = leaf_error_bound(&initial, resp, km, los, his, n);
+    let mut best = (bound, initial);
+    let mut samples = params.samples_init;
+    let mut attempt = 1;
+    while bound > params.error_target && attempt < params.max_attempts {
+        samples *= 2;
+        attempt += 1;
+        let data = sample_dataset(resp, samples, rng, km, los, his, n, mode);
+        let net = fit(&params.trainer, params.hidden, &data, rng.next_u64());
+        bound = leaf_error_bound(&net, resp, km, los, his, n);
+        if bound < best.0 {
+            best = (bound, net);
+        }
+    }
+    (best.1, best.0)
+}
+
+/// Materialises each leaf submodel's responsibility by cascading
+/// [`child_responsibilities`] through the (unchanged) internal stages —
+/// exactly the computation [`train_rqrmi`] performs while training, replayed
+/// from the trained weights.
+pub(crate) fn leaf_responsibilities(model: &RqRmi) -> Vec<Responsibility> {
+    let km = model.key_map();
+    let mut resp: Vec<Responsibility> = vec![vec![(0, km.domain_max())]];
+    for s in 0..model.nets.len() - 1 {
+        let w_next = model.widths[s + 1];
+        let mut next: Vec<Responsibility> = vec![Vec::new(); w_next];
+        for (j, net) in model.nets[s].iter().enumerate() {
+            if resp[j].is_empty() {
+                continue;
+            }
+            let children = child_responsibilities(net, &resp[j], w_next, &km);
+            for (k, mut ch) in children.into_iter().enumerate() {
+                next[k].append(&mut ch);
+            }
+        }
+        for r in &mut next {
+            super::analyze::normalize(r);
+        }
+        resp = next;
+    }
+    resp
+}
+
+/// Statistics from a [`retrain_leaves`] pass (see that function).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeafRetrainStats {
+    /// Leaf submodels with a non-empty responsibility (reachable leaves).
+    pub leaves: usize,
+    /// Leaves re-fitted from fresh samples — the drift landed inside them.
+    pub refit: usize,
+    /// Leaves patched by the closed-form affine rescale (their ranges only
+    /// shifted index, or the total count changed).
+    pub rescaled: usize,
+    /// Leaves left byte-identical (nothing in their key region changed).
+    pub untouched: usize,
+}
+
+/// Incremental (partial) retraining — the §3.9 refinement: patches a trained
+/// RQ-RMI from `old_ranges` to `new_ranges` by touching **only the leaf
+/// stage**, leaving every internal submodel (and therefore the key→leaf
+/// routing and the leaf responsibilities) bit-identical.
+///
+/// Per reachable leaf, against its responsibility `R`:
+///
+/// * **untouched** — the ranges intersecting `R` are identical in both
+///   arrays, at the same indices, and the total count is unchanged: the leaf
+///   net *and* its error bound carry over as-is.
+/// * **rescaled** — the intersecting ranges are identical but sit at
+///   uniformly shifted indices (removals/insertions happened entirely
+///   outside `R`), or the total count `n` changed. The required new output
+///   `(rank + s + 0.5)/n_new` is an affine map of the learned
+///   `(rank + 0.5)/n_old`, so the leaf is patched in closed form
+///   (`w2 *= n_old/n_new`, `b2 = b2·n_old/n_new + s/n_new`) and its error
+///   bound recomputed analytically (Theorem A.13) — no sampling, no fitting.
+/// * **refit** — the range *content* inside `R` changed (drift landed
+///   here): the leaf runs the ordinary Figure 5 fit/bound/double loop over
+///   the new ranges.
+///
+/// Fails (so callers can fall back to a full rebuild) when `new_ranges` is
+/// empty/unsorted, or when more than `max_refit_fraction` of the reachable
+/// leaves need refitting — drift that broad trains most of the model anyway,
+/// and a full rebuild also restores the iSet partition.
+///
+/// The returned model honours the standard RQ-RMI contract over
+/// `new_ranges`: error bounds are recomputed with the same `±delta` f32-band
+/// machinery as [`train_rqrmi`], so for every covered key the true index
+/// lies within `predict(key).0 ± predict(key).1`.
+pub fn retrain_leaves(
+    old: &RqRmi,
+    old_ranges: &[FieldRange],
+    new_ranges: &[FieldRange],
+    params: &RqRmiParams,
+    max_refit_fraction: f64,
+) -> Result<(RqRmi, LeafRetrainStats), Error> {
+    if new_ranges.is_empty() {
+        return Err(Error::Build { msg: "retrain_leaves: no surviving ranges".into() });
+    }
+    if old_ranges.len() != old.n_values {
+        return Err(Error::Build {
+            msg: format!(
+                "retrain_leaves: old_ranges ({}) disagree with the model ({})",
+                old_ranges.len(),
+                old.n_values
+            ),
+        });
+    }
+    for w in new_ranges.windows(2) {
+        if w[1].lo <= w[0].hi {
+            return Err(Error::Build {
+                msg: format!(
+                    "retrain_leaves: ranges must be sorted and non-overlapping: {:?} then {:?}",
+                    w[0], w[1]
+                ),
+            });
+        }
+    }
+    let km = old.key_map();
+    let (n_old, n_new) = (old.n_values, new_ranges.len());
+    let old_los: Vec<u64> = old_ranges.iter().map(|r| r.lo).collect();
+    let old_his: Vec<u64> = old_ranges.iter().map(|r| r.hi).collect();
+    let new_los: Vec<u64> = new_ranges.iter().map(|r| r.lo).collect();
+    let new_his: Vec<u64> = new_ranges.iter().map(|r| r.hi).collect();
+    let resp = leaf_responsibilities(old);
+    let leaf_stage = old.nets.len() - 1;
+
+    // Classify every reachable leaf: None = refit needed; Some(shift) =
+    // clean, all intersecting ranges identical up to a uniform index shift.
+    let ranges_in = |los: &[u64], his: &[u64], a: u64, b: u64| -> (usize, usize) {
+        let i0 = his.partition_point(|&h| h < a);
+        let i1 = los.partition_point(|&lo| lo <= b).max(i0);
+        (i0, i1)
+    };
+    let mut plan: Vec<Option<Option<i64>>> = vec![None; old.widths[leaf_stage]];
+    let mut stats = LeafRetrainStats::default();
+    for (j, r) in resp.iter().enumerate() {
+        if responsibility_size(r) == 0 {
+            continue;
+        }
+        stats.leaves += 1;
+        let mut shift: Option<i64> = None;
+        let mut clean = true;
+        for &(a, b) in r {
+            let (o0, o1) = ranges_in(&old_los, &old_his, a, b);
+            let (m0, m1) = ranges_in(&new_los, &new_his, a, b);
+            let s = m0 as i64 - o0 as i64;
+            if *shift.get_or_insert(s) != s || (o1 - o0) != (m1 - m0) {
+                clean = false;
+                break;
+            }
+            if (o0..o1).any(|i| old_ranges[i] != new_ranges[(i as i64 + s) as usize]) {
+                clean = false;
+                break;
+            }
+        }
+        // Some(Some(shift)) = clean, Some(None) = refit; unreachable leaves
+        // stay None.
+        plan[j] = if clean { Some(Some(shift.unwrap_or(0))) } else { Some(None) };
+        if !clean {
+            stats.refit += 1;
+        }
+    }
+    let max_refit = (max_refit_fraction * stats.leaves as f64).floor() as usize;
+    if stats.refit > max_refit {
+        return Err(Error::Build {
+            msg: format!(
+                "retrain_leaves: drift too broad — {} of {} reachable leaves need refitting \
+                 (cap {max_refit})",
+                stats.refit, stats.leaves
+            ),
+        });
+    }
+
+    let mut nets = old.nets.clone();
+    let mut leaf_err = old.leaf_err.clone();
+    let mut rng = SplitMix64::new(params.seed ^ 0x7061_7274_6961_6c21); // "partial!"
+    let mode = SampleMode::Rank;
+    for (j, p) in plan.iter().enumerate() {
+        match p {
+            None => {} // unreachable leaf: zero net stays
+            Some(Some(shift)) if *shift == 0 && n_old == n_new => {
+                // Nothing in this leaf's key region changed: weights and
+                // bound carry over bit-identically.
+                stats.untouched += 1;
+            }
+            Some(Some(shift)) => {
+                // Affine rescale: y' = y·(n_old/n_new) + shift/n_new maps
+                // the learned (rank+0.5)/n_old onto (rank+shift+0.5)/n_new
+                // exactly, so the index-space error is preserved; the bound
+                // is recomputed analytically to also absorb the (slightly
+                // different) f32 evaluation band of the scaled weights.
+                stats.rescaled += 1;
+                let mut net = nets[leaf_stage][j].clone();
+                let scale = n_old as f32 / n_new as f32;
+                for w in &mut net.w2 {
+                    *w *= scale;
+                }
+                net.b2 = net.b2 * scale + *shift as f32 / n_new as f32;
+                let bound = leaf_error_bound(&net, &resp[j], &km, &new_los, &new_his, n_new);
+                if bound <= params.error_target.max(leaf_err[j]) {
+                    nets[leaf_stage][j] = net;
+                    leaf_err[j] = bound;
+                } else {
+                    // The rescale came out worse than before (pathological
+                    // weights): fall through to a refit of this leaf.
+                    let (net, bound) = refine_leaf(
+                        net, &resp[j], &mut rng, &km, &new_los, &new_his, n_new, params, mode,
+                    );
+                    nets[leaf_stage][j] = net;
+                    leaf_err[j] = bound;
+                }
+            }
+            Some(None) => {
+                // Drift landed in this leaf: ordinary Figure 5 loop over the
+                // new ranges, seeded by a fresh fit.
+                let data = sample_dataset(
+                    &resp[j],
+                    params.samples_init,
+                    &mut rng,
+                    &km,
+                    &new_los,
+                    &new_his,
+                    n_new,
+                    mode,
+                );
+                let initial = fit(&params.trainer, params.hidden, &data, rng.next_u64());
+                let (net, bound) = refine_leaf(
+                    initial, &resp[j], &mut rng, &km, &new_los, &new_his, n_new, params, mode,
+                );
+                nets[leaf_stage][j] = net;
+                leaf_err[j] = bound;
+            }
+        }
+    }
+
+    Ok((
+        RqRmi { widths: old.widths.clone(), nets, leaf_err, n_values: n_new, bits: old.bits },
+        stats,
+    ))
 }
 
 /// Trains one submodel with the configured optimiser.
@@ -440,6 +686,95 @@ mod tests {
         let b = train_rqrmi(&ranges, 16, &params()).unwrap();
         assert_eq!(a.leaf_err, b.leaf_err);
         for key in (0..65536u64).step_by(97) {
+            assert_eq!(a.predict(key), b.predict(key));
+        }
+    }
+
+    #[test]
+    fn retrain_leaves_identity_is_untouched() {
+        let ranges = random_disjoint_ranges(3, 200, 16);
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        let (m2, stats) = retrain_leaves(&m, &ranges, &ranges, &params(), 1.0).unwrap();
+        assert_eq!(stats.refit, 0, "identical ranges must not refit: {stats:?}");
+        assert_eq!(stats.rescaled, 0);
+        assert_eq!(stats.untouched, stats.leaves);
+        assert_eq!(m2.leaf_err, m.leaf_err);
+        for key in (0..65_536u64).step_by(97) {
+            assert_eq!(m2.predict(key), m.predict(key));
+        }
+    }
+
+    #[test]
+    fn retrain_leaves_concentrated_removal_stays_exhaustively_correct() {
+        // Remove a cluster of low-key ranges: the low leaves refit, the rest
+        // only rescale (uniform index shift) — and the patched model must
+        // satisfy the full RQ-RMI contract over the survivors.
+        let ranges = random_disjoint_ranges(5, 300, 16);
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        let survivors: Vec<FieldRange> = ranges[6..].to_vec();
+        let (m2, stats) = retrain_leaves(&m, &ranges, &survivors, &params(), 1.0).unwrap();
+        assert_eq!(m2.len(), survivors.len());
+        assert!(
+            stats.refit < stats.leaves,
+            "concentrated drift must not dirty every leaf: {stats:?}"
+        );
+        verify_exhaustive(&m2, &survivors).unwrap();
+    }
+
+    #[test]
+    fn retrain_leaves_admission_and_removal_mix() {
+        // Drop some ranges and slot new ones into the gaps — the shape of a
+        // partial retrain that re-admits drifted rules.
+        let ranges = random_disjoint_ranges(7, 250, 16);
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        let mut new_ranges: Vec<FieldRange> = ranges.clone();
+        // Remove three neighbours, then insert a fresh range between two
+        // survivors (random_disjoint_ranges leaves gaps by construction).
+        new_ranges.drain(10..13);
+        let gap_lo = new_ranges[20].hi + 2;
+        let gap_hi = new_ranges[21].lo.saturating_sub(2);
+        if gap_lo < gap_hi {
+            new_ranges.insert(21, FieldRange::new(gap_lo, gap_hi));
+        }
+        let (m2, _stats) = retrain_leaves(&m, &ranges, &new_ranges, &params(), 1.0).unwrap();
+        verify_exhaustive(&m2, &new_ranges).unwrap();
+    }
+
+    #[test]
+    fn retrain_leaves_rejects_broad_drift() {
+        // Removing every other range dirties essentially every leaf; with a
+        // tight refit cap the partial path must refuse (full-rebuild
+        // fallback territory).
+        let ranges = random_disjoint_ranges(9, 300, 16);
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        let survivors: Vec<FieldRange> = ranges.iter().step_by(2).copied().collect();
+        let err = retrain_leaves(&m, &ranges, &survivors, &params(), 0.25);
+        assert!(err.is_err(), "broad drift must be rejected at refit cap 0.25");
+    }
+
+    #[test]
+    fn retrain_leaves_rejects_bad_input() {
+        let ranges = random_disjoint_ranges(11, 100, 16);
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        assert!(retrain_leaves(&m, &ranges, &[], &params(), 1.0).is_err(), "empty survivors");
+        let overlapping = vec![FieldRange::new(0, 10), FieldRange::new(5, 20)];
+        assert!(retrain_leaves(&m, &ranges, &overlapping, &params(), 1.0).is_err());
+        assert!(
+            retrain_leaves(&m, &ranges[1..], &ranges, &params(), 1.0).is_err(),
+            "old_ranges must match the model"
+        );
+    }
+
+    #[test]
+    fn retrain_leaves_is_deterministic() {
+        let ranges = random_disjoint_ranges(13, 200, 16);
+        let m = train_rqrmi(&ranges, 16, &params()).unwrap();
+        let survivors: Vec<FieldRange> = ranges[4..].to_vec();
+        let (a, sa) = retrain_leaves(&m, &ranges, &survivors, &params(), 1.0).unwrap();
+        let (b, sb) = retrain_leaves(&m, &ranges, &survivors, &params(), 1.0).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a.leaf_err, b.leaf_err);
+        for key in (0..65_536u64).step_by(131) {
             assert_eq!(a.predict(key), b.predict(key));
         }
     }

@@ -7,9 +7,20 @@
 //! * **Readers** classify packets continuously. They must never block — not
 //!   on updates and not on the retrain swap.
 //! * A single **writer** applies [`UpdateBatch`] transactions: tombstones in
-//!   the iSets, inserts/removes in the remainder.
-//! * A **retrainer** periodically rebuilds the whole classifier from the
-//!   current rule truth and publishes it, resetting the remainder drift.
+//!   the iSets, inserts/removes in the remainder. A batch is published only
+//!   when its report shows an effective change — pure-miss batches bump
+//!   nothing and invalidate nothing.
+//! * A **retrainer** periodically resets the remainder drift and publishes
+//!   the result. Two paths exist: the **full rebuild**
+//!   ([`ClassifierHandle::retrain_full`]) retrains every iSet from the rule
+//!   truth; the **partial retrain** ([`ClassifierHandle::retrain_partial`],
+//!   §3.9 refinement) patches only the drifted RQ-RMI leaf submodels and
+//!   re-admits remainder rules in place, publishing orders of magnitude
+//!   sooner. [`ClassifierHandle::retrain`] picks partial when the
+//!   configured [`PartialRetrainPolicy`](crate::config::PartialRetrainPolicy)
+//!   gates pass and falls back to full otherwise (drift too broad, too few
+//!   rules re-admittable, or validation failure) — both paths are
+//!   verdict-equivalent, so readers cannot tell which one published.
 //!
 //! The handle implements this with epoch-style snapshot publication: the
 //! live classifier is an immutable [`NmSnapshot`] behind an
@@ -72,11 +83,10 @@ struct Control<R> {
 struct Shared<R: Classifier> {
     live: ArcSwap<NmSnapshot<R>>,
     ctl: Mutex<Control<R>>,
-    /// Mirror of the published snapshot's generation (readable without
-    /// loading the snapshot).
-    generation: AtomicU64,
     retraining: AtomicBool,
     retrains: AtomicU64,
+    /// How many completed retrains took the partial (leaf-level) path.
+    partial_retrains: AtomicU64,
 }
 
 /// Shared handle to a live NuevoMatch classifier: lock-free reads against an
@@ -178,9 +188,9 @@ impl<R: Classifier> ClassifierHandle<R> {
             shared: Arc::new(Shared {
                 live: ArcSwap::new(Arc::new(Snapshot::new(nm, generation))),
                 ctl: Mutex::new(Control { recipe, rules, pending: Vec::new() }),
-                generation: AtomicU64::new(generation),
                 retraining: AtomicBool::new(false),
                 retrains: AtomicU64::new(0),
+                partial_retrains: AtomicU64::new(0),
             }),
         }
     }
@@ -192,10 +202,19 @@ impl<R: Classifier> ClassifierHandle<R> {
         self.shared.live.load_full()
     }
 
-    /// The published generation (bumps on every applied batch and every
-    /// retrain publish).
+    /// The published generation (bumps on every effective applied batch and
+    /// every retrain publish).
+    ///
+    /// Derived from the live snapshot itself, so it can never disagree with
+    /// what a subsequently pinned snapshot reports: pin first, and
+    /// `generation() >= snapshot.generation()` holds at every instant. (A
+    /// separate atomic mirror — the previous design — was updated after the
+    /// snapshot store and could briefly *under-report* the live snapshot's
+    /// stamp; and the reverse store order would let a cache observe the new
+    /// generation, compute a verdict against the still-published old
+    /// snapshot, and keep serving it under the new tag.)
     pub fn generation(&self) -> Generation {
-        self.shared.generation.load(SeqCst)
+        self.shared.live.load().generation()
     }
 
     /// True while a retrain is between pin and publish.
@@ -203,17 +222,23 @@ impl<R: Classifier> ClassifierHandle<R> {
         self.shared.retraining.load(SeqCst)
     }
 
-    /// Completed retrain publishes since construction.
+    /// Completed retrain publishes since construction (partial + full).
     pub fn retrains_completed(&self) -> u64 {
         self.shared.retrains.load(SeqCst)
     }
 
+    /// Completed retrains that took the partial (leaf-level) path.
+    pub fn partial_retrains_completed(&self) -> u64 {
+        self.shared.partial_retrains.load(SeqCst)
+    }
+
     /// Publishes `snap` as the next generation. Caller must hold the ctl
-    /// lock (single-writer discipline).
+    /// lock (single-writer discipline). The stamp lives inside the snapshot
+    /// — one atomic store makes both visible together, which is what keeps
+    /// [`ClassifierHandle::generation`] and the published view consistent.
     fn publish(&self, nm: NuevoMatch<R>) -> Generation {
-        let generation = self.shared.generation.load(SeqCst) + 1;
+        let generation = self.shared.live.load().generation() + 1;
         self.shared.live.store(Arc::new(Snapshot::new(nm, generation)));
-        self.shared.generation.store(generation, SeqCst);
         generation
     }
 }
@@ -263,19 +288,111 @@ impl<R: BatchUpdatable + Clone> ClassifierHandle<R> {
         // tombstones and remainder), mutate the clone, publish.
         let mut next = self.snapshot().engine().clone();
         let report = next.apply(batch);
-        self.publish(next);
+        if report.changed() {
+            self.publish(next);
+        }
+        // A batch of pure misses changed nothing: drop the clone and keep
+        // the published snapshot (and its generation) as they are.
         report
     }
 
-    /// Rebuilds the classifier from the current rule truth and atomically
-    /// swaps it in, resetting the §3.9 remainder drift. Training runs
-    /// *without* the control lock, so the writer keeps applying batches (they
-    /// are replayed onto the fresh classifier before it publishes) and
-    /// readers never block. Returns the published generation.
+    /// Retrains and atomically swaps in the result, resetting the §3.9
+    /// remainder drift. Returns the published generation.
+    ///
+    /// When the retained config's
+    /// [`PartialRetrainPolicy`](crate::config::PartialRetrainPolicy) allows
+    /// it, this first attempts the **partial** (leaf-level) path —
+    /// [`ClassifierHandle::retrain_partial`] — and falls back to the full
+    /// rebuild ([`ClassifierHandle::retrain_full`]) when a gate fires:
+    /// drift spread over too many leaf submodels, too few drifted rules
+    /// re-admittable, or post-patch validation failure. Either way the
+    /// published snapshot serves exactly the current rule truth; the two
+    /// paths are verdict-equivalent.
     ///
     /// Errors if the handle was built [`ClassifierHandle::read_only`], if a
     /// retrain is already in flight, or if training fails.
     pub fn retrain(&self) -> Result<Generation, Error> {
+        let partial_enabled = {
+            let ctl = self.shared.ctl.lock();
+            match ctl.recipe.as_ref() {
+                Some(recipe) => recipe.cfg.partial_retrain.enabled,
+                None => false, // retrain_full reports the read-only error
+            }
+        };
+        if partial_enabled {
+            // A gate error falls back to the full rebuild; an "in flight"
+            // error resurfaces there unchanged (the flag is still set).
+            if let Ok(generation) = self.retrain_partial() {
+                return Ok(generation);
+            }
+        }
+        self.retrain_full()
+    }
+
+    /// Incremental (partial) retrain: patches the pinned snapshot through
+    /// [`NuevoMatch::partial_retrain`] — re-admitting drifted remainder
+    /// rules into their iSets and re-fitting only the affected RQ-RMI leaf
+    /// submodels — and publishes the result. The patch runs *without* the
+    /// control lock; batches applied meanwhile are replayed before the
+    /// publish, exactly like the full path. Because only a few leaves
+    /// train, the publish period (and hence the Figure 7 drift floor) drops
+    /// by the measured partial/full latency ratio.
+    ///
+    /// Errors — **without** falling back — when the policy gates refuse
+    /// (use [`ClassifierHandle::retrain`] for automatic fallback), when the
+    /// handle is read-only, or when a retrain is already in flight.
+    pub fn retrain_partial(&self) -> Result<Generation, Error> {
+        // Pin: snapshot + config under the lock, so no batch lands between
+        // the pending-queue reset and the pin.
+        let (cfg, pinned) = {
+            let mut ctl = self.shared.ctl.lock();
+            let cfg = ctl.recipe.as_ref().map(|recipe| recipe.cfg.clone()).ok_or_else(|| {
+                Error::Build {
+                    msg: "ClassifierHandle::retrain_partial: read-only handle (no config retained)"
+                        .to_string(),
+                }
+            })?;
+            if self.shared.retraining.swap(true, SeqCst) {
+                return Err(Error::Build {
+                    msg: "ClassifierHandle::retrain_partial: a retrain is already in flight"
+                        .to_string(),
+                });
+            }
+            ctl.pending.clear();
+            (cfg, self.snapshot())
+        };
+        // Patch: leaf-level work, no locks held.
+        let result = pinned.engine().partial_retrain(&cfg);
+        // Publish: replay what arrived during the patch, swap, unmark.
+        let mut ctl = self.shared.ctl.lock();
+        let (mut fresh, _report) = match result {
+            Ok(patched) => patched,
+            Err(e) => {
+                self.shared.retraining.store(false, SeqCst);
+                return Err(e);
+            }
+        };
+        if !ctl.pending.is_empty() {
+            let replay: UpdateBatch = ctl.pending.drain(..).collect();
+            fresh.apply(&replay);
+        }
+        let generation = self.publish(fresh);
+        self.shared.retraining.store(false, SeqCst);
+        self.shared.retrains.fetch_add(1, SeqCst);
+        self.shared.partial_retrains.fetch_add(1, SeqCst);
+        Ok(generation)
+    }
+
+    /// Rebuilds the classifier from scratch over the current rule truth and
+    /// atomically swaps it in, resetting the §3.9 remainder drift
+    /// completely (including the iSet partition). Training runs *without*
+    /// the control lock, so the writer keeps applying batches (they are
+    /// replayed onto the fresh classifier before it publishes) and readers
+    /// never block. Returns the published generation.
+    ///
+    /// Errors if the handle was built [`ClassifierHandle::read_only`], if a
+    /// retrain is already in flight, or if training fails.
+    pub fn retrain_full(&self) -> Result<Generation, Error> {
         // Pin: capture the truth and the recipe under the lock.
         let (set, cfg, builder) = {
             let mut ctl = self.shared.ctl.lock();
@@ -542,6 +659,89 @@ impl UpdatePacer {
     }
 }
 
+/// Builds the §3.9 *concentrated* (single-leaf) drift batch: `ops` modifies
+/// that re-insert — boxes unchanged — the rules at the lowest positions of
+/// the classifier's largest iSet. Positions are sorted by the iSet field's
+/// lower bound, so the drift lands in one or two neighbouring leaf
+/// submodels: the cheap case for a partial retrain, and the workload the
+/// retrain-latency comparison is defined over.
+pub fn concentrated_drift<R: Classifier>(
+    nm: &NuevoMatch<R>,
+    set: &RuleSet,
+    ops: usize,
+) -> Result<UpdateBatch, Error> {
+    let iset = nm.isets().first().ok_or_else(|| Error::Build {
+        msg: "concentrated_drift: no iSet formed (nothing to drift from)".to_string(),
+    })?;
+    let mut batch = UpdateBatch::new();
+    for pos in 0..ops.min(iset.len()) {
+        batch = batch.modify(set.rule(iset.rule_id_at(pos)).clone());
+    }
+    Ok(batch)
+}
+
+/// Latencies of the two retrain flavours under the same reproducible
+/// concentrated drift (see [`measure_retrain_latencies`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RetrainLatencies {
+    /// Seconds to republish via the partial (leaf-level) path.
+    pub partial_s: f64,
+    /// Seconds to republish via the full rebuild.
+    pub full_s: f64,
+    /// Update ops in the concentrated drift batch.
+    pub drift_ops: usize,
+    /// Fraction of the drifted iSet's leaf submodels holding tombstones
+    /// just before the partial retrain (the drift-concentration profile
+    /// from [`crate::TrainedISet::leaf_tombstone_counts`]).
+    pub dirty_leaf_fraction: f64,
+}
+
+impl RetrainLatencies {
+    /// How many times faster the partial path republished.
+    pub fn speedup(&self) -> f64 {
+        self.full_s / self.partial_s.max(1e-9)
+    }
+}
+
+/// Measures partial vs full retrain latency on `handle` (built over `set`)
+/// under a [`concentrated_drift`] workload — the §3.9 refinement's
+/// headline number, shared by `nm-bench --bin update_bench` and
+/// `nmctl update-bench --bench-json` so the two artifacts can never drift
+/// apart in methodology.
+///
+/// Protocol: full retrain to reach a drift-free baseline, apply the
+/// concentrated drift and time [`ClassifierHandle::retrain_partial`], then
+/// apply the same drift again and time [`ClassifierHandle::retrain_full`].
+/// The handle ends drift-free. The drifted rules are re-inserted with
+/// unchanged boxes, so they are always fully re-admittable and the default
+/// partial-retrain gates pass.
+pub fn measure_retrain_latencies<R>(
+    handle: &ClassifierHandle<R>,
+    set: &RuleSet,
+) -> Result<RetrainLatencies, Error>
+where
+    R: BatchUpdatable + Clone,
+{
+    use std::time::Instant;
+    handle.retrain_full()?;
+    let drift_ops = (set.len() / 100).clamp(4, 512);
+    let drift = concentrated_drift(handle.snapshot().engine(), set, drift_ops)?;
+    handle.apply(&drift);
+    let dirty_leaf_fraction = {
+        let snap = handle.snapshot();
+        let counts = snap.engine().isets()[0].leaf_tombstone_counts();
+        counts.iter().filter(|&&c| c > 0).count() as f64 / counts.len().max(1) as f64
+    };
+    let t0 = Instant::now();
+    handle.retrain_partial()?;
+    let partial_s = t0.elapsed().as_secs_f64();
+    handle.apply(&drift);
+    let t0 = Instant::now();
+    handle.retrain_full()?;
+    let full_s = t0.elapsed().as_secs_f64();
+    Ok(RetrainLatencies { partial_s, full_s, drift_ops, dirty_leaf_fraction })
+}
+
 /// Measures throughput-under-updates (Figure 7, §3.9) against a live
 /// [`ClassifierHandle`]: one reader thread classifies the trace in batches
 /// continuously, an updater thread applies `make_batch(i)` transactions at
@@ -672,6 +872,158 @@ mod tests {
         // generation contract: bumps only when content changes).
         assert_eq!(h.apply(&UpdateBatch::new()), UpdateReport::default());
         assert_eq!(h.generation(), g0 + 1);
+    }
+
+    #[test]
+    fn generation_mirror_never_under_reports_the_live_snapshot() {
+        // Regression: `publish` used to store the snapshot first and update
+        // a separate atomic generation mirror afterwards, so a reader that
+        // pinned the fresh snapshot could still see `handle.generation()`
+        // reporting the previous stamp. The stamp now lives inside the
+        // snapshot itself: once a snapshot is visible, `generation()` must
+        // already reflect it (pin first, then compare).
+        let h = handle(150);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for _ in 0..2 {
+                let h = h.clone();
+                let stop = &stop;
+                joins.push(scope.spawn(move || {
+                    while !stop.load(SeqCst) {
+                        let snap = h.snapshot();
+                        let g = h.generation();
+                        assert!(
+                            g >= snap.generation(),
+                            "generation() {g} trails the already-visible snapshot {}",
+                            snap.generation()
+                        );
+                    }
+                }));
+            }
+            for i in 0..400u32 {
+                let port = 40_000 + (i % 20_000) as u16;
+                h.apply(
+                    &UpdateBatch::new()
+                        .modify(FiveTuple::new().dst_port_exact(port).into_rule(i % 150, i % 150)),
+                );
+            }
+            stop.store(true, SeqCst);
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
+        // And a snapshot pinned after any quiescent point agrees exactly.
+        assert_eq!(h.generation(), h.snapshot().generation());
+    }
+
+    #[test]
+    fn noop_batch_publishes_nothing() {
+        let h = handle(100);
+        let g0 = h.generation();
+        let pinned = h.snapshot();
+        let report = h.apply(&UpdateBatch::new().remove(9_999).remove(8_888));
+        assert_eq!((report.missing, report.changed()), (2, false));
+        assert_eq!(h.generation(), g0, "miss-only batch must not bump");
+        assert!(
+            Arc::ptr_eq(&pinned, &h.snapshot()),
+            "miss-only batch must not publish a new snapshot"
+        );
+    }
+
+    #[test]
+    fn retrain_partial_resets_concentrated_drift() {
+        let set = port_set(300);
+        let cfg = NuevoMatchConfig {
+            partial_retrain: crate::config::PartialRetrainPolicy::always(),
+            ..fast_cfg()
+        };
+        let h = ClassifierHandle::new(&set, &cfg, LinearSearch::build).unwrap();
+        // Concentrated drift: re-insert a few neighbouring rules unchanged.
+        let mut batch = UpdateBatch::new();
+        for i in 40..48u32 {
+            batch = batch.modify(
+                FiveTuple::new()
+                    .dst_port_range(i as u16 * 100, i as u16 * 100 + 99)
+                    .into_rule(i, i),
+            );
+        }
+        h.apply(&batch);
+        assert!(h.snapshot().engine().remainder_fraction() > 0.0);
+        let oracle: Vec<_> =
+            (0u64..40_000).step_by(41).map(|p| h.classify(&[0, 0, 0, p, 0])).collect();
+        let g = h.retrain_partial().unwrap();
+        assert_eq!(g, h.generation());
+        assert_eq!(h.partial_retrains_completed(), 1);
+        assert_eq!(h.retrains_completed(), 1);
+        assert_eq!(
+            h.snapshot().engine().remainder_fraction(),
+            0.0,
+            "unchanged boxes must fully re-admit"
+        );
+        for (i, p) in (0u64..40_000).step_by(41).enumerate() {
+            assert_eq!(h.classify(&[0, 0, 0, p, 0]), oracle[i], "port {p}");
+        }
+    }
+
+    #[test]
+    fn auto_retrain_falls_back_to_full_when_partial_is_gated() {
+        let set = port_set(200);
+        // min_readmit_fraction 1.0: any unadmittable drifted rule gates the
+        // partial path, forcing the full rebuild.
+        let cfg = NuevoMatchConfig {
+            partial_retrain: crate::config::PartialRetrainPolicy {
+                enabled: true,
+                max_refit_fraction: 1.0,
+                min_readmit_fraction: 1.0,
+            },
+            ..fast_cfg()
+        };
+        let h = ClassifierHandle::new(&set, &cfg, LinearSearch::build).unwrap();
+        // Rule 7 drifts to a range overlapping live rule 10: unadmittable.
+        h.apply(
+            &UpdateBatch::new()
+                .modify(FiveTuple::new().dst_port_range(1_000, 1_050).into_rule(7, 7)),
+        );
+        let oracle: Vec<_> =
+            (0u64..21_000).step_by(23).map(|p| h.classify(&[0, 0, 0, p, 0])).collect();
+        h.retrain().unwrap();
+        assert_eq!(h.retrains_completed(), 1);
+        assert_eq!(h.partial_retrains_completed(), 0, "gated partial must not count");
+        for (i, p) in (0u64..21_000).step_by(23).enumerate() {
+            assert_eq!(h.classify(&[0, 0, 0, p, 0]), oracle[i], "port {p}");
+        }
+    }
+
+    #[test]
+    fn updates_during_partial_retrain_are_replayed() {
+        let set = port_set(300);
+        let cfg = NuevoMatchConfig {
+            partial_retrain: crate::config::PartialRetrainPolicy::always(),
+            ..fast_cfg()
+        };
+        let h = ClassifierHandle::new(&set, &cfg, LinearSearch::build).unwrap();
+        let mut batch = UpdateBatch::new();
+        for i in 10..20u32 {
+            batch = batch.modify(
+                FiveTuple::new()
+                    .dst_port_range(i as u16 * 100, i as u16 * 100 + 99)
+                    .into_rule(i, i),
+            );
+        }
+        h.apply(&batch);
+        // Race inserts against background auto-retrains (partial-first).
+        let join = h.spawn_retrain();
+        for i in 0..20u32 {
+            h.apply(&UpdateBatch::new().insert(
+                FiveTuple::new().dst_port_exact(50_000 + i as u16).into_rule(10_000 + i, 0),
+            ));
+        }
+        join.join().unwrap().unwrap();
+        for i in 0..20u32 {
+            let key = [0u64, 0, 0, 50_000 + i as u64, 0];
+            assert_eq!(h.classify(&key).unwrap().rule, 10_000 + i, "update {i} lost by retrain");
+        }
     }
 
     #[test]

@@ -11,12 +11,14 @@ pub mod breakdown;
 pub mod flow_cache;
 pub mod handle;
 pub mod parallel;
+pub mod retrain;
 pub mod update;
 
 pub use breakdown::{measure_breakdown, LookupBreakdown};
 pub use flow_cache::{CacheStats, FlowCache};
 pub use handle::{ClassifierHandle, NmSnapshot};
 pub use parallel::{run_batched, run_replicated, run_two_workers, ParallelStats};
+pub use retrain::PartialRetrainReport;
 
 use std::sync::Arc;
 
@@ -305,14 +307,164 @@ impl TrainedISet {
         self.deleted[pos]
     }
 
-    /// Rule id at a position (updates bookkeeping).
-    pub(crate) fn rule_id_at(&self, pos: usize) -> RuleId {
+    /// Number of tombstoned positions — this iSet's share of the §3.9 drift.
+    pub fn tombstones(&self) -> usize {
+        self.deleted.iter().filter(|&&d| d).count()
+    }
+
+    /// The sorted `dim` projection of the live (non-tombstoned) positions —
+    /// the occupied intervals a partial retrain admits candidates against.
+    /// Reads the packed arrays directly; no per-position `Rule` is built.
+    pub(crate) fn live_projection(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut los = Vec::with_capacity(self.live_len());
+        let mut his = Vec::with_capacity(self.live_len());
+        for (pos, &dead) in self.deleted.iter().enumerate() {
+            if !dead {
+                los.push(self.core.los[pos]);
+                his.push(self.core.his[pos]);
+            }
+        }
+        (los, his)
+    }
+
+    /// Rules still served by this iSet (len minus tombstones).
+    pub fn live_len(&self) -> usize {
+        self.len() - self.tombstones()
+    }
+
+    /// Tombstone count per leaf submodel of this iSet's RQ-RMI — the drift
+    /// *concentration* profile. A partial retrain refits only the leaves
+    /// whose key region changed, so a profile with most tombstones in a few
+    /// leaves is the cheap case; `nm-bench --bin update_bench` reports the
+    /// dirty fraction from this.
+    pub fn leaf_tombstone_counts(&self) -> Vec<u32> {
+        let leaves = self.core.reference.leaf_error_bounds().len();
+        let mut counts = vec![0u32; leaves];
+        for (pos, &dead) in self.deleted.iter().enumerate() {
+            if dead {
+                counts[self.core.reference.route(self.core.los[pos])] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Incremental (partial) retrain of this one iSet — the §3.9
+    /// refinement's structural half: compacts the tombstoned positions out
+    /// of the lookup arrays, splices in `admitted` rules (their `dim`
+    /// projections must not overlap the survivors or each other — see
+    /// [`crate::iset::admit_into_iset`]), and patches the RQ-RMI **leaf
+    /// stage only** through [`crate::rqrmi::retrain_leaves`], keeping every
+    /// internal submodel and the compiled routing bit-identical.
+    ///
+    /// Errors propagate `retrain_leaves`'s gates (empty result, drift too
+    /// broad for `max_refit_fraction`); callers fall back to a full rebuild.
+    pub(crate) fn partial_retrain(
+        &self,
+        admitted: &[Rule],
+        params: &crate::config::RqRmiParams,
+        max_refit_fraction: f64,
+    ) -> Result<(Self, crate::rqrmi::LeafRetrainStats), Error> {
+        let core = &*self.core;
+        let (dim, nfields) = (core.dim, core.nfields);
+        let n_new = self.live_len() + admitted.len();
+        if n_new == 0 {
+            return Err(Error::Build {
+                msg: "partial_retrain: iSet emptied by updates (drop it instead)".into(),
+            });
+        }
+        // Merge survivors and admitted rules in lo order (both sides are
+        // individually sorted after the sort below; survivors already are).
+        let mut extra: Vec<&Rule> = admitted.iter().collect();
+        extra.sort_unstable_by_key(|r| r.fields[dim].lo);
+        let mut los = Vec::with_capacity(n_new);
+        let mut his = Vec::with_capacity(n_new);
+        let mut rule_ids = Vec::with_capacity(n_new);
+        let mut priorities = Vec::with_capacity(n_new);
+        let mut boxes = Vec::with_capacity(n_new * nfields * 2);
+        let mut push_rule = |lo: u64, hi: u64, id: RuleId, pri: Priority, rb: &[u64]| {
+            los.push(lo);
+            his.push(hi);
+            rule_ids.push(id);
+            priorities.push(pri);
+            boxes.extend_from_slice(rb);
+        };
+        let mut e = 0usize;
+        for pos in 0..core.rule_ids.len() {
+            if self.deleted[pos] {
+                continue;
+            }
+            while e < extra.len() && extra[e].fields[dim].lo < core.los[pos] {
+                let r = extra[e];
+                let rb: Vec<u64> = r.fields.iter().flat_map(|f| [f.lo, f.hi]).collect();
+                push_rule(r.fields[dim].lo, r.fields[dim].hi, r.id, r.priority, &rb);
+                e += 1;
+            }
+            let base = pos * nfields * 2;
+            push_rule(
+                core.los[pos],
+                core.his[pos],
+                core.rule_ids[pos],
+                core.priorities[pos],
+                &core.boxes[base..base + nfields * 2],
+            );
+        }
+        while e < extra.len() {
+            let r = extra[e];
+            let rb: Vec<u64> = r.fields.iter().flat_map(|f| [f.lo, f.hi]).collect();
+            push_rule(r.fields[dim].lo, r.fields[dim].hi, r.id, r.priority, &rb);
+            e += 1;
+        }
+        debug_assert_eq!(rule_ids.len(), n_new);
+
+        let old_ranges: Vec<nm_common::FieldRange> = core
+            .los
+            .iter()
+            .zip(&core.his)
+            .map(|(&lo, &hi)| nm_common::FieldRange::new(lo, hi))
+            .collect();
+        let new_ranges: Vec<nm_common::FieldRange> =
+            los.iter().zip(&his).map(|(&lo, &hi)| nm_common::FieldRange::new(lo, hi)).collect();
+        let (model, stats) = crate::rqrmi::retrain_leaves(
+            &core.reference,
+            &old_ranges,
+            &new_ranges,
+            params,
+            max_refit_fraction,
+        )?;
+        // Belt and braces on top of the analytic bounds: the patched model
+        // must place every surviving range boundary within its search
+        // window, or the partial path refuses and the caller rebuilds.
+        let compiled = CompiledRqRmi::new(&model);
+        for (idx, r) in new_ranges.iter().enumerate() {
+            for key in [r.lo, r.hi] {
+                let (pred, err) = compiled.predict(key);
+                if pred.abs_diff(idx) > err as usize {
+                    return Err(Error::Build {
+                        msg: format!(
+                            "partial_retrain: validation failed at key {key} \
+                             (true {idx}, predicted {pred} ± {err})"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok((
+            Self::from_parts(dim, model, los, his, rule_ids, priorities, boxes, vec![false; n_new]),
+            stats,
+        ))
+    }
+
+    /// Rule id at a position (updates bookkeeping; positions are sorted by
+    /// the iSet field's lower bound, so neighbouring positions are
+    /// neighbouring key ranges — benches use this to build concentrated
+    /// drift workloads).
+    pub fn rule_id_at(&self, pos: usize) -> RuleId {
         self.core.rule_ids[pos]
     }
 
     /// Reconstructs the full rule stored at `pos` from the packed arrays
     /// (snapshot persistence and control-plane rule exports).
-    pub(crate) fn rule_at(&self, pos: usize) -> Rule {
+    pub fn rule_at(&self, pos: usize) -> Rule {
         let nfields = self.core.nfields;
         let base = pos * nfields * 2;
         let fields = (0..nfields)
@@ -362,6 +514,12 @@ pub struct NuevoMatch<R> {
     pub(crate) generation: Generation,
     /// Rules that migrated to the remainder through updates (§3.9).
     pub(crate) moved_updates: usize,
+    /// Drifted rules that a previous *partial* retrain could not re-admit
+    /// (their ids fell out of `loc` when the patched iSets were
+    /// reassembled, so later admission-yield gates cannot see them in the
+    /// routing map). Carried forward so the gate compares against the full
+    /// accumulated drift; a full rebuild resets it to zero.
+    pub(crate) residual_drift: usize,
     /// id → (iset, position) routing map. Immutable after build (tombstones
     /// are recorded in the iSets, not here), so snapshots share one copy.
     pub(crate) loc: Arc<std::collections::HashMap<RuleId, (u32, u32)>>,
@@ -412,8 +570,16 @@ impl<R: Classifier> NuevoMatch<R> {
             spec,
             generation: 0,
             moved_updates: 0,
+            residual_drift: 0,
             loc: Arc::new(loc),
         }
+    }
+
+    /// Drifted rules no partial retrain has managed to re-admit so far
+    /// (see [`retrain::PartialRetrainReport`]); a full rebuild folds them
+    /// back into the partition and resets this to zero.
+    pub fn residual_drift(&self) -> usize {
+        self.residual_drift
     }
 
     /// The trained iSets.

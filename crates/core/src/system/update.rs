@@ -12,9 +12,14 @@
 //! * **insertion** — straight to the remainder.
 //!
 //! Updates therefore grow the remainder over time;
-//! [`NuevoMatch::remainder_fraction`] tracks the drift and a retrain
-//! (rebuild) resets it — exactly the Figure 7 model, which `nm-analysis`
-//! reproduces analytically and `nm-bench --bin update_bench` now measures.
+//! [`NuevoMatch::remainder_fraction`] tracks the drift and a retrain resets
+//! it — exactly the Figure 7 model, which `nm-analysis` reproduces
+//! analytically and `nm-bench --bin update_bench` measures. Two retrain
+//! flavours exist: a full rebuild (`NuevoMatch::build` over
+//! [`NuevoMatch::live_rules`]) and the cheaper **partial retrain**
+//! ([`NuevoMatch::partial_retrain`], see [`super::retrain`]) that re-fits
+//! only the drifted leaf submodels and pulls admissible remainder rules back
+//! into their iSets.
 //!
 //! The entry point is [`NuevoMatch::apply`] with an
 //! [`UpdateBatch`](nm_common::UpdateBatch) transaction; `remove` / `insert` /
@@ -22,6 +27,16 @@
 //! access (`&mut self`) and thus a quiesced data plane — concurrent readers
 //! belong to [`super::ClassifierHandle`], which applies the same batches
 //! against copy-on-write snapshots instead.
+//!
+//! ## Report semantics
+//!
+//! [`UpdateReport.removed`](nm_common::UpdateReport) counts **true
+//! deletions** (`Remove` hits) only. An `Insert` or `Modify` that displaces
+//! a live version of the same id — tombstoning an iSet copy or upserting in
+//! the remainder — counts under `replaced`. The generation stamp bumps only
+//! when the report shows an effective change
+//! ([`UpdateReport::changed`](nm_common::UpdateReport::changed)): a batch of
+//! misses publishes nothing and invalidates no caches.
 
 use nm_common::classifier::Classifier;
 use nm_common::rule::{Rule, RuleId};
@@ -44,8 +59,10 @@ impl<R: BatchUpdatable> NuevoMatch<R> {
                     // inserts (TupleMerge replaces a re-inserted id): a live
                     // iSet copy must die, or the stale version would keep
                     // matching until a retrain silently changed verdicts.
+                    // That displacement is a *replacement* — the id keeps
+                    // existing — not a deletion.
                     if self.tombstone_in_iset(rule.id) {
-                        report.removed += 1;
+                        report.replaced += 1;
                     }
                     remainder_ops.push(UpdateOp::Insert(rule.clone()));
                 }
@@ -59,7 +76,7 @@ impl<R: BatchUpdatable> NuevoMatch<R> {
                 UpdateOp::Modify(rule) => {
                     self.moved_updates += 1;
                     if self.tombstone_in_iset(rule.id) {
-                        report.removed += 1;
+                        report.replaced += 1;
                         remainder_ops.push(UpdateOp::Insert(rule.clone()));
                     } else {
                         remainder_ops.push(UpdateOp::Modify(rule.clone()));
@@ -68,7 +85,10 @@ impl<R: BatchUpdatable> NuevoMatch<R> {
             }
         }
         report.absorb(self.remainder_mut().apply(&remainder_ops));
-        if !batch.is_empty() {
+        // Bump only on effective change. A batch whose every op missed (e.g.
+        // removes of absent ids) serves the same content; bumping for it
+        // would force a needless invalidation of every FlowCache above us.
+        if report.changed() {
             self.generation += 1;
         }
         report
@@ -86,9 +106,10 @@ impl<R: BatchUpdatable> NuevoMatch<R> {
     }
 
     /// Matching-set change: removes the old version and inserts the new one
-    /// into the remainder. Returns true if the old version existed.
+    /// into the remainder. Returns true if the old version existed (the
+    /// displacement is reported as `replaced`, not `removed`).
     pub fn modify(&mut self, rule: Rule) -> bool {
-        self.apply(&UpdateBatch::new().modify(rule)).removed == 1
+        self.apply(&UpdateBatch::new().modify(rule)).replaced == 1
     }
 
     /// Tombstones `id` in its owning iSet, if it lives in one and is not
@@ -208,13 +229,50 @@ mod tests {
             .insert(FiveTuple::new().dst_port_exact(61_111).into_rule(700, 0))
             .modify(FiveTuple::new().dst_port_range(45_000, 45_100).into_rule(8, 8));
         let report = nm.apply(&batch);
-        assert_eq!(report.removed, 2, "rule 3 tombstone + rule 8 modify-remove");
+        assert_eq!(report.removed, 1, "rule 3 tombstone is the only true deletion");
+        assert_eq!(report.replaced, 1, "rule 8 modify displaces, not deletes");
         assert_eq!(report.inserted, 2);
         assert_eq!(report.missing, 1);
         assert!(nm.generation() > g0);
         assert_eq!(nm.classify(&[0, 0, 0, 350, 0]), None);
         assert_eq!(nm.classify(&[0, 0, 0, 61_111, 0]).unwrap().rule, 700);
         assert_eq!(nm.classify(&[0, 0, 0, 45_050, 0]).unwrap().rule, 8);
+    }
+
+    #[test]
+    fn noop_batch_does_not_bump_generation() {
+        // Regression: `apply` used to bump the generation for any non-empty
+        // batch, even when every op was a miss — forcing FlowCache layers to
+        // invalidate for content that never changed.
+        let mut nm = build(30);
+        let g0 = nm.generation();
+        let report = nm.apply(&UpdateBatch::new().remove(9_999).remove(8_888).remove(7_777));
+        assert_eq!(report.missing, 3);
+        assert!(!report.changed());
+        assert_eq!(nm.generation(), g0, "miss-only batch must not bump the generation");
+        // An effective op in the same batch shape does bump.
+        let report = nm.apply(&UpdateBatch::new().remove(9_999).remove(3));
+        assert_eq!((report.missing, report.removed), (1, 1));
+        assert_eq!(nm.generation(), g0 + 1);
+    }
+
+    #[test]
+    fn upsert_insert_reports_replacement_not_deletion() {
+        let mut nm = build(30);
+        // Re-insert rule 4 with the same box: the live iSet copy dies, but
+        // the id keeps existing — a replacement.
+        let report = nm.apply(
+            &UpdateBatch::new().insert(FiveTuple::new().dst_port_range(400, 499).into_rule(4, 4)),
+        );
+        assert_eq!((report.inserted, report.replaced, report.removed), (1, 1, 0));
+        assert_eq!(nm.classify(&[0, 0, 0, 450, 0]).unwrap().rule, 4);
+        // Modifying it again: the live version now sits in the remainder,
+        // and the remainder's upsert also reports `replaced`.
+        let report = nm.apply(
+            &UpdateBatch::new().insert(FiveTuple::new().dst_port_range(400, 450).into_rule(4, 4)),
+        );
+        assert_eq!((report.inserted, report.replaced, report.removed), (1, 1, 0));
+        assert_eq!(nm.classify(&[0, 0, 0, 480, 0]), None, "stale remainder copy must die");
     }
 
     #[test]

@@ -386,7 +386,9 @@ impl BatchUpdatable for TupleMerge {
     fn apply(&mut self, batch: &UpdateBatch) -> UpdateReport {
         let report =
             nm_common::update::apply_ops(self, batch, Self::insert_rule, |s, id| s.remove_rule(id));
-        if !batch.is_empty() {
+        // Bump only when content changed: a batch of pure misses serves the
+        // same rules, and a spurious bump stampedes caches layered above.
+        if report.changed() {
             self.generation += 1;
         }
         report
@@ -394,19 +396,6 @@ impl BatchUpdatable for TupleMerge {
 
     fn export_rules(&self) -> Vec<Rule> {
         self.slab.iter().filter_map(|slot| slot.clone()).collect()
-    }
-}
-
-// One-release compatibility shim: the deprecated per-op interface delegates
-// to the batch path so out-of-tree callers keep compiling.
-#[allow(deprecated)]
-impl nm_common::classifier::Updatable for TupleMerge {
-    fn insert(&mut self, rule: Rule) {
-        self.apply(&UpdateBatch::new().insert(rule));
-    }
-
-    fn remove(&mut self, id: RuleId) -> bool {
-        self.apply(&UpdateBatch::new().remove(id)).removed == 1
     }
 }
 
@@ -611,6 +600,33 @@ mod tests {
         let mut exported = tm.export_rules();
         exported.sort_by_key(|r| r.id);
         assert_eq!(exported.len(), rebuilt.len());
+    }
+
+    #[test]
+    fn upsert_reports_replaced_and_noop_batches_do_not_bump() {
+        let set = random_set(31, 80);
+        let mut tm = TupleMerge::build(&set);
+        // Re-insert a live id: replacement, not removal.
+        let r = tm.apply(&UpdateBatch::new().insert(set.rule_at(5).clone()));
+        assert_eq!((r.inserted, r.replaced, r.removed), (1, 1, 0));
+        assert_eq!(tm.num_rules(), 80);
+        let g = tm.generation();
+        // A non-empty batch of pure misses must not bump the generation
+        // (regression: it used to, stampeding FlowCache invalidation).
+        let r = tm.apply(
+            &UpdateBatch::new()
+                .remove(9_999)
+                .modify(FiveTuple::new().dst_port_exact(1).into_rule(8_888, 0)),
+        );
+        // The modify inserts its new version even on a miss, so only the
+        // pure-remove miss leaves content untouched.
+        assert_eq!(r.missing, 2);
+        assert!(r.changed(), "modify-of-absent still inserts");
+        assert_eq!(tm.generation(), g + 1);
+        let g = tm.generation();
+        let r = tm.apply(&UpdateBatch::new().remove(9_999).remove(9_998));
+        assert_eq!((r.missing, r.changed()), (2, false));
+        assert_eq!(tm.generation(), g, "miss-only batch must not bump");
     }
 
     #[test]

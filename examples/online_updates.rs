@@ -68,10 +68,11 @@ fn main() {
     let drifted = handle.snapshot();
     let drifted_pps = run_sequential(&*drifted, &trace).pps;
     println!(
-        "after {} applied ops (+{} inserted, -{} removed, {} missing): remainder fraction {:.1}%, \
-         generation {}, {:.2e} pps ({:.0}% of fresh)",
+        "after {} applied ops (+{} inserted, ~{} replaced, -{} removed, {} missing): \
+         remainder fraction {:.1}%, generation {}, {:.2e} pps ({:.0}% of fresh)",
         ops_applied,
         report.inserted,
+        report.replaced,
         report.removed,
         report.missing,
         drifted.engine().remainder_fraction() * 100.0,

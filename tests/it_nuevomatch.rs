@@ -13,6 +13,7 @@ fn fast(max_isets: usize, min_cov: f64) -> NuevoMatchConfig {
         min_iset_coverage: min_cov,
         rqrmi: RqRmiParams { samples_init: 512, ..Default::default() },
         early_termination: true,
+        partial_retrain: Default::default(),
     }
 }
 

@@ -1,0 +1,184 @@
+//! Partial-retrain equivalence property: after an arbitrary stream of
+//! update batches, an incremental (leaf-level) retrain must yield verdicts
+//! **bit-identical** to a full rebuild from `live_rules()` — across every
+//! updatable remainder engine and every classify entry point (per-key and
+//! batched at several sizes).
+//!
+//! This is the invariant that makes the partial path safe to substitute for
+//! the full rebuild in `ClassifierHandle::retrain`: both serve the same
+//! rule multiset and resolve matches by `(priority, id)`, so no reader can
+//! distinguish which retrain flavour published its snapshot.
+
+use nm_common::update::BatchUpdatable;
+use nm_common::{
+    Classifier, FieldsSpec, FiveTuple, LinearSearch, MatchResult, RuleSet, UpdateBatch,
+};
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::{NuevoMatch, NuevoMatchConfig, PartialRetrainPolicy, RqRmiParams};
+use proptest::prelude::*;
+
+const N_RULES: u16 = 250;
+
+fn base_set() -> RuleSet {
+    let rules: Vec<_> = (0..N_RULES)
+        .map(|i| {
+            FiveTuple::new().dst_port_range(i * 150, i * 150 + 110).into_rule(i as u32, i as u32)
+        })
+        .collect();
+    RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+}
+
+fn cfg() -> NuevoMatchConfig {
+    NuevoMatchConfig {
+        rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+        // Force the partial path: the property must hold whenever the
+        // structural preconditions are met, not only when the policy
+        // heuristics would have chosen it.
+        partial_retrain: PartialRetrainPolicy::always(),
+        ..Default::default()
+    }
+}
+
+/// Decodes one scripted op. Priorities equal ids (unique), so verdicts are
+/// engine-independent and "bit-identical" is well-defined.
+fn decode_op(next_id: &mut u32, kind: u64, x: u64, y: u64) -> UpdateBatch {
+    match kind {
+        0 => UpdateBatch::new().remove((x % (N_RULES as u64 + 60)) as u32),
+        1 => {
+            let id = *next_id;
+            *next_id += 1;
+            let port = (x * 131 + y) % 64_000;
+            UpdateBatch::new().insert(
+                FiveTuple::new()
+                    .dst_port_range(port as u16, (port as u16).saturating_add(80))
+                    .into_rule(id, id),
+            )
+        }
+        2 => {
+            // Re-insert an existing rule with its box unchanged: the §3.9
+            // matching-set change the paper's Figure 7 drifts on, and the
+            // case partial retrains re-admit wholesale.
+            let i = (x % N_RULES as u64) as u16;
+            UpdateBatch::new().modify(
+                FiveTuple::new()
+                    .dst_port_range(i * 150, i * 150 + 110)
+                    .into_rule(i as u32, i as u32),
+            )
+        }
+        _ => {
+            let id = (x % N_RULES as u64) as u32;
+            let port = (y * 137) % 63_000;
+            UpdateBatch::new().modify(
+                FiveTuple::new()
+                    .dst_port_range(port as u16, (port as u16).saturating_add(60))
+                    .into_rule(id, id),
+            )
+        }
+    }
+}
+
+/// Applies `script`, partial-retrains, and checks verdict equivalence
+/// against a full rebuild from `live_rules()` for one remainder engine.
+fn check_engine<R, B>(script: &[(u64, u64, u64)], build: B, engine: &str)
+where
+    R: BatchUpdatable + Clone,
+    B: Fn(&RuleSet) -> R + Copy + Send + Sync,
+{
+    let set = base_set();
+    let c = cfg();
+    let mut nm = NuevoMatch::build(&set, &c, build).unwrap();
+    let mut next_id = N_RULES as u32 + 500;
+    for &(kind, x, y) in script {
+        nm.apply(&decode_op(&mut next_id, kind, x, y));
+    }
+
+    let (partial, _report) =
+        nm.partial_retrain(&c).unwrap_or_else(|e| panic!("{engine}: partial retrain failed: {e}"));
+    let mut live = nm.live_rules();
+    live.sort_by_key(|r| (r.priority, r.id));
+    let full =
+        NuevoMatch::build(&RuleSet::new(set.spec().clone(), live.clone()).unwrap(), &c, build)
+            .unwrap();
+    assert_eq!(partial.num_rules(), full.num_rules(), "{engine}: rule counts diverge");
+
+    // Probe keys: uniform port sweep plus every live rule's boundaries.
+    let mut keys: Vec<u64> = Vec::new();
+    for port in (0u64..66_000).step_by(151) {
+        keys.extend_from_slice(&[0, 0, 0, port, 0]);
+    }
+    for r in &live {
+        keys.extend_from_slice(&[0, 0, 0, r.fields[nm_common::DST_PORT].lo, 0]);
+        keys.extend_from_slice(&[0, 0, 0, r.fields[nm_common::DST_PORT].hi, 0]);
+    }
+    let n = keys.len() / 5;
+
+    // Per-key and batched at several sizes: all bit-identical.
+    for i in 0..n {
+        let key = &keys[i * 5..(i + 1) * 5];
+        assert_eq!(partial.classify(key), full.classify(key), "{engine}: key {key:?}");
+    }
+    for batch in [1usize, 8, 128] {
+        let mut out_p: Vec<Option<MatchResult>> = vec![None; n];
+        let mut out_f: Vec<Option<MatchResult>> = vec![None; n];
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + batch).min(n);
+            partial.classify_batch(&keys[lo * 5..hi * 5], 5, &mut out_p[lo..hi]);
+            full.classify_batch(&keys[lo * 5..hi * 5], 5, &mut out_f[lo..hi]);
+            lo = hi;
+        }
+        assert_eq!(out_p, out_f, "{engine}: batch size {batch} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The satellite acceptance property: random update batches, then a
+    /// partial retrain, compared bit-identically against a full rebuild —
+    /// for every updatable engine and several batch sizes.
+    #[test]
+    fn partial_retrain_equals_full_rebuild(
+        script in proptest::collection::vec((0u64..4, 0u64..65_536, 0u64..65_536), 5..40),
+    ) {
+        check_engine(&script, LinearSearch::build, "linear");
+        check_engine(&script, TupleMerge::build, "tm");
+    }
+}
+
+/// Deterministic worst-case shapes the random script may miss.
+#[test]
+fn partial_retrain_edge_shapes() {
+    // Everything drifts (every rule re-inserted unchanged): partial must
+    // re-admit the lot and end with an empty remainder.
+    let set = base_set();
+    let c = cfg();
+    let mut nm = NuevoMatch::build(&set, &c, LinearSearch::build).unwrap();
+    let mut batch = UpdateBatch::new();
+    for i in 0..N_RULES {
+        batch = batch.modify(
+            FiveTuple::new().dst_port_range(i * 150, i * 150 + 110).into_rule(i as u32, i as u32),
+        );
+    }
+    nm.apply(&batch);
+    let (fresh, report) = nm.partial_retrain(&c).unwrap();
+    assert_eq!(report.readmitted, N_RULES as usize);
+    assert_eq!(fresh.remainder().num_rules(), 0);
+    let oracle = LinearSearch::from_rules(nm.live_rules());
+    for port in (0u64..40_000).step_by(29) {
+        let key = [0, 0, 0, port, 0];
+        assert_eq!(fresh.classify(&key), oracle.classify(&key), "port {port}");
+    }
+
+    // Everything deleted except one rule: iSet compaction to a single range.
+    let mut nm = NuevoMatch::build(&set, &c, LinearSearch::build).unwrap();
+    let mut batch = UpdateBatch::new();
+    for i in 1..N_RULES {
+        batch = batch.remove(i as u32);
+    }
+    nm.apply(&batch);
+    let (fresh, _) = nm.partial_retrain(&c).unwrap();
+    assert_eq!(fresh.num_rules(), 1);
+    assert_eq!(fresh.classify(&[0, 0, 0, 50, 0]).unwrap().rule, 0);
+    assert_eq!(fresh.classify(&[0, 0, 0, 200, 0]), None);
+}
