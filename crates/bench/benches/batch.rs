@@ -1,13 +1,19 @@
 //! Criterion bench: batched vs per-key classification cost, tracking the
 //! speedup of the batched pipeline (`classify_batch`, batch = 128) over the
-//! per-key loop on the same NuevoMatch instance, plus the cross-packet
-//! stage-0 kernel in isolation (`CompiledRqRmi::predict_batch`).
+//! per-key loop on the same NuevoMatch instance, the CutSplit/NeuroCuts
+//! level-synchronous descent on an fw-style set, the cross-packet stage-0
+//! kernel in isolation (`CompiledRqRmi::predict_batch`), and the
+//! divergent-leaf gather kernel against the per-packet broadcast pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nm_classbench::{generate, AppKind};
 use nm_common::Classifier;
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
+use nm_nn::Mlp;
 use nm_trace::uniform_trace;
 use nm_tuplemerge::TupleMerge;
+use nuevomatch::rqrmi::{detect, leaf_chain_broadcast8, leaf_chain_gather8, Kernel, LeafSoa};
 use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
 use std::hint::black_box;
 
@@ -55,6 +61,74 @@ fn bench_classify_batch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tree_descent(c: &mut Criterion) {
+    // fw-style sets are the remainder-heavy case the level-synchronous
+    // descent targets; both tree engines run batch 128 vs the per-key loop.
+    let set = generate(AppKind::Fw, 2_000, 0xf11);
+    let trace = uniform_trace(&set, 10_240, 7);
+    let stride = trace.stride();
+    let raw = trace.raw();
+    let engines: Vec<(&str, Box<dyn Classifier>)> = vec![
+        ("cs", Box::new(CutSplit::build(&set))),
+        (
+            "nc",
+            Box::new(NeuroCuts::with_config(
+                &set,
+                NeuroCutsConfig { iterations: 8, sample: 1_024, ..Default::default() },
+            )),
+        ),
+    ];
+    let mut group = c.benchmark_group("tree_descent_2k_fw");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, engine) in &engines {
+        group.bench_with_input(BenchmarkId::new("batched_128", name), name, |b, _| {
+            let mut out = vec![None; 128];
+            let mut lo = 0usize;
+            b.iter(|| {
+                if lo + 128 > trace.len() {
+                    lo = 0;
+                }
+                engine.classify_batch(
+                    black_box(&raw[lo * stride..(lo + 128) * stride]),
+                    stride,
+                    &mut out,
+                );
+                lo += 128;
+                out[0]
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("per_key", name), name, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % trace.len();
+                engine.classify(black_box(trace.key(i)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_leaf_gather(c: &mut Criterion) {
+    // The divergent-leaf stage in isolation: transposed gather kernel vs
+    // per-packet broadcast at full divergence (8 distinct leaves).
+    let leaves: Vec<Kernel> = (0..64u64).map(|s| Kernel::from_mlp(&Mlp::random(8, s))).collect();
+    let soa = LeafSoa::from_kernels(&leaves);
+    let idx: [usize; 8] = std::array::from_fn(|l| l * 8);
+    let isa = detect();
+    let mut group = c.benchmark_group("leaf_gather_divergent8");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("gather", |b| {
+        b.iter(|| leaf_chain_gather8(&soa, black_box(&idx), 0.37, 512, isa));
+    });
+    group.bench_function("broadcast", |b| {
+        b.iter(|| leaf_chain_broadcast8(&leaves, black_box(&idx), 0.37, 512, isa));
+    });
+    group.finish();
+}
+
 fn bench_predict_batch(c: &mut Criterion) {
     let ranges: Vec<nm_common::FieldRange> = (0..10_000u64)
         .map(|i| nm_common::FieldRange::new(i * 400_000, i * 400_000 + 200_000))
@@ -86,5 +160,11 @@ fn bench_predict_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_classify_batch, bench_predict_batch);
+criterion_group!(
+    benches,
+    bench_classify_batch,
+    bench_tree_descent,
+    bench_leaf_gather,
+    bench_predict_batch
+);
 criterion_main!(benches);

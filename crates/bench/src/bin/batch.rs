@@ -1,94 +1,324 @@
 //! Batch-size sweep — throughput of the batched lookup pipeline.
 //!
 //! The paper batches 128 packets for parallelization (§5.1); this binary
-//! quantifies what batching buys on a single core: cross-packet AVX
-//! inference in stage 0, software-prefetched secondary-search windows, and
-//! amortised (monomorphized) dispatch. Sweeps batch sizes 1/8/32/128/512
-//! through [`nuevomatch::system::parallel::run_batched`] for NuevoMatch and
-//! a baseline engine, on the quick-scale workload (`NM_SCALE=full` for the
-//! paper-scale one — see `nm_bench::scale`).
+//! quantifies what batching buys on a single core, for **every batched
+//! engine**: NuevoMatch's phase pipeline (cross-packet AVX inference with
+//! the divergent-leaf gather kernel, prefetched secondary-search windows,
+//! batch-wide early termination), TupleMerge's table-major probe, and the
+//! CutSplit/NeuroCuts level-synchronous tree descent. Sweeps batch sizes
+//! 1/8/32/128/512 through
+//! [`nuevomatch::system::parallel::run_batched`] on the quick-scale
+//! workload (`NM_SCALE=full` for the paper-scale one — see
+//! `nm_bench::scale`).
 //!
 //! Every row's checksum is asserted against the sequential per-key
 //! reference, so the sweep double-checks batch/scalar equivalence on the
-//! measured trace. Machine-readable `BENCH {...}` json lines accompany the
-//! table for the tracking harness.
+//! measured trace. A divergent-leaf microbench compares the transposed
+//! gather kernel against the per-packet broadcast pass it replaced, at 1,
+//! 2, 4 and 8 distinct leaves per 8-packet group (plus the shared-submodel
+//! kernel at 1, the auto-selection fast path).
+//!
+//! Machine-readable `BENCH {...}` json lines accompany the tables, and the
+//! whole sweep is written to a `BENCH_batch.json` artifact (path
+//! overridable with `NM_BENCH_JSON`) that CI uploads — the perf trajectory
+//! of the batched data plane over time. `NM_STRICT=1` turns the two
+//! perf targets (tree engines ≥ 1.5x at batch 128 on fw; gather ≥
+//! broadcast at ≥ 4 distinct leaves) into hard failures; checksum
+//! mismatches always fail.
 
 use nm_analysis::{geomean, Table};
-use nm_bench::{measure_seq, nm_tm, scale, suite};
+use nm_bench::{measure_seq, nc_config, nm_tm, scale, suite};
 use nm_common::Classifier;
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::NeuroCuts;
+use nm_nn::Mlp;
 use nm_trace::uniform_trace;
 use nm_tuplemerge::TupleMerge;
+use nuevomatch::rqrmi::{detect, leaf_chain_broadcast8, leaf_chain_gather8, Kernel, LeafSoa};
 use nuevomatch::system::parallel::run_batched;
 
 const BATCHES: &[usize] = &[1, 8, 32, 128, 512];
 
-#[allow(clippy::too_many_arguments)]
+/// One engine × rule-set sweep outcome, kept for the JSON artifact.
+struct SweepRow {
+    engine: &'static str,
+    app: String,
+    seq_pps: f64,
+    /// `(batch, pps)` per measured batch size.
+    pps: Vec<(usize, f64)>,
+}
+
+impl SweepRow {
+    fn pps_at(&self, batch: usize) -> f64 {
+        self.pps.iter().find(|&&(b, _)| b == batch).map_or(0.0, |&(_, p)| p)
+    }
+
+    /// Batch-128 speedup over the per-key classify loop.
+    fn speedup_128_vs_seq(&self) -> f64 {
+        self.pps_at(128) / self.seq_pps.max(1e-9)
+    }
+
+    fn json(&self, rules: usize) -> String {
+        let points: Vec<String> = self
+            .pps
+            .iter()
+            .map(|&(b, p)| format!("{{\"batch\":{b},\"mpps\":{:.4}}}", p / 1e6))
+            .collect();
+        format!(
+            "{{\"engine\":\"{}\",\"app\":\"{}\",\"rules\":{rules},\
+             \"seq_mpps\":{:.4},\"speedup_128_vs_seq\":{:.3},\"points\":[{}]}}",
+            self.engine,
+            self.app,
+            self.seq_pps / 1e6,
+            self.speedup_128_vs_seq(),
+            points.join(",")
+        )
+    }
+}
+
+/// Measured passes per point; the best is kept. The box this sweep runs on
+/// is a shared single core, so any single pass can eat an unrelated
+/// scheduling hiccup — best-of-k treats both sides of every ratio equally.
+const PASSES: usize = 3;
+
 fn sweep(
-    name: &str,
-    set_name: &str,
+    engine: &'static str,
+    app: &str,
     rules: usize,
     c: &dyn Classifier,
     trace: &nm_common::TraceBuf,
     warmups: usize,
     table: &mut Table,
-) -> f64 {
-    // Sequential per-key reference: the honest batch-size-1 "before" point.
-    let (seq_pps, _, seq_sum) = measure_seq(c, trace, warmups);
-    let mut row = vec![set_name.to_string(), name.to_string(), format!("{:.2}", seq_pps / 1e6)];
-    let mut pps_at = Vec::new();
+) -> SweepRow {
+    // Sequential per-key reference: the honest "before" point. All points
+    // (seq + every batch size) are measured round-robin PASSES times so
+    // machine drift between measurements lands on both sides of every
+    // ratio; the best pass per point is kept.
+    let (mut seq_pps, _, seq_sum) = measure_seq(c, trace, warmups);
     for &b in BATCHES {
         for _ in 0..warmups {
             let _ = run_batched(c, trace, b);
         }
-        let stats = run_batched(c, trace, b);
-        assert_eq!(
-            stats.checksum, seq_sum,
-            "{name}/{set_name}: batch {b} diverged from the sequential reference"
-        );
-        pps_at.push((b, stats.pps));
-        row.push(format!("{:.2}", stats.pps / 1e6));
     }
-    let b1 = pps_at[0].1;
-    let b128 = pps_at.iter().find(|&&(b, _)| b == 128).map_or(b1, |&(_, p)| p);
-    row.push(format!("{:.2}x", b128 / b1));
+    let mut pps: Vec<(usize, f64)> = BATCHES.iter().map(|&b| (b, 0.0)).collect();
+    for pass in 0..PASSES {
+        if pass > 0 {
+            seq_pps = seq_pps.max(measure_seq(c, trace, 0).0);
+        }
+        for (i, &b) in BATCHES.iter().enumerate() {
+            let stats = run_batched(c, trace, b);
+            assert_eq!(
+                stats.checksum, seq_sum,
+                "{engine}/{app}: batch {b} diverged from the sequential reference"
+            );
+            pps[i].1 = pps[i].1.max(stats.pps);
+        }
+    }
+    let mut row = vec![app.to_string(), engine.to_string(), format!("{:.2}", seq_pps / 1e6)];
+    for &(_, p) in &pps {
+        row.push(format!("{:.2}", p / 1e6));
+    }
+    let out = SweepRow { engine, app: app.to_string(), seq_pps, pps };
+    row.push(format!("{:.2}x", out.speedup_128_vs_seq()));
     table.row(row);
-    for &(b, pps) in &pps_at {
+    for &(b, p) in &out.pps {
         println!(
-            "BENCH {{\"bench\":\"batch\",\"engine\":\"{name}\",\"app\":\"{set_name}\",\
-             \"rules\":{rules},\"batch\":{b},\"mpps\":{:.4},\"speedup_vs_b1\":{:.3}}}",
-            pps / 1e6,
-            pps / b1
+            "BENCH {{\"bench\":\"batch\",\"engine\":\"{engine}\",\"app\":\"{app}\",\
+             \"rules\":{rules},\"batch\":{b},\"mpps\":{:.4},\"speedup_vs_seq\":{:.3}}}",
+            p / 1e6,
+            p / seq_pps
         );
     }
-    b128 / b1
+    out
+}
+
+/// One divergent-leaf microbench point.
+struct GatherPoint {
+    distinct: usize,
+    gather_ns: f64,
+    broadcast_ns: f64,
+    /// Shared-submodel kernel ns/packet; only meaningful at `distinct == 1`
+    /// (the auto-selection fast path), `NaN` elsewhere.
+    shared_ns: f64,
+}
+
+/// Times the divergent-leaf strategies against each other on a dependent
+/// chain (the Table 1 methodology): `distinct` ∈ {1, 2, 4, 8} leaves per
+/// 8-packet group, gather vs per-packet broadcast, plus the shared kernel
+/// at 1 distinct leaf.
+fn gather_microbench() -> Vec<GatherPoint> {
+    const LEAVES: usize = 64;
+    const ITERS: usize = 1_000_000;
+    let isa = detect();
+    let leaves: Vec<Kernel> =
+        (0..LEAVES as u64).map(|s| Kernel::from_mlp(&Mlp::random(8, s ^ 0x9a7e))).collect();
+    let soa = LeafSoa::from_kernels(&leaves);
+    let mut points = Vec::new();
+    for &distinct in &[1usize, 2, 4, 8] {
+        // Spread the distinct leaves across the table so gathers hit
+        // different cache lines, as divergent leaves do in a real model.
+        let idx: [usize; 8] = std::array::from_fn(|l| (l % distinct) * (LEAVES / distinct));
+        let time = |f: &dyn Fn(usize) -> f32| {
+            let _ = f(ITERS / 10); // warm
+            let t0 = std::time::Instant::now();
+            let sink = f(ITERS);
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(sink.is_finite());
+            dt * 1e9 / (ITERS as f64 * 8.0) // ns per packet
+        };
+        let gather_ns = time(&|n| leaf_chain_gather8(&soa, &idx, 0.37, n, isa));
+        let broadcast_ns = time(&|n| leaf_chain_broadcast8(&leaves, &idx, 0.37, n, isa));
+        let shared_ns = if distinct == 1 {
+            time(&|n| leaves[idx[0]].latency_chain_batch8(0.37, n, isa))
+        } else {
+            f64::NAN
+        };
+        points.push(GatherPoint { distinct, gather_ns, broadcast_ns, shared_ns });
+    }
+    points
 }
 
 fn main() {
     let s = scale();
     let n = *s.sizes.last().expect("scale has sizes");
+    let strict = std::env::var("NM_STRICT").as_deref() == Ok("1");
+    // Optional comma-separated filters, for focused reruns:
+    // NM_APPS=fw1 NM_ENGINES=cs,nc cargo run --bin batch
+    let want = |var: &str, name: &str| {
+        std::env::var(var).map_or(true, |v| v.split(',').any(|w| w.trim() == name))
+    };
     println!("=== Batch-size sweep — {n} rules, uniform traffic, single core ===");
-    println!("(columns in Mpps; seq = per-key classify loop; speedup = batch 128 vs batch 1)\n");
+    println!("(columns in Mpps; seq = per-key classify loop; speedup = batch 128 vs seq)\n");
     let mut table =
-        Table::new(&["set", "engine", "seq", "b=1", "b=8", "b=32", "b=128", "b=512", "128/1"]);
-    let mut nm_speedups = Vec::new();
-    for (set_name, set) in suite(n, &s) {
+        Table::new(&["set", "engine", "seq", "b=1", "b=8", "b=32", "b=128", "b=512", "128/seq"]);
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for (app, set) in suite(n, &s) {
+        if !want("NM_APPS", &app) {
+            continue;
+        }
         let trace = uniform_trace(&set, s.trace_len, 0xba7c4 + n as u64);
-        let nm = nm_tm(&set);
-        nm_speedups.push(sweep("nm/tm", &set_name, n, &nm, &trace, s.warmups, &mut table));
-        let tm = TupleMerge::build(&set);
-        sweep("tm", &set_name, n, &tm, &trace, s.warmups, &mut table);
+        if want("NM_ENGINES", "nm/tm") {
+            let nm = nm_tm(&set);
+            rows.push(sweep("nm/tm", &app, n, &nm, &trace, s.warmups, &mut table));
+        }
+        if want("NM_ENGINES", "tm") {
+            let tm = TupleMerge::build(&set);
+            rows.push(sweep("tm", &app, n, &tm, &trace, s.warmups, &mut table));
+        }
+        if want("NM_ENGINES", "cs") {
+            let cs = CutSplit::build(&set);
+            rows.push(sweep("cs", &app, n, &cs, &trace, s.warmups, &mut table));
+        }
+        if want("NM_ENGINES", "nc") {
+            let nc = NeuroCuts::with_config(&set, nc_config(!s.full));
+            rows.push(sweep("nc", &app, n, &nc, &trace, s.warmups, &mut table));
+        }
     }
     print!("{}", table.render());
-    let gm = geomean(&nm_speedups);
-    println!("\nNuevoMatch batch-128 speedup over batch-1, geomean across apps: {gm:.2}x");
+
+    let nm_speedups: Vec<f64> =
+        rows.iter().filter(|r| r.engine == "nm/tm").map(SweepRow::speedup_128_vs_seq).collect();
+    let gm = if nm_speedups.is_empty() { f64::NAN } else { geomean(&nm_speedups) };
+    println!("\nNuevoMatch batch-128 speedup over the per-key loop, geomean across apps: {gm:.2}x");
+
+    // The tree engines' acceptance target: level-synchronous descent must
+    // lift the remainder-heavy fw-style set by ≥ 1.5x at batch 128.
+    let mut tree_pass = true;
+    for engine in ["cs", "nc"] {
+        for r in rows.iter().filter(|r| r.engine == engine && r.app.starts_with("fw")) {
+            let sp = r.speedup_128_vs_seq();
+            let ok = sp >= 1.5;
+            tree_pass &= ok;
+            println!(
+                "{}: {}/{} batch-128 vs per-key {:.2}x (target 1.5x)",
+                if ok { "PASS" } else { "WARN" },
+                engine,
+                r.app,
+                sp
+            );
+        }
+    }
+
+    println!("\n=== Divergent-leaf microbench — gather vs broadcast, {:?} ===", detect());
+    println!("(ns per packet; shared = the uniform-group fast path, 1 distinct leaf only)\n");
+    let mut gtable =
+        Table::new(&["distinct leaves", "gather", "broadcast", "shared", "bcast/gather"]);
+    let points = gather_microbench();
+    // The gather-beats-broadcast target only applies where the real gather
+    // kernel runs; on pre-AVX2 hosts the gather side is the scalar fallback
+    // and losing to the vector broadcast kernels is expected.
+    let gather_applicable = detect() == nuevomatch::rqrmi::Isa::AvxFma;
+    let mut gather_pass = true;
+    for p in &points {
+        gtable.row(vec![
+            format!("{}", p.distinct),
+            format!("{:.2}", p.gather_ns),
+            format!("{:.2}", p.broadcast_ns),
+            if p.shared_ns.is_nan() { "-".into() } else { format!("{:.2}", p.shared_ns) },
+            format!("{:.2}x", p.broadcast_ns / p.gather_ns),
+        ]);
+        println!(
+            "BENCH {{\"bench\":\"leaf_gather\",\"distinct\":{},\"gather_ns\":{:.3},\
+             \"broadcast_ns\":{:.3}}}",
+            p.distinct, p.gather_ns, p.broadcast_ns
+        );
+        if gather_applicable && p.distinct >= 4 && p.gather_ns > p.broadcast_ns {
+            gather_pass = false;
+        }
+    }
+    print!("{}", gtable.render());
     println!(
-        "BENCH {{\"bench\":\"batch\",\"engine\":\"nm/tm\",\"app\":\"geomean\",\"rules\":{n},\
-         \"batch\":128,\"speedup_vs_b1\":{gm:.3}}}"
+        "{}",
+        if !gather_applicable {
+            "SKIP: no AVX2+FMA on this host — gather column is the scalar fallback"
+        } else if gather_pass {
+            "PASS: gather beats per-packet broadcast at >= 4 distinct leaves"
+        } else {
+            "WARN: gather did not beat broadcast at >= 4 distinct leaves"
+        }
     );
-    println!(
-        "\nNuevoMatch gains come from cross-packet stage-0 AVX inference, prefetched\n\
-         secondary-search windows, per-iSet batch sweeps (model stays in L1) and\n\
-         batch-wide early termination against the remainder; the standalone\n\
-         TupleMerge rows show its own table-major batched probe."
+    if let Some(p1) = points.iter().find(|p| p.distinct == 1) {
+        println!(
+            "shared-leaf fast path: shared {:.2} ns vs gather {:.2} ns — auto-selection \
+             keeps the shared kernel for uniform groups",
+            p1.shared_ns, p1.gather_ns
+        );
+    }
+
+    // Machine-readable artifact for the CI batch-sweep job (perf trajectory
+    // over time); NM_BENCH_JSON overrides the output path.
+    let json_path = std::env::var("NM_BENCH_JSON").unwrap_or_else(|_| "BENCH_batch.json".into());
+    let row_json: Vec<String> = rows.iter().map(|r| r.json(n)).collect();
+    let gather_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"distinct\":{},\"gather_ns\":{:.3},\"broadcast_ns\":{:.3},\
+                 \"shared_ns\":{}}}",
+                p.distinct,
+                p.gather_ns,
+                p.broadcast_ns,
+                if p.shared_ns.is_nan() { "null".into() } else { format!("{:.3}", p.shared_ns) }
+            )
+        })
+        .collect();
+    // `null` when the nm/tm rows were filtered out — a bare NaN would make
+    // the artifact invalid JSON.
+    let gm_json = if gm.is_nan() { "null".into() } else { format!("{gm:.3}") };
+    let artifact = format!(
+        "{{\"rules\":{n},\"isa\":\"{:?}\",\"nm_tm_geomean_128_vs_seq\":{gm_json},\
+         \"tree_target_pass\":{tree_pass},\"gather_target_pass\":{gather_pass},\
+         \"rows\":[{}],\"leaf_gather\":[{}]}}\n",
+        detect(),
+        row_json.join(","),
+        gather_json.join(",")
     );
+    match std::fs::write(&json_path, &artifact) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => println!("\nWARN: could not write {json_path}: {e}"),
+    }
+
+    if strict && !(tree_pass && gather_pass) {
+        std::process::exit(1);
+    }
 }

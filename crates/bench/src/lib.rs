@@ -30,16 +30,23 @@
 //!
 //! `cargo run -p nm-bench --release --bin batch` sweeps the batched lookup
 //! pipeline over batch sizes 1/8/32/128/512 (single core, uniform traffic)
-//! and prints both a table and machine-readable `BENCH {...}` json lines.
-//! It honours `NM_SCALE` like every other binary: `quick` (default) runs
-//! the three-application suite at the largest quick size; `NM_SCALE=full`
-//! runs the 12-application 500K-rule suite — budget accordingly. Columns
-//! report Mpps through `run_batched` (the `classify_batch` path); the `seq`
-//! column is the per-key `classify` loop for reference, and every batched
-//! row's checksum is asserted equal to it, so the sweep doubles as a
-//! batch/scalar equivalence check on real traffic. The criterion companion
-//! (`cargo bench -p nm-bench --bench batch`) tracks the same speedup on a
-//! fixed 2K-rule workload.
+//! for **every batched engine** — NuevoMatch, TupleMerge, CutSplit and
+//! NeuroCuts — and prints both a table and machine-readable `BENCH {...}`
+//! json lines, plus a divergent-leaf microbench (gather kernel vs
+//! per-packet broadcast vs the shared kernel). The whole run is written to
+//! a `BENCH_batch.json` artifact (`NM_BENCH_JSON` overrides the path;
+//! uploaded by CI) so the batched data plane's perf trajectory is tracked
+//! over time. It honours `NM_SCALE` like every other binary: `quick`
+//! (default) runs the three-application suite at the largest quick size;
+//! `NM_SCALE=full` runs the 12-application 500K-rule suite — budget
+//! accordingly. `NM_APPS`/`NM_ENGINES` (comma-separated) focus a rerun on
+//! a subset; `NM_STRICT=1` turns the perf targets into hard failures.
+//! Columns report Mpps through `run_batched` (the `classify_batch` path);
+//! the `seq` column is the per-key `classify` loop for reference, and
+//! every batched row's checksum is asserted equal to it, so the sweep
+//! doubles as a batch/scalar equivalence check on real traffic. The
+//! criterion companion (`cargo bench -p nm-bench --bench batch`) tracks
+//! the same speedups on fixed 2K-rule workloads.
 
 #![warn(missing_docs)]
 

@@ -33,6 +33,9 @@ USAGE:
                  # writes a BENCH_update.json-style perf artifact
 
 engines: linear tss tm cs nc nm-tm nm-cs nm-nc     traces: uniform zipf:<alpha> caida
+        (tm/cs/nc also accept tuplemerge/cutsplit/neurocuts; with --batch B > 1
+         every engine takes its batched pipeline — tm's table-major probe, the
+         cs/nc level-synchronous tree descent, nm's phase pipeline)
 ";
 
 /// Runs a parsed command, returning the text to print (errors as `Err`).
@@ -116,9 +119,9 @@ fn build_engine(name: &str, set: &RuleSet) -> Result<Box<dyn Classifier>, String
     Ok(match name {
         "linear" => Box::new(nm_common::LinearSearch::build(set)),
         "tss" => Box::new(TupleSpaceSearch::build(set)),
-        "tm" => Box::new(TupleMerge::build(set)),
-        "cs" => Box::new(CutSplit::build(set)),
-        "nc" => Box::new(NeuroCuts::with_config(
+        "tm" | "tuplemerge" => Box::new(TupleMerge::build(set)),
+        "cs" | "cutsplit" => Box::new(CutSplit::build(set)),
+        "nc" | "neurocuts" => Box::new(NeuroCuts::with_config(
             set,
             NeuroCutsConfig { iterations: 12, sample: 2_048, ..Default::default() },
         )),
@@ -563,6 +566,39 @@ mod tests {
         // The persisted model loads back.
         let bytes = std::fs::read(&model).unwrap();
         assert!(nuevomatch::load_rqrmi(&bytes).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_bench_covers_tree_engines_with_aliases() {
+        let dir = std::env::temp_dir().join(format!("nmctl-batch-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.cb");
+        let gen = run(parse_command(&v(&["generate", "--kind", "fw", "--rules", "200"])).unwrap())
+            .unwrap();
+        std::fs::write(&rules, gen).unwrap();
+        let rp = rules.to_str().unwrap();
+        // cs/nc (and their long aliases) run the batched pipeline and emit
+        // the same JSON fields as the nm/tm runs.
+        for engine in ["cs", "cutsplit", "neurocuts", "tuplemerge"] {
+            let out = run(parse_command(&v(&[
+                "bench",
+                rp,
+                "--engine",
+                engine,
+                "--packets",
+                "1500",
+                "--batch",
+                "128",
+                "--json",
+                "true",
+            ]))
+            .unwrap())
+            .unwrap();
+            for field in ["\"engine\":", "\"batch\":128", "\"pps\":", "\"generation\":"] {
+                assert!(out.contains(field), "{engine}: missing {field} in {out}");
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

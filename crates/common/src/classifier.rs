@@ -88,10 +88,9 @@ pub trait Classifier: Send + Sync {
     /// `out[i]` holds the verdict for key `i`.
     ///
     /// **Contract:** results are bit-identical to calling [`Self::classify`]
-    /// on each key in order. The default implementation is exactly that
-    /// loop; engines override it to amortise dispatch, vectorise *across*
-    /// packets, and overlap memory latency (see `nuevomatch`'s batched
-    /// pipeline).
+    /// on each key in order. This entry point validates lengths and
+    /// delegates to [`Self::batch_lookup`] — override *that* hook, not this
+    /// method, to batch an engine.
     ///
     /// Panics if `keys.len() != stride * out.len()` or `stride == 0`.
     fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
@@ -101,9 +100,7 @@ pub trait Classifier: Send + Sync {
             stride * out.len(),
             "classify_batch: key buffer length must equal stride * out.len()"
         );
-        for (key, slot) in keys.chunks_exact(stride).zip(out.iter_mut()) {
-            *slot = self.classify(key);
-        }
+        self.batch_lookup(keys, stride, None, out);
     }
 
     /// Batched lookup with **per-key priority floors** — the batch form of
@@ -116,6 +113,9 @@ pub trait Classifier: Send + Sync {
     /// filter), exactly mirroring the per-key dispatch
     /// `match candidate { Some(b) => classify_with_floor(key, b.priority),
     /// None => classify(key) }`.
+    ///
+    /// Like [`Self::classify_batch`], this validates and delegates to
+    /// [`Self::batch_lookup`]; engines override only the hook.
     ///
     /// Panics on the same length mismatches as [`Self::classify_batch`],
     /// plus `floors.len() != out.len()`.
@@ -137,11 +137,36 @@ pub trait Classifier: Send + Sync {
             out.len(),
             "classify_batch_with_floors: one floor per output slot"
         );
+        self.batch_lookup(keys, stride, Some(floors), out);
+    }
+
+    /// The single batched-lookup hook behind [`Self::classify_batch`] and
+    /// [`Self::classify_batch_with_floors`]. `floors == None` means no key
+    /// carries a floor (equivalent to all-`Priority::MAX`); with
+    /// `Some(floors)`, each key follows the sentinel dispatch documented on
+    /// `classify_batch_with_floors`.
+    ///
+    /// Lengths are validated by the public entry points before the hook
+    /// runs, so implementations may assume `stride > 0`,
+    /// `keys.len() == stride * out.len()` and, when present,
+    /// `floors.len() == out.len()`. The default is the per-key reference
+    /// loop; engines override this one method to amortise dispatch,
+    /// vectorise across packets, and overlap memory latency (TupleMerge's
+    /// table-major probe, the CutSplit/NeuroCuts level-synchronous descent,
+    /// NuevoMatch's phase pipeline).
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
         for (i, key) in keys.chunks_exact(stride).enumerate() {
-            out[i] = if floors[i] == Priority::MAX {
+            let floor = floors.map_or(Priority::MAX, |f| f[i]);
+            out[i] = if floor == Priority::MAX {
                 self.classify(key)
             } else {
-                self.classify_with_floor(key, floors[i])
+                self.classify_with_floor(key, floor)
             };
         }
     }

@@ -340,18 +340,14 @@ impl<C: Classifier> Classifier for Snapshot<C> {
         self.engine.classify_with_floor(key, floor)
     }
 
-    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
-        self.engine.classify_batch(keys, stride, out);
-    }
-
-    fn classify_batch_with_floors(
+    fn batch_lookup(
         &self,
         keys: &[u64],
         stride: usize,
-        floors: &[Priority],
+        floors: Option<&[Priority]>,
         out: &mut [Option<MatchResult>],
     ) {
-        self.engine.classify_batch_with_floors(keys, stride, floors, out);
+        self.engine.batch_lookup(keys, stride, floors, out);
     }
 
     fn memory_bytes(&self) -> usize {

@@ -9,21 +9,29 @@
 //! single `vfmadd` instructions, halving the arithmetic chain of both the
 //! per-packet and the cross-packet kernels below.
 //!
-//! ## Two axes of vectorization
+//! ## Three axes of vectorization
 //!
 //! * **Within a packet** ([`Kernel::forward_clamped`]): the 8 hidden neurons
 //!   of one submodel fill one 256-bit register; a single packet's input is
-//!   broadcast across lanes. This is the paper's Table 1 kernel, and it is
-//!   the only option when consecutive packets route to *different*
-//!   submodels (the leaf stage).
-//! * **Across packets** ([`Kernel::forward_batch8`]): one AVX *lane per
-//!   packet*, 8 packets evaluated against one submodel per instruction
-//!   sequence. Stage 0 of every RQ-RMI has a single root submodel shared by
-//!   all keys, so a batched lookup pipeline feeds whole batches through this
-//!   kernel — 8× the per-instruction work of the broadcast kernel with no
-//!   horizontal reduction at all (the per-packet kernel spends ~half its
-//!   instructions summing lanes). Deeper shared stages use it
-//!   opportunistically whenever all 8 lanes agree on the submodel index.
+//!   broadcast across lanes. This is the paper's Table 1 kernel.
+//! * **Across packets, shared submodel** ([`Kernel::forward_batch8`]): one
+//!   AVX *lane per packet*, 8 packets evaluated against one submodel per
+//!   instruction sequence. Stage 0 of every RQ-RMI has a single root
+//!   submodel shared by all keys, so a batched lookup pipeline feeds whole
+//!   batches through this kernel — 8× the per-instruction work of the
+//!   broadcast kernel with no horizontal reduction at all (the per-packet
+//!   kernel spends ~half its instructions summing lanes). Deeper shared
+//!   stages use it opportunistically whenever all 8 lanes agree on the
+//!   submodel index.
+//! * **Across packets, divergent leaves** ([`LeafSoa::forward_leaf_gather8`]):
+//!   when the 8 packets of a group route to *different* leaf submodels, a
+//!   lane-per-packet pass is still possible if each lane can fetch its own
+//!   leaf's parameters. [`LeafSoa`] keeps a transposed (structure-of-arrays)
+//!   copy of the leaf stage — all leaves' `w1[j]` contiguous per neuron `j`,
+//!   all `b2` contiguous — so `_mm256_i32gather_ps` (AVX2) pulls 8 divergent
+//!   leaves' parameters into registers, one gather per coefficient, and the
+//!   stage finishes in the same FMA pass as the shared kernel. See the
+//!   `LeafSoa` docs for the selection policy and when gather wins.
 //!
 //! ## Dispatch
 //!
@@ -493,11 +501,266 @@ impl Kernel {
     }
 }
 
+/// Transposed (structure-of-arrays) copy of a leaf stage for the
+/// divergent-leaf gather kernel.
+///
+/// ## Layout
+///
+/// The per-leaf [`Kernel`]s are AoS: one leaf's `{w1[8], b1[8], w2[8], b2}`
+/// contiguous. Gathering 8 *different* leaves' `w1[j]` from that layout
+/// would need 8 scalar loads per coefficient. This copy is neuron-major:
+/// `w1[j * n + i]` is leaf `i`'s hidden weight `j`, so all leaves' `j`-th
+/// coefficient is contiguous and one `_mm256_i32gather_ps` with the 8 lane
+/// indices fetches it for 8 divergent leaves at once (same for `b1`/`w2`;
+/// `b2` is a flat `n`-vector). 25 gathers finish the whole stage.
+///
+/// ## When gather wins
+///
+/// The gather kernel does the *same* lane-per-packet FMA pass as
+/// [`Kernel::forward_batch8`], so against the per-packet broadcast fallback
+/// (8 separate forward passes + horizontal sums) it trades 8 horizontal
+/// reductions for 25 gathers. Gathers cost a few cycles each even from L1,
+/// so the win grows with divergence: at 8 distinct leaves it is clearly
+/// ahead, at ≥ 4 it still wins (measured by `nm-bench --bin batch`'s
+/// divergent-leaf microbench), and when all 8 lanes agree the shared
+/// [`Kernel::forward_batch8`] kernel beats both — which is why
+/// [`CompiledRqRmi`]'s staged walk auto-selects: shared kernel when the
+/// group routes uniformly, gather only on divergence. On AVX2+FMA the
+/// gather kernel and the shared kernel execute the identical per-lane
+/// op sequence (`acc = b2; acc = fma(relu(fma(w1,x,b1)), w2, acc)`), so
+/// auto-selection cannot change even the last ULP of a prediction.
+///
+/// Pre-AVX2 ISAs fall back to [`LeafSoa::forward_leaf_gather8`]'s scalar
+/// path (bit-identical to `Kernel::forward_scalar` per lane); their
+/// broadcast kernels remain in use for divergent *internal* stages.
+#[derive(Clone, Debug, Default)]
+pub struct LeafSoa {
+    /// `w1[j * n + i]` = leaf `i`'s hidden weight `j` (neuron-major).
+    w1: Vec<f32>,
+    /// Hidden biases, same layout as `w1`.
+    b1: Vec<f32>,
+    /// Output weights, same layout as `w1`.
+    w2: Vec<f32>,
+    /// Output biases, one per leaf.
+    b2: Vec<f32>,
+    /// Number of leaves (the gather stride).
+    n: usize,
+}
+
+impl LeafSoa {
+    /// Transposes a stage of padded kernels into gather layout.
+    pub fn from_kernels(leaves: &[Kernel]) -> Self {
+        let n = leaves.len();
+        let mut soa = LeafSoa {
+            w1: vec![0.0; 8 * n],
+            b1: vec![0.0; 8 * n],
+            w2: vec![0.0; 8 * n],
+            b2: vec![0.0; n],
+            n,
+        };
+        for (i, k) in leaves.iter().enumerate() {
+            for j in 0..8 {
+                soa.w1[j * n + i] = k.w1[j];
+                soa.b1[j * n + i] = k.b1[j];
+                soa.w2[j * n + i] = k.w2[j];
+            }
+            soa.b2[i] = k.b2;
+        }
+        soa
+    }
+
+    /// Number of leaves in the transposed stage.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the stage holds no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Clamped divergent-leaf forward pass: evaluates packet `l` against
+    /// leaf `idx[l]` for all 8 lanes at once. AVX2+FMA takes the gather
+    /// kernel; every other ISA takes the scalar gather reference.
+    ///
+    /// Panics (debug) / reads out of bounds (release, AVX2 path) unless
+    /// every `idx[l] < self.len()`.
+    #[inline]
+    pub fn forward_leaf_gather8(&self, xs: &[f32; 8], idx: &[usize; 8], isa: Isa) -> [f32; 8] {
+        match isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: requires AVX2+FMA; callers pick the ISA through
+            // `detect` (or knowingly via `CompiledRqRmi::with_isa`).
+            Isa::AvxFma => unsafe { self.gather8_fma(xs, idx) },
+            _ => self.gather8_scalar(xs, idx),
+        }
+    }
+
+    /// Scalar gather reference: per lane, exactly
+    /// [`Kernel::forward_scalar`] + clamp on the lane's own leaf, reading
+    /// the transposed arrays.
+    #[inline]
+    fn gather8_scalar(&self, xs: &[f32; 8], idx: &[usize; 8]) -> [f32; 8] {
+        std::array::from_fn(|l| {
+            let i = idx[l];
+            let mut acc = 0.0f32;
+            for j in 0..8 {
+                let pre = self.w1[j * self.n + i] * xs[l] + self.b1[j * self.n + i];
+                if pre > 0.0 {
+                    acc += self.w2[j * self.n + i] * pre;
+                }
+            }
+            (acc + self.b2[i]).clamp(0.0, ONE_MINUS_EPS)
+        })
+    }
+
+    /// AVX2 gather kernel: 25 gathers (8 × `w1`/`b1`/`w2` + `b2`) fetch 8
+    /// divergent leaves' parameters, then the same vertical FMA pass as
+    /// [`Kernel::batch8_fma`] finishes the stage — no horizontal reduction.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA, and every `idx[l] < self.len()`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn gather8_fma(&self, xs: &[f32; 8], idx: &[usize; 8]) -> [f32; 8] {
+        use std::arch::x86_64::*;
+        debug_assert!(idx.iter().all(|&i| i < self.n), "leaf index out of range");
+        let iv = _mm256_setr_epi32(
+            idx[0] as i32,
+            idx[1] as i32,
+            idx[2] as i32,
+            idx[3] as i32,
+            idx[4] as i32,
+            idx[5] as i32,
+            idx[6] as i32,
+            idx[7] as i32,
+        );
+        let xv = _mm256_loadu_ps(xs.as_ptr());
+        let zero = _mm256_setzero_ps();
+        let mut acc = _mm256_i32gather_ps::<4>(self.b2.as_ptr(), iv);
+        for j in 0..8 {
+            let base = j * self.n;
+            let w1 = _mm256_i32gather_ps::<4>(self.w1.as_ptr().add(base), iv);
+            let b1 = _mm256_i32gather_ps::<4>(self.b1.as_ptr().add(base), iv);
+            let w2 = _mm256_i32gather_ps::<4>(self.w2.as_ptr().add(base), iv);
+            let pre = _mm256_fmadd_ps(w1, xv, b1);
+            let hid = _mm256_max_ps(pre, zero);
+            acc = _mm256_fmadd_ps(hid, w2, acc);
+        }
+        let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
+        let mut out = [0.0f32; 8];
+        _mm256_storeu_ps(out.as_mut_ptr(), y);
+        out
+    }
+
+    /// Transposed-copy bytes (counted by [`CompiledRqRmi::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        (self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// Divergent-leaf microbench, gather side: a dependent chain of `iters`
+/// 8-packet groups through [`LeafSoa::forward_leaf_gather8`], each group's
+/// inputs derived from the previous outputs and each lane pinned to
+/// `idx[lane]`. The loop lives behind the ISA's `#[target_feature]` so the
+/// kernel inlines (same methodology as [`Kernel::latency_chain_batch8`]).
+pub fn leaf_chain_gather8(soa: &LeafSoa, idx: &[usize; 8], x0: f32, iters: usize, isa: Isa) -> f32 {
+    let mut xs = [0.0f32; 8];
+    for (l, x) in xs.iter_mut().enumerate() {
+        *x = (x0 + l as f32 * 0.11).fract();
+    }
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2+FMA required; callers dispatch through `detect`.
+        Isa::AvxFma => unsafe { chain_gather_fma(soa, idx, xs, iters) },
+        _ => {
+            for _ in 0..iters {
+                let ys = soa.gather8_scalar(&xs, idx);
+                for l in 0..8 {
+                    xs[l] = (ys[l] + 0.618_034).fract();
+                }
+            }
+            xs[0]
+        }
+    }
+}
+
+/// # Safety
+/// Requires AVX2 + FMA; dispatch through [`detect`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn chain_gather_fma(soa: &LeafSoa, idx: &[usize; 8], mut xs: [f32; 8], iters: usize) -> f32 {
+    for _ in 0..iters {
+        let ys = soa.gather8_fma(&xs, idx);
+        for l in 0..8 {
+            xs[l] = (ys[l] + 0.618_034).fract();
+        }
+    }
+    xs[0]
+}
+
+/// Divergent-leaf microbench, broadcast side: the pre-gather fallback —
+/// per packet, a full broadcast forward pass against its own leaf kernel
+/// (horizontal reduction included). Chain structure identical to
+/// [`leaf_chain_gather8`] so the two are directly comparable.
+pub fn leaf_chain_broadcast8(
+    leaves: &[Kernel],
+    idx: &[usize; 8],
+    x0: f32,
+    iters: usize,
+    isa: Isa,
+) -> f32 {
+    let mut xs = [0.0f32; 8];
+    for (l, x) in xs.iter_mut().enumerate() {
+        *x = (x0 + l as f32 * 0.11).fract();
+    }
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2+FMA required; callers dispatch through `detect`.
+        Isa::AvxFma => unsafe { chain_broadcast_fma(leaves, idx, xs, iters) },
+        _ => {
+            for _ in 0..iters {
+                for l in 0..8 {
+                    let y = leaves[idx[l]].forward_clamped(xs[l], isa);
+                    xs[l] = (y + 0.618_034).fract();
+                }
+            }
+            xs[0]
+        }
+    }
+}
+
+/// # Safety
+/// Requires AVX2 + FMA; dispatch through [`detect`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn chain_broadcast_fma(
+    leaves: &[Kernel],
+    idx: &[usize; 8],
+    mut xs: [f32; 8],
+    iters: usize,
+) -> f32 {
+    for _ in 0..iters {
+        for l in 0..8 {
+            let y = leaves[idx[l]].forward_fma(xs[l]).clamp(0.0, ONE_MINUS_EPS);
+            xs[l] = (y + 0.618_034).fract();
+        }
+    }
+    xs[0]
+}
+
 /// Monomorphized staged walks: one `(predict, predict8)` pair per ISA, each
 /// carrying its `#[target_feature]` so the kernels inline into the loop and
 /// the per-stage ISA `match` disappears from the hot path.
+///
+/// Two public arms: the plain arm keeps the pre-gather behaviour (divergent
+/// stages fall back to per-lane broadcast passes), the `gather` arm routes a
+/// *divergent leaf stage* through the [`LeafSoa`] gather kernel instead —
+/// divergent internal stages still take the per-lane fallback (they are
+/// narrow, rarely divergent, and not transposed).
 macro_rules! mono_staged {
-    ($( #[$attr:meta] )* ($predict:ident, $predict8:ident, $fwd:ident, $fwd8:ident)) => {
+    (@predict $( #[$attr:meta] )* ($predict:ident, $fwd:ident)) => {
         $( #[$attr] )*
         unsafe fn $predict(m: &CompiledRqRmi, x: f32) -> (usize, u32) {
             let nstages = m.stages.len();
@@ -511,7 +774,16 @@ macro_rules! mono_staged {
             let pred = ((y * m.n_values as f64) as usize).min(m.n_values - 1);
             (pred, m.leaf_err[idx])
         }
-
+    };
+    (@finish $m:ident, $ys:ident, $idx:ident, $preds:ident, $errs:ident) => {
+        for l in 0..8 {
+            // Final multiply in f64, matching `RqRmi::predict_x`.
+            let y = $ys[l] as f64;
+            $preds[l] = ((y * $m.n_values as f64) as usize).min($m.n_values - 1);
+            $errs[l] = $m.leaf_err[$idx[l]];
+        }
+    };
+    (@predict8 $( #[$attr:meta] )* ($predict8:ident, $fwd:ident, $fwd8:ident $(, $lgather:ident)?)) => {
         $( #[$attr] )*
         unsafe fn $predict8(
             m: &CompiledRqRmi,
@@ -525,10 +797,21 @@ macro_rules! mono_staged {
             for s in 0..nstages {
                 // Stage 0 always shares the root submodel; deeper stages
                 // share whenever the batch routes uniformly — take the
-                // lane-per-packet kernel in both cases.
+                // lane-per-packet kernel in both cases (auto-selection: the
+                // shared kernel needs no gathers, so it stays the fast
+                // path; on FMA it computes bit-identically to the gather
+                // kernel).
                 if idx.iter().all(|&i| i == idx[0]) {
                     ys = m.stages[s][idx[0]].$fwd8(xs);
-                } else {
+                }
+                $(
+                    // Divergent leaf stage (gather-capable ISAs only): one
+                    // transposed gather pass instead of 8 broadcast passes.
+                    else if s + 1 == nstages {
+                        ys = m.leaf_soa.$lgather(xs, &idx);
+                    }
+                )?
+                else {
                     for l in 0..8 {
                         ys[l] = m.stages[s][idx[l]].$fwd(xs[l]).clamp(0.0, ONE_MINUS_EPS);
                     }
@@ -540,13 +823,16 @@ macro_rules! mono_staged {
                     }
                 }
             }
-            for l in 0..8 {
-                // Final multiply in f64, matching `RqRmi::predict_x`.
-                let y = ys[l] as f64;
-                preds[l] = ((y * m.n_values as f64) as usize).min(m.n_values - 1);
-                errs[l] = m.leaf_err[idx[l]];
-            }
+            mono_staged!(@finish m, ys, idx, preds, errs);
         }
+    };
+    (gather $( #[$attr:meta] )* ($predict:ident, $predict8:ident, $fwd:ident, $fwd8:ident, $lgather:ident)) => {
+        mono_staged!(@predict $( #[$attr] )* ($predict, $fwd));
+        mono_staged!(@predict8 $( #[$attr] )* ($predict8, $fwd, $fwd8, $lgather));
+    };
+    ($( #[$attr:meta] )* ($predict:ident, $predict8:ident, $fwd:ident, $fwd8:ident)) => {
+        mono_staged!(@predict $( #[$attr] )* ($predict, $fwd));
+        mono_staged!(@predict8 $( #[$attr] )* ($predict8, $fwd, $fwd8));
     };
 }
 
@@ -565,9 +851,9 @@ mono_staged!(
 );
 
 #[cfg(target_arch = "x86_64")]
-mono_staged!(
+mono_staged!(gather
     #[target_feature(enable = "avx2,fma")]
-    (predict_mono_fma, predict8_mono_fma, forward_fma, batch8_fma)
+    (predict_mono_fma, predict8_mono_fma, forward_fma, batch8_fma, gather8_fma)
 );
 
 /// Signature of a monomorphized single-key staged walk.
@@ -580,6 +866,9 @@ type Predict8Fn = unsafe fn(&CompiledRqRmi, &[f32; 8], &mut [usize; 8], &mut [u3
 #[derive(Clone, Debug)]
 pub struct CompiledRqRmi {
     stages: Vec<Vec<Kernel>>,
+    /// Transposed copy of the *leaf* stage for the divergent-leaf gather
+    /// kernel (see [`LeafSoa`]); redundant with `stages.last()` by design.
+    leaf_soa: LeafSoa,
     widths: Vec<usize>,
     leaf_err: Vec<u32>,
     n_values: usize,
@@ -601,6 +890,14 @@ impl CompiledRqRmi {
     pub fn with_isa(model: &super::RqRmi, isa: Isa) -> Self {
         let stages: Vec<Vec<Kernel>> =
             model.nets.iter().map(|st| st.iter().map(Kernel::from_mlp).collect()).collect();
+        // The transposed leaf copy feeds the gather kernel, which only the
+        // AVX2+FMA staged walk dispatches — don't carry (or count) it for
+        // ISAs whose divergent-leaf path is the per-lane broadcast.
+        let leaf_soa = if isa == Isa::AvxFma {
+            LeafSoa::from_kernels(stages.last().map_or(&[][..], Vec::as_slice))
+        } else {
+            LeafSoa::default()
+        };
         let km = model.key_map();
         #[cfg(target_arch = "x86_64")]
         let (predict_fn, predict8_fn): (PredictFn, Predict8Fn) = match isa {
@@ -614,6 +911,7 @@ impl CompiledRqRmi {
             (predict_mono_scalar, predict8_mono_scalar);
         Self {
             stages,
+            leaf_soa,
             widths: model.widths.clone(),
             leaf_err: model.leaf_err.clone(),
             n_values: model.n_values,
@@ -690,10 +988,20 @@ impl CompiledRqRmi {
         }
     }
 
-    /// Kernel memory (Figure 13 accounting mirrors [`super::RqRmi::memory_bytes`]).
+    /// Kernel memory (Figure 13 accounting mirrors [`super::RqRmi::memory_bytes`]),
+    /// including the transposed leaf copy the gather kernel reads.
     pub fn memory_bytes(&self) -> usize {
         self.stages.iter().flatten().map(Kernel::memory_bytes).sum::<usize>()
+            + self.leaf_soa.memory_bytes()
             + self.leaf_err.len() * 4
+    }
+
+    /// The transposed leaf stage the gather kernel reads (microbenches and
+    /// diagnostics; lookups go through [`CompiledRqRmi::predict_batch`]).
+    /// Empty unless this model was compiled for [`Isa::AvxFma`] — the only
+    /// staged walk that dispatches the gather kernel.
+    pub fn leaf_soa(&self) -> &LeafSoa {
+        &self.leaf_soa
     }
 }
 
@@ -822,6 +1130,101 @@ mod tests {
                     errs[i]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn leaf_gather_matches_broadcast_reference() {
+        // Divergent index patterns over 32 random leaves: the gather kernel
+        // must agree with the per-packet broadcast pass on every reachable
+        // ISA (ULP-level tolerance; both sit inside the ±delta band).
+        let leaves: Vec<Kernel> =
+            (0..32u64).map(|s| Kernel::from_mlp(&Mlp::random(8, s))).collect();
+        let soa = LeafSoa::from_kernels(&leaves);
+        assert_eq!(soa.len(), 32);
+        assert!(!soa.is_empty());
+        for seed in 0..20usize {
+            let idx: [usize; 8] = std::array::from_fn(|l| (seed * 7 + l * 5) % 32);
+            let xs: [f32; 8] =
+                std::array::from_fn(|l| (seed as f32 * 0.037 + l as f32 * 0.113).fract());
+            for isa in testable_isas() {
+                let g = soa.forward_leaf_gather8(&xs, &idx, isa);
+                for l in 0..8 {
+                    let reference = leaves[idx[l]].forward_clamped(xs[l], Isa::Scalar);
+                    assert!(
+                        (g[l] - reference).abs() <= 1e-5,
+                        "{isa:?} lane {l} (leaf {}): {reference} vs {}",
+                        idx[l],
+                        g[l]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_shared_kernel_bit_identical_on_fma() {
+        // Auto-selection safety: when all 8 lanes share a leaf, the shared
+        // batch8 kernel and the gather kernel execute the same per-lane op
+        // sequence on AVX2+FMA, so switching between them cannot change a
+        // single bit of the stage output.
+        if !Isa::AvxFma.available() {
+            return;
+        }
+        let leaves: Vec<Kernel> =
+            (0..16u64).map(|s| Kernel::from_mlp(&Mlp::random(8, s + 100))).collect();
+        let soa = LeafSoa::from_kernels(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let xs: [f32; 8] = std::array::from_fn(|l| (i as f32 * 0.07 + l as f32 * 0.11).fract());
+            let gathered = soa.forward_leaf_gather8(&xs, &[i; 8], Isa::AvxFma);
+            let shared = leaf.forward_batch8(&xs, Isa::AvxFma);
+            assert_eq!(gathered, shared, "leaf {i}: gather vs shared kernel diverged in bits");
+        }
+    }
+
+    #[test]
+    fn predict_batch_divergent_groups_within_bounds_every_isa() {
+        use crate::config::RqRmiParams;
+        use crate::rqrmi::train::train_rqrmi;
+        use nm_common::FieldRange;
+        let ranges: Vec<FieldRange> =
+            (0..300).map(|i| FieldRange::new(i * 200, i * 200 + 99)).collect();
+        let m = train_rqrmi(&ranges, 16, &RqRmiParams::default()).unwrap();
+        assert!(m.leaf_error_bounds().len() > 1, "divergence test needs a multi-leaf model");
+        // Stride keys across the whole domain so every 8-group routes to
+        // widely separated (divergent) leaves — the gather path, not the
+        // shared fast path.
+        let order: Vec<usize> = (0..ranges.len()).map(|i| (i * 37) % ranges.len()).collect();
+        let keys: Vec<u64> = order.iter().map(|&i| ranges[i].lo + 13).collect();
+        for isa in testable_isas() {
+            let compiled = CompiledRqRmi::with_isa(&m, isa);
+            let mut preds = vec![0usize; keys.len()];
+            let mut errs = vec![0u32; keys.len()];
+            compiled.predict_batch(&keys, &mut preds, &mut errs);
+            for (k, &true_idx) in order.iter().enumerate() {
+                let dist = (preds[k] as i64 - true_idx as i64).unsigned_abs();
+                assert!(
+                    dist <= errs[k] as u64,
+                    "{isa:?} key {}: pred {} true {true_idx} err {}",
+                    keys[k],
+                    preds[k],
+                    errs[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_chains_run_and_stay_in_domain() {
+        let leaves: Vec<Kernel> =
+            (0..8u64).map(|s| Kernel::from_mlp(&Mlp::random(8, s + 7))).collect();
+        let soa = LeafSoa::from_kernels(&leaves);
+        let idx: [usize; 8] = std::array::from_fn(|l| l % leaves.len());
+        for isa in testable_isas() {
+            let g = leaf_chain_gather8(&soa, &idx, 0.3, 64, isa);
+            let b = leaf_chain_broadcast8(&leaves, &idx, 0.3, 64, isa);
+            assert!((0.0..1.0).contains(&g), "{isa:?} gather chain left [0,1): {g}");
+            assert!((0.0..1.0).contains(&b), "{isa:?} broadcast chain left [0,1): {b}");
         }
     }
 

@@ -222,14 +222,17 @@ impl<C: Classifier> Classifier for FlowCache<C> {
     /// single gathered call, and the fresh verdicts install under one more
     /// lock acquisition. Verdicts are bit-identical to per-key `classify`
     /// (a key duplicated inside one batch is classified once per duplicate
-    /// and both installs write the same entry).
-    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
-        assert!(stride > 0, "classify_batch: stride must be positive");
-        assert_eq!(
-            keys.len(),
-            stride * out.len(),
-            "classify_batch: key buffer length must equal stride * out.len()"
-        );
+    /// and both installs write the same entry). Caller floors filter the
+    /// cached (unfloored) verdicts at the end, exactly as the per-key
+    /// `classify(key).filter(p < floor)` dispatch does — the cache always
+    /// stores the unfloored verdict.
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
         // Hash outside the lock, like the per-key path (holding it through
         // the hash loop would serialise concurrent workers); the bases are
         // reused by the install pass below.
@@ -265,26 +268,32 @@ impl<C: Classifier> Classifier for FlowCache<C> {
                 }
             }
         }
-        if miss_idx.is_empty() {
-            return;
+        if !miss_idx.is_empty() {
+            // Gather the missing keys into one contiguous buffer for the
+            // inner engine's batched path.
+            let mut miss_keys = Vec::with_capacity(miss_idx.len() * stride);
+            for &i in &miss_idx {
+                miss_keys.extend_from_slice(&keys[i * stride..(i + 1) * stride]);
+            }
+            let mut verdicts = vec![None; miss_idx.len()];
+            self.inner.classify_batch(&miss_keys, stride, &mut verdicts);
+            let mut state = self.sets.lock();
+            // Same install guard as the per-key path: never stamp verdicts
+            // from a superseded generation into a newer one.
+            let install = state.source_generation == source;
+            for (j, &i) in miss_idx.iter().enumerate() {
+                let key = &keys[i * stride..(i + 1) * stride];
+                out[i] = verdicts[j];
+                if install {
+                    Self::install(&mut state, bases[i], key, verdicts[j]);
+                }
+            }
         }
-        // Gather the missing keys into one contiguous buffer for the inner
-        // engine's batched path.
-        let mut miss_keys = Vec::with_capacity(miss_idx.len() * stride);
-        for &i in &miss_idx {
-            miss_keys.extend_from_slice(&keys[i * stride..(i + 1) * stride]);
-        }
-        let mut verdicts = vec![None; miss_idx.len()];
-        self.inner.classify_batch(&miss_keys, stride, &mut verdicts);
-        let mut state = self.sets.lock();
-        // Same install guard as the per-key path: never stamp verdicts from
-        // a superseded generation into a newer one.
-        let install = state.source_generation == source;
-        for (j, &i) in miss_idx.iter().enumerate() {
-            let key = &keys[i * stride..(i + 1) * stride];
-            out[i] = verdicts[j];
-            if install {
-                Self::install(&mut state, bases[i], key, verdicts[j]);
+        if let Some(f) = floors {
+            for i in 0..out.len() {
+                if f[i] != Priority::MAX {
+                    out[i] = out[i].filter(|m| m.priority < f[i]);
+                }
             }
         }
     }

@@ -491,18 +491,14 @@ impl<R: Classifier> Classifier for ClassifierHandle<R> {
 
     /// One snapshot pin per batch: every packet in the batch is classified
     /// against the same generation.
-    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
-        self.snapshot().classify_batch(keys, stride, out);
-    }
-
-    fn classify_batch_with_floors(
+    fn batch_lookup(
         &self,
         keys: &[u64],
         stride: usize,
-        floors: &[Priority],
+        floors: Option<&[Priority]>,
         out: &mut [Option<MatchResult>],
     ) {
-        self.snapshot().classify_batch_with_floors(keys, stride, floors, out);
+        self.snapshot().batch_lookup(keys, stride, floors, out);
     }
 
     fn memory_bytes(&self) -> usize {

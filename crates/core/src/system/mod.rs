@@ -679,8 +679,19 @@ impl<R: Classifier> Classifier for NuevoMatch<R> {
     /// structure inside [`TrainedISet::lookup_batch`]), then the remainder
     /// runs with **batch-wide early termination** — every key that already
     /// holds an iSet candidate hands the remainder its priority floor, so
-    /// the remainder prunes exactly as in the per-key path.
-    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+    /// the remainder prunes exactly as in the per-key path. Caller floors
+    /// are folded into the remainder's pruning floors and applied as a
+    /// final filter, which together mirror the per-key
+    /// `classify(key).filter(p < floor)` dispatch of
+    /// [`NuevoMatch::classify_with_floor`] bit-for-bit: the fold can only
+    /// suppress remainder candidates the filter would discard.
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        caller_floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
         const CHUNK: usize = 128;
         self.classify_isets_batch(keys, stride, out);
         let mut rem = [None; CHUNK];
@@ -691,9 +702,13 @@ impl<R: Classifier> Classifier for NuevoMatch<R> {
             let chunk_keys = &keys[base * stride..(base + m) * stride];
             if self.early_termination {
                 // Batch-wide early termination: each key's iSet candidate
-                // becomes its remainder floor (MAX = no candidate).
+                // becomes its remainder floor (MAX = no candidate), folded
+                // with the caller's floor — any remainder result at or
+                // above the caller floor would be discarded by the final
+                // filter anyway, so the remainder may prune against it.
                 for i in 0..m {
-                    floors[i] = out[base + i].map_or(Priority::MAX, |b| b.priority);
+                    let cand = out[base + i].map_or(Priority::MAX, |b| b.priority);
+                    floors[i] = cand.min(caller_floors.map_or(Priority::MAX, |f| f[base + i]));
                 }
                 self.remainder.classify_batch_with_floors(
                     chunk_keys,
@@ -704,9 +719,12 @@ impl<R: Classifier> Classifier for NuevoMatch<R> {
                 // A real candidate whose priority *is* `Priority::MAX`
                 // collides with the no-candidate sentinel above (the batch
                 // call ran plain `classify` for it); redo those rare keys
-                // with the explicit floor the per-key path would use.
+                // with the explicit floor the per-key path would use. Only
+                // a floor that was *sent* as MAX can collide.
                 for i in 0..m {
-                    if matches!(out[base + i], Some(b) if b.priority == Priority::MAX) {
+                    if floors[i] == Priority::MAX
+                        && matches!(out[base + i], Some(b) if b.priority == Priority::MAX)
+                    {
                         let key = &chunk_keys[i * stride..(i + 1) * stride];
                         rem[i] = self.remainder.classify_with_floor(key, Priority::MAX);
                     }
@@ -718,6 +736,13 @@ impl<R: Classifier> Classifier for NuevoMatch<R> {
                 out[base + i] = MatchResult::better(out[base + i], rem[i]);
             }
             base += m;
+        }
+        if let Some(f) = caller_floors {
+            for i in 0..out.len() {
+                if f[i] != Priority::MAX {
+                    out[i] = out[i].filter(|m| m.priority < f[i]);
+                }
+            }
         }
     }
 

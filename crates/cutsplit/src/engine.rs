@@ -106,6 +106,20 @@ impl Classifier for CutSplit {
         best.filter(|m| m.priority < floor)
     }
 
+    /// Level-synchronous batched descent over the subset trees (see
+    /// [`crate::batched`]): the whole batch advances one tree level per
+    /// iteration with the frontier's child nodes prefetched, instead of one
+    /// full pointer chase per key.
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
+        crate::batched::classify_forest_batch(&self.trees, &self.order, keys, stride, floors, out);
+    }
+
     fn memory_bytes(&self) -> usize {
         self.trees.iter().map(DTree::memory_bytes).sum::<usize>()
             + self.order.len() * std::mem::size_of::<(Priority, u32)>()

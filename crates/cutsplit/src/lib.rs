@@ -16,9 +16,14 @@
 //!   replication by construction) and switches to threshold **splits** near
 //!   the bottom, with `binth = 8` rules per leaf as in the paper's
 //!   evaluation (§5.1).
+//!
+//! Batched lookups take the [`batched`] level-synchronous descent: the
+//! whole batch walks each tree as a prefetched frontier instead of one
+//! pointer chase per key (NeuroCuts shares the same driver).
 
 #![warn(missing_docs)]
 
+pub mod batched;
 pub mod partition;
 pub mod policy;
 pub mod tree;

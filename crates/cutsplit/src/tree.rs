@@ -90,6 +90,31 @@ struct RefSlice {
     len: u32,
 }
 
+/// A spill/leaf scan queued by the advance pass of
+/// [`DTree::descend_frontier`]: the slice to scan plus the priority bound
+/// captured at its node's entry (per the per-key walk's semantics, the
+/// bound is fixed for the whole scan).
+#[derive(Clone, Copy)]
+struct ScanState {
+    key: u32,
+    /// Absolute start of the slice in the ref arrays.
+    pos: u32,
+    /// Absolute end of the slice.
+    end: u32,
+    bound: Priority,
+}
+
+/// Reusable working state for [`DTree::descend_frontier`]: the in-flight
+/// `(key, node)` frontier and the per-level scan queue. Callers keep one
+/// across trees and chunks so a sweep allocates nothing per tree.
+#[derive(Default)]
+pub struct FrontierScratch {
+    /// In-flight keys: `(key index, current node)`.
+    live: Vec<(u32, u32)>,
+    /// Spill/leaf scans queued by pass 1 for pass 2 of the same level.
+    scans: Vec<ScanState>,
+}
+
 #[derive(Clone, Debug)]
 enum Node {
     Cut {
@@ -124,11 +149,28 @@ enum Node {
 }
 
 /// A built decision tree over an owned copy of its rules.
+///
+/// The scan hot path is laid out flat and **ref-major**: `ref_pri` mirrors
+/// `refs` so the priority-bound early exit reads one sequential array, and
+/// `ref_boxes` stores each referenced rule's `[lo, hi]` per field inline at
+/// the ref's position. A spill/leaf scan therefore touches two sequential
+/// streams the hardware prefetcher tracks by itself — no pointer chase into
+/// `Rule::fields` and no random hop per candidate, which is what made deep
+/// fw-style spill scans memory-bound. The replication cost is bounded by
+/// the same spill-list containment as `refs` itself. `rules` remains the
+/// authoritative owned copy (ids, result priorities, `matches` for tests).
 pub struct DTree {
     nodes: Vec<Node>,
     /// Rule indices, concatenated per leaf/spill; each slice sorted by
     /// priority so scans can stop at the first match or at the bound.
     refs: Vec<u32>,
+    /// Priority of `rules[refs[p]]`, parallel to `refs` — the scan loop's
+    /// bound test never touches a `Rule` until a candidate matches.
+    ref_pri: Vec<Priority>,
+    /// `[lo, hi]` per field of `rules[refs[p]]`, inline per ref position
+    /// (`nfields * 2` words each) — the scan's second sequential stream.
+    ref_boxes: Vec<u64>,
+    nfields: usize,
     rules: Vec<Rule>,
     depth_max: usize,
 }
@@ -158,7 +200,16 @@ impl DTree {
     ) -> DTree {
         let bounds_root: Vec<(u64, u64)> =
             (0..spec.len()).map(|d| (0, spec.max_value(d))).collect();
-        let mut tree = DTree { nodes: Vec::new(), refs: Vec::new(), rules, depth_max: 0 };
+        let nfields = spec.len();
+        let mut tree = DTree {
+            nodes: Vec::new(),
+            refs: Vec::new(),
+            ref_pri: Vec::new(),
+            ref_boxes: Vec::new(),
+            nfields,
+            rules,
+            depth_max: 0,
+        };
         let all_ids: Vec<u32> = (0..tree.rules.len() as u32).collect();
         tree.nodes.push(Node::Leaf { refs: RefSlice::default(), best_priority: Priority::MAX });
         tree.build_node(0, all_ids, bounds_root, 0, spec, policy, cfg);
@@ -170,6 +221,14 @@ impl DTree {
         ids.sort_by_key(|&i| (self.rules[i as usize].priority, i));
         let start = self.refs.len() as u32;
         let len = ids.len() as u32;
+        for &i in &ids {
+            let rule = &self.rules[i as usize];
+            self.ref_pri.push(rule.priority);
+            for f in &rule.fields {
+                self.ref_boxes.push(f.lo);
+                self.ref_boxes.push(f.hi);
+            }
+        }
         self.refs.extend_from_slice(&ids);
         RefSlice { start, len }
     }
@@ -337,16 +396,30 @@ impl DTree {
 
     /// Scans a priority-sorted ref slice; returns the first (= best) match
     /// with priority below `bound`.
+    ///
+    /// Both the priority bound test and the candidate boxes read sequential
+    /// ref-major streams, so a deep scan runs at hardware-prefetch speed and
+    /// only a *match* touches the `Rule` itself (for its id).
     #[inline]
     fn scan_refs(&self, refs: RefSlice, key: &[u64], bound: Priority) -> Option<MatchResult> {
-        let slice = &self.refs[refs.start as usize..(refs.start + refs.len) as usize];
-        for &id in slice {
-            let rule = &self.rules[id as usize];
-            if rule.priority >= bound {
+        let s = refs.start as usize;
+        let e = s + refs.len as usize;
+        let nf2 = self.nfields * 2;
+        for p in s..e {
+            let pri = self.ref_pri[p];
+            if pri >= bound {
                 return None;
             }
-            if rule.matches(key) {
-                return Some(MatchResult::new(rule.id, rule.priority));
+            let b = &self.ref_boxes[p * nf2..(p + 1) * nf2];
+            let mut hit = true;
+            for d in 0..self.nfields {
+                if key[d] < b[2 * d] || key[d] > b[2 * d + 1] {
+                    hit = false;
+                    break;
+                }
+            }
+            if hit {
+                return Some(MatchResult::new(self.rules[self.refs[p] as usize].id, pri));
             }
         }
         None
@@ -398,6 +471,127 @@ impl DTree {
         }
     }
 
+    /// Level-synchronous batched descent (see [`crate::batched`] for the
+    /// driver and the invariants): every key in `frontier` walks this tree
+    /// simultaneously, all in-flight keys advancing **one tree level per
+    /// outer iteration**, in two passes per level:
+    ///
+    /// 1. **Advance** — each surviving key's node (prefetched by the
+    ///    previous level) is dereferenced, the bound/box retirement checks
+    ///    run, the next node is computed and prefetched (both lines of the
+    ///    straddling arena element), and any spill/leaf slice the key must
+    ///    scan is queued with its head lines prefetched and the entry bound
+    ///    captured. By the end of the pass, the *whole frontier's* children
+    ///    and scan heads have prefetches in flight and none has been
+    ///    dereferenced.
+    /// 2. **Scan** — the queued slices run through [`DTree::scan_refs`]
+    ///    with their captured bounds. Their head lines (priority array +
+    ///    first box) were issued a whole pass earlier, so the short
+    ///    `binth`-sized leaf scans — too brief for the hardware stream
+    ///    prefetcher to engage — start warm instead of paying a cold burst
+    ///    per key; longer spill scans continue down the two sequential
+    ///    ref-major streams. (A fully lockstep entry-per-round variant was
+    ///    tried here and lost to its own bookkeeping on L3-resident sets —
+    ///    see the ROADMAP open item on DRAM-resident headroom.)
+    ///
+    /// One memory round-trip per level thus serves the whole batch, where
+    /// the per-key walk pays one per key per level. Keys retire early
+    /// (leave the frontier) as soon as they reach a leaf, walk off the
+    /// covered box, or hit the subtree priority bound.
+    ///
+    /// Per key, the node sequence, spill/leaf scans and bound updates are
+    /// exactly [`DTree::classify_floor`]'s with
+    /// `floor = min(best[k].priority, floors[k])`: a key has at most one
+    /// scan per level and a scan's bound is fixed at its node's entry (as
+    /// in [`DTree::scan_refs`]), so deferring scans to the second pass
+    /// cannot change any scan's outcome, and results merged into `best[k]`
+    /// are bit-identical to the per-key walk (asserted across engines in
+    /// `tests/it_batch.rs`).
+    pub fn descend_frontier(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        frontier: &[u32],
+        floors: Option<&[Priority]>,
+        best: &mut [Option<MatchResult>],
+        scratch: &mut FrontierScratch,
+    ) {
+        let bound_of = |best: &[Option<MatchResult>], ki: usize| {
+            let floor = floors.map_or(Priority::MAX, |f| f[ki]);
+            best[ki].map_or(floor, |b| b.priority.min(floor))
+        };
+        let nf2 = self.nfields * 2;
+        let live = &mut scratch.live;
+        let scans = &mut scratch.scans;
+        live.clear();
+        // Every key starts at the root; the root is shared across the
+        // frontier, so the first level needs no prefetch pass.
+        live.extend(frontier.iter().map(|&k| (k, 0u32)));
+        while !live.is_empty() {
+            scans.clear();
+            let mut w = 0usize;
+            // Pass 1: advance the frontier one level.
+            for r in 0..live.len() {
+                let (k, node_idx) = live[r];
+                let ki = k as usize;
+                let key = &keys[ki * stride..(ki + 1) * stride];
+                let bound = bound_of(best, ki);
+                let (spill, subtree_best, next) = match &self.nodes[node_idx as usize] {
+                    Node::Cut { dim, lo, width, first_child, children, spill, best_priority } => {
+                        let v = key[*dim as usize];
+                        let next = if v < *lo {
+                            None
+                        } else {
+                            let c = (v - lo) / width;
+                            (c < *children as u64).then(|| *first_child + c as u32)
+                        };
+                        (*spill, *best_priority, next)
+                    }
+                    Node::Split { dim, threshold, left, right, spill, best_priority } => {
+                        let next = if key[*dim as usize] <= *threshold { *left } else { *right };
+                        (*spill, *best_priority, Some(next))
+                    }
+                    Node::Leaf { refs, best_priority } => (*refs, *best_priority, None),
+                };
+                if bound <= subtree_best {
+                    continue; // nothing in this subtree can beat the bound
+                }
+                if spill.len > 0 {
+                    // Warm the slice's head: the priority line plus the
+                    // first entry's box lines (two lines ≈ one 5-field
+                    // box); the scan body streams on from there.
+                    let start = spill.start as usize;
+                    nm_common::prefetch::prefetch_index(&self.ref_pri, start);
+                    nm_common::prefetch::prefetch_index(&self.ref_boxes, start * nf2);
+                    nm_common::prefetch::prefetch_index(&self.ref_boxes, start * nf2 + 8);
+                    scans.push(ScanState {
+                        key: k,
+                        pos: spill.start,
+                        end: spill.start + spill.len,
+                        bound,
+                    });
+                }
+                if let Some(child) = next {
+                    // Arena nodes straddle cache lines (48-byte elements),
+                    // so warm the neighbour line too.
+                    nm_common::prefetch::prefetch_index(&self.nodes, child as usize);
+                    nm_common::prefetch::prefetch_index(&self.nodes, child as usize + 1);
+                    live[w] = (k, child);
+                    w += 1;
+                }
+            }
+            live.truncate(w);
+            // Pass 2: the queued spill/leaf scans. Heads are in flight from
+            // pass 1; the scan body streams the two ref-major arrays.
+            for sc in scans.iter() {
+                let ki = sc.key as usize;
+                let key = &keys[ki * stride..(ki + 1) * stride];
+                let slice = RefSlice { start: sc.pos, len: sc.end - sc.pos };
+                best[ki] = MatchResult::better(best[ki], self.scan_refs(slice, key, sc.bound));
+            }
+        }
+    }
+
     /// Counts the work a lookup performs: nodes visited plus spill/leaf
     /// entries scanned — the NeuroCuts "classification time" proxy.
     pub fn access_cost(&self, key: &[u64]) -> usize {
@@ -445,9 +639,15 @@ impl DTree {
         }
     }
 
-    /// Index bytes: arena nodes + refs (rules excluded, §5.2.1).
+    /// Index bytes: arena nodes + refs + the parallel priority and inline
+    /// box streams (rules themselves excluded, §5.2.1). The ref-major
+    /// layout deliberately trades index memory for scan locality, so its
+    /// replicated box copies are counted as index, not rule storage.
     pub fn memory_bytes(&self) -> usize {
-        memsize::vec_bytes(&self.nodes) + memsize::vec_bytes(&self.refs)
+        memsize::vec_bytes(&self.nodes)
+            + memsize::vec_bytes(&self.refs)
+            + memsize::vec_bytes(&self.ref_pri)
+            + memsize::vec_bytes(&self.ref_boxes)
     }
 
     /// Best (smallest) priority stored anywhere in the tree — the root's

@@ -134,6 +134,26 @@ impl Classifier for NeuroCuts {
         best.filter(|m| m.priority < floor)
     }
 
+    /// Level-synchronous batched descent over the searched trees — the same
+    /// prefetched-frontier driver as CutSplit (`nm_cutsplit::batched`); the
+    /// engines differ only in how their trees were built.
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
+        nm_cutsplit::batched::classify_forest_batch(
+            &self.trees,
+            &self.order,
+            keys,
+            stride,
+            floors,
+            out,
+        );
+    }
+
     fn memory_bytes(&self) -> usize {
         self.trees.iter().map(DTree::memory_bytes).sum::<usize>()
             + self.order.len() * std::mem::size_of::<(Priority, u32)>()

@@ -342,23 +342,14 @@ impl Classifier for TupleMerge {
         self.probe(key, None, floor)
     }
 
-    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
-        self.probe_batch(keys, stride, None, out);
-    }
-
-    fn classify_batch_with_floors(
+    fn batch_lookup(
         &self,
         keys: &[u64],
         stride: usize,
-        floors: &[Priority],
+        floors: Option<&[Priority]>,
         out: &mut [Option<MatchResult>],
     ) {
-        assert_eq!(
-            floors.len(),
-            out.len(),
-            "classify_batch_with_floors: one floor per output slot"
-        );
-        self.probe_batch(keys, stride, Some(floors), out);
+        self.probe_batch(keys, stride, floors, out);
     }
 
     fn memory_bytes(&self) -> usize {

@@ -84,7 +84,7 @@ macro_rules! int_range_strategy {
     )*};
 }
 
-int_range_strategy!(u64, u32, usize);
+int_range_strategy!(u64, u32, u16, u8, usize);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
@@ -146,6 +146,29 @@ pub mod collection {
             let span = (self.size.hi - self.size.lo) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (the `proptest::array` subset in use).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `[S::Value; 8]` from 8 independent element draws.
+    pub fn uniform8<S: Strategy>(element: S) -> Uniform8<S> {
+        Uniform8 { element }
+    }
+
+    /// Strategy returned by [`uniform8`].
+    pub struct Uniform8<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for Uniform8<S> {
+        type Value = [S::Value; 8];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 8] {
+            std::array::from_fn(|_| self.element.generate(rng))
         }
     }
 }

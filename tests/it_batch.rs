@@ -2,17 +2,26 @@
 //! per-key `classify` for every engine in the workspace — the contract the
 //! batched pipeline (`nuevomatch::system`) is built on. See
 //! `crates/core/src/rqrmi/simd.rs` module docs for why the cross-packet AVX
-//! kernels cannot change classification results.
+//! kernels (including the divergent-leaf gather kernel) cannot change
+//! classification results, and `nm_cutsplit::batched` for the
+//! level-synchronous tree-descent invariants checked here.
 
 use nm_classbench::{generate, AppKind};
+use nm_common::rule::Priority;
 use nm_common::{Classifier, FieldRange, FieldsSpec, LinearSearch, RuleSet};
 use nm_cutsplit::CutSplit;
 use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
+use nm_nn::Mlp;
 use nm_trace::{uniform_trace, zipf_trace};
 use nm_tuplemerge::TupleMerge;
+use nuevomatch::rqrmi::{train_rqrmi, CompiledRqRmi, Isa, Kernel, LeafSoa};
 use nuevomatch::system::FlowCache;
 use nuevomatch::{NuevoMatch, NuevoMatchConfig, RqRmiParams};
 use proptest::prelude::*;
+
+fn reachable_isas() -> Vec<Isa> {
+    [Isa::Scalar, Isa::Sse, Isa::Avx, Isa::AvxFma].into_iter().filter(|i| i.available()).collect()
+}
 
 fn fast_cfg(early_termination: bool) -> NuevoMatchConfig {
     NuevoMatchConfig {
@@ -82,11 +91,19 @@ fn nuevomatch_batch_matches_per_key_all_remainders() {
 
 #[test]
 fn batch_with_floors_matches_per_key_dispatch() {
-    use nm_common::rule::Priority;
     let set = generate(AppKind::Fw, 300, 8);
     let trace = uniform_trace(&set, 1_500, 21);
     let engines: Vec<Box<dyn Classifier>> = vec![
-        Box::new(TupleMerge::build(&set)),   // table-major batched override
+        Box::new(TupleMerge::build(&set)), // table-major batched override
+        Box::new(CutSplit::build(&set)),   // level-synchronous descent
+        Box::new(NeuroCuts::with_config(
+            // level-synchronous descent, searched trees
+            &set,
+            NeuroCutsConfig { iterations: 4, sample: 512, ..Default::default() },
+        )),
+        // Phase pipeline with caller floors folded into the remainder's
+        // batch-wide early termination.
+        Box::new(NuevoMatch::build(&set, &fast_cfg(true), TupleMerge::build).unwrap()),
         Box::new(LinearSearch::build(&set)), // default per-key loop
     ];
     let stride = trace.stride();
@@ -127,8 +144,166 @@ fn flow_cache_batch_matches_per_key() {
     assert!(cached.stats().hits > 0, "warm pass should hit the cache");
 }
 
+/// The leaf stage's two evaluation strategies — per-packet broadcast
+/// (scalar `predict`) and the divergent-leaf gather kernel (`predict_batch`
+/// on groups whose lanes route to different leaves) — must produce the same
+/// *search outcome* for every key on every reachable ISA: same containing
+/// range for covered keys, no range for uncovered keys. This is the
+/// verdict-level form of "gather ≡ broadcast": predictions may differ in
+/// the last ULPs, but both windows contain the truth, so the secondary
+/// search cannot diverge.
+#[test]
+fn gather_and_broadcast_leaf_stage_agree_on_search_outcome() {
+    let ranges: Vec<FieldRange> = (0..400u64)
+        .map(|i| FieldRange::new(i * 150, i * 150 + 99)) // gaps: uncovered keys exist
+        .collect();
+    let model = train_rqrmi(&ranges, 16, &RqRmiParams::default()).unwrap();
+    assert!(model.leaf_error_bounds().len() > 1, "need a multi-leaf model for divergence");
+    // Emulates `TrainedISet::search_value` over the sorted ranges.
+    let search = |pred: usize, err: u32, v: u64| -> Option<usize> {
+        let lo = pred.saturating_sub(err as usize);
+        let hi = (pred + err as usize).min(ranges.len() - 1);
+        let off = ranges[lo..=hi].partition_point(|r| r.hi < v);
+        let pos = lo + off;
+        (pos <= hi && ranges[pos].lo <= v).then_some(pos)
+    };
+    // Shuffled covered keys (each 8-group spans distant leaves → gather
+    // path) interleaved with uncovered gap keys.
+    let keys: Vec<u64> = (0..800usize)
+        .map(|i| {
+            let r = &ranges[(i * 131) % ranges.len()];
+            if i % 3 == 0 {
+                r.hi + 25 // in the gap after the range
+            } else {
+                r.lo + (i as u64 % 100)
+            }
+        })
+        .collect();
+    for isa in reachable_isas() {
+        let compiled = CompiledRqRmi::with_isa(&model, isa);
+        let mut preds = vec![0usize; keys.len()];
+        let mut errs = vec![0u32; keys.len()];
+        compiled.predict_batch(&keys, &mut preds, &mut errs);
+        for (i, &key) in keys.iter().enumerate() {
+            let (sp, se) = compiled.predict(key); // broadcast leaf stage
+            let batch_outcome = search(preds[i], errs[i], key);
+            let scalar_outcome = search(sp, se, key);
+            assert_eq!(
+                batch_outcome, scalar_outcome,
+                "{isa:?} key {key}: gather path found {batch_outcome:?}, \
+                 broadcast path found {scalar_outcome:?}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Property: the divergent-leaf gather kernel agrees with the
+    /// per-packet broadcast pass lane by lane, for arbitrary leaf weights,
+    /// arbitrary lane→leaf routings and inputs, on every ISA reachable on
+    /// this host (the AVX2 gather against its scalar reference included).
+    #[test]
+    fn gather_kernel_matches_broadcast_per_lane(
+        seeds in proptest::collection::vec(0u64..10_000, 2..48),
+        lanes in proptest::array::uniform8(0usize..1_000),
+        xs_raw in proptest::array::uniform8(0u32..1_000_000),
+    ) {
+        let leaves: Vec<Kernel> =
+            seeds.iter().map(|&s| Kernel::from_mlp(&Mlp::random(8, s))).collect();
+        let soa = LeafSoa::from_kernels(&leaves);
+        let idx: [usize; 8] = lanes.map(|l| l % leaves.len());
+        let xs: [f32; 8] = xs_raw.map(|v| v as f32 / 1_000_000.0);
+        for isa in reachable_isas() {
+            let gathered = soa.forward_leaf_gather8(&xs, &idx, isa);
+            for l in 0..8 {
+                let broadcast = leaves[idx[l]].forward_clamped(xs[l], isa);
+                prop_assert!(
+                    (gathered[l] - broadcast).abs() <= 1e-5,
+                    "{:?} lane {} leaf {}: gather {} vs broadcast {}",
+                    isa, l, idx[l], gathered[l], broadcast
+                );
+            }
+        }
+    }
+
+    /// Property: the level-synchronous batched descent is bit-identical to
+    /// the per-key walk for CutSplit and NeuroCuts — arbitrary 2-field rule
+    /// boxes, arbitrary probes, batch sizes 1/8/32/128, with and without
+    /// per-key floors.
+    #[test]
+    fn tree_engines_batched_descent_bit_identical(
+        boxes in proptest::collection::vec(
+            (0u64..60_000, 0u64..8_000, 0u64..60_000, 0u64..8_000), 1..60),
+        probes in proptest::collection::vec((0u64..65_536, 0u64..65_536), 128),
+        floor_sel in proptest::collection::vec(0u8..4, 128),
+    ) {
+        let rows: Vec<Vec<FieldRange>> = boxes
+            .iter()
+            .map(|&(lo0, w0, lo1, w1)| {
+                vec![
+                    FieldRange::new(lo0, (lo0 + w0).min(65_535)),
+                    FieldRange::new(lo1, (lo1 + w1).min(65_535)),
+                ]
+            })
+            .collect();
+        let set = RuleSet::from_ranges(FieldsSpec::uniform(2, 16), rows).unwrap();
+        let mut keys = Vec::with_capacity(probes.len() * 2);
+        for &(a, b) in &probes {
+            keys.push(a);
+            keys.push(b);
+        }
+        let floors: Vec<Priority> = floor_sel
+            .iter()
+            .map(|&s| match s {
+                0 => Priority::MAX,
+                1 => 40,
+                2 => 5,
+                _ => 0,
+            })
+            .collect();
+        let engines: Vec<Box<dyn Classifier>> = vec![
+            Box::new(CutSplit::build(&set)),
+            Box::new(NeuroCuts::with_config(
+                &set,
+                NeuroCutsConfig { iterations: 2, sample: 64, ..Default::default() },
+            )),
+        ];
+        for engine in &engines {
+            for batch in [1usize, 8, 32, 128] {
+                let mut out = vec![None; probes.len()];
+                let mut lo = 0;
+                while lo < probes.len() {
+                    let hi = (lo + batch).min(probes.len());
+                    engine.classify_batch(&keys[lo * 2..hi * 2], 2, &mut out[lo..hi]);
+                    lo = hi;
+                }
+                for (i, &(a, b)) in probes.iter().enumerate() {
+                    prop_assert_eq!(
+                        out[i],
+                        engine.classify(&[a, b]),
+                        "{} batch={} probe {}",
+                        engine.name(), batch, i
+                    );
+                }
+                // Floored form against the per-key dispatch.
+                let mut out_f = vec![None; probes.len()];
+                engine.classify_batch_with_floors(&keys, 2, &floors, &mut out_f);
+                for (i, &(a, b)) in probes.iter().enumerate() {
+                    let expect = if floors[i] == Priority::MAX {
+                        engine.classify(&[a, b])
+                    } else {
+                        engine.classify_with_floor(&[a, b], floors[i])
+                    };
+                    prop_assert_eq!(
+                        out_f[i], expect,
+                        "{} floored probe {}", engine.name(), i
+                    );
+                }
+            }
+        }
+    }
 
     /// Property: for arbitrary 2-field rule boxes and arbitrary probe keys,
     /// NuevoMatch's batched path is bit-identical to the per-key path with
