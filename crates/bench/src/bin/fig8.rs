@@ -13,14 +13,31 @@
 
 use nm_analysis::{geomean, Table};
 use nm_bench::{nc_config, nm_cs, nm_nc, nm_tm, scale, suite};
+use nm_common::{Classifier, TraceBuf};
 use nm_cutsplit::CutSplit;
 use nm_neurocuts::NeuroCuts;
 use nm_trace::uniform_trace;
 use nm_tuplemerge::TupleMerge;
-use nuevomatch::system::parallel::{run_replicated, run_two_workers, BATCH};
-use nuevomatch::ClassifierHandle;
+use nuevomatch::system::parallel::{ParallelStats, BATCH};
+use nuevomatch::{ClassifierHandle, Runtime, RuntimeConfig};
+
+/// Two replicated baseline instances (the §5.1 baseline mode) through the
+/// worker runtime.
+fn run_replicated(rt: &Runtime, c: &dyn Classifier, trace: &TraceBuf) -> ParallelStats {
+    rt.run_replicated(c, 2, trace).expect("replicated runtime").into()
+}
+
+/// NuevoMatch's iSet/remainder two-worker split through the worker runtime.
+fn run_two_workers<R: Classifier>(
+    rt: &Runtime,
+    handle: &ClassifierHandle<R>,
+    trace: &TraceBuf,
+) -> ParallelStats {
+    rt.run_split(handle, trace).expect("two-worker runtime").into()
+}
 
 fn main() {
+    let rt = Runtime::new(RuntimeConfig { batch: BATCH, ..Default::default() });
     let s = scale();
     let sizes: Vec<usize> = s.sizes.iter().copied().filter(|&n| n >= 100_000).collect();
     let sizes = if sizes.is_empty() { vec![*s.sizes.last().unwrap()] } else { sizes };
@@ -48,8 +65,8 @@ fn main() {
             {
                 let cs = CutSplit::build(&set);
                 let nm = nm_cs(&set);
-                let base = run_replicated(&cs, &trace, 2, BATCH);
-                let ours = run_two_workers(&ClassifierHandle::read_only(nm), &trace, BATCH);
+                let base = run_replicated(&rt, &cs, &trace);
+                let ours = run_two_workers(&rt, &ClassifierHandle::read_only(nm), &trace);
                 lat_row.push(base.mean_batch_latency_ns / ours.mean_batch_latency_ns);
                 thr_row.push(ours.pps / base.pps);
             }
@@ -57,8 +74,8 @@ fn main() {
             {
                 let nc = NeuroCuts::with_config(&set, nc_config(!s.full));
                 let nm = nm_nc(&set, !s.full);
-                let base = run_replicated(&nc, &trace, 2, BATCH);
-                let ours = run_two_workers(&ClassifierHandle::read_only(nm), &trace, BATCH);
+                let base = run_replicated(&rt, &nc, &trace);
+                let ours = run_two_workers(&rt, &ClassifierHandle::read_only(nm), &trace);
                 lat_row.push(base.mean_batch_latency_ns / ours.mean_batch_latency_ns);
                 thr_row.push(ours.pps / base.pps);
             }
@@ -66,8 +83,8 @@ fn main() {
             {
                 let tm = TupleMerge::build(&set);
                 let nm = nm_tm(&set);
-                let base = run_replicated(&tm, &trace, 2, BATCH);
-                let ours = run_two_workers(&ClassifierHandle::read_only(nm), &trace, BATCH);
+                let base = run_replicated(&rt, &tm, &trace);
+                let ours = run_two_workers(&rt, &ClassifierHandle::read_only(nm), &trace);
                 lat_row.push(base.mean_batch_latency_ns / ours.mean_batch_latency_ns);
                 thr_row.push(ours.pps / base.pps);
             }

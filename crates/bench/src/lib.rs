@@ -50,11 +50,11 @@
 
 #![warn(missing_docs)]
 
-use nm_common::{Classifier, RuleSet, TraceBuf};
+use nm_common::{Classifier, RuleSet, ShardPlanConfig, ShardStrategy, TraceBuf};
 use nm_cutsplit::CutSplit;
 use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
 use nm_tuplemerge::TupleMerge;
-use nuevomatch::{ClassifierHandle, NuevoMatch, NuevoMatchConfig, RqRmiParams};
+use nuevomatch::{ClassifierHandle, NuevoMatch, NuevoMatchConfig, RqRmiParams, ShardedHandle};
 
 /// Workload scale for the harness.
 #[derive(Clone, Debug)]
@@ -134,6 +134,15 @@ pub fn nm_tm(set: &RuleSet) -> NuevoMatch<TupleMerge> {
 /// `--bin update_bench` and the update-soak jobs go through this.
 pub fn nm_tm_handle(set: &RuleSet) -> ClassifierHandle<TupleMerge> {
     ClassifierHandle::new(set, &nm_tm_config(), TupleMerge::build).expect("nm/tm handle build")
+}
+
+/// The [`nm_tm`] configuration sharded `shards` ways (range steering on an
+/// auto-picked field, wildcard-heavy rules in the broadcast shard) behind
+/// per-shard handle replicas — what `--bin shard` sweeps and the CI
+/// sharded-runtime smoke drives.
+pub fn nm_tm_sharded(set: &RuleSet, shards: usize) -> ShardedHandle<TupleMerge> {
+    let plan = ShardPlanConfig { shards, dim: None, strategy: ShardStrategy::Range };
+    ShardedHandle::new(set, &nm_tm_config(), &plan, TupleMerge::build).expect("sharded nm/tm build")
 }
 
 /// NuevoMatch paired with a CutSplit remainder (§5.1: 25% minimum coverage,

@@ -5,15 +5,18 @@ use nm_analysis::{centrality_1d, diversity, Table};
 use nm_classbench::{generate, parse_classbench, AppKind};
 use nm_common::memsize::human_bytes;
 use nm_common::{fivetuple, Classifier, FiveTuple, RuleSet, UpdateBatch};
+use nm_common::{ShardPlanConfig, ShardStrategy};
 use nm_cutsplit::CutSplit;
 use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
 use nm_trace::{caida_like_trace, uniform_trace, zipf_trace, CaidaLikeConfig};
 use nm_tuplemerge::{TupleMerge, TupleSpaceSearch};
 use nuevomatch::system::parallel::{run_batched, run_sequential};
+use nuevomatch::system::runtime::{PinPolicy, Runtime, RuntimeConfig, ShardedClassifier};
 use nuevomatch::{
-    measure_update_curve, ClassifierHandle, NuevoMatch, NuevoMatchConfig, UpdateBenchConfig,
+    measure_update_curve, ClassifierHandle, NuevoMatchConfig, ShardedHandle, UpdateBenchConfig,
     UpdatePacer,
 };
+use nuevomatch::{NuevoMatch, Topology};
 
 /// Usage text.
 pub const HELP: &str = "\
@@ -23,10 +26,12 @@ USAGE:
   nmctl generate --kind <acl|fw|ipc> [--rules N] [--seed S]        # ClassBench text to stdout
   nmctl inspect  <rules.cb>                                        # structure metrics
   nmctl bench    <rules.cb> [--engine E] [--trace T] [--packets N] [--batch B] [--json true]
+                 [--shards S] [--workers W] [--pin true|false]     # sharded worker runtime
   nmctl classify <rules.cb> --key a.b.c.d,a.b.c.d,sport,dport,proto
   nmctl train    <rules.cb> --out <model.rqrmi>                    # persist largest-iSet RQ-RMI
   nmctl serve    <rules.cb> [--seconds S] [--readers K] [--update-rate U]
                  [--retrain-every R] [--batch B] [--json true]     # live handle: readers + updates
+                 [--shards S] [--pin true|false]                   # sharded handle replicas
   nmctl update-bench <rules.cb> [--seconds S] [--update-rate U] [--retrain-every R]
                  [--batch B] [--json true] [--bench-json PATH]     # measured Figure 7 curve
                  # --bench-json also measures partial vs full retrain latency and
@@ -36,6 +41,13 @@ engines: linear tss tm cs nc nm-tm nm-cs nm-nc     traces: uniform zipf:<alpha> 
         (tm/cs/nc also accept tuplemerge/cutsplit/neurocuts; with --batch B > 1
          every engine takes its batched pipeline — tm's table-major probe, the
          cs/nc level-synchronous tree descent, nm's phase pipeline)
+sharding: --shards S > 1 partitions the rule-set (range steering on an
+        auto-picked field, wildcard-heavy rules broadcast) with one engine
+        replica per shard; --workers W threads per shard; --pin pins each
+        shard's workers to one NUMA node's CPUs (no-op on 1-CPU machines —
+        the runtime degrades to unpinned there). bench runs static shards;
+        serve fans its update stream across per-shard handle replicas under
+        one logical generation.
 ";
 
 /// Runs a parsed command, returning the text to print (errors as `Err`).
@@ -163,6 +175,81 @@ fn cmd_bench(a: &Args) -> Result<String, String> {
 
     let batch: usize = a.num_or("batch", 1)?;
     let json: bool = a.num_or("json", false)?;
+    let shards: usize = a.num_or("shards", 1)?;
+    let workers: usize = a.num_or("workers", 1)?;
+    let pin: bool = a.num_or("pin", true)?;
+    if shards == 0 || workers == 0 {
+        return Err("--shards and --workers must be >= 1".into());
+    }
+
+    // `--shards`/`--workers` route through the worker runtime: one engine
+    // replica per shard (range steering, broadcast shard for wildcard-heavy
+    // rules), workers pinned per NUMA node unless --pin false. Engines are
+    // built per subset up front so an unknown engine name (or a failing
+    // build) surfaces as an error, not a panic inside a builder closure.
+    if shards > 1 || workers > 1 {
+        let t0 = std::time::Instant::now();
+        let plan_cfg = ShardPlanConfig { shards, dim: None, strategy: ShardStrategy::Range };
+        let plan = nm_common::ShardPlan::build(&set, &plan_cfg).map_err(|e| e.to_string())?;
+        let (home_sets, broadcast_set) = plan.subsets(&set);
+        let home = home_sets
+            .iter()
+            .map(|s| build_engine(&engine_name, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let broadcast = if broadcast_set.is_empty() {
+            None
+        } else {
+            Some(build_engine(&engine_name, &broadcast_set)?)
+        };
+        let sharded =
+            ShardedClassifier::from_parts(plan, home, broadcast).map_err(|e| e.to_string())?;
+        let build_s = t0.elapsed().as_secs_f64();
+        let rt = Runtime::new(RuntimeConfig {
+            batch: batch.max(1),
+            workers_per_shard: workers,
+            pin: if pin { PinPolicy::Numa } else { PinPolicy::Never },
+            ..Default::default()
+        });
+        let stats = rt.run(&sharded, &trace).map_err(|e| e.to_string())?;
+        if json {
+            return Ok(format!(
+                "{{\"engine\":\"{}\",\"rules\":{},\"build_s\":{:.3},\"memory_bytes\":{},\
+                 \"packets\":{},\"batch\":{},\"pps\":{:.1},\"ns_per_packet\":{:.1},\
+                 \"generation\":{},\"update_rate\":0.0,\"shards\":{},\"workers\":{},\
+                 \"pinned_workers\":{},\"broadcast_fraction\":{:.4}}}\n",
+                engine_name,
+                set.len(),
+                build_s,
+                sharded.memory_bytes(),
+                trace.len(),
+                batch.max(1),
+                stats.pps,
+                1e9 / stats.pps.max(1e-9),
+                Classifier::generation(&sharded),
+                stats.shards,
+                stats.workers,
+                stats.pinned_workers,
+                sharded.plan().broadcast_fraction(),
+            ));
+        }
+        return Ok(format!(
+            "engine: {} (sharded runtime)\nrules: {}\nbuild time: {:.2}s\nindex memory: {}\n\
+             packets: {}\nbatch: {}\nshards: {} (broadcast {:.1}%)\nworkers: {} ({} pinned)\n\
+             throughput: {:.3e} pps ({:.0} ns/packet)\n",
+            engine_name,
+            set.len(),
+            build_s,
+            human_bytes(sharded.memory_bytes()),
+            trace.len(),
+            batch.max(1),
+            stats.shards,
+            sharded.plan().broadcast_fraction() * 100.0,
+            stats.workers,
+            stats.pinned_workers,
+            stats.pps,
+            1e9 / stats.pps.max(1e-9),
+        ));
+    }
 
     let t0 = std::time::Instant::now();
     let engine = build_engine(&engine_name, &set)?;
@@ -180,7 +267,8 @@ fn cmd_bench(a: &Args) -> Result<String, String> {
         return Ok(format!(
             "{{\"engine\":\"{}\",\"rules\":{},\"build_s\":{:.3},\"memory_bytes\":{},\
              \"packets\":{},\"batch\":{},\"pps\":{:.1},\"ns_per_packet\":{:.1},\
-             \"generation\":{},\"update_rate\":0.0}}\n",
+             \"generation\":{},\"update_rate\":0.0,\"shards\":1,\"workers\":1,\
+             \"pinned_workers\":0,\"broadcast_fraction\":0.0}}\n",
             engine_name,
             set.len(),
             build_s,
@@ -262,6 +350,36 @@ fn drift_batch(set: &RuleSet, rng: &mut nm_common::SplitMix64, ops: usize) -> Up
     batch
 }
 
+/// The two control planes `nmctl serve` can front: one whole-set handle, or
+/// per-shard handle replicas kept in sync by update fan-out.
+enum ServeHandle {
+    Plain(ClassifierHandle<TupleMerge>),
+    Sharded(ShardedHandle<TupleMerge>),
+}
+
+impl ServeHandle {
+    fn as_classifier(&self) -> &dyn Classifier {
+        match self {
+            ServeHandle::Plain(h) => h,
+            ServeHandle::Sharded(h) => h,
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            ServeHandle::Plain(h) => h.generation(),
+            ServeHandle::Sharded(h) => h.generation(),
+        }
+    }
+
+    fn remainder_fraction(&self) -> f64 {
+        match self {
+            ServeHandle::Plain(h) => h.snapshot().engine().remainder_fraction(),
+            ServeHandle::Sharded(h) => h.remainder_fraction(),
+        }
+    }
+}
+
 fn cmd_serve(a: &Args) -> Result<String, String> {
     let set = load_rules(a)?;
     if set.is_empty() {
@@ -275,32 +393,54 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
     let packets: usize = a.num_or("packets", 50_000)?;
     let seed: u64 = a.num_or("seed", 1)?;
     let json: bool = a.num_or("json", false)?;
+    let shards: usize = a.num_or("shards", 1)?;
+    let pin: bool = a.num_or("pin", true)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
 
     let trace = uniform_trace(&set, packets, seed);
     let t0 = std::time::Instant::now();
-    let handle = ClassifierHandle::new(&set, &NuevoMatchConfig::default(), TupleMerge::build)
-        .map_err(|e| e.to_string())?;
+    let serve = if shards > 1 {
+        let plan = ShardPlanConfig { shards, dim: None, strategy: ShardStrategy::Range };
+        ServeHandle::Sharded(
+            ShardedHandle::new(&set, &NuevoMatchConfig::default(), &plan, TupleMerge::build)
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        ServeHandle::Plain(
+            ClassifierHandle::new(&set, &NuevoMatchConfig::default(), TupleMerge::build)
+                .map_err(|e| e.to_string())?,
+        )
+    };
     let build_s = t0.elapsed().as_secs_f64();
+    // Reader pinning: one CPU per reader, round-robin over NUMA nodes;
+    // empty grid (1-CPU box or --pin false) = unpinned.
+    let grid = if pin { Topology::discover().assign(readers.max(1), 1) } else { Vec::new() };
 
     let stop = std::sync::atomic::AtomicBool::new(false);
     let ops_per_batch = 16usize;
     let mut updates_applied = 0u64;
+    let mut retrains = 0u64;
+    let mut pinned_readers = 0usize;
     let mut reader_packets = vec![0u64; readers.max(1)];
     let start = std::time::Instant::now();
     std::thread::scope(|scope| {
         let mut joins = Vec::new();
-        for _ in 0..readers.max(1) {
-            let handle = handle.clone();
+        for r in 0..readers.max(1) {
+            let classifier = serve.as_classifier();
+            let cpu = grid.get(r).and_then(|row| row.first()).copied();
             let trace = &trace;
             let stop = &stop;
             joins.push(scope.spawn(move || {
+                let pinned = cpu.is_some_and(nuevomatch::system::runtime::pin_current_thread);
                 let (raw, stride, n) = (trace.raw(), trace.stride(), trace.len());
                 let mut out = vec![None; batch.max(1)];
                 let mut lo = 0usize;
                 let mut count = 0u64;
                 while !stop.load(std::sync::atomic::Ordering::SeqCst) {
                     let hi = (lo + batch.max(1)).min(n);
-                    handle.classify_batch(
+                    classifier.classify_batch(
                         &raw[lo * stride..hi * stride],
                         stride,
                         &mut out[..hi - lo],
@@ -308,34 +448,86 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
                     count += (hi - lo) as u64;
                     lo = if hi == n { 0 } else { hi };
                 }
-                count
+                (count, pinned)
             }));
         }
-        // Updater + retrain trigger on the caller's thread, through the
-        // shared pacer (same loop body `measure_update_curve` uses).
+        // Updater + retrain trigger on the caller's thread.
         let mut rng = nm_common::SplitMix64::new(seed ^ 0xdead_beef);
-        let mut pacer = UpdatePacer::new(update_rate, ops_per_batch, retrain_every);
-        let mut retrain_joins = Vec::new();
-        while start.elapsed().as_secs_f64() < seconds {
-            pacer.tick(&handle, &mut retrain_joins, |_| drift_batch(&set, &mut rng, ops_per_batch));
+        match &serve {
+            // Whole-set handle: the shared pacer (same loop body
+            // `measure_update_curve` uses), retrains on background threads.
+            ServeHandle::Plain(handle) => {
+                let mut pacer = UpdatePacer::new(update_rate, ops_per_batch, retrain_every);
+                let mut retrain_joins = Vec::new();
+                while start.elapsed().as_secs_f64() < seconds {
+                    pacer.tick(handle, &mut retrain_joins, |_| {
+                        drift_batch(&set, &mut rng, ops_per_batch)
+                    });
+                }
+                updates_applied = pacer.ops_applied();
+                stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                // Wait out every retrain the pacer spawned so the stats
+                // below are settled and no trainer is killed by exit.
+                UpdatePacer::drain(retrain_joins);
+                retrains = handle.retrains_completed();
+            }
+            // Sharded replicas: paced fan-out applies; retrains fan across
+            // every shard on a background thread (like the pacer's spawned
+            // retrains), so a multi-second retrain neither stalls this
+            // updater loop nor overshoots the requested duration — readers
+            // keep pinning epochs throughout.
+            ServeHandle::Sharded(sharded) => {
+                let interval = (update_rate > 0.0).then(|| {
+                    std::time::Duration::from_secs_f64(ops_per_batch as f64 / update_rate)
+                });
+                let mut next_fire = std::time::Instant::now();
+                let mut last_retrain = std::time::Instant::now();
+                let mut retrain_joins = Vec::new();
+                while start.elapsed().as_secs_f64() < seconds {
+                    match interval {
+                        Some(dt) if std::time::Instant::now() >= next_fire => {
+                            let batch = drift_batch(&set, &mut rng, ops_per_batch);
+                            updates_applied += batch.len() as u64;
+                            sharded.apply(&batch);
+                            next_fire += dt;
+                        }
+                        _ => std::thread::sleep(std::time::Duration::from_micros(200)),
+                    }
+                    let idle =
+                        retrain_joins.last().map_or(true, std::thread::JoinHandle::is_finished);
+                    if retrain_every > 0.0
+                        && idle
+                        && last_retrain.elapsed().as_secs_f64() >= retrain_every
+                    {
+                        last_retrain = std::time::Instant::now();
+                        let sharded = sharded.clone();
+                        retrain_joins.push(std::thread::spawn(move || sharded.retrain()));
+                    }
+                }
+                stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                // Wait out every spawned retrain so the stats below are
+                // settled and no trainer is killed by process exit.
+                retrains = retrain_joins
+                    .into_iter()
+                    .filter_map(|j| j.join().ok())
+                    .filter(Result::is_ok)
+                    .count() as u64;
+            }
         }
-        updates_applied = pacer.ops_applied();
-        stop.store(true, std::sync::atomic::Ordering::SeqCst);
         for (i, j) in joins.into_iter().enumerate() {
-            reader_packets[i] = j.join().expect("reader panicked");
+            let (count, pinned) = j.join().expect("reader panicked");
+            reader_packets[i] = count;
+            pinned_readers += usize::from(pinned);
         }
-        // Wait out every retrain the pacer spawned so the stats below are
-        // settled and no trainer is killed by process exit.
-        UpdatePacer::drain(retrain_joins);
     });
     let elapsed = start.elapsed().as_secs_f64();
     let total: u64 = reader_packets.iter().sum();
-    let snap = handle.snapshot();
     if json {
         return Ok(format!(
             "{{\"engine\":\"nm-tm\",\"rules\":{},\"build_s\":{:.3},\"readers\":{},\"seconds\":{:.3},\
              \"packets\":{},\"pps\":{:.1},\"update_rate\":{:.1},\"updates_applied\":{},\
-             \"generation\":{},\"retrains\":{},\"remainder_fraction\":{:.4}}}\n",
+             \"generation\":{},\"retrains\":{},\"remainder_fraction\":{:.4},\
+             \"shards\":{},\"pinned_readers\":{}}}\n",
             set.len(),
             build_s,
             readers.max(1),
@@ -344,25 +536,29 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
             total as f64 / elapsed,
             update_rate,
             updates_applied,
-            handle.generation(),
-            handle.retrains_completed(),
-            snap.engine().remainder_fraction(),
+            serve.generation(),
+            retrains,
+            serve.remainder_fraction(),
+            shards,
+            pinned_readers,
         ));
     }
     Ok(format!(
-        "served {} packets over {:.2}s with {} readers: {:.3e} pps aggregate\n\
+        "served {} packets over {:.2}s with {} readers ({} pinned, {} shard(s)): {:.3e} pps aggregate\n\
          updates applied: {} ({:.0}/s target) -> generation {}\n\
          retrains completed: {}   remainder fraction now: {:.1}%\n\
          readers never blocked: every classify ran against a pinned snapshot\n",
         total,
         elapsed,
         readers.max(1),
+        pinned_readers,
+        shards,
         total as f64 / elapsed,
         updates_applied,
         update_rate,
-        handle.generation(),
-        handle.retrains_completed(),
-        snap.engine().remainder_fraction() * 100.0,
+        serve.generation(),
+        retrains,
+        serve.remainder_fraction() * 100.0,
     ))
 }
 
@@ -698,6 +894,98 @@ mod tests {
         ] {
             assert!(blob.contains(key), "artifact missing {key}: {blob}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_bench_and_serve_emit_runtime_fields() {
+        let dir = std::env::temp_dir().join(format!("nmctl-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.cb");
+        let gen = run(parse_command(&v(&["generate", "--kind", "acl", "--rules", "300"])).unwrap())
+            .unwrap();
+        std::fs::write(&rules, gen).unwrap();
+        let rp = rules.to_str().unwrap();
+
+        // bench through the sharded worker runtime: 2 shards × 2 workers.
+        let out = run(parse_command(&v(&[
+            "bench",
+            rp,
+            "--engine",
+            "tm",
+            "--packets",
+            "2000",
+            "--batch",
+            "64",
+            "--shards",
+            "2",
+            "--workers",
+            "2",
+            "--json",
+            "true",
+        ]))
+        .unwrap())
+        .unwrap();
+        for field in [
+            "\"shards\":2",
+            "\"workers\":4",
+            "\"pinned_workers\":",
+            "\"broadcast_fraction\":",
+            "\"pps\":",
+            "\"generation\":",
+        ] {
+            assert!(out.contains(field), "sharded bench missing {field}: {out}");
+        }
+
+        // The unsharded path reports the same fields (trivial values) so
+        // downstream JSON consumers see one shape.
+        let out = run(parse_command(&v(&[
+            "bench",
+            rp,
+            "--engine",
+            "tm",
+            "--packets",
+            "1000",
+            "--json",
+            "true",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("\"shards\":1"), "{out}");
+        assert!(out.contains("\"workers\":1"), "{out}");
+
+        // serve with per-shard handle replicas: updates fan out, retrains
+        // republish one logical generation.
+        let out = run(parse_command(&v(&[
+            "serve",
+            rp,
+            "--seconds",
+            "0.4",
+            "--readers",
+            "2",
+            "--update-rate",
+            "500",
+            "--retrain-every",
+            "0.2",
+            "--packets",
+            "3000",
+            "--shards",
+            "2",
+            "--json",
+            "true",
+        ]))
+        .unwrap())
+        .unwrap();
+        for field in ["\"shards\":2", "\"pinned_readers\":", "\"generation\":", "\"retrains\":"] {
+            assert!(out.contains(field), "sharded serve missing {field}: {out}");
+        }
+
+        // Bad grids are rejected up front.
+        assert!(run(parse_command(&v(&[
+            "bench", rp, "--engine", "tm", "--shards", "0", "--json", "true",
+        ]))
+        .unwrap())
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

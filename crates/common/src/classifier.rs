@@ -198,6 +198,47 @@ pub trait Classifier: Send + Sync {
     fn num_rules(&self) -> usize;
 }
 
+// Boxed classifiers (the CLI's `Box<dyn Classifier>` engines) are
+// classifiers themselves, so generic wrappers — `FlowCache`, the sharded
+// runtime — can hold them without knowing the concrete engine. Every method
+// forwards, including the overridable hooks, so a boxed engine keeps its
+// batched pipeline and generation stamp.
+impl<C: Classifier + ?Sized> Classifier for Box<C> {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        (**self).classify(key)
+    }
+
+    fn classify_with_floor(&self, key: &[u64], floor: Priority) -> Option<MatchResult> {
+        (**self).classify_with_floor(key, floor)
+    }
+
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
+        (**self).batch_lookup(keys, stride, floors, out)
+    }
+
+    fn generation(&self) -> crate::update::Generation {
+        (**self).generation()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn num_rules(&self) -> usize {
+        (**self).num_rules()
+    }
+}
+
 // The deprecated per-op `Updatable` trait lived here for one release after
 // the control-plane split; it and its TupleMerge/LinearSearch shims are gone.
 // Migrate by wrapping ops in a [`crate::UpdateBatch`]:

@@ -46,6 +46,7 @@ pub mod range;
 pub mod rng;
 pub mod rule;
 pub mod ruleset;
+pub mod shard;
 pub mod stats;
 pub mod update;
 pub mod wire;
@@ -59,6 +60,7 @@ pub use range::FieldRange;
 pub use rng::SplitMix64;
 pub use rule::{Priority, Rule, RuleId};
 pub use ruleset::{FieldSpec, FieldsSpec, RuleSet};
+pub use shard::{ShardPlan, ShardPlanConfig, ShardRoute, ShardStrategy};
 pub use update::{
     BatchUpdatable, EngineBuilder, Generation, Snapshot, UpdateBatch, UpdateOp, UpdateReport,
 };

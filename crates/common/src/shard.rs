@@ -1,0 +1,476 @@
+//! Rule-set sharding: the data model behind the NUMA-aware runtime.
+//!
+//! The paper's §4/§5.1 parallelization replicates the classifier per core.
+//! Past one socket that stops scaling: every replica's working set spans
+//! the whole rule-set, and remote-node memory traffic dominates. A
+//! [`ShardPlan`] instead *partitions* the rule-set along one field so each
+//! shard's engine indexes only its slice, packets are **steered** to the
+//! shard owning their key, and per-shard verdicts merge by priority.
+//!
+//! Correctness is by construction, not by test: a rule is placed in a home
+//! shard only when **every** key it can match steers to that shard
+//! (range rules must fit inside one shard's steering interval; hash-steered
+//! rules must be exact in the steering field). Any rule that cannot make
+//! that guarantee — wildcards, ranges spanning a cut — goes to the
+//! **broadcast shard**, which is consulted for every packet. The best
+//! verdict for a packet is therefore
+//! `better(home_shard(packet), broadcast(packet))`, which equals the best
+//! verdict over all rules: every matching rule is in exactly one of the two
+//! sets consulted. Priority/id tie-breaking ([`MatchResult::better`]) is
+//! order-independent, so the merge cannot depend on shard count.
+//!
+//! [`ShardStrategy::RoundRobin`] degenerates to the paper's replicated
+//! mode: every home shard holds the whole set, steering balances whole
+//! batches round-robin, and the broadcast shard is empty.
+//!
+//! [`MatchResult::better`]: crate::classifier::MatchResult::better
+
+use crate::classifier::MatchResult;
+use crate::error::Error;
+use crate::rule::{Rule, RuleId};
+use crate::ruleset::RuleSet;
+
+/// How packets (and rules) map to shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Contiguous cuts of the steering field's domain, placed at quantiles
+    /// of the rule distribution. Rules whose range in the steering field
+    /// fits inside one interval live there; the rest broadcast. The right
+    /// default for range-heavy fields (ports, prefixes).
+    Range,
+    /// Hash of the steering field's value. Only rules *exact* in the
+    /// steering field get a home shard; every range rule broadcasts. Best
+    /// for exact-match-heavy fields with skewed value distributions.
+    Hash,
+    /// No content steering: every home shard replicates the whole set and
+    /// batches are dealt round-robin (the §5.1 replicated baseline as a
+    /// plan). The broadcast shard is empty.
+    RoundRobin,
+}
+
+impl std::str::FromStr for ShardStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "range" => Ok(Self::Range),
+            "hash" => Ok(Self::Hash),
+            "rr" | "round-robin" | "replicated" => Ok(Self::RoundRobin),
+            other => Err(format!("unknown shard strategy '{other}' (range|hash|rr)")),
+        }
+    }
+}
+
+/// Parameters for [`ShardPlan::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPlanConfig {
+    /// Number of home shards (≥ 1). `1` means "no sharding": one home shard
+    /// holds everything and the broadcast shard is empty.
+    pub shards: usize,
+    /// Steering field, or `None` to pick the field that minimises the
+    /// busiest worker's rule load (largest home shard + broadcast set),
+    /// preferring fewer broadcast rules on ties — not broadcast-first,
+    /// which would pick degenerate one-shard plans on wildcard-heavy
+    /// fields. Ties break toward the lower dimension.
+    pub dim: Option<usize>,
+    /// Steering strategy.
+    pub strategy: ShardStrategy,
+}
+
+impl Default for ShardPlanConfig {
+    fn default() -> Self {
+        Self { shards: 1, dim: None, strategy: ShardStrategy::Range }
+    }
+}
+
+/// Where one rule lives under a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardRoute {
+    /// Exactly one home shard serves every key this rule can match.
+    Home(usize),
+    /// The rule is consulted for every packet (wildcard/spanning rules).
+    Broadcast,
+    /// Every home shard holds the rule ([`ShardStrategy::RoundRobin`]).
+    All,
+}
+
+/// A partition of a rule-set into per-shard subsets plus a broadcast
+/// subset, and the steering function that maps packets to shards.
+///
+/// The plan is immutable once built; the control plane routes later rule
+/// updates through [`ShardPlan::route_rule`] so inserts and modifies land
+/// (or move) where steering will find them.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    strategy: ShardStrategy,
+    dim: usize,
+    shards: usize,
+    /// Range strategy: shard `s` covers `[cuts[s-1], cuts[s])` with
+    /// implicit 0 and +inf ends — `cuts.len() == shards - 1`, ascending.
+    cuts: Vec<u64>,
+    home: Vec<Vec<RuleId>>,
+    broadcast: Vec<RuleId>,
+}
+
+/// SplitMix64 finaliser — the hash behind [`ShardStrategy::Hash`] steering.
+#[inline]
+fn mix(mut v: u64) -> u64 {
+    v = (v ^ (v >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    v = (v ^ (v >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    v ^ (v >> 31)
+}
+
+impl ShardPlan {
+    /// Partitions `set` per `cfg`. Errors when `shards == 0` or the steering
+    /// dimension is out of the schema.
+    pub fn build(set: &RuleSet, cfg: &ShardPlanConfig) -> Result<Self, Error> {
+        if cfg.shards == 0 {
+            return Err(Error::Build { msg: "ShardPlan: shards must be >= 1".into() });
+        }
+        if let Some(dim) = cfg.dim {
+            if dim >= set.num_fields() {
+                return Err(Error::Build {
+                    msg: format!(
+                        "ShardPlan: steering dim {dim} outside schema ({} fields)",
+                        set.num_fields()
+                    ),
+                });
+            }
+        }
+        if cfg.strategy == ShardStrategy::RoundRobin || cfg.shards == 1 {
+            // Whole-set shards (or a single shard): no content steering, so
+            // the dimension is irrelevant; keep broadcast empty.
+            let all: Vec<RuleId> = set.rules().iter().map(|r| r.id).collect();
+            return Ok(Self {
+                strategy: cfg.strategy,
+                dim: cfg.dim.unwrap_or(0),
+                shards: cfg.shards,
+                cuts: Vec::new(),
+                home: vec![all; cfg.shards],
+                broadcast: Vec::new(),
+            });
+        }
+        let dims: Vec<usize> = match cfg.dim {
+            Some(d) => vec![d],
+            None => (0..set.num_fields()).collect(),
+        };
+        // Auto-pick: minimise the busiest worker's rule load — its home
+        // shard plus the broadcast set it merges for every packet
+        // (`max_home + broadcast`), then prefer fewer broadcast rules. A
+        // pure fewest-broadcast score would pick degenerate plans on
+        // wildcard-heavy fields (every rule "fits" one shard ⇒ zero
+        // broadcast, zero parallelism); the load term rejects those.
+        let score = |p: &ShardPlan| {
+            let max_home = p.home.iter().map(Vec::len).max().unwrap_or(0);
+            (max_home + p.broadcast.len(), p.broadcast.len())
+        };
+        let mut best: Option<ShardPlan> = None;
+        for dim in dims {
+            let plan = Self::build_in_dim(set, cfg, dim);
+            if best.as_ref().map_or(true, |b| score(&plan) < score(b)) {
+                best = Some(plan);
+            }
+        }
+        Ok(best.expect("at least one candidate dimension"))
+    }
+
+    fn build_in_dim(set: &RuleSet, cfg: &ShardPlanConfig, dim: usize) -> Self {
+        let n = cfg.shards;
+        let cuts = match cfg.strategy {
+            ShardStrategy::Range => {
+                // Quantile cuts over the rules' lower bounds: balances rule
+                // count per shard when ranges are narrow relative to the
+                // domain (the common ClassBench shape).
+                let mut los: Vec<u64> = set.rules().iter().map(|r| r.fields[dim].lo).collect();
+                los.sort_unstable();
+                let mut cuts: Vec<u64> = (1..n)
+                    .map(|s| {
+                        let idx = (s * los.len()) / n;
+                        los.get(idx).copied().unwrap_or(u64::MAX)
+                    })
+                    .collect();
+                cuts.dedup();
+                cuts
+            }
+            ShardStrategy::Hash => Vec::new(),
+            ShardStrategy::RoundRobin => unreachable!("handled by build"),
+        };
+        let mut plan = Self {
+            strategy: cfg.strategy,
+            dim,
+            // Dedup can merge range cuts when the lo distribution is
+            // heavily repeated; the effective shard count follows the cuts.
+            shards: if cfg.strategy == ShardStrategy::Range { cuts.len() + 1 } else { n },
+            cuts,
+            home: Vec::new(),
+            broadcast: Vec::new(),
+        };
+        plan.home = vec![Vec::new(); plan.shards];
+        for rule in set.rules() {
+            match plan.route_rule(rule) {
+                ShardRoute::Home(s) => plan.home[s].push(rule.id),
+                ShardRoute::Broadcast => plan.broadcast.push(rule.id),
+                ShardRoute::All => unreachable!("keyed strategies never route All"),
+            }
+        }
+        plan
+    }
+
+    /// Steering strategy.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// The steering field.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of home shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Rule ids of home shard `s`.
+    pub fn home(&self, s: usize) -> &[RuleId] {
+        &self.home[s]
+    }
+
+    /// Rule ids of the broadcast shard.
+    pub fn broadcast(&self) -> &[RuleId] {
+        &self.broadcast
+    }
+
+    /// Fraction of rules in the broadcast shard — the plan's quality metric
+    /// (broadcast work is paid by every packet).
+    pub fn broadcast_fraction(&self) -> f64 {
+        let homed: usize = self.home.iter().map(Vec::len).sum();
+        let total = match self.strategy {
+            // Whole-set shards replicate; count each rule once.
+            ShardStrategy::RoundRobin => self.home.first().map_or(0, Vec::len),
+            _ => homed + self.broadcast.len(),
+        };
+        if total == 0 {
+            0.0
+        } else {
+            self.broadcast.len() as f64 / total as f64
+        }
+    }
+
+    /// Home shard for a steering-field value.
+    #[inline]
+    fn shard_of_value(&self, v: u64) -> usize {
+        match self.strategy {
+            ShardStrategy::Range => self.cuts.partition_point(|&c| c <= v),
+            ShardStrategy::Hash => (mix(v) % self.shards as u64) as usize,
+            ShardStrategy::RoundRobin => 0,
+        }
+    }
+
+    /// Steers one packet to its home shard. `batch` is the batch index —
+    /// only [`ShardStrategy::RoundRobin`] uses it (whole batches deal
+    /// round-robin, like the legacy replicated mode); keyed strategies
+    /// steer purely on the packet's steering-field value, so a packet's
+    /// shard never depends on its position in the trace.
+    #[inline]
+    pub fn steer(&self, key: &[u64], batch: usize) -> usize {
+        match self.strategy {
+            ShardStrategy::RoundRobin => batch % self.shards,
+            _ => self.shard_of_value(key[self.dim]),
+        }
+    }
+
+    /// Where a rule must live for steering to find it: a home shard when
+    /// every key the rule matches steers there, otherwise broadcast.
+    /// Update paths route inserts/modifies through this so the placement
+    /// invariant survives rule churn.
+    pub fn route_rule(&self, rule: &Rule) -> ShardRoute {
+        match self.strategy {
+            ShardStrategy::RoundRobin => ShardRoute::All,
+            ShardStrategy::Range => {
+                let f = rule.fields[self.dim];
+                let s = self.shard_of_value(f.lo);
+                if self.shard_of_value(f.hi) == s {
+                    ShardRoute::Home(s)
+                } else {
+                    ShardRoute::Broadcast
+                }
+            }
+            ShardStrategy::Hash => {
+                let f = rule.fields[self.dim];
+                if f.lo == f.hi {
+                    ShardRoute::Home(self.shard_of_value(f.lo))
+                } else {
+                    ShardRoute::Broadcast
+                }
+            }
+        }
+    }
+
+    /// Materialises the per-shard rule subsets: one [`RuleSet`] per home
+    /// shard plus the broadcast subset (ids and priorities preserved).
+    pub fn subsets(&self, set: &RuleSet) -> (Vec<RuleSet>, RuleSet) {
+        let home = self.home.iter().map(|ids| set.subset(ids)).collect();
+        (home, set.subset(&self.broadcast))
+    }
+
+    /// Merges a packet's home-shard and broadcast verdicts — the steering
+    /// stage's reduction, spelled out so call sites share one definition.
+    #[inline]
+    pub fn merge(home: Option<MatchResult>, broadcast: Option<MatchResult>) -> Option<MatchResult> {
+        MatchResult::better(home, broadcast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fivetuple::FiveTuple;
+    use crate::ruleset::FieldsSpec;
+
+    fn port_set(n: u16) -> RuleSet {
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
+            })
+            .collect();
+        RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+    }
+
+    #[test]
+    fn range_plan_homes_fitting_rules_and_balances() {
+        let set = port_set(400);
+        let cfg = ShardPlanConfig { shards: 4, dim: Some(3), strategy: ShardStrategy::Range };
+        let plan = ShardPlan::build(&set, &cfg).unwrap();
+        assert_eq!(plan.shards(), 4);
+        let homed: usize = (0..4).map(|s| plan.home(s).len()).sum();
+        // A cut can split at most one 100-wide rule per boundary.
+        assert!(plan.broadcast().len() <= 3, "broadcast {}", plan.broadcast().len());
+        assert_eq!(homed + plan.broadcast().len(), 400);
+        for s in 0..4 {
+            assert!(plan.home(s).len() >= 80, "shard {s} holds {}", plan.home(s).len());
+        }
+    }
+
+    #[test]
+    fn every_matching_rule_is_reachable() {
+        // The construction invariant, checked exhaustively: for every rule
+        // and every key in its steering range, the key steers to the rule's
+        // home shard (or the rule broadcasts).
+        let set = port_set(120);
+        for strategy in [ShardStrategy::Range, ShardStrategy::Hash] {
+            for shards in [1usize, 2, 3, 8] {
+                let cfg = ShardPlanConfig { shards, dim: Some(3), strategy };
+                let plan = ShardPlan::build(&set, &cfg).unwrap();
+                for rule in set.rules() {
+                    let route = plan.route_rule(rule);
+                    for v in [
+                        rule.fields[3].lo,
+                        (rule.fields[3].lo + rule.fields[3].hi) / 2,
+                        rule.fields[3].hi,
+                    ] {
+                        let key = [0u64, 0, 0, v, 0];
+                        let s = plan.steer(&key, 7);
+                        match route {
+                            ShardRoute::Home(h) => {
+                                assert_eq!(s, h, "rule {} v {v} strategy {strategy:?}", rule.id)
+                            }
+                            ShardRoute::Broadcast => {}
+                            ShardRoute::All => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_plan_broadcasts_ranges_and_homes_exacts() {
+        let mut rules = vec![FiveTuple::new().dst_port_range(10, 500).into_rule(0, 0)];
+        for i in 1..40u16 {
+            rules.push(FiveTuple::new().dst_port_exact(1000 + i).into_rule(i as u32, i as u32));
+        }
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let cfg = ShardPlanConfig { shards: 4, dim: Some(3), strategy: ShardStrategy::Hash };
+        let plan = ShardPlan::build(&set, &cfg).unwrap();
+        assert_eq!(plan.broadcast(), &[0], "only the range rule broadcasts");
+        assert!((plan.broadcast_fraction() - 1.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_robin_replicates_whole_set() {
+        let set = port_set(50);
+        let cfg = ShardPlanConfig { shards: 3, dim: None, strategy: ShardStrategy::RoundRobin };
+        let plan = ShardPlan::build(&set, &cfg).unwrap();
+        assert_eq!(plan.shards(), 3);
+        for s in 0..3 {
+            assert_eq!(plan.home(s).len(), 50);
+        }
+        assert!(plan.broadcast().is_empty());
+        assert_eq!(plan.broadcast_fraction(), 0.0);
+        // Whole batches deal round-robin, content-blind.
+        assert_eq!(plan.steer(&[0, 0, 0, 9_999, 0], 0), 0);
+        assert_eq!(plan.steer(&[0, 0, 0, 9_999, 0], 4), 1);
+        assert_eq!(plan.route_rule(set.rule(0)), ShardRoute::All);
+    }
+
+    #[test]
+    fn auto_dim_minimises_broadcast() {
+        // Rules exact in dst-port but wildcard everywhere else: only dim 3
+        // shards without broadcasting everything.
+        let rules: Vec<_> = (0..60u16)
+            .map(|i| FiveTuple::new().dst_port_exact(i * 7).into_rule(i as u32, i as u32))
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let cfg = ShardPlanConfig { shards: 2, dim: None, strategy: ShardStrategy::Range };
+        let plan = ShardPlan::build(&set, &cfg).unwrap();
+        assert_eq!(plan.dim(), 3, "auto-pick must choose the diverse field");
+        assert!(plan.broadcast().is_empty());
+    }
+
+    #[test]
+    fn single_shard_plan_is_trivial() {
+        let set = port_set(10);
+        let plan = ShardPlan::build(&set, &ShardPlanConfig::default()).unwrap();
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.home(0).len(), 10);
+        assert!(plan.broadcast().is_empty());
+        assert_eq!(plan.steer(&[0, 0, 0, 123, 0], 5), 0);
+    }
+
+    #[test]
+    fn subsets_preserve_ids_and_cover_everything() {
+        let set = port_set(90);
+        let cfg = ShardPlanConfig { shards: 3, dim: Some(3), strategy: ShardStrategy::Range };
+        let plan = ShardPlan::build(&set, &cfg).unwrap();
+        let (home, broadcast) = plan.subsets(&set);
+        let covered: usize = home.iter().map(RuleSet::len).sum::<usize>() + broadcast.len();
+        assert_eq!(covered, 90);
+        for (s, sub) in home.iter().enumerate() {
+            for rule in sub.rules() {
+                assert_eq!(plan.route_rule(rule), ShardRoute::Home(s));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_shards_and_bad_dim() {
+        let set = port_set(5);
+        assert!(
+            ShardPlan::build(&set, &ShardPlanConfig { shards: 0, ..Default::default() }).is_err()
+        );
+        assert!(ShardPlan::build(
+            &set,
+            &ShardPlanConfig { shards: 2, dim: Some(9), strategy: ShardStrategy::Range }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn strategy_parses() {
+        assert_eq!("range".parse::<ShardStrategy>().unwrap(), ShardStrategy::Range);
+        assert_eq!("hash".parse::<ShardStrategy>().unwrap(), ShardStrategy::Hash);
+        assert_eq!("rr".parse::<ShardStrategy>().unwrap(), ShardStrategy::RoundRobin);
+        assert!("bogus".parse::<ShardStrategy>().is_err());
+    }
+}

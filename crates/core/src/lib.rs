@@ -71,6 +71,9 @@ pub use system::handle::{
     concentrated_drift, measure_retrain_latencies, measure_update_curve, RetrainLatencies,
     UpdateBenchConfig, UpdateCurvePoint, UpdatePacer,
 };
+pub use system::runtime::{
+    PinPolicy, RunStats, Runtime, RuntimeConfig, ShardedClassifier, ShardedHandle, Topology,
+};
 pub use system::{
     ClassifierHandle, FlowCache, LookupBreakdown, NmSnapshot, NuevoMatch, PartialRetrainReport,
     TrainedISet,

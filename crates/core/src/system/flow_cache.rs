@@ -54,6 +54,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Folds another cache's counters into this one — the runtime keeps one
+    /// private cache per worker (no shared cache line ping-pong) and
+    /// aggregates their stats with this after a run.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
     /// Hit fraction in [0, 1].
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -70,8 +78,11 @@ impl CacheStats {
 /// The wrapper itself implements [`Classifier`], so it can front NuevoMatch,
 /// TupleMerge, or anything else in the workspace. Interior mutability keeps
 /// `classify(&self)` signature intact; a `Mutex` per cache keeps this simple
-/// and correct (per-core caches would shard in a real datapath — one cache
-/// per worker thread, exactly how OVS does it).
+/// and correct. In a multi-worker datapath the cache shards per worker —
+/// exactly how OVS does it — which is what the worker runtime
+/// ([`crate::system::runtime`]) does: each worker owns a private
+/// `FlowCache` over its shard pin and the per-worker [`CacheStats`]
+/// aggregate through [`CacheStats::absorb`].
 pub struct FlowCache<C> {
     inner: C,
     sets: Mutex<CacheState>,

@@ -12,13 +12,18 @@ pub mod flow_cache;
 pub mod handle;
 pub mod parallel;
 pub mod retrain;
+pub mod runtime;
 pub mod update;
 
 pub use breakdown::{measure_breakdown, LookupBreakdown};
 pub use flow_cache::{CacheStats, FlowCache};
 pub use handle::{ClassifierHandle, NmSnapshot};
+#[allow(deprecated)]
 pub use parallel::{run_batched, run_replicated, run_two_workers, ParallelStats};
 pub use retrain::PartialRetrainReport;
+pub use runtime::{
+    PinPolicy, RunStats, Runtime, RuntimeConfig, ShardedClassifier, ShardedHandle, Topology,
+};
 
 use std::sync::Arc;
 

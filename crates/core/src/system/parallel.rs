@@ -1,46 +1,44 @@
-//! Batched multi-worker execution (paper §4 "Parallelization" and §5.1).
+//! Batched execution reference loops and the legacy multi-worker entry
+//! points (paper §4 "Parallelization" and §5.1).
 //!
-//! Two execution modes from the paper's methodology:
+//! The multi-worker machinery lives in [`crate::system::runtime`] since the
+//! sharded-runtime refactor: a [`Runtime`] executes *plans* —
+//! [`SplitPlan`](crate::system::runtime::SplitPlan) (NuevoMatch's
+//! iSet/remainder two-worker split),
+//! [`Replicated`](crate::system::runtime::Replicated) (N whole-set shards,
+//! the baselines' mode), and the sharded data planes
+//! ([`ShardedHandle`](crate::system::runtime::ShardedHandle) /
+//! [`ShardedClassifier`](crate::system::runtime::ShardedClassifier)) — with
+//! NUMA-aware worker pinning, a configurable pipeline depth, per-worker
+//! flow caches and propagated worker errors. [`run_two_workers`] and
+//! [`run_replicated`] remain as thin deprecated wrappers expressing the old
+//! signatures as runtime plans.
 //!
-//! * [`run_two_workers`] — NuevoMatch's split: one worker runs all RQ-RMI
-//!   iSets, the other runs the remainder classifier, results merge per
-//!   batch. Each worker's working set stays small (the RQ-RMIs fit in L1
-//!   even when the remainder does not).
-//! * [`run_replicated`] — the baselines' best case: `t` instances of the
-//!   same classifier (no rule duplication — shared reference), batches
-//!   split between them round-robin, "almost linear scaling with perfect
-//!   load balancing".
+//! This module keeps the two single-threaded reference loops —
+//! [`run_sequential`] (the §5.2 per-key methodology) and [`run_batched`]
+//! (the `classify_batch` path) — which every parallel checksum is validated
+//! against, plus the [`ParallelStats`] shape the wrappers and benches
+//! consume.
 //!
-//! Batches of 128 packets amortise the synchronisation, as in §5.1.
-//!
-//! The runtime consumes [`ClassifierHandle`]s, not `&NuevoMatch`: workers
-//! classify against generation-pinned snapshots, so a control-plane update
-//! or retrain can land mid-run without stalling a single batch. The
-//! dispatcher pins one snapshot per batch and hands the *same* snapshot to
-//! both workers, which keeps the split halves of a batch on one generation
-//! (merging candidates from two generations would not be a classifier any
-//! sequential run could produce). [`run_batched`] / [`run_replicated`] /
-//! [`run_sequential`] take `&dyn Classifier` — pass a handle to serve under
-//! updates (its `classify_batch` pins per batch), or a bare engine for
-//! static workloads.
-//!
-//! This repository's CI machine has a single physical core, so the measured
-//! *numbers* time-share; the harness structure is identical to the paper's
-//! and scales on real multi-core hardware. EXPERIMENTS.md discusses the
-//! caveat.
+//! **Single-core CI fallback.** This repository's CI machine has a single
+//! physical core. The runtime's [`Topology`](crate::system::runtime::Topology)
+//! reports that shape and schedules every worker unpinned (pinning a
+//! pipeline onto one core would only serialise it behind the dispatcher),
+//! so the measured *numbers* time-share; the harness structure is identical
+//! to the paper's and scales on real multi-core hardware. EXPERIMENTS.md
+//! discusses the caveat.
 
-use std::sync::Arc;
-
-use crossbeam::channel;
 use nm_common::classifier::{Classifier, MatchResult};
 use nm_common::packet::TraceBuf;
 
-use super::handle::{ClassifierHandle, NmSnapshot};
+use super::handle::ClassifierHandle;
+use super::runtime::{fold_checksum, RunStats, Runtime, RuntimeConfig};
 
 /// Default batch size from the paper.
 pub const BATCH: usize = 128;
 
-/// Result of a parallel run.
+/// Result of a parallel run (the legacy stats shape; the runtime's richer
+/// [`RunStats`] converts into it).
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelStats {
     /// Wall-clock seconds for the whole trace.
@@ -53,175 +51,59 @@ pub struct ParallelStats {
     pub checksum: u64,
 }
 
-fn fold(checksum: &mut u64, m: Option<MatchResult>) {
-    let v = m.map_or(u64::MAX, |r| r.rule as u64);
-    *checksum = checksum.wrapping_mul(0x100_0000_01b3).wrapping_add(v);
+impl From<RunStats> for ParallelStats {
+    fn from(s: RunStats) -> Self {
+        Self {
+            seconds: s.seconds,
+            pps: s.pps,
+            mean_batch_latency_ns: s.mean_batch_latency_ns,
+            checksum: s.checksum,
+        }
+    }
 }
 
-/// Runs NuevoMatch with the paper's two-worker split: worker A executes the
-/// iSet RQ-RMIs, worker B the remainder classifier; the caller's thread
-/// merges per-batch candidates in order.
+/// Legacy two-worker entry point: NuevoMatch's iSet/remainder split,
+/// expressed as a [`SplitPlan`](crate::system::runtime::SplitPlan) on a
+/// default-configured [`Runtime`].
 ///
-/// Takes a [`ClassifierHandle`], not `&NuevoMatch`: the dispatcher pins one
-/// snapshot per batch and ships it to both workers, so updates and retrain
-/// swaps landing mid-run never stall a batch and never split one batch
-/// across generations.
+/// Worker failures, which previously wedged the dispatcher on a dead
+/// channel, now surface as a descriptive panic (the runtime API returns
+/// them as errors — use [`Runtime::run_split`] to handle them).
+#[deprecated(
+    since = "0.2.0",
+    note = "use system::runtime::Runtime::run_split (plan-based runtime with pinning, \
+            configurable pipeline depth, and error propagation)"
+)]
 pub fn run_two_workers<R: Classifier>(
     handle: &ClassifierHandle<R>,
     trace: &TraceBuf,
     batch: usize,
 ) -> ParallelStats {
-    let n = trace.len();
-    if n == 0 {
-        return ParallelStats { seconds: 0.0, pps: 0.0, mean_batch_latency_ns: 0.0, checksum: 0 };
-    }
-    let batch = batch.max(1);
-    let n_batches = n.div_ceil(batch);
-    type Job<R> = (usize, Arc<NmSnapshot<R>>);
-    // Bounded channels keep a small pipeline in flight, like a NIC queue.
-    let (a_tx, a_rx) = channel::bounded::<Job<R>>(4);
-    let (b_tx, b_rx) = channel::bounded::<Job<R>>(4);
-    let (ra_tx, ra_rx) = channel::bounded::<(usize, Vec<Option<MatchResult>>)>(4);
-    let (rb_tx, rb_rx) = channel::bounded::<(usize, Vec<Option<MatchResult>>)>(4);
-
-    let mut checksum = 0u64;
-    let mut latency_sum = 0.0f64;
-    let start = std::time::Instant::now();
-
-    let stride = trace.stride();
-    let raw = trace.raw();
-    crossbeam::thread::scope(|scope| {
-        // Worker A: iSets, whole batches through the phase pipeline.
-        scope.spawn(|_| {
-            for (b, snap) in a_rx.iter() {
-                let lo = b * batch;
-                let hi = ((b + 1) * batch).min(n);
-                let mut out = vec![None; hi - lo];
-                snap.engine().classify_isets_batch(
-                    &raw[lo * stride..hi * stride],
-                    stride,
-                    &mut out,
-                );
-                if ra_tx.send((b, out)).is_err() {
-                    break;
-                }
-            }
-        });
-        // Worker B: remainder, batched through the engine's own path.
-        scope.spawn(|_| {
-            for (b, snap) in b_rx.iter() {
-                let lo = b * batch;
-                let hi = ((b + 1) * batch).min(n);
-                let mut out = vec![None; hi - lo];
-                snap.engine().remainder().classify_batch(
-                    &raw[lo * stride..hi * stride],
-                    stride,
-                    &mut out,
-                );
-                if rb_tx.send((b, out)).is_err() {
-                    break;
-                }
-            }
-        });
-
-        let mut dispatch_times = vec![std::time::Instant::now(); n_batches];
-        let mut next = 0usize;
-        let mut merged = 0usize;
-        // Prime the pipeline, then merge in order.
-        while merged < n_batches {
-            while next < n_batches && next - merged < 4 {
-                dispatch_times[next] = std::time::Instant::now();
-                // One pin per batch, shared by both workers.
-                let snap = handle.snapshot();
-                if a_tx.send((next, snap.clone())).is_err() || b_tx.send((next, snap)).is_err() {
-                    unreachable!("worker exited before channel close");
-                }
-                next += 1;
-            }
-            let (ba, va) = ra_rx.recv().unwrap();
-            let (bb, vb) = rb_rx.recv().unwrap();
-            debug_assert_eq!(ba, bb, "workers must stay in lock-step batch order");
-            for (a, b) in va.into_iter().zip(vb) {
-                fold(&mut checksum, MatchResult::better(a, b));
-            }
-            latency_sum += dispatch_times[ba].elapsed().as_nanos() as f64;
-            merged += 1;
-        }
-        drop(a_tx);
-        drop(b_tx);
-    })
-    .expect("worker panicked");
-
-    let seconds = start.elapsed().as_secs_f64();
-    ParallelStats {
-        seconds,
-        pps: n as f64 / seconds,
-        mean_batch_latency_ns: latency_sum / n_batches as f64,
-        checksum,
-    }
+    Runtime::new(RuntimeConfig { batch: batch.max(1), ..Default::default() })
+        .run_split(handle, trace)
+        .unwrap_or_else(|e| panic!("two-worker runtime failed: {e}"))
+        .into()
 }
 
-/// Runs `threads` instances of any classifier over the trace, batches
-/// distributed round-robin (the baselines' multi-core mode in §5.1).
+/// Legacy replicated entry point: `threads` whole-set shards over one
+/// engine, expressed as a [`Replicated`](crate::system::runtime::Replicated)
+/// plan. Unlike the historical runner, verdicts merge in trace order, so
+/// the checksum equals [`run_sequential`]'s at **any** thread count (the
+/// old XOR-of-partials combination was only comparable at one thread).
+#[deprecated(
+    since = "0.2.0",
+    note = "use system::runtime::Runtime::run_replicated (plan-based runtime)"
+)]
 pub fn run_replicated(
     c: &dyn Classifier,
     trace: &TraceBuf,
     threads: usize,
     batch: usize,
 ) -> ParallelStats {
-    let n = trace.len();
-    if n == 0 {
-        return ParallelStats { seconds: 0.0, pps: 0.0, mean_batch_latency_ns: 0.0, checksum: 0 };
-    }
-    let threads = threads.max(1);
-    let batch = batch.max(1);
-    let n_batches = n.div_ceil(batch);
-    let start = std::time::Instant::now();
-    let mut partials: Vec<(u64, f64, usize)> = Vec::new();
-
-    let stride = trace.stride();
-    let raw = trace.raw();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
-                let mut checksum = 0u64;
-                let mut lat = 0.0f64;
-                let mut batches = 0usize;
-                let mut out: Vec<Option<MatchResult>> = vec![None; batch];
-                let mut b = t;
-                while b < n_batches {
-                    let t0 = std::time::Instant::now();
-                    let lo = b * batch;
-                    let hi = ((b + 1) * batch).min(n);
-                    c.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out[..hi - lo]);
-                    for &m in &out[..hi - lo] {
-                        fold(&mut checksum, m);
-                    }
-                    lat += t0.elapsed().as_nanos() as f64;
-                    batches += 1;
-                    b += threads;
-                }
-                (checksum, lat, batches)
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().unwrap());
-        }
-    })
-    .expect("worker panicked");
-
-    let seconds = start.elapsed().as_secs_f64();
-    let total_batches: usize = partials.iter().map(|p| p.2).sum();
-    let lat_sum: f64 = partials.iter().map(|p| p.1).sum();
-    // Order-independent combination so the checksum is reproducible.
-    let checksum = partials.iter().fold(0u64, |acc, p| acc ^ p.0);
-    ParallelStats {
-        seconds,
-        pps: n as f64 / seconds,
-        mean_batch_latency_ns: lat_sum / total_batches.max(1) as f64,
-        checksum,
-    }
+    Runtime::new(RuntimeConfig { batch: batch.max(1), ..Default::default() })
+        .run_replicated(c, threads.max(1), trace)
+        .unwrap_or_else(|e| panic!("replicated runtime failed: {e}"))
+        .into()
 }
 
 /// Single-core **batched** run: the trace flows through
@@ -246,7 +128,7 @@ pub fn run_batched(c: &dyn Classifier, trace: &TraceBuf, batch: usize) -> Parall
         let hi = (lo + batch).min(n);
         c.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out[..hi - lo]);
         for &m in &out[..hi - lo] {
-            fold(&mut checksum, m);
+            fold_checksum(&mut checksum, m);
         }
         lo = hi;
     }
@@ -267,7 +149,7 @@ pub fn run_sequential(c: &dyn Classifier, trace: &TraceBuf) -> ParallelStats {
     let start = std::time::Instant::now();
     let mut checksum = 0u64;
     for key in trace.iter() {
-        fold(&mut checksum, c.classify(key));
+        fold_checksum(&mut checksum, c.classify(key));
     }
     let seconds = start.elapsed().as_secs_f64();
     ParallelStats {
@@ -280,6 +162,8 @@ pub fn run_sequential(c: &dyn Classifier, trace: &TraceBuf) -> ParallelStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers under test are the deprecated API
+
     use super::*;
     use crate::config::{NuevoMatchConfig, RqRmiParams};
     use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet};
@@ -316,7 +200,7 @@ mod tests {
     }
 
     #[test]
-    fn two_workers_match_sequential() {
+    fn two_worker_wrapper_matches_sequential() {
         let (nm, trace) = setup();
         let seq = run_sequential(&nm, &trace);
         let par = run_two_workers(&nm, &trace, 128);
@@ -326,17 +210,16 @@ mod tests {
     }
 
     #[test]
-    fn replicated_covers_all_packets() {
+    fn replicated_wrapper_matches_sequential_at_any_width() {
         let (nm, trace) = setup();
-        let a = run_replicated(&nm, &trace, 1, 128);
-        let b = run_replicated(&nm, &trace, 2, 128);
-        // XOR-combined checksums depend on batch split, so compare against
-        // a single-thread replicated run with the same fold order per thread
-        // count is not meaningful; instead check totals via pps > 0 and that
-        // the 1-thread checksum matches the sequential fold.
         let seq = run_sequential(&nm, &trace);
-        assert_eq!(a.checksum, seq.checksum);
-        assert!(b.pps > 0.0);
+        // The plan-based wrapper merges in trace order: the checksum is now
+        // comparable at every thread count, not only at one.
+        for threads in [1usize, 2] {
+            let rep = run_replicated(&nm, &trace, threads, 128);
+            assert_eq!(rep.checksum, seq.checksum, "threads {threads}");
+            assert!(rep.pps > 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,908 @@
+//! The NUMA-aware worker runtime (paper §4 "Parallelization" and §5.1,
+//! grown past one socket).
+//!
+//! The ad-hoc runners this subsumes (`run_two_workers`, `run_replicated`)
+//! pinned nothing, shared one flow cache and could not shard the rule-set.
+//! The runtime splits the same work along explicit axes:
+//!
+//! * **A plan** decides what each worker group serves. Every execution mode
+//!   is a [`ShardedDataPlane`]: [`ShardedHandle`]/[`ShardedClassifier`]
+//!   steer packets to per-shard rule subsets (hash/range on a steering
+//!   field, wildcard-heavy rules in a broadcast shard), [`Replicated`] is N
+//!   whole-set shards dealt batches round-robin (the §5.1 baseline mode),
+//!   and [`SplitPlan`] is NuevoMatch's iSet/remainder split (the paper's
+//!   two-worker mode) expressed as two mirrored stages.
+//! * **A dispatcher** (the calling thread) pins one coherent generation per
+//!   batch, steers the batch, keeps [`RuntimeConfig::pipeline_depth`]
+//!   batches in flight — tracked in a small in-flight ring, not a
+//!   trace-length array — and merges per-shard verdicts by priority in
+//!   trace order, so the checksum equals [`run_sequential`] by
+//!   construction.
+//! * **Workers** (`shards × workers_per_shard` threads) classify gathered
+//!   sub-batches against the pinned generation, each with its *own*
+//!   [`FlowCache`] (when enabled) — no shared cache line ping-pong — and
+//!   pinned to a CPU of their shard's NUMA node when the
+//!   [`Topology`] offers more than one CPU.
+//!
+//! Worker failures propagate: a panicking worker is caught, reported
+//! through the result channel, and surfaces as an `Err` from
+//! [`Runtime::run`] instead of wedging the dispatcher on a dead channel.
+//!
+//! **Single-core fallback.** This repository's CI box has one physical
+//! core: [`Topology::assign`] returns no pin assignments there, so every
+//! worker stays unpinned and the measured numbers time-share exactly like
+//! the legacy harness — the structure is identical to the paper's and
+//! scales on real multi-socket hardware (see EXPERIMENTS.md).
+//!
+//! [`run_sequential`]: crate::system::parallel::run_sequential
+
+pub mod sharded;
+pub mod topology;
+
+pub use sharded::{EpochPin, ShardEpoch, ShardedClassifier, ShardedHandle, StaticPin};
+pub use topology::{pin_current_thread, NumaNode, Topology};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::packet::TraceBuf;
+use nm_common::rule::Priority;
+use nm_common::update::Generation;
+use nm_common::Error;
+
+use super::flow_cache::{CacheStats, FlowCache};
+use super::handle::{ClassifierHandle, NmSnapshot};
+
+/// Default classification batch (the paper's §5.1 batch of 128).
+pub const DEFAULT_BATCH: usize = 128;
+
+/// Default number of batches the dispatcher keeps in flight.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 4;
+
+/// Whether (and how) workers pin to CPUs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinPolicy {
+    /// Never pin; the OS schedules freely.
+    Never,
+    /// Pin each shard's workers to CPUs of one NUMA node (shards spread
+    /// across nodes round-robin). Degrades to unpinned when the topology
+    /// reports a single CPU — the single-core-CI fallback.
+    Numa,
+}
+
+/// Runtime parameters. The defaults reproduce the paper's harness: batches
+/// of 128, a 4-deep dispatch pipeline, one worker per shard, NUMA pinning
+/// where the machine supports it, per-worker flow caches off.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Packets per dispatched batch.
+    pub batch: usize,
+    /// Batches in flight between dispatch and merge (the legacy runners
+    /// hardcoded 4). Bounds both the channel depths and the in-flight ring.
+    pub pipeline_depth: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// CPU pinning policy.
+    pub pin: PinPolicy,
+    /// Capacity of each worker's private [`FlowCache`]; `0` disables
+    /// caching (the right setting for uniform traces — caches only pay for
+    /// themselves on skewed traffic).
+    pub flow_cache: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            batch: DEFAULT_BATCH,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            workers_per_shard: 1,
+            pin: PinPolicy::Numa,
+            flow_cache: 0,
+        }
+    }
+}
+
+/// Result of one runtime execution.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Wall-clock seconds for the whole trace.
+    pub seconds: f64,
+    /// Packets per second.
+    pub pps: f64,
+    /// Mean per-batch latency in nanoseconds (dispatch → merged).
+    pub mean_batch_latency_ns: f64,
+    /// Fold of matched rule ids in trace order — must equal the sequential
+    /// reference's on any static run.
+    pub checksum: u64,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Home shards in the executed plan.
+    pub shards: usize,
+    /// Worker threads spawned.
+    pub workers: usize,
+    /// Workers the kernel accepted a CPU pin for.
+    pub pinned_workers: usize,
+    /// Packets steered to each shard (load-balance diagnostics; mirrored
+    /// plans count every batch on every shard).
+    pub steered: Vec<u64>,
+    /// Smallest and largest logical generation pinned across the run's
+    /// batches — equal on a quiescent run, a span under live updates.
+    pub generations: (Generation, Generation),
+    /// Aggregated per-worker flow-cache counters (zero when caching is
+    /// disabled).
+    pub cache: CacheStats,
+}
+
+impl RunStats {
+    fn empty(shards: usize, workers: usize) -> Self {
+        Self {
+            seconds: 0.0,
+            pps: 0.0,
+            mean_batch_latency_ns: 0.0,
+            checksum: 0,
+            batches: 0,
+            shards,
+            workers,
+            pinned_workers: 0,
+            steered: vec![0; shards],
+            generations: (0, 0),
+            cache: CacheStats::default(),
+        }
+    }
+}
+
+/// Folds one verdict into the order-sensitive run checksum (shared by the
+/// runtime and the sequential/batched reference loops, so "checksums are
+/// comparable" is true by definition).
+#[inline]
+pub(crate) fn fold_checksum(checksum: &mut u64, m: Option<MatchResult>) {
+    let v = m.map_or(u64::MAX, |r| r.rule as u64);
+    *checksum = checksum.wrapping_mul(0x100_0000_01b3).wrapping_add(v);
+}
+
+/// A coherent per-batch pin of a sharded data plane: every shard the pin
+/// exposes serves the same logical generation for as long as the pin is
+/// held. Cloned into worker jobs; cloning must be cheap (a reference or an
+/// `Arc` bump).
+pub trait ShardPin: Clone + Send + Sync {
+    /// The pinned logical generation.
+    fn generation(&self) -> Generation;
+
+    /// Classifies a gathered sub-batch as shard `shard` sees it — including
+    /// any broadcast-shard merge, so the dispatcher's priority merge over
+    /// shards yields final verdicts.
+    fn classify_shard(
+        &self,
+        shard: usize,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    );
+}
+
+/// An execution plan the runtime can drive: how many worker groups exist,
+/// how packets map onto them, and how to pin a coherent generation.
+pub trait ShardedDataPlane: Sync {
+    /// The per-batch pin type.
+    type Pin<'p>: ShardPin
+    where
+        Self: 'p;
+
+    /// Number of home shards (worker groups).
+    fn shards(&self) -> usize;
+
+    /// `true` for stage-parallel plans: every batch is sent whole to every
+    /// shard and the per-shard verdicts merge by priority (the two-worker
+    /// iSet/remainder split). `false` for data-parallel plans, where each
+    /// packet is steered to exactly one shard.
+    fn mirror(&self) -> bool {
+        false
+    }
+
+    /// Steers one packet (`batch` is the batch index — round-robin plans
+    /// deal whole batches, content-steered plans ignore it). Unused by
+    /// mirrored plans.
+    fn steer(&self, _key: &[u64], _batch: usize) -> usize {
+        0
+    }
+
+    /// Pins the current generation across all shards.
+    fn pin(&self) -> Self::Pin<'_>;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy modes as plans
+// ---------------------------------------------------------------------------
+
+/// The §5.1 replicated baseline as a plan: `workers` whole-set shards
+/// sharing one engine (no rule duplication), batches dealt round-robin.
+pub struct Replicated<'c> {
+    engine: &'c dyn Classifier,
+    workers: usize,
+}
+
+impl<'c> Replicated<'c> {
+    /// Wraps `engine` as `workers` round-robin shards.
+    pub fn new(engine: &'c dyn Classifier, workers: usize) -> Self {
+        Self { engine, workers: workers.max(1) }
+    }
+}
+
+/// Pin over a [`Replicated`] plan — a bare reference; the engine is shared,
+/// its generation is whatever it reports.
+pub struct RefPin<'a>(&'a dyn Classifier);
+
+impl Clone for RefPin<'_> {
+    fn clone(&self) -> Self {
+        RefPin(self.0)
+    }
+}
+
+impl ShardPin for RefPin<'_> {
+    fn generation(&self) -> Generation {
+        self.0.generation()
+    }
+
+    fn classify_shard(
+        &self,
+        _shard: usize,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        self.0.classify_batch(keys, stride, out);
+    }
+}
+
+impl ShardedDataPlane for Replicated<'_> {
+    type Pin<'p>
+        = RefPin<'p>
+    where
+        Self: 'p;
+
+    fn shards(&self) -> usize {
+        self.workers
+    }
+
+    fn steer(&self, _key: &[u64], batch: usize) -> usize {
+        batch % self.workers
+    }
+
+    fn pin(&self) -> Self::Pin<'_> {
+        RefPin(self.engine)
+    }
+}
+
+/// NuevoMatch's two-worker split as a plan: shard 0 runs the iSet RQ-RMIs,
+/// shard 1 the remainder classifier, every batch mirrored to both and
+/// merged by priority — the paper's §4 parallelization, expressed in the
+/// same runtime as the sharded modes.
+pub struct SplitPlan<'h, R: Classifier> {
+    handle: &'h ClassifierHandle<R>,
+}
+
+impl<'h, R: Classifier> SplitPlan<'h, R> {
+    /// Plans the iSet/remainder split over a live handle.
+    pub fn new(handle: &'h ClassifierHandle<R>) -> Self {
+        Self { handle }
+    }
+}
+
+/// Pin over a [`SplitPlan`] — one NuevoMatch snapshot shared by both
+/// stages, so a batch's halves can never straddle an update.
+pub struct SplitPin<R: Classifier>(Arc<NmSnapshot<R>>);
+
+impl<R: Classifier> Clone for SplitPin<R> {
+    fn clone(&self) -> Self {
+        SplitPin(self.0.clone())
+    }
+}
+
+impl<R: Classifier> ShardPin for SplitPin<R> {
+    fn generation(&self) -> Generation {
+        self.0.generation()
+    }
+
+    fn classify_shard(
+        &self,
+        shard: usize,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        match shard {
+            0 => self.0.engine().classify_isets_batch(keys, stride, out),
+            _ => self.0.engine().remainder().classify_batch(keys, stride, out),
+        }
+    }
+}
+
+impl<R: Classifier> ShardedDataPlane for SplitPlan<'_, R> {
+    type Pin<'p>
+        = SplitPin<R>
+    where
+        Self: 'p;
+
+    fn shards(&self) -> usize {
+        2
+    }
+
+    fn mirror(&self) -> bool {
+        true
+    }
+
+    fn pin(&self) -> Self::Pin<'_> {
+        SplitPin(self.handle.snapshot())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker flow-cache adapter
+// ---------------------------------------------------------------------------
+
+/// Adapter that lets a worker's private [`FlowCache`] front its shard: the
+/// worker swaps the current pin in before each batch, and the cache's
+/// generation probe sees the pinned logical generation — so an epoch swap
+/// invalidates the cache exactly like any other update.
+struct PinView<P: ShardPin> {
+    shard: usize,
+    pin: Mutex<Option<P>>,
+}
+
+impl<P: ShardPin> PinView<P> {
+    fn new(shard: usize) -> Self {
+        Self { shard, pin: Mutex::new(None) }
+    }
+
+    fn set(&self, pin: P) {
+        *self.pin.lock() = Some(pin);
+    }
+}
+
+impl<P: ShardPin> Classifier for PinView<P> {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        let guard = self.pin.lock();
+        let pin = guard.as_ref().expect("PinView: pin set before use");
+        let mut out = [None];
+        pin.classify_shard(self.shard, key, key.len(), &mut out);
+        out[0]
+    }
+
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
+        {
+            let guard = self.pin.lock();
+            let pin = guard.as_ref().expect("PinView: pin set before use");
+            pin.classify_shard(self.shard, keys, stride, out);
+        }
+        sharded::apply_floors(floors, out);
+    }
+
+    fn generation(&self) -> Generation {
+        self.pin.lock().as_ref().map_or(0, ShardPin::generation)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-pin"
+    }
+
+    fn num_rules(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime
+// ---------------------------------------------------------------------------
+
+/// One dispatched unit: which batch, which packets of it, and the pinned
+/// generation to serve them at.
+struct Job<P> {
+    batch: usize,
+    idx: Vec<u32>,
+    pin: P,
+}
+
+/// One worker's answer for a job.
+type Chunk = (usize, Vec<u32>, Vec<Option<MatchResult>>);
+
+/// An in-flight batch in the dispatcher's ring.
+struct Slot {
+    batch: usize,
+    lo: usize,
+    t0: Instant,
+    expected: usize,
+    received: usize,
+    out: Vec<Option<MatchResult>>,
+}
+
+/// The worker runtime: a discovered [`Topology`] plus a [`RuntimeConfig`],
+/// executing any [`ShardedDataPlane`] over a trace.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    topo: Topology,
+}
+
+impl Runtime {
+    /// A runtime over the discovered machine topology.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        Self::with_topology(cfg, Topology::discover())
+    }
+
+    /// A runtime over an explicit topology (tests, simulations).
+    pub fn with_topology(cfg: RuntimeConfig, topo: Topology) -> Self {
+        Self { cfg, topo }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The machine shape workers schedule over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs the two-worker iSet/remainder split (legacy `run_two_workers`)
+    /// as a [`SplitPlan`].
+    pub fn run_split<R: Classifier>(
+        &self,
+        handle: &ClassifierHandle<R>,
+        trace: &TraceBuf,
+    ) -> Result<RunStats, Error> {
+        self.run(&SplitPlan::new(handle), trace)
+    }
+
+    /// Runs `workers` whole-set replicas (legacy `run_replicated`) as a
+    /// [`Replicated`] plan. Unlike the legacy runner, the merge happens in
+    /// trace order, so the checksum equals the sequential reference at any
+    /// worker count.
+    pub fn run_replicated(
+        &self,
+        engine: &dyn Classifier,
+        workers: usize,
+        trace: &TraceBuf,
+    ) -> Result<RunStats, Error> {
+        self.run(&Replicated::new(engine, workers), trace)
+    }
+
+    /// Executes `src` over the trace: steer → per-shard workers → in-order
+    /// priority merge. Returns an error if any worker fails (panics are
+    /// caught and reported, not deadlocked on).
+    pub fn run<S: ShardedDataPlane>(&self, src: &S, trace: &TraceBuf) -> Result<RunStats, Error> {
+        let n = trace.len();
+        let shards = src.shards().max(1);
+        let wps = self.cfg.workers_per_shard.max(1);
+        if n == 0 {
+            return Ok(RunStats::empty(shards, shards * wps));
+        }
+        let batch = self.cfg.batch.max(1);
+        let depth = self.cfg.pipeline_depth.max(1);
+        let mirror = src.mirror();
+        let n_batches = n.div_ceil(batch);
+        let stride = trace.stride();
+        let raw = trace.raw();
+        let flow_cap = self.cfg.flow_cache;
+        let grid = match self.cfg.pin {
+            PinPolicy::Never => Vec::new(),
+            PinPolicy::Numa => self.topo.assign(shards, wps),
+        };
+
+        let mut job_tx = Vec::with_capacity(shards);
+        let mut job_rx = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel::bounded::<Job<S::Pin<'_>>>(depth);
+            job_tx.push(tx);
+            job_rx.push(rx);
+        }
+        // Sized so workers can always post every chunk of every in-flight
+        // batch without blocking: at most `depth` batches × `shards` chunks
+        // are outstanding, so a worker send never deadlocks against a
+        // dispatcher that has stopped receiving (e.g. on an error path).
+        let (res_tx, res_rx) = channel::bounded::<Result<Chunk, String>>(depth * shards);
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(shards * wps);
+            for (s, rx) in job_rx.into_iter().enumerate() {
+                for w in 0..wps {
+                    let rx = rx.clone();
+                    let tx = res_tx.clone();
+                    let cpu = grid.get(s).and_then(|row| row.get(w)).copied();
+                    joins.push(
+                        scope.spawn(move || worker_loop(s, cpu, rx, tx, raw, stride, flow_cap)),
+                    );
+                }
+            }
+            drop(res_tx);
+
+            // Dispatcher: prime the pipeline, merge in order.
+            let mut checksum = 0u64;
+            let mut lat_sum = 0.0f64;
+            let mut steered = vec![0u64; shards];
+            let mut gen_lo = Generation::MAX;
+            let mut gen_hi = 0u64;
+            let mut slots: Vec<Slot> = (0..depth)
+                .map(|_| Slot {
+                    batch: usize::MAX,
+                    lo: 0,
+                    t0: start,
+                    expected: 0,
+                    received: 0,
+                    out: Vec::new(),
+                })
+                .collect();
+            let mut next = 0usize;
+            let mut merged = 0usize;
+            let mut error: Option<Error> = None;
+
+            'run: while merged < n_batches {
+                while next < n_batches && next - merged < depth {
+                    let lo = next * batch;
+                    let hi = ((next + 1) * batch).min(n);
+                    let pin = src.pin();
+                    let g = pin.generation();
+                    gen_lo = gen_lo.min(g);
+                    gen_hi = gen_hi.max(g);
+                    let mut idx: Vec<Vec<u32>> = vec![Vec::new(); shards];
+                    if mirror {
+                        let all: Vec<u32> = (lo as u32..hi as u32).collect();
+                        idx.fill(all);
+                    } else {
+                        for i in lo..hi {
+                            let s = src.steer(&raw[i * stride..(i + 1) * stride], next);
+                            idx[s].push(i as u32);
+                        }
+                    }
+                    let slot = &mut slots[next % depth];
+                    slot.batch = next;
+                    slot.lo = lo;
+                    slot.t0 = Instant::now();
+                    slot.received = 0;
+                    slot.expected = idx.iter().filter(|ids| !ids.is_empty()).count();
+                    slot.out.clear();
+                    slot.out.resize(hi - lo, None);
+                    for (s, ids) in idx.into_iter().enumerate() {
+                        if ids.is_empty() {
+                            continue;
+                        }
+                        steered[s] += ids.len() as u64;
+                        if job_tx[s].send(Job { batch: next, idx: ids, pin: pin.clone() }).is_err()
+                        {
+                            error = Some(Error::Build {
+                                msg: format!("runtime: shard {s} workers exited early"),
+                            });
+                            break 'run;
+                        }
+                    }
+                    next += 1;
+                }
+                match res_rx.recv() {
+                    Err(_) => {
+                        error = Some(Error::Build {
+                            msg: "runtime: every worker exited before the run finished".into(),
+                        });
+                        break 'run;
+                    }
+                    Ok(Err(msg)) => {
+                        error = Some(Error::Build { msg });
+                        break 'run;
+                    }
+                    Ok(Ok((b, ids, verdicts))) => {
+                        let slot = &mut slots[b % depth];
+                        debug_assert_eq!(slot.batch, b, "stale chunk for a recycled slot");
+                        for (j, &i) in ids.iter().enumerate() {
+                            let k = i as usize - slot.lo;
+                            slot.out[k] = MatchResult::better(slot.out[k], verdicts[j]);
+                        }
+                        slot.received += 1;
+                        // Retire every completed batch at the ring's head.
+                        while merged < next {
+                            let slot = &slots[merged % depth];
+                            if slot.batch != merged || slot.received < slot.expected {
+                                break;
+                            }
+                            for &m in &slot.out {
+                                fold_checksum(&mut checksum, m);
+                            }
+                            lat_sum += slot.t0.elapsed().as_nanos() as f64;
+                            merged += 1;
+                        }
+                    }
+                }
+            }
+            drop(job_tx);
+            let mut cache = CacheStats::default();
+            let mut pinned_workers = 0usize;
+            for join in joins {
+                match join.join() {
+                    Ok((stats, pinned)) => {
+                        cache.absorb(stats);
+                        pinned_workers += usize::from(pinned);
+                    }
+                    Err(_) => {
+                        // The panic was already surfaced through the result
+                        // channel; keep the first error.
+                        error.get_or_insert(Error::Build {
+                            msg: "runtime: a worker panicked".into(),
+                        });
+                    }
+                }
+            }
+            if let Some(e) = error {
+                return Err(e);
+            }
+            let seconds = start.elapsed().as_secs_f64();
+            Ok(RunStats {
+                seconds,
+                pps: n as f64 / seconds.max(1e-12),
+                mean_batch_latency_ns: lat_sum / n_batches as f64,
+                checksum,
+                batches: n_batches,
+                shards,
+                workers: shards * wps,
+                pinned_workers,
+                steered,
+                generations: (gen_lo.min(gen_hi), gen_hi),
+                cache,
+            })
+        })
+    }
+}
+
+/// One worker thread: optionally pin, then serve jobs until the dispatcher
+/// hangs up. Panics inside a job are caught and reported as an error chunk
+/// so the dispatcher can fail the run instead of blocking forever.
+fn worker_loop<P: ShardPin>(
+    shard: usize,
+    cpu: Option<usize>,
+    rx: channel::Receiver<Job<P>>,
+    tx: channel::Sender<Result<Chunk, String>>,
+    raw: &[u64],
+    stride: usize,
+    flow_cap: usize,
+) -> (CacheStats, bool) {
+    let pinned = cpu.is_some_and(pin_current_thread);
+    let cache = (flow_cap > 0).then(|| FlowCache::new(PinView::<P>::new(shard), flow_cap));
+    let mut buf: Vec<u64> = Vec::new();
+    for job in rx.iter() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Mirrored and round-robin plans always steer a contiguous run
+            // of packets; classify straight off the trace then, and only
+            // gather-copy when content steering actually scattered the
+            // batch (idx is built ascending, so span == len ⇔ contiguous).
+            let first = job.idx.first().map_or(0, |&i| i as usize);
+            let contiguous =
+                job.idx.last().is_some_and(|&l| l as usize - first + 1 == job.idx.len());
+            let keys: &[u64] = if contiguous {
+                &raw[first * stride..(first + job.idx.len()) * stride]
+            } else {
+                buf.clear();
+                for &i in &job.idx {
+                    let i = i as usize;
+                    buf.extend_from_slice(&raw[i * stride..(i + 1) * stride]);
+                }
+                &buf
+            };
+            let mut verdicts = vec![None; job.idx.len()];
+            match &cache {
+                Some(c) => {
+                    c.inner().set(job.pin.clone());
+                    c.classify_batch(keys, stride, &mut verdicts);
+                }
+                None => job.pin.classify_shard(shard, keys, stride, &mut verdicts),
+            }
+            verdicts
+        }));
+        let send_failed = match outcome {
+            Ok(verdicts) => tx.send(Ok((job.batch, job.idx, verdicts))).is_err(),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                let _ = tx.send(Err(format!("runtime worker (shard {shard}): {msg}")));
+                true
+            }
+        };
+        if send_failed {
+            break;
+        }
+    }
+    (cache.map(|c| c.stats()).unwrap_or_default(), pinned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NuevoMatchConfig, RqRmiParams};
+    use crate::system::parallel::run_sequential;
+    use nm_common::shard::{ShardPlanConfig, ShardStrategy};
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet};
+
+    fn port_set(n: u16) -> RuleSet {
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
+            })
+            .collect();
+        RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+    }
+
+    fn fast_cfg() -> NuevoMatchConfig {
+        NuevoMatchConfig {
+            rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn trace(n: u64) -> TraceBuf {
+        let mut t = TraceBuf::new(5);
+        for i in 0..n {
+            t.push(&[i, i * 7, i % 65_536, (i * 37) % 65_536, i % 256]);
+        }
+        t
+    }
+
+    fn runtime(batch: usize) -> Runtime {
+        Runtime::new(RuntimeConfig { batch, ..Default::default() })
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let set = port_set(200);
+        let handle = ClassifierHandle::new(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        let sharded = ShardedHandle::new(
+            &set,
+            &fast_cfg(),
+            &ShardPlanConfig { shards: 2, dim: Some(3), strategy: ShardStrategy::Range },
+            LinearSearch::build,
+        )
+        .unwrap();
+        let t = trace(4_000);
+        let seq = run_sequential(&handle, &t);
+        for (batch, wps) in [(128usize, 1usize), (128, 2), (7, 1), (512, 2)] {
+            let rt =
+                Runtime::new(RuntimeConfig { batch, workers_per_shard: wps, ..Default::default() });
+            let stats = rt.run(&sharded, &t).unwrap();
+            assert_eq!(stats.checksum, seq.checksum, "batch {batch} wps {wps}");
+            assert_eq!(stats.shards, 2);
+            assert_eq!(stats.workers, 2 * wps);
+            assert_eq!(stats.steered.iter().sum::<u64>(), 4_000);
+            assert_eq!(stats.generations.0, stats.generations.1, "static run spans one gen");
+        }
+    }
+
+    #[test]
+    fn split_plan_matches_sequential() {
+        let set = port_set(200);
+        let handle = ClassifierHandle::new(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        let t = trace(3_000);
+        let seq = run_sequential(&handle, &t);
+        let stats = runtime(128).run_split(&handle, &t).unwrap();
+        assert_eq!(stats.checksum, seq.checksum);
+        assert_eq!(stats.shards, 2);
+        // Mirrored: both stages see every packet.
+        assert_eq!(stats.steered, vec![3_000, 3_000]);
+        assert!(stats.mean_batch_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn replicated_plan_matches_sequential_at_any_width() {
+        let set = port_set(150);
+        let engine = LinearSearch::build(&set);
+        let t = trace(2_500);
+        let seq = run_sequential(&engine, &t);
+        for workers in [1usize, 2, 4] {
+            let stats = runtime(64).run_replicated(&engine, workers, &t).unwrap();
+            assert_eq!(stats.checksum, seq.checksum, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn per_worker_flow_cache_is_transparent() {
+        let set = port_set(120);
+        let sharded = ShardedHandle::new(
+            &set,
+            &fast_cfg(),
+            &ShardPlanConfig { shards: 2, dim: Some(3), strategy: ShardStrategy::Range },
+            LinearSearch::build,
+        )
+        .unwrap();
+        // A skewed trace: few distinct keys, many repeats.
+        let mut t = TraceBuf::new(5);
+        for i in 0..4_000u64 {
+            let flow = i % 16;
+            t.push(&[9, 9, 9, flow * 700, 17]);
+        }
+        let seq = run_sequential(&sharded, &t);
+        let rt = Runtime::new(RuntimeConfig { flow_cache: 1 << 10, ..Default::default() });
+        let stats = rt.run(&sharded, &t).unwrap();
+        assert_eq!(stats.checksum, seq.checksum, "caching must not change verdicts");
+        assert!(
+            stats.cache.hits > stats.cache.misses,
+            "hot flows must hit the per-worker caches: {:?}",
+            stats.cache
+        );
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error() {
+        struct Bomb;
+        #[derive(Clone)]
+        struct BombPin;
+        impl ShardPin for BombPin {
+            fn generation(&self) -> Generation {
+                0
+            }
+            fn classify_shard(
+                &self,
+                _s: usize,
+                _k: &[u64],
+                _stride: usize,
+                _o: &mut [Option<MatchResult>],
+            ) {
+                panic!("boom");
+            }
+        }
+        impl ShardedDataPlane for Bomb {
+            type Pin<'p>
+                = BombPin
+            where
+                Self: 'p;
+            fn shards(&self) -> usize {
+                1
+            }
+            fn pin(&self) -> BombPin {
+                BombPin
+            }
+        }
+        let t = trace(300);
+        let err = runtime(64).run(&Bomb, &t).unwrap_err();
+        assert!(err.to_string().contains("boom"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let set = port_set(50);
+        let engine = LinearSearch::build(&set);
+        let t = TraceBuf::new(5);
+        let stats = runtime(128).run_replicated(&engine, 2, &t).unwrap();
+        assert_eq!((stats.checksum, stats.batches), (0, 0));
+    }
+
+    #[test]
+    fn pipeline_depth_is_honoured() {
+        // Depth 1 forces strict lock-step dispatch→merge; the checksum must
+        // still match (the ring never recycles a live slot).
+        let set = port_set(100);
+        let engine = LinearSearch::build(&set);
+        let t = trace(1_111);
+        let seq = run_sequential(&engine, &t);
+        for depth in [1usize, 2, 8] {
+            let rt = Runtime::new(RuntimeConfig {
+                batch: 32,
+                pipeline_depth: depth,
+                ..Default::default()
+            });
+            let stats = rt.run_replicated(&engine, 2, &t).unwrap();
+            assert_eq!(stats.checksum, seq.checksum, "depth {depth}");
+        }
+    }
+}

@@ -1,0 +1,862 @@
+//! Sharded data planes: per-shard engine replicas behind one steering stage.
+//!
+//! Two flavours share the [`ShardPlan`] model:
+//!
+//! * [`ShardedClassifier`] — static per-shard engines built once from the
+//!   plan's subsets. Any [`Classifier`] works (TupleMerge, CutSplit,
+//!   NeuroCuts, NuevoMatch, boxed engines); this is the form `nmctl bench
+//!   --shards` and the checksum-equivalence tests use.
+//! * [`ShardedHandle`] — per-shard [`ClassifierHandle`] replicas for the
+//!   full control-plane lifecycle. `UpdateBatch` applies **fan out**: each
+//!   op routes to the shard the plan steers its rule to (moving shards when
+//!   a modify changes the steering field), and the post-apply snapshots of
+//!   every shard publish together as one [`ShardEpoch`] under one logical
+//!   generation. Readers pin the epoch with two atomic ops; a pinned epoch
+//!   is immutable, so **no batch can ever mix generations across shards** —
+//!   the coherence the runtime's checksum equivalence rests on. Retrains
+//!   fan the same way: every shard retrains (concurrently), then one epoch
+//!   publishes the fresh models together.
+//!
+//! Both implement [`Classifier`] (steer → per-shard lookup → priority
+//! merge), so they drop into every existing harness, and both implement
+//! [`ShardedDataPlane`] so [`Runtime::run`](super::Runtime::run) can spread
+//! their shards across pinned workers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use arc_swap::ArcSwap;
+use parking_lot::Mutex;
+
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::rule::{Priority, RuleId};
+use nm_common::ruleset::RuleSet;
+use nm_common::shard::{ShardPlan, ShardPlanConfig, ShardRoute, ShardStrategy};
+use nm_common::update::{
+    BatchUpdatable, EngineBuilder, Generation, UpdateBatch, UpdateOp, UpdateReport,
+};
+use nm_common::Error;
+
+use super::{ShardPin, ShardedDataPlane};
+use crate::config::NuevoMatchConfig;
+use crate::system::handle::{ClassifierHandle, NmSnapshot};
+
+/// Scatters `sub`'s verdicts (computed for the gathered keys at `idx`) back
+/// into `out`, merging by priority.
+fn scatter_merge(idx: &[u32], sub: &[Option<MatchResult>], out: &mut [Option<MatchResult>]) {
+    for (j, &i) in idx.iter().enumerate() {
+        out[i as usize] = MatchResult::better(out[i as usize], sub[j]);
+    }
+}
+
+/// Applies caller floors as the final filter (the `classify_with_floor ≡
+/// classify().filter(p < floor)` contract, batch-wide).
+pub(super) fn apply_floors(floors: Option<&[Priority]>, out: &mut [Option<MatchResult>]) {
+    if let Some(f) = floors {
+        for i in 0..out.len() {
+            if f[i] != Priority::MAX {
+                out[i] = out[i].filter(|m| m.priority < f[i]);
+            }
+        }
+    }
+}
+
+/// Gathers the keys steered to one shard into a flat buffer.
+fn gather_keys(keys: &[u64], stride: usize, idx: &[u32], buf: &mut Vec<u64>) {
+    buf.clear();
+    for &i in idx {
+        let i = i as usize;
+        buf.extend_from_slice(&keys[i * stride..(i + 1) * stride]);
+    }
+}
+
+/// Sweeps the broadcast engine over the whole batch and merges its verdicts
+/// into `out` by priority.
+fn merge_broadcast<B: Classifier + ?Sized>(
+    broadcast: &B,
+    keys: &[u64],
+    stride: usize,
+    out: &mut [Option<MatchResult>],
+) {
+    let mut tmp = vec![None; out.len()];
+    broadcast.classify_batch(keys, stride, &mut tmp);
+    for (o, t) in out.iter_mut().zip(tmp) {
+        *o = MatchResult::better(*o, t);
+    }
+}
+
+/// A gathered sub-batch sweep over one home shard: `(shard, keys, out)`.
+type HomeSweep<'a> = &'a mut dyn FnMut(usize, &[u64], &mut [Option<MatchResult>]);
+/// A whole-batch broadcast merge: `(keys, out)`, verdicts folded by priority.
+type BroadcastSweep<'a> = &'a mut dyn FnMut(&[u64], &mut [Option<MatchResult>]);
+
+/// The steering stage every sharded batch path shares — steer per key,
+/// gather per home shard, sweep each sub-batch through `classify_home`,
+/// merge the broadcast engine (when present) over the whole batch, apply
+/// caller floors last. One definition, so the static and handle-backed data
+/// planes cannot drift apart.
+fn steered_batch_lookup(
+    plan: &ShardPlan,
+    keys: &[u64],
+    stride: usize,
+    floors: Option<&[Priority]>,
+    out: &mut [Option<MatchResult>],
+    classify_home: HomeSweep<'_>,
+    classify_broadcast: Option<BroadcastSweep<'_>>,
+) {
+    out.fill(None);
+    if plan.strategy() == ShardStrategy::RoundRobin {
+        // Whole-set replicas: no steering needed inside one call.
+        classify_home(0, keys, out);
+        apply_floors(floors, out);
+        return;
+    }
+    let mut idx: Vec<Vec<u32>> = vec![Vec::new(); plan.shards()];
+    for (i, key) in keys.chunks_exact(stride).enumerate() {
+        idx[plan.steer(key, 0)].push(i as u32);
+    }
+    let mut buf = Vec::new();
+    let mut sub = Vec::new();
+    for (shard, ids) in idx.iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        gather_keys(keys, stride, ids, &mut buf);
+        sub.clear();
+        sub.resize(ids.len(), None);
+        classify_home(shard, &buf, &mut sub);
+        scatter_merge(ids, &sub, out);
+    }
+    if let Some(broadcast) = classify_broadcast {
+        broadcast(keys, out);
+    }
+    apply_floors(floors, out);
+}
+
+// ---------------------------------------------------------------------------
+// Static shards
+// ---------------------------------------------------------------------------
+
+/// Per-shard engine replicas built once from a [`ShardPlan`] — the static
+/// (no-update) sharded data plane.
+///
+/// The steering stage lives in [`Classifier::batch_lookup`]: packets gather
+/// per home shard, each shard's engine sweeps its sub-batch through its own
+/// batched pipeline, the broadcast engine sweeps the whole batch, and
+/// verdicts merge by priority — verdict-equivalent to one whole-set engine
+/// by the plan's construction invariant.
+pub struct ShardedClassifier<C> {
+    plan: ShardPlan,
+    home: Vec<C>,
+    /// Engine over the broadcast subset; `None` when no rule broadcasts.
+    broadcast: Option<C>,
+}
+
+impl<C: Classifier> ShardedClassifier<C> {
+    /// Builds the plan over `set` and one engine per subset.
+    pub fn build(
+        set: &RuleSet,
+        cfg: &ShardPlanConfig,
+        builder: impl EngineBuilder<Engine = C>,
+    ) -> Result<Self, Error> {
+        let plan = ShardPlan::build(set, cfg)?;
+        let (home_sets, broadcast_set) = plan.subsets(set);
+        let home = home_sets.iter().map(|s| builder.build_engine(s)).collect();
+        let broadcast = (!broadcast_set.is_empty()).then(|| builder.build_engine(&broadcast_set));
+        Ok(Self { plan, home, broadcast })
+    }
+
+    /// Assembles a sharded classifier from pre-built engines — one per home
+    /// shard of `plan`, plus the broadcast engine (when the plan broadcasts
+    /// anything). For callers whose engine construction can fail: build the
+    /// engines over [`ShardPlan::subsets`] first, then assemble.
+    pub fn from_parts(plan: ShardPlan, home: Vec<C>, broadcast: Option<C>) -> Result<Self, Error> {
+        if home.len() != plan.shards() {
+            return Err(Error::Build {
+                msg: format!(
+                    "ShardedClassifier::from_parts: {} engines for {} home shards",
+                    home.len(),
+                    plan.shards()
+                ),
+            });
+        }
+        if broadcast.is_none() && !plan.broadcast().is_empty() {
+            return Err(Error::Build {
+                msg: "ShardedClassifier::from_parts: the plan broadcasts rules but no \
+                      broadcast engine was supplied"
+                    .to_string(),
+            });
+        }
+        Ok(Self { plan, home, broadcast })
+    }
+
+    /// The partition this data plane steers by.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Classifies one shard's gathered sub-batch: home engine plus the
+    /// broadcast engine, merged.
+    fn classify_sub(
+        &self,
+        shard: usize,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        self.home[shard].classify_batch(keys, stride, out);
+        if let Some(b) = &self.broadcast {
+            merge_broadcast(b, keys, stride, out);
+        }
+    }
+}
+
+impl<C: Classifier> Classifier for ShardedClassifier<C> {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        // Replicated plans hold the whole set in every home shard, so any
+        // shard answers; keyed plans steer by content.
+        let shard = self.plan.steer(key, 0);
+        let mut out = [None];
+        self.classify_sub(shard, key, key.len(), &mut out);
+        out[0]
+    }
+
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
+        let mut broadcast = self.broadcast.as_ref().map(|b| {
+            move |keys: &[u64], out: &mut [Option<MatchResult>]| {
+                merge_broadcast(b, keys, stride, out)
+            }
+        });
+        steered_batch_lookup(
+            &self.plan,
+            keys,
+            stride,
+            floors,
+            out,
+            &mut |shard, sub_keys, sub_out| {
+                self.home[shard].classify_batch(sub_keys, stride, sub_out)
+            },
+            broadcast.as_mut().map(|f| f as BroadcastSweep<'_>),
+        );
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.home.iter().map(Classifier::memory_bytes).sum::<usize>()
+            + self.broadcast.as_ref().map_or(0, Classifier::memory_bytes)
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn num_rules(&self) -> usize {
+        match self.plan.strategy() {
+            ShardStrategy::RoundRobin => self.home[0].num_rules(),
+            _ => {
+                self.home.iter().map(Classifier::num_rules).sum::<usize>()
+                    + self.broadcast.as_ref().map_or(0, Classifier::num_rules)
+            }
+        }
+    }
+
+    fn generation(&self) -> Generation {
+        // Monotone sum over the replicas, like NuevoMatch over its parts.
+        self.home.iter().map(Classifier::generation).sum::<Generation>()
+            + self.broadcast.as_ref().map_or(0, Classifier::generation)
+    }
+}
+
+/// Borrowing pin over a [`ShardedClassifier`] — the engines are immutable,
+/// so the "pin" is just a reference.
+pub struct StaticPin<'a, C>(&'a ShardedClassifier<C>);
+
+impl<C> Clone for StaticPin<'_, C> {
+    fn clone(&self) -> Self {
+        StaticPin(self.0)
+    }
+}
+
+impl<C: Classifier> ShardPin for StaticPin<'_, C> {
+    fn generation(&self) -> Generation {
+        Classifier::generation(self.0)
+    }
+
+    fn classify_shard(
+        &self,
+        shard: usize,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        self.0.classify_sub(shard, keys, stride, out);
+    }
+}
+
+impl<C: Classifier> ShardedDataPlane for ShardedClassifier<C> {
+    type Pin<'p>
+        = StaticPin<'p, C>
+    where
+        Self: 'p;
+
+    fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    fn steer(&self, key: &[u64], batch: usize) -> usize {
+        self.plan.steer(key, batch)
+    }
+
+    fn pin(&self) -> Self::Pin<'_> {
+        StaticPin(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handle-backed shards (live control plane)
+// ---------------------------------------------------------------------------
+
+/// One coherent cross-shard publication: every shard's snapshot pinned
+/// together under a single logical generation. Immutable once published —
+/// a reader holding an epoch can never observe two shards from different
+/// generations, whatever the control plane does meanwhile.
+pub struct ShardEpoch<R: Classifier> {
+    generation: Generation,
+    home: Vec<Arc<NmSnapshot<R>>>,
+    broadcast: Arc<NmSnapshot<R>>,
+}
+
+impl<R: Classifier> ShardEpoch<R> {
+    /// The logical generation (bumps once per fan-out apply or retrain).
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Number of home shards.
+    pub fn shards(&self) -> usize {
+        self.home.len()
+    }
+
+    /// The pinned home-shard snapshots' own generations (instrumentation:
+    /// coherence tests assert one epoch always reports the same vector).
+    pub fn home_generations(&self) -> Vec<Generation> {
+        self.home.iter().map(|s| s.generation()).collect()
+    }
+
+    /// Classifies one shard's gathered sub-batch against this epoch.
+    fn classify_sub(
+        &self,
+        shard: usize,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        self.home[shard].classify_batch(keys, stride, out);
+        if self.broadcast.num_rules() > 0 {
+            merge_broadcast(&*self.broadcast, keys, stride, out);
+        }
+    }
+}
+
+struct ShardedCtl {
+    /// id → slot (home shard index, or `home.len()` for broadcast). The
+    /// routing truth for update fan-out; empty for replicated plans, where
+    /// every op fans to every shard.
+    routes: HashMap<RuleId, usize>,
+}
+
+struct SharedSharded<R: Classifier> {
+    plan: ShardPlan,
+    home: Vec<ClassifierHandle<R>>,
+    broadcast: ClassifierHandle<R>,
+    epoch: ArcSwap<ShardEpoch<R>>,
+    ctl: Mutex<ShardedCtl>,
+}
+
+/// Per-shard [`ClassifierHandle`] replicas under one logical generation —
+/// the sharded runtime's live control plane. Clone freely; clones address
+/// the same shards.
+///
+/// Writers (apply / retrain) serialise on an internal lock and publish a
+/// fresh [`ShardEpoch`] per effective change; readers pin epochs lock-free
+/// and are never blocked by either.
+pub struct ShardedHandle<R: Classifier> {
+    shared: Arc<SharedSharded<R>>,
+}
+
+impl<R: Classifier> Clone for ShardedHandle<R> {
+    fn clone(&self) -> Self {
+        Self { shared: self.shared.clone() }
+    }
+}
+
+impl<R: Classifier> ShardedHandle<R> {
+    /// Builds the plan over `set` and one [`ClassifierHandle`] per subset
+    /// (the broadcast handle is always built, possibly empty, so later
+    /// updates can route wildcard rules to it).
+    pub fn new<B>(
+        set: &RuleSet,
+        cfg: &NuevoMatchConfig,
+        plan_cfg: &ShardPlanConfig,
+        builder: B,
+    ) -> Result<Self, Error>
+    where
+        B: EngineBuilder<Engine = R> + 'static,
+        R: 'static,
+    {
+        let plan = ShardPlan::build(set, plan_cfg)?;
+        let builder: Arc<dyn EngineBuilder<Engine = R>> = Arc::new(builder);
+        let (home_sets, broadcast_set) = plan.subsets(set);
+        let home: Vec<ClassifierHandle<R>> = home_sets
+            .iter()
+            .map(|s| ClassifierHandle::new(s, cfg, builder.clone()))
+            .collect::<Result<_, _>>()?;
+        let broadcast = ClassifierHandle::new(&broadcast_set, cfg, builder.clone())?;
+        let mut routes = HashMap::new();
+        if plan.strategy() != ShardStrategy::RoundRobin {
+            for rule in set.rules() {
+                let slot = match plan.route_rule(rule) {
+                    ShardRoute::Home(s) => s,
+                    ShardRoute::Broadcast => home.len(),
+                    ShardRoute::All => unreachable!("keyed plans never route All"),
+                };
+                routes.insert(rule.id, slot);
+            }
+        }
+        let epoch = ShardEpoch {
+            generation: 1,
+            home: home.iter().map(ClassifierHandle::snapshot).collect(),
+            broadcast: broadcast.snapshot(),
+        };
+        Ok(Self {
+            shared: Arc::new(SharedSharded {
+                plan,
+                home,
+                broadcast,
+                epoch: ArcSwap::new(Arc::new(epoch)),
+                ctl: Mutex::new(ShardedCtl { routes }),
+            }),
+        })
+    }
+
+    /// The partition this handle steers by.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.shared.plan
+    }
+
+    /// Pins the current epoch (two atomic ops, never blocks).
+    pub fn epoch(&self) -> Arc<ShardEpoch<R>> {
+        self.shared.epoch.load_full()
+    }
+
+    /// The published logical generation.
+    pub fn generation(&self) -> Generation {
+        self.shared.epoch.load().generation()
+    }
+
+    /// Publishes the current per-shard snapshots as the next logical
+    /// generation. Callers must hold the ctl lock (single-writer).
+    fn publish_epoch(&self) -> Generation {
+        let generation = self.shared.epoch.load().generation() + 1;
+        self.shared.epoch.store(Arc::new(ShardEpoch {
+            generation,
+            home: self.shared.home.iter().map(ClassifierHandle::snapshot).collect(),
+            broadcast: self.shared.broadcast.snapshot(),
+        }));
+        generation
+    }
+
+    /// Rule-weighted §3.9 remainder fraction across the shards — the drift
+    /// the whole sharded data plane currently serves (replicated plans
+    /// report the identical per-replica value).
+    pub fn remainder_fraction(&self) -> f64 {
+        let epoch = self.epoch();
+        let mut rules = 0usize;
+        let mut weighted = 0.0f64;
+        for snap in epoch.home.iter().chain(std::iter::once(&epoch.broadcast)) {
+            let n = snap.num_rules();
+            rules += n;
+            weighted += snap.engine().remainder_fraction() * n as f64;
+        }
+        if rules == 0 {
+            0.0
+        } else {
+            weighted / rules as f64
+        }
+    }
+
+    fn handle_at(&self, slot: usize) -> &ClassifierHandle<R> {
+        if slot == self.shared.home.len() {
+            &self.shared.broadcast
+        } else {
+            &self.shared.home[slot]
+        }
+    }
+}
+
+impl<R: BatchUpdatable + Clone> ShardedHandle<R> {
+    /// Applies one transaction across the shards and publishes the result
+    /// as one new epoch.
+    ///
+    /// Each op routes to the shard the plan steers its rule to; a modify
+    /// whose new box steers elsewhere **moves** — a remove lands on the old
+    /// shard and an insert on the new one, inside the same fan-out, so the
+    /// placement invariant survives churn. Readers observe the whole batch
+    /// or none of it: shard snapshots change only at the epoch swap.
+    pub fn apply(&self, batch: &UpdateBatch) -> UpdateReport {
+        if batch.is_empty() {
+            return UpdateReport::default();
+        }
+        let sh = &*self.shared;
+        let mut ctl = sh.ctl.lock();
+        if sh.plan.strategy() == ShardStrategy::RoundRobin {
+            // Whole-set replicas: every shard applies the whole batch; the
+            // reports are identical, so the first stands for all.
+            let mut report = UpdateReport::default();
+            for (i, h) in sh.home.iter().enumerate() {
+                let r = h.apply(batch);
+                if i == 0 {
+                    report = r;
+                }
+            }
+            if report.changed() {
+                self.publish_epoch();
+            }
+            return report;
+        }
+        let slots = sh.home.len() + 1; // broadcast last
+        let mut per: Vec<UpdateBatch> = (0..slots).map(|_| UpdateBatch::new()).collect();
+        let mut report = UpdateReport::default();
+        for op in batch.ops() {
+            match op {
+                UpdateOp::Insert(r) | UpdateOp::Modify(r) => {
+                    let target = match sh.plan.route_rule(r) {
+                        ShardRoute::Home(s) => s,
+                        ShardRoute::Broadcast => sh.home.len(),
+                        ShardRoute::All => unreachable!("keyed plans never route All"),
+                    };
+                    let old = ctl.routes.insert(r.id, target);
+                    match old {
+                        Some(o) if o == target => per[target].push(op.clone()),
+                        Some(o) => {
+                            // The rule moved shards: delete the old version
+                            // where it lives, insert the new one where
+                            // steering will look for it.
+                            per[o].push(UpdateOp::Remove(r.id));
+                            per[target].push(UpdateOp::Insert(r.clone()));
+                        }
+                        None => per[target].push(UpdateOp::Insert(r.clone())),
+                    }
+                    // Semantic accounting from the routing truth, not the
+                    // per-shard engine reports (a move shows up down there
+                    // as one removal plus one fresh insert).
+                    report.inserted += 1;
+                    match (old.is_some(), op) {
+                        (true, _) => report.replaced += 1,
+                        (false, UpdateOp::Modify(_)) => report.missing += 1,
+                        (false, _) => {}
+                    }
+                }
+                UpdateOp::Remove(id) => match ctl.routes.remove(id) {
+                    Some(o) => {
+                        per[o].push(UpdateOp::Remove(*id));
+                        report.removed += 1;
+                    }
+                    None => report.missing += 1,
+                },
+            }
+        }
+        if report.changed() {
+            for (slot, sub) in per.iter().enumerate() {
+                if !sub.is_empty() {
+                    self.handle_at(slot).apply(sub);
+                }
+            }
+            self.publish_epoch();
+        }
+        report
+    }
+
+    /// Retrains every shard (concurrently — each shard's train is
+    /// independent) and publishes the fresh models together as one epoch.
+    /// Control-plane ops serialise behind this; readers never block.
+    pub fn retrain(&self) -> Result<Generation, Error> {
+        let sh = &*self.shared;
+        let _ctl = sh.ctl.lock();
+        let handles: Vec<&ClassifierHandle<R>> =
+            sh.home.iter().chain(std::iter::once(&sh.broadcast)).collect();
+        let mut first_err = None;
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = handles.iter().map(|h| scope.spawn(move || h.retrain())).collect();
+            for join in joins {
+                match join.join() {
+                    Ok(Ok(_)) => {}
+                    Ok(Err(e)) => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        first_err.get_or_insert(Error::Build {
+                            msg: "ShardedHandle::retrain: a shard retrain panicked".to_string(),
+                        });
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(self.publish_epoch())
+    }
+}
+
+impl<R: Classifier> Classifier for ShardedHandle<R> {
+    fn classify(&self, key: &[u64]) -> Option<MatchResult> {
+        let epoch = self.epoch();
+        let mut out = [None];
+        epoch.classify_sub(self.shared.plan.steer(key, 0), key, key.len(), &mut out);
+        out[0]
+    }
+
+    /// One epoch pin per batch: every packet classifies against the same
+    /// logical generation on every shard.
+    fn batch_lookup(
+        &self,
+        keys: &[u64],
+        stride: usize,
+        floors: Option<&[Priority]>,
+        out: &mut [Option<MatchResult>],
+    ) {
+        let epoch = self.epoch();
+        let mut broadcast = (epoch.broadcast.num_rules() > 0).then_some(
+            |keys: &[u64], out: &mut [Option<MatchResult>]| {
+                merge_broadcast(&*epoch.broadcast, keys, stride, out)
+            },
+        );
+        steered_batch_lookup(
+            &self.shared.plan,
+            keys,
+            stride,
+            floors,
+            out,
+            &mut |shard, sub_keys, sub_out| {
+                epoch.home[shard].classify_batch(sub_keys, stride, sub_out)
+            },
+            broadcast.as_mut().map(|f| f as BroadcastSweep<'_>),
+        );
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let epoch = self.epoch();
+        epoch.home.iter().map(|s| s.memory_bytes()).sum::<usize>() + epoch.broadcast.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded-nm"
+    }
+
+    fn num_rules(&self) -> usize {
+        let epoch = self.epoch();
+        match self.shared.plan.strategy() {
+            ShardStrategy::RoundRobin => epoch.home[0].num_rules(),
+            _ => {
+                epoch.home.iter().map(|s| s.num_rules()).sum::<usize>()
+                    + epoch.broadcast.num_rules()
+            }
+        }
+    }
+
+    fn generation(&self) -> Generation {
+        ShardedHandle::generation(self)
+    }
+}
+
+/// Owning pin over a [`ShardedHandle`]: one epoch Arc, cheap to clone into
+/// worker jobs, immutable for as long as any worker holds it.
+pub struct EpochPin<R: Classifier>(Arc<ShardEpoch<R>>);
+
+impl<R: Classifier> Clone for EpochPin<R> {
+    fn clone(&self) -> Self {
+        EpochPin(self.0.clone())
+    }
+}
+
+impl<R: Classifier> ShardPin for EpochPin<R> {
+    fn generation(&self) -> Generation {
+        self.0.generation()
+    }
+
+    fn classify_shard(
+        &self,
+        shard: usize,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        self.0.classify_sub(shard, keys, stride, out);
+    }
+}
+
+impl<R: Classifier> ShardedDataPlane for ShardedHandle<R> {
+    type Pin<'p>
+        = EpochPin<R>
+    where
+        Self: 'p;
+
+    fn shards(&self) -> usize {
+        self.shared.plan.shards()
+    }
+
+    fn steer(&self, key: &[u64], batch: usize) -> usize {
+        self.shared.plan.steer(key, batch)
+    }
+
+    fn pin(&self) -> Self::Pin<'_> {
+        EpochPin(self.epoch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RqRmiParams;
+    use nm_common::{FieldsSpec, FiveTuple, LinearSearch};
+
+    fn port_set(n: u16) -> RuleSet {
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                FiveTuple::new().dst_port_range(i * 100, i * 100 + 99).into_rule(i as u32, i as u32)
+            })
+            .collect();
+        RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+    }
+
+    fn fast_cfg() -> NuevoMatchConfig {
+        NuevoMatchConfig {
+            rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn plan_cfg(shards: usize) -> ShardPlanConfig {
+        ShardPlanConfig { shards, dim: Some(3), strategy: ShardStrategy::Range }
+    }
+
+    #[test]
+    fn static_sharded_equals_whole_set_engine() {
+        let set = port_set(300);
+        let whole = LinearSearch::build(&set);
+        for shards in [1usize, 2, 5] {
+            let sc =
+                ShardedClassifier::build(&set, &plan_cfg(shards), LinearSearch::build).unwrap();
+            assert_eq!(sc.num_rules(), 300);
+            for port in (0u64..40_000).step_by(37) {
+                let key = [1, 2, 3, port, 6];
+                assert_eq!(sc.classify(&key), whole.classify(&key), "shards {shards} port {port}");
+            }
+            // Batched path agrees too, with and without floors.
+            let keys: Vec<u64> =
+                (0..256u64).flat_map(|i| [1, 2, 3, (i * 157) % 40_000, 6]).collect();
+            let mut out = vec![None; 256];
+            sc.classify_batch(&keys, 5, &mut out);
+            for i in 0..256 {
+                assert_eq!(out[i], whole.classify(&keys[i * 5..(i + 1) * 5]), "packet {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_handle_apply_fans_and_stays_coherent_with_reference() {
+        let set = port_set(200);
+        let reference = ClassifierHandle::new(&set, &fast_cfg(), LinearSearch::build).unwrap();
+        let sharded =
+            ShardedHandle::new(&set, &fast_cfg(), &plan_cfg(3), LinearSearch::build).unwrap();
+        let probe = |a: &dyn Classifier, b: &dyn Classifier| {
+            for port in (0u64..30_000).step_by(23) {
+                let key = [0, 0, 0, port, 0];
+                assert_eq!(a.classify(&key), b.classify(&key), "port {port}");
+            }
+        };
+        probe(&reference, &sharded);
+        // A batch that inserts, removes, and moves a rule across shards.
+        let batch = UpdateBatch::new()
+            .insert(FiveTuple::new().dst_port_exact(50_000).into_rule(900, 0))
+            .remove(5)
+            .modify(FiveTuple::new().dst_port_range(19_000, 19_010).into_rule(7, 7));
+        let ra = reference.apply(&batch);
+        let rb = sharded.apply(&batch);
+        assert_eq!(ra, rb, "fan-out accounting must match the whole-set handle");
+        probe(&reference, &sharded);
+        // A pure-miss batch publishes nothing.
+        let g = sharded.generation();
+        let r = sharded.apply(&UpdateBatch::new().remove(9_999));
+        assert_eq!((r.missing, sharded.generation()), (1, g));
+    }
+
+    #[test]
+    fn sharded_retrain_republishes_one_epoch() {
+        let set = port_set(240);
+        let sharded =
+            ShardedHandle::new(&set, &fast_cfg(), &plan_cfg(2), LinearSearch::build).unwrap();
+        // Drift a few rules (moves to other shards / broadcast included).
+        for i in 0..10u32 {
+            sharded.apply(
+                &UpdateBatch::new()
+                    .modify(FiveTuple::new().dst_port_exact(60_000 + i as u16).into_rule(i, i)),
+            );
+        }
+        let oracle: Vec<_> =
+            (0u64..65_536).step_by(61).map(|p| sharded.classify(&[0, 0, 0, p, 0])).collect();
+        let g0 = sharded.generation();
+        let g = sharded.retrain().unwrap();
+        assert_eq!(g, g0 + 1, "retrain publishes exactly one logical generation");
+        for (i, p) in (0u64..65_536).step_by(61).enumerate() {
+            assert_eq!(sharded.classify(&[0, 0, 0, p, 0]), oracle[i], "port {p}");
+        }
+    }
+
+    #[test]
+    fn epoch_pin_is_immutable_under_updates() {
+        let set = port_set(150);
+        let sharded =
+            ShardedHandle::new(&set, &fast_cfg(), &plan_cfg(2), LinearSearch::build).unwrap();
+        let pinned = sharded.epoch();
+        let gens = pinned.home_generations();
+        sharded.apply(
+            &UpdateBatch::new().insert(FiveTuple::new().dst_port_exact(61_111).into_rule(700, 0)),
+        );
+        assert_eq!(pinned.home_generations(), gens, "a pinned epoch must never move");
+        assert!(sharded.generation() > pinned.generation());
+        // The pinned epoch still serves the old content.
+        let mut out = [None];
+        pinned.classify_sub(
+            sharded.plan().steer(&[0, 0, 0, 61_111, 0], 0),
+            &[0, 0, 0, 61_111, 0],
+            5,
+            &mut out,
+        );
+        assert_eq!(out[0], None);
+        assert_eq!(sharded.classify(&[0, 0, 0, 61_111, 0]).unwrap().rule, 700);
+    }
+
+    #[test]
+    fn replicated_plan_fans_updates_to_every_replica() {
+        let set = port_set(80);
+        let cfg = ShardPlanConfig { shards: 3, dim: None, strategy: ShardStrategy::RoundRobin };
+        let sharded = ShardedHandle::new(&set, &fast_cfg(), &cfg, LinearSearch::build).unwrap();
+        sharded.apply(&UpdateBatch::new().remove(5));
+        // Every replica must have dropped the rule: probe both the batch
+        // path (replica 0) and per-replica epochs.
+        assert_eq!(sharded.classify(&[0, 0, 0, 550, 0]), None);
+        let epoch = sharded.epoch();
+        for s in 0..3 {
+            let mut out = [None];
+            epoch.home[s].classify_batch(&[0, 0, 0, 550, 0], 5, &mut out);
+            assert_eq!(out[0], None, "replica {s} still serves the removed rule");
+        }
+    }
+}

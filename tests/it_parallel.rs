@@ -1,24 +1,50 @@
-//! Parallel-execution integration: the two-worker split and the replicated
-//! baseline mode must produce exactly the sequential results on real
-//! generated workloads, at several batch sizes.
+//! Worker-runtime integration: every execution plan — the two-worker
+//! iSet/remainder split, the replicated baseline, and the sharded data
+//! planes — must produce exactly the sequential results on real generated
+//! workloads, at several batch sizes and worker grids, on all four engine
+//! families (nm/tm/cs/nc).
 //!
-//! The runtime takes [`ClassifierHandle`]s: the handle is also a
-//! [`Classifier`](nm_common::Classifier), so the sequential/replicated
-//! reference paths run against the very same object.
+//! The update-facing tests drive the [`ShardedHandle`] control plane: a
+//! fanned `UpdateBatch` stream must keep the shards verdict-equivalent to a
+//! whole-set [`ClassifierHandle`] receiving the same stream (property-
+//! checked below), and a pinned [`ShardEpoch`] must never mix generations
+//! across shards — one batch of one transaction is visible everywhere or
+//! nowhere.
+
+use proptest::prelude::*;
 
 use nm_classbench::{generate, AppKind};
+use nm_common::{
+    Classifier, FieldsSpec, FiveTuple, RuleSet, ShardPlanConfig, ShardStrategy, UpdateBatch,
+};
+use nm_cutsplit::CutSplit;
+use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
 use nm_trace::{uniform_trace, zipf_trace};
 use nm_tuplemerge::TupleMerge;
-use nuevomatch::system::parallel::{run_replicated, run_sequential, run_two_workers};
-use nuevomatch::{ClassifierHandle, NuevoMatchConfig, RqRmiParams};
+use nuevomatch::system::parallel::run_sequential;
+use nuevomatch::{
+    ClassifierHandle, NuevoMatchConfig, RqRmiParams, Runtime, RuntimeConfig, ShardedClassifier,
+    ShardedHandle,
+};
+
+fn fast_cfg() -> NuevoMatchConfig {
+    NuevoMatchConfig {
+        rqrmi: RqRmiParams { samples_init: 512, ..Default::default() },
+        ..Default::default()
+    }
+}
 
 fn build(n: usize, seed: u64) -> (ClassifierHandle<TupleMerge>, nm_common::RuleSet) {
     let set = generate(AppKind::Acl, n, seed);
-    let cfg = NuevoMatchConfig {
-        rqrmi: RqRmiParams { samples_init: 512, ..Default::default() },
-        ..Default::default()
-    };
-    (ClassifierHandle::new(&set, &cfg, TupleMerge::build).unwrap(), set)
+    (ClassifierHandle::new(&set, &fast_cfg(), TupleMerge::build).unwrap(), set)
+}
+
+fn runtime(batch: usize) -> Runtime {
+    Runtime::new(RuntimeConfig { batch, ..Default::default() })
+}
+
+fn plan(shards: usize) -> ShardPlanConfig {
+    ShardPlanConfig { shards, dim: None, strategy: ShardStrategy::Range }
 }
 
 #[test]
@@ -27,7 +53,7 @@ fn two_workers_equal_sequential_across_batch_sizes() {
     let trace = uniform_trace(&set, 6_000, 32);
     let seq = run_sequential(&nm, &trace);
     for batch in [1usize, 7, 128, 1_024, 10_000] {
-        let par = run_two_workers(&nm, &trace, batch);
+        let par = runtime(batch).run_split(&nm, &trace).unwrap();
         assert_eq!(par.checksum, seq.checksum, "batch {batch}");
     }
 }
@@ -37,33 +63,21 @@ fn two_workers_on_skewed_traffic() {
     let (nm, set) = build(1_000, 33);
     let trace = zipf_trace(&set, 6_000, 1.25, 34);
     let seq = run_sequential(&nm, &trace);
-    let par = run_two_workers(&nm, &trace, 128);
+    let par = runtime(128).run_split(&nm, &trace).unwrap();
     assert_eq!(par.checksum, seq.checksum);
 }
 
 #[test]
-fn replicated_single_thread_equals_sequential() {
+fn replicated_equals_sequential_at_every_width() {
+    // The plan-based replicated mode merges in trace order, so the checksum
+    // is comparable at any thread count (the legacy XOR fold was not).
     let (nm, set) = build(800, 35);
     let trace = uniform_trace(&set, 4_000, 36);
     let seq = run_sequential(&nm, &trace);
-    let rep = run_replicated(&nm, &trace, 1, 128);
-    assert_eq!(rep.checksum, seq.checksum);
-}
-
-#[test]
-fn replicated_multi_thread_processes_everything() {
-    // With >1 thread the checksum combination is order-independent per
-    // thread but batch-partition-dependent, so validate via a
-    // partition-independent aggregate: the number of matched packets.
-    let (nm, set) = build(800, 37);
-    let trace = uniform_trace(&set, 4_000, 38);
-    use nm_common::Classifier;
-    let matched_seq = trace.iter().filter(|k| nm.classify(k).is_some()).count();
-    // All drawn from rules: everything matches.
-    assert_eq!(matched_seq, trace.len());
-    for threads in [2usize, 4] {
-        let rep = run_replicated(&nm, &trace, threads, 64);
-        assert!(rep.pps > 0.0, "threads {threads}");
+    for threads in [1usize, 2, 4] {
+        let rep = runtime(64).run_replicated(&nm, threads, &trace).unwrap();
+        assert_eq!(rep.checksum, seq.checksum, "threads {threads}");
+        assert!(rep.pps > 0.0);
         assert!(rep.seconds > 0.0);
     }
 }
@@ -73,6 +87,240 @@ fn trace_shorter_than_batch() {
     let (nm, set) = build(300, 39);
     let trace = uniform_trace(&set, 50, 40);
     let seq = run_sequential(&nm, &trace);
-    let par = run_two_workers(&nm, &trace, 128);
+    let par = runtime(128).run_split(&nm, &trace).unwrap();
     assert_eq!(par.checksum, seq.checksum);
+}
+
+/// The acceptance matrix: the sharded runtime is checksum-equivalent to
+/// `run_sequential` over the whole-set engine on all four engine families,
+/// across shard counts and worker widths.
+#[test]
+fn sharded_runtime_equals_sequential_on_all_four_engines() {
+    let set = generate(AppKind::Acl, 1_200, 41);
+    let trace = uniform_trace(&set, 5_000, 42);
+    let grids = [(2usize, 1usize), (3, 2)];
+
+    // nm (handle replicas — the live control plane's data path).
+    {
+        let whole = ClassifierHandle::new(&set, &fast_cfg(), TupleMerge::build).unwrap();
+        let seq = run_sequential(&whole, &trace);
+        for &(shards, wps) in &grids {
+            let sharded =
+                ShardedHandle::new(&set, &fast_cfg(), &plan(shards), TupleMerge::build).unwrap();
+            let rt = Runtime::new(RuntimeConfig { workers_per_shard: wps, ..Default::default() });
+            let stats = rt.run(&sharded, &trace).unwrap();
+            assert_eq!(stats.checksum, seq.checksum, "nm {shards}x{wps}");
+            // The steering stage saw every packet exactly once.
+            assert_eq!(stats.steered.iter().sum::<u64>(), trace.len() as u64);
+        }
+    }
+    // tm / cs / nc (static per-shard replicas).
+    let check_static =
+        |name: &str, engine: &dyn Classifier, sharded: &ShardedClassifier<Box<dyn Classifier>>| {
+            let seq = run_sequential(engine, &trace);
+            let rt = Runtime::new(RuntimeConfig { workers_per_shard: 2, ..Default::default() });
+            let stats = rt.run(sharded, &trace).unwrap();
+            assert_eq!(stats.checksum, seq.checksum, "{name}");
+            // And the sharded engine's own (single-threaded) batch path agrees.
+            let direct = run_sequential(sharded, &trace);
+            assert_eq!(direct.checksum, seq.checksum, "{name} per-key steer");
+        };
+    let tm = TupleMerge::build(&set);
+    let tm_sharded = ShardedClassifier::build(&set, &plan(2), |s: &RuleSet| {
+        Box::new(TupleMerge::build(s)) as Box<dyn Classifier>
+    })
+    .unwrap();
+    check_static("tm", &tm, &tm_sharded);
+    let cs = CutSplit::build(&set);
+    let cs_sharded = ShardedClassifier::build(&set, &plan(2), |s: &RuleSet| {
+        Box::new(CutSplit::build(s)) as Box<dyn Classifier>
+    })
+    .unwrap();
+    check_static("cs", &cs, &cs_sharded);
+    let nc_cfg = NeuroCutsConfig { iterations: 8, sample: 1_024, ..Default::default() };
+    let nc = NeuroCuts::with_config(&set, nc_cfg);
+    let nc_sharded = ShardedClassifier::build(&set, &plan(2), move |s: &RuleSet| {
+        Box::new(NeuroCuts::with_config(s, nc_cfg)) as Box<dyn Classifier>
+    })
+    .unwrap();
+    check_static("nc", &nc, &nc_sharded);
+}
+
+/// A pinned epoch can never mix generations across shards: one transaction
+/// that touches two shards is visible everywhere or nowhere, no matter how
+/// the reader's pin races the writer's fan-out.
+#[test]
+fn epoch_pins_never_mix_generations_across_shards() {
+    // Two rules steered to different shards (low vs high dst-port range).
+    let rules: Vec<_> = (0..120u16)
+        .map(|i| {
+            FiveTuple::new().dst_port_range(i * 500, i * 500 + 450).into_rule(i as u32, i as u32)
+        })
+        .collect();
+    let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+    let cfg = ShardPlanConfig { shards: 2, dim: Some(3), strategy: ShardStrategy::Range };
+    let sharded =
+        ShardedHandle::new(&set, &fast_cfg(), &cfg, nm_common::LinearSearch::build).unwrap();
+    // Rule 2 lives in shard 0's range, rule 100 in shard 1's.
+    assert_ne!(
+        sharded.plan().steer(&[0, 0, 0, 1_100, 0], 0),
+        sharded.plan().steer(&[0, 0, 0, 50_100, 0], 0),
+        "test needs the probes on different shards"
+    );
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = sharded.clone();
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            // Each batch moves BOTH rules between state A (priority tag via
+            // distinct target ports) and state B, atomically.
+            let mut flip = false;
+            while !stop_ref.load(std::sync::atomic::Ordering::SeqCst) {
+                let (p2, p100) = if flip { (1_100u16, 50_100u16) } else { (40_000, 2_000) };
+                writer.apply(
+                    &UpdateBatch::new()
+                        .modify(FiveTuple::new().dst_port_exact(p2).into_rule(2, 2))
+                        .modify(FiveTuple::new().dst_port_exact(p100).into_rule(100, 100)),
+                );
+                flip = !flip;
+            }
+        });
+        for _ in 0..2_000 {
+            let epoch = sharded.epoch();
+            // Capture the pinned per-shard stamps *before* the writer gets
+            // a chance to race, probe, then re-read: a pinned epoch is
+            // frozen, so the stamps must still be the captured ones.
+            let pinned_gens = epoch.home_generations();
+            // Coherence across shards: one *epoch-pinned* read covers both
+            // shards — the Classifier impl pins once per batch, so both
+            // probes land in one batch_lookup call.
+            let keys = [0u64, 0, 0, 1_100, 0, 0, 0, 0, 50_100, 0];
+            let mut out = [None, None];
+            sharded.classify_batch(&keys, 5, &mut out);
+            let a_state = out[0].map(|m| m.rule) == Some(2); // rule 2 at 1_100 = state A
+            let b_state = out[1].map(|m| m.rule) == Some(100); // rule 100 at 50_100 = state A
+            assert_eq!(a_state, b_state, "one transaction split across shard generations: {out:?}");
+            assert_eq!(
+                epoch.home_generations(),
+                pinned_gens,
+                "a pinned epoch's per-shard stamps moved under the writer"
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+}
+
+/// Mid-run control traffic: runtime executions complete while fanned
+/// updates and sharded retrains land, every batch internally pinned to one
+/// logical generation; after quiescing, the shards serve exactly what a
+/// whole-set handle fed the same stream serves.
+#[test]
+fn sharded_runtime_survives_mid_run_updates_and_retrains() {
+    let (reference, set) = build(600, 47);
+    let sharded = ShardedHandle::new(&set, &fast_cfg(), &plan(2), TupleMerge::build).unwrap();
+    let trace = uniform_trace(&set, 4_000, 48);
+    let rt = runtime(128);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = sharded.clone();
+        let ref_writer = reference.clone();
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut i = 0u32;
+            while !stop_ref.load(std::sync::atomic::Ordering::SeqCst) {
+                let id = i % 600;
+                let port = 30_000 + (i % 20_000) as u16;
+                let batch = UpdateBatch::new()
+                    .modify(FiveTuple::new().dst_port_exact(port).into_rule(id, id));
+                writer.apply(&batch);
+                ref_writer.apply(&batch);
+                i += 1;
+                if i % 512 == 0 {
+                    let _ = writer.retrain();
+                }
+            }
+        });
+        for _ in 0..4 {
+            let stats = rt.run(&sharded, &trace).expect("run under updates");
+            assert!(stats.pps > 0.0);
+            assert!(stats.generations.0 <= stats.generations.1);
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    // Quiesced: both control planes received the same stream; the sharded
+    // run must now equal the whole-set sequential reference exactly.
+    let seq = run_sequential(&reference, &trace);
+    let stats = rt.run(&sharded, &trace).unwrap();
+    assert_eq!(stats.checksum, seq.checksum, "post-quiesce sharded ≠ whole-set");
+    assert!(sharded.generation() > 1, "updates must have published epochs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Property: after every fanned update batch — inserts, removes, and
+    /// modifies that move rules across shards — the sharded runtime's
+    /// checksum equals `run_sequential` over a whole-set handle fed the
+    /// same transactions, for random shard counts, strategies and batches.
+    #[test]
+    fn prop_sharded_equals_whole_set_under_update_batches(
+        seed in 0u64..1_000,
+        shards in 2usize..5,
+        hash_steer in proptest::collection::vec(0u8..2, 1),
+        ops in proptest::collection::vec((0u8..3, 0u16..60_000, 0u32..160), 4..40),
+        batch_size in 1usize..4,
+    ) {
+        // 120 base rules with unique priorities (= ids), non-overlapping.
+        let rules: Vec<_> = (0..120u16)
+            .map(|i| {
+                FiveTuple::new()
+                    .dst_port_range(i * 500, i * 500 + 450)
+                    .into_rule(i as u32, i as u32)
+            })
+            .collect();
+        let set = RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap();
+        let strategy =
+            if hash_steer[0] == 0 { ShardStrategy::Range } else { ShardStrategy::Hash };
+        let cfg = ShardPlanConfig { shards, dim: Some(3), strategy };
+        let reference =
+            ClassifierHandle::new(&set, &fast_cfg(), nm_common::LinearSearch::build).unwrap();
+        let sharded =
+            ShardedHandle::new(&set, &fast_cfg(), &cfg, nm_common::LinearSearch::build).unwrap();
+        let trace = uniform_trace(&set, 1_500, seed ^ 0xfeed);
+        let rt = runtime(64);
+
+        // Apply the op stream in batches of `batch_size` transactions,
+        // verifying full equivalence after each transaction lands.
+        for chunk in ops.chunks(batch_size.max(1)) {
+            let mut batch = UpdateBatch::new();
+            for &(kind, port, id) in chunk {
+                // Priority = id keeps priorities unique across the stream.
+                batch = match kind {
+                    0 => batch.insert(
+                        FiveTuple::new().dst_port_exact(port).into_rule(1_000 + id, 1_000 + id),
+                    ),
+                    1 => batch.remove(id),
+                    _ => batch.modify(
+                        FiveTuple::new()
+                            .dst_port_range(port, port.saturating_add(90))
+                            .into_rule(id, id),
+                    ),
+                };
+            }
+            let ra = reference.apply(&batch);
+            let rb = sharded.apply(&batch);
+            prop_assert_eq!(ra, rb, "fan-out accounting diverged");
+            prop_assert_eq!(
+                ClassifierHandle::generation(&reference) > 1,
+                ShardedHandle::generation(&sharded) > 1,
+                "publish parity"
+            );
+            let seq = run_sequential(&reference, &trace);
+            let run = rt.run(&sharded, &trace).unwrap();
+            prop_assert_eq!(seq.checksum, run.checksum, "verdicts diverged after a batch");
+            // No batch mixed generations: the quiesced run pinned exactly
+            // one logical generation throughout.
+            prop_assert_eq!(run.generations.0, run.generations.1);
+        }
+    }
 }
