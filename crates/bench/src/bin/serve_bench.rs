@@ -1,0 +1,333 @@
+//! Open-loop tail-latency sweep of the `system::serve` wire front-end.
+//!
+//! Starts the real serving stack — UDP socket, deadline micro-batching
+//! reader, `ClassifierHandle` data plane — on loopback and subjects it to
+//! **open-loop Poisson arrivals** at a sweep of offered loads. Unlike a
+//! closed-loop driver (whose arrival rate collapses when the server slows,
+//! hiding queueing delay — the coordinated-omission trap), the sender here
+//! follows a precomputed arrival schedule regardless of response progress,
+//! and each response's latency is measured from its *scheduled* arrival
+//! time. Queue buildup near saturation therefore shows up where it belongs:
+//! in the tail.
+//!
+//! ## Methodology
+//!
+//! * **Baseline**: a closed-loop client measures the per-request wire RTT
+//!   (one in flight; includes the assembly deadline by design, since a
+//!   batch of one only flushes on deadline).
+//! * **Capacity estimate**: a short open-loop burst offered well past
+//!   saturation; what actually comes back per second is the per-datagram
+//!   service ceiling, and the sweep's offered loads are fractions of it.
+//! * **Sweep**: each point precomputes a Poisson schedule at the offered
+//!   rate, blasts it from a dedicated socket, and bins `recv_time −
+//!   scheduled_send_time` into a log-bucketed `LatencyHistogram`. p50/p99/
+//!   p99.9, loss and throughput land in `BENCH_serve.json` (path override:
+//!   `NM_BENCH_JSON`), one point per line on stdout as `SERVE_BENCH {...}`.
+//! * **Knee**: the first load point whose p99 exceeds 5x the best p99 seen
+//!   across the sweep (or loses > 1% of requests) is the latency knee.
+//! * **Gate** (`NM_STRICT=1`): the best p99 across the sweep must stay
+//!   under 50x the closed-loop p50 — an uncongested tail is a
+//!   batching-logic property, not a capacity property, so it is stable
+//!   enough to gate on (and taking the sweep's best row keeps one noisy
+//!   neighbour-loaded point from failing the build).
+//!
+//! ```sh
+//! cargo run -p nm-bench --release --bin serve_bench          # quick scale
+//! NM_SCALE=full cargo run -p nm-bench --release --bin serve_bench
+//! ```
+
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nm_bench::{nm_tm_config, scale};
+use nm_classbench::{generate, AppKind};
+use nm_common::frame::{decode_response, encode_request};
+use nm_common::{LatencyHistogram, SplitMix64};
+use nm_trace::uniform_trace;
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::{ClassifierHandle, ServeClient, ServeConfig, Server, Transport};
+
+/// One measured offered-load point.
+struct Point {
+    offered_pps: f64,
+    sent: u64,
+    received: u64,
+    hist: LatencyHistogram,
+}
+
+/// Runs one open-loop point against `addr`: Poisson arrivals at
+/// `rate_pps` for `duration`, latency measured from the scheduled arrival.
+fn open_loop_point(
+    addr: std::net::SocketAddr,
+    trace: &nm_common::TraceBuf,
+    rate_pps: f64,
+    duration: f64,
+    seed: u64,
+) -> std::io::Result<Point> {
+    // Precompute the arrival schedule (nanosecond offsets) so the sender
+    // never pauses to draw randomness and the receiver can recover each
+    // request's scheduled time from its id alone.
+    let mut sched = Vec::new();
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0f64;
+    while t < duration {
+        sched.push((t * 1e9) as u64);
+        t += -(1.0 - rng.f64()).ln() / rate_pps;
+    }
+    let sched = Arc::new(sched);
+    let n = sched.len();
+
+    let sock = Arc::new(UdpSocket::bind(("127.0.0.1", 0))?);
+    sock.connect(addr)?;
+    let done = Arc::new(AtomicBool::new(false));
+    // One epoch for both threads — separate `Instant::now()` calls would
+    // skew every latency by the receiver thread's startup time.
+    let t0 = Instant::now();
+
+    // Receiver: drain responses, bin `now - scheduled` per id.
+    let receiver = {
+        let sock = sock.clone();
+        let sched = sched.clone();
+        let done = done.clone();
+        std::thread::spawn(move || -> std::io::Result<(u64, LatencyHistogram)> {
+            sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+            let mut hist = LatencyHistogram::new();
+            let mut received = 0u64;
+            let mut buf = vec![0u8; 64 * 1024];
+            loop {
+                match sock.recv(&mut buf) {
+                    Ok(len) => {
+                        let now = t0.elapsed().as_nanos() as u64;
+                        let mut off = 0;
+                        while let Ok(Some((frame, used))) = decode_response(&buf[off..len]) {
+                            if let Some(&at) = sched.get(frame.id as usize) {
+                                hist.record(now.saturating_sub(at).max(1));
+                                received += 1;
+                            }
+                            off += used;
+                            if off >= len {
+                                break;
+                            }
+                        }
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if done.load(Relaxed) {
+                            return Ok((received, hist));
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    };
+
+    // Sender: follow the schedule; when behind, send immediately — the
+    // backlog is the open-loop signal, not something to absorb.
+    let (raw, stride, keys) = (trace.raw(), trace.stride(), trace.len());
+    let mut wire = Vec::with_capacity(64);
+    for (i, &at) in sched.iter().enumerate() {
+        // Sleep the long stretch, spin the last ~100us: a pure spin-wait
+        // would starve the server on a small box, inflating every latency
+        // with scheduler noise; sleeping right up to the mark would send
+        // late by a timer tick. (A late send still measures against the
+        // *scheduled* time — the open-loop contract.)
+        loop {
+            let now = t0.elapsed().as_nanos() as u64;
+            if now >= at {
+                break;
+            }
+            if at - now > 20_000 {
+                std::thread::sleep(Duration::from_nanos(at - now - 20_000));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let k = i % keys;
+        wire.clear();
+        encode_request(&mut wire, i as u64, &raw[k * stride..(k + 1) * stride]);
+        let _ = sock.send(&wire); // a full socket buffer is loss, counted below
+    }
+    // Give in-flight responses a drain window before stopping the receiver.
+    std::thread::sleep(Duration::from_millis(150));
+    done.store(true, Relaxed);
+    let (received, hist) = receiver.join().expect("receiver panicked")?;
+    Ok(Point { offered_pps: rate_pps, sent: n as u64, received, hist })
+}
+
+fn main() {
+    let s = scale();
+    let n = if s.full { 100_000 } else { 10_000 };
+    let point_secs = if s.full { 3.0 } else { 1.0 };
+    let fractions: &[f64] =
+        if s.full { &[0.1, 0.3, 0.5, 0.7, 0.9, 1.1] } else { &[0.25, 0.5, 0.9] };
+
+    let set = generate(AppKind::Acl, n, 0x5e12);
+    let trace = uniform_trace(&set, s.trace_len.min(100_000), 0x5e13);
+    let t_build = Instant::now();
+    let handle: ClassifierHandle<TupleMerge> =
+        ClassifierHandle::new(&set, &nm_tm_config(), TupleMerge::build).expect("nm/tm build");
+    let build_s = t_build.elapsed().as_secs_f64();
+
+    let cfg = ServeConfig { transport: Transport::Udp, ..ServeConfig::default() };
+    let server = Server::start(handle, &cfg).expect("bind loopback");
+    let addr = server.udp_addr().expect("udp bound");
+    println!(
+        "=== serve_bench — open-loop tail latency ({n} rules, udp {addr}, \
+         batch {} / {}us deadline) ===\n",
+        cfg.max_batch,
+        cfg.deadline.as_micros()
+    );
+
+    // Closed-loop baseline: one request in flight, wire round-trip.
+    let mut client = ServeClient::udp(addr).expect("client socket");
+    let (raw, stride, keys) = (trace.raw(), trace.stride(), trace.len());
+    let mut closed = LatencyHistogram::new();
+    for i in 0..2_000u64 {
+        let k = (i as usize) % keys;
+        let t = Instant::now();
+        client
+            .call(i, &raw[k * stride..(k + 1) * stride], Duration::from_millis(200))
+            .expect("closed-loop call");
+        closed.record_duration(t.elapsed());
+    }
+    let closed_us = closed.summary_us();
+    println!(
+        "closed-loop wire RTT (1 in flight, deadline-bound): p50 {:.1}us  p99 {:.1}us",
+        closed_us.p50_us, closed_us.p99_us
+    );
+
+    // Capacity estimate: a short *open-loop* probe well past saturation —
+    // what comes back is what the whole serving path (sender syscalls,
+    // reader, classify, receiver) can actually sustain per second. A
+    // closed-loop probe would overestimate: its burst-and-drain rhythm has
+    // a different syscall/context-switch profile than Poisson arrivals.
+    let probe_rate = if s.full { 1_000_000.0 } else { 400_000.0 };
+    let probe = open_loop_point(addr, &trace, probe_rate, 0.4, 0x5e1f).expect("capacity probe");
+    let capacity = probe.received as f64 / 0.4;
+    println!("capacity estimate (open-loop probe at {probe_rate:.0e} pps): {capacity:.3e} pps\n");
+
+    // The sweep.
+    println!(
+        "{:>12}  {:>10}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "offered pps", "received", "loss", "p50 us", "p99 us", "p99.9 us", "mean us"
+    );
+    let mut points = Vec::new();
+    for (i, f) in fractions.iter().enumerate() {
+        let rate = (capacity * f).max(100.0);
+        let p = open_loop_point(addr, &trace, rate, point_secs, 0x5e20 + i as u64)
+            .expect("open-loop point");
+        let u = p.hist.summary_us();
+        let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
+        println!(
+            "{:>12.3e}  {:>10}  {:>7.2}%  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}",
+            p.offered_pps,
+            p.received,
+            loss * 100.0,
+            u.p50_us,
+            u.p99_us,
+            u.p999_us,
+            u.mean_us
+        );
+        println!(
+            "SERVE_BENCH {{\"offered_pps\":{:.1},\"sent\":{},\"received\":{},\
+             \"loss_fraction\":{:.5},\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\
+             \"mean_us\":{:.1}}}",
+            p.offered_pps, p.sent, p.received, loss, u.p50_us, u.p99_us, u.p999_us, u.mean_us
+        );
+        points.push(p);
+    }
+
+    // Knee: where the tail diverges from the best tail seen across the
+    // sweep. (The best point, not the lowest-load one: a sparse-arrival
+    // point pays full deadline + wakeup jitter per request and is the
+    // noisiest row on a shared box, so anchoring on it misfires both ways.)
+    let base_p99 =
+        points.iter().map(|p| p.hist.summary_us().p99_us).fold(f64::INFINITY, f64::min).max(1.0);
+    let knee = points
+        .iter()
+        .find(|p| {
+            let u = p.hist.summary_us();
+            let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
+            u.p99_us > 5.0 * base_p99 || loss > 0.01
+        })
+        .map(|p| p.offered_pps);
+    match knee {
+        Some(k) => println!("\np99 knee: offered load {k:.3e} pps (>5x low-load p99 or >1% loss)"),
+        None => println!("\np99 knee: not reached within the swept loads"),
+    }
+
+    let stats = server.shutdown();
+    let server_us = stats.latency.summary_us();
+    println!(
+        "server-side service latency over the whole run: p50 {:.1}us  p99 {:.1}us  \
+         ({} batches: {} full / {} deadline flushes)",
+        server_us.p50_us,
+        server_us.p99_us,
+        stats.batches,
+        stats.full_flushes,
+        stats.deadline_flushes
+    );
+
+    // Gate: the best p99 across the sweep against the closed-loop
+    // baseline — a systematic tail blowup (busted deadline loop, reader
+    // busy-spin regression) inflates every point, while one noisy row
+    // (CI neighbours) shouldn't fail the build.
+    let low_p99 = base_p99;
+    let gate = 50.0 * closed_us.p50_us;
+    let pass = low_p99 <= gate;
+    println!(
+        "{}",
+        if pass {
+            format!("PASS: best p99 {low_p99:.1}us <= 50x closed-loop p50 ({gate:.1}us)")
+        } else {
+            format!("WARN: best p99 {low_p99:.1}us exceeds 50x closed-loop p50 ({gate:.1}us)")
+        }
+    );
+
+    // Machine-readable artifact for CI (NM_BENCH_JSON overrides the path).
+    let json_path =
+        std::env::var("NM_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let mut pts = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let u = p.hist.summary_us();
+        let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
+        if i > 0 {
+            pts.push(',');
+        }
+        pts.push_str(&format!(
+            "{{\"offered_pps\":{:.1},\"sent\":{},\"received\":{},\"loss_fraction\":{:.5},\
+             \"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"mean_us\":{:.1}}}",
+            p.offered_pps, p.sent, p.received, loss, u.p50_us, u.p99_us, u.p999_us, u.mean_us
+        ));
+    }
+    let artifact = format!(
+        "{{\"rules\":{n},\"build_s\":{build_s:.3},\"transport\":\"udp\",\"max_batch\":{},\
+         \"deadline_us\":{},\"closed_loop_p50_us\":{:.1},\"closed_loop_p99_us\":{:.1},\
+         \"capacity_est_pps\":{capacity:.1},\"points\":[{pts}],\"knee_offered_pps\":{},\
+         \"server_p50_us\":{:.1},\"server_p99_us\":{:.1},\"server_batches\":{},\
+         \"gate_p99_us_max\":{gate:.1},\"gate_pass\":{pass}}}\n",
+        cfg.max_batch,
+        cfg.deadline.as_micros(),
+        closed_us.p50_us,
+        closed_us.p99_us,
+        knee.map_or("null".to_string(), |k| format!("{k:.1}")),
+        server_us.p50_us,
+        server_us.p99_us,
+        stats.batches,
+    );
+    match std::fs::write(&json_path, &artifact) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => println!("\nWARN: could not write {json_path}: {e}"),
+    }
+
+    if !pass && std::env::var("NM_STRICT").as_deref() == Ok("1") {
+        std::process::exit(1);
+    }
+}

@@ -115,8 +115,10 @@ fn main() {
         retrain_period_s: retrain_period,
         batch: 128,
     };
-    let curve =
+    let measured =
         measure_update_curve(&handle, &trace, &cfg, |_| drift_batch(&set, &mut rng, ops_per_batch));
+    let curve = &measured.points;
+    let batch_lat = measured.batch_latency.summary_us();
     let mut curve_pass = true;
     if curve.len() < 4 {
         println!("WARN: too few samples ({}) to compare against the model", curve.len());
@@ -140,7 +142,7 @@ fn main() {
         );
         let mut errs = Vec::new();
         let mut prev_retrains = curve[0].retrains;
-        for p in &curve {
+        for p in curve {
             let measured = p.pps / anchor_pps;
             let modeled = throughput_at(&model, p.t_s) / anchor_model;
             let err = (measured - modeled) / modeled;
@@ -189,6 +191,12 @@ fn main() {
             }
         );
     }
+
+    println!(
+        "\nper-batch classify latency under the update stream ({} samples): \
+         p50 {:.1}us  p99 {:.1}us  p99.9 {:.1}us",
+        batch_lat.count, batch_lat.p50_us, batch_lat.p99_us, batch_lat.p999_us
+    );
 
     // === Partial vs full retraining (single-leaf drift) ======================
     //
@@ -284,8 +292,12 @@ fn main() {
          \"partial_speedup\":{speedup:.2},\"drift_ops\":{drift_ops},\
          \"dirty_leaf_fraction\":{dirty_fraction:.4},\"verdict_equivalent\":{equivalent},\
          \"drift_floor_full\":{floor_full:.4},\"drift_floor_partial\":{floor_partial:.4},\
-         \"curve_points\":{},\"remainder_ratio\":{remainder_ratio:.4}}}\n",
-        curve.len()
+         \"curve_points\":{},\"remainder_ratio\":{remainder_ratio:.4},\
+         \"batch_p50_us\":{:.3},\"batch_p99_us\":{:.3},\"batch_p999_us\":{:.3}}}\n",
+        curve.len(),
+        batch_lat.p50_us,
+        batch_lat.p99_us,
+        batch_lat.p999_us
     );
     match std::fs::write(&json_path, &artifact) {
         Ok(()) => println!("\nwrote {json_path}"),

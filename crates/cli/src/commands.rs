@@ -4,8 +4,9 @@ use crate::args::{Args, ParsedCommand};
 use nm_analysis::{centrality_1d, diversity, Table};
 use nm_classbench::{generate, parse_classbench, AppKind};
 use nm_common::memsize::human_bytes;
-use nm_common::{fivetuple, Classifier, FiveTuple, RuleSet, UpdateBatch};
+use nm_common::{fivetuple, Classifier, FiveTuple, LinearSearch, Rule, RuleSet};
 use nm_common::{ShardPlanConfig, ShardStrategy};
+use nm_common::{UpdateBatch, UpdateOp};
 use nm_cutsplit::CutSplit;
 use nm_neurocuts::{NeuroCuts, NeuroCutsConfig};
 use nm_trace::{caida_like_trace, uniform_trace, zipf_trace, CaidaLikeConfig};
@@ -17,6 +18,7 @@ use nuevomatch::{
     UpdatePacer,
 };
 use nuevomatch::{NuevoMatch, Topology};
+use nuevomatch::{OracleTable, ServeClient, ServeConfig, ServePlane, Server, Transport};
 
 /// Usage text.
 pub const HELP: &str = "\
@@ -30,7 +32,9 @@ USAGE:
   nmctl classify <rules.cb> --key a.b.c.d,a.b.c.d,sport,dport,proto
   nmctl train    <rules.cb> --out <model.rqrmi>                    # persist largest-iSet RQ-RMI
   nmctl serve    <rules.cb> [--seconds S] [--readers K] [--update-rate U]
-                 [--retrain-every R] [--batch B] [--json true]     # live handle: readers + updates
+                 [--retrain-every R] [--batch B] [--json true]     # wire service + live updates
+                 [--listen IP:PORT] [--transport udp|tcp|both] [--max-batch N]
+                 [--deadline-us D] [--validate-every N]            # micro-batching + oracle
                  [--shards S] [--pin true|false]                   # sharded handle replicas
   nmctl update-bench <rules.cb> [--seconds S] [--update-rate U] [--retrain-every R]
                  [--batch B] [--json true] [--bench-json PATH]     # measured Figure 7 curve
@@ -48,6 +52,14 @@ sharding: --shards S > 1 partitions the rule-set (range steering on an
         the runtime degrades to unpinned there). bench runs static shards;
         serve fans its update stream across per-shard handle replicas under
         one logical generation.
+serving: serve binds real loopback sockets (--listen, port 0 = ephemeral):
+        length-prefixed key frames in, (rule, priority, generation) verdicts
+        out. Requests micro-batch per reader — flush at --max-batch or after
+        --deadline-us, whichever first — and every batch classifies against
+        one pinned generation. --readers K drives K loopback clients;
+        --json reports measured p50/p99/p99.9 wire service latency. Debug
+        builds replay 1 in --validate-every verdicts against a LinearSearch
+        oracle at the pinned generation (mismatches must be 0).
 ";
 
 /// Runs a parsed command, returning the text to print (errors as `Err`).
@@ -358,13 +370,6 @@ enum ServeHandle {
 }
 
 impl ServeHandle {
-    fn as_classifier(&self) -> &dyn Classifier {
-        match self {
-            ServeHandle::Plain(h) => h,
-            ServeHandle::Sharded(h) => h,
-        }
-    }
-
     fn generation(&self) -> u64 {
         match self {
             ServeHandle::Plain(h) => h.generation(),
@@ -378,6 +383,173 @@ impl ServeHandle {
             ServeHandle::Sharded(h) => h.remainder_fraction(),
         }
     }
+}
+
+/// Folds an update batch into the oracle's rule truth (upsert on id).
+fn apply_truth(truth: &mut std::collections::HashMap<u32, Rule>, batch: &UpdateBatch) {
+    for op in batch.ops() {
+        match op {
+            UpdateOp::Insert(r) | UpdateOp::Modify(r) => {
+                truth.insert(r.id, r.clone());
+            }
+            UpdateOp::Remove(id) => {
+                truth.remove(id);
+            }
+        }
+    }
+}
+
+/// Ground truth the serve updater publishes into the validator's
+/// [`OracleTable`] whenever the served generation moves.
+struct OracleTruth {
+    rules: Option<std::collections::HashMap<u32, Rule>>,
+    last_published: Option<u64>,
+}
+
+impl OracleTruth {
+    /// Seeds the truth from the initial rule-set (`None` when sampling is
+    /// off — release builds by default).
+    fn new(enabled: bool, set: &RuleSet) -> Self {
+        let rules = enabled.then(|| set.rules().iter().map(|r| (r.id, r.clone())).collect());
+        Self { rules, last_published: None }
+    }
+
+    fn absorb(&mut self, batch: &UpdateBatch) {
+        if let Some(t) = self.rules.as_mut() {
+            apply_truth(t, batch);
+        }
+    }
+
+    /// Publishes the current truth at `generation` if that generation has
+    /// not been published yet. Generations skipped between calls (a pacer
+    /// applying several batches per tick) are simply never published — the
+    /// validator counts samples at those generations as skipped, never as
+    /// mismatches.
+    fn publish(&mut self, oracle: &OracleTable, generation: u64) {
+        let Some(t) = self.rules.as_ref() else { return };
+        if self.last_published == Some(generation) {
+            return;
+        }
+        oracle.publish(generation, LinearSearch::from_rules(t.values().cloned().collect()));
+        self.last_published = Some(generation);
+    }
+}
+
+/// What one wire-serving run produced, for the report.
+struct WireOutcome {
+    stats: nuevomatch::ServeStats,
+    driver_served: u64,
+    driver_timeouts: u64,
+    updates_applied: u64,
+    retrains: u64,
+    udp_addr: Option<std::net::SocketAddr>,
+    tcp_addr: Option<std::net::SocketAddr>,
+    tcp_drivers: usize,
+}
+
+/// One loopback load-driver thread: windows of trace keys out, verdicts
+/// back, closed-loop. Returns (verdicts received, receive timeouts).
+fn drive_clients(
+    addr: std::net::SocketAddr,
+    udp: bool,
+    trace: &nm_common::TraceBuf,
+    window: usize,
+    stop: &std::sync::atomic::AtomicBool,
+) -> (u64, u64) {
+    let client = if udp { ServeClient::udp(addr) } else { ServeClient::tcp(addr) };
+    let Ok(mut client) = client else { return (0, 0) };
+    let (raw, stride, n) = (trace.raw(), trace.stride(), trace.len());
+    let window = window.clamp(1, 512);
+    let (mut served, mut timeouts) = (0u64, 0u64);
+    let mut lo = 0usize;
+    'outer: while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        let hi = (lo + window).min(n);
+        if client.send_batch(lo as u64, &raw[lo * stride..hi * stride], stride).is_err() {
+            break;
+        }
+        let want = hi - lo;
+        let mut got = 0usize;
+        while got < want {
+            match client.recv(Some(std::time::Duration::from_millis(100))) {
+                Ok(frames) if frames.is_empty() => break 'outer, // clean TCP EOF
+                Ok(frames) => got += frames.len(),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Lost datagram (UDP has no delivery guarantee even on
+                    // loopback) or a slow flush; resend from the next window.
+                    timeouts += 1;
+                    break;
+                }
+                Err(_) => break 'outer,
+            }
+        }
+        served += got as u64;
+        lo = if hi >= n { 0 } else { hi };
+    }
+    (served, timeouts)
+}
+
+/// Starts a [`Server`] over `plane`, drives it with `readers` loopback
+/// client threads replaying `trace`, and runs `updater` (the update /
+/// retrain / oracle-publishing loop, which also decides the duration) on
+/// the calling thread. Returns once everything drained.
+fn serve_wire<P, U>(
+    plane: P,
+    scfg: &ServeConfig,
+    trace: &nm_common::TraceBuf,
+    readers: usize,
+    window: usize,
+    updater: U,
+) -> Result<WireOutcome, String>
+where
+    P: ServePlane,
+    U: FnOnce(&OracleTable) -> (u64, u64),
+{
+    let server =
+        Server::start(plane, scfg).map_err(|e| format!("serve: binding {}: {e}", scfg.listen))?;
+    let (udp_addr, tcp_addr) = (server.udp_addr(), server.tcp_addr());
+    let oracle = server.oracle();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut driver_served = 0u64;
+    let mut driver_timeouts = 0u64;
+    let mut tcp_drivers = 0usize;
+    let mut counts = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for r in 0..readers.max(1) {
+            let use_udp = match scfg.transport {
+                Transport::Udp => true,
+                Transport::Tcp => false,
+                Transport::Both => r % 2 == 0,
+            };
+            tcp_drivers += usize::from(!use_udp);
+            let addr = if use_udp { udp_addr } else { tcp_addr }.expect("transport bound");
+            let stop = &stop;
+            joins.push(scope.spawn(move || drive_clients(addr, use_udp, trace, window, stop)));
+        }
+        counts = updater(&oracle);
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        for j in joins {
+            let (s, t) = j.join().expect("load driver panicked");
+            driver_served += s;
+            driver_timeouts += t;
+        }
+    });
+    let stats = server.shutdown();
+    Ok(WireOutcome {
+        stats,
+        driver_served,
+        driver_timeouts,
+        updates_applied: counts.0,
+        retrains: counts.1,
+        udp_addr,
+        tcp_addr,
+        tcp_drivers,
+    })
 }
 
 fn cmd_serve(a: &Args) -> Result<String, String> {
@@ -398,6 +570,19 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
     if shards == 0 {
         return Err("--shards must be >= 1".into());
     }
+    let mut scfg = ServeConfig {
+        listen: a
+            .get_or("listen", "127.0.0.1:0")
+            .parse()
+            .map_err(|e| format!("bad --listen address: {e}"))?,
+        transport: a.get_or("transport", "both").parse()?,
+        max_batch: a.num_or("max-batch", 128usize)?.max(1),
+        deadline: std::time::Duration::from_micros(a.num_or("deadline-us", 20u64)?),
+        stride: set.num_fields(),
+        pin,
+        ..ServeConfig::default()
+    };
+    scfg.validate_every = a.num_or("validate-every", scfg.validate_every)?;
 
     let trace = uniform_trace(&set, packets, seed);
     let t0 = std::time::Instant::now();
@@ -414,80 +599,58 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
         )
     };
     let build_s = t0.elapsed().as_secs_f64();
-    // Reader pinning: one CPU per reader, round-robin over NUMA nodes;
-    // empty grid (1-CPU box or --pin false) = unpinned.
-    let grid = if pin { Topology::discover().assign(readers.max(1), 1) } else { Vec::new() };
 
-    let stop = std::sync::atomic::AtomicBool::new(false);
     let ops_per_batch = 16usize;
-    let mut updates_applied = 0u64;
-    let mut retrains = 0u64;
-    let mut pinned_readers = 0usize;
-    let mut reader_packets = vec![0u64; readers.max(1)];
+    let validate = scfg.validate_every > 0;
+    let mut rng = nm_common::SplitMix64::new(seed ^ 0xdead_beef);
     let start = std::time::Instant::now();
-    std::thread::scope(|scope| {
-        let mut joins = Vec::new();
-        for r in 0..readers.max(1) {
-            let classifier = serve.as_classifier();
-            let cpu = grid.get(r).and_then(|row| row.first()).copied();
-            let trace = &trace;
-            let stop = &stop;
-            joins.push(scope.spawn(move || {
-                let pinned = cpu.is_some_and(nuevomatch::system::runtime::pin_current_thread);
-                let (raw, stride, n) = (trace.raw(), trace.stride(), trace.len());
-                let mut out = vec![None; batch.max(1)];
-                let mut lo = 0usize;
-                let mut count = 0u64;
-                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
-                    let hi = (lo + batch.max(1)).min(n);
-                    classifier.classify_batch(
-                        &raw[lo * stride..hi * stride],
-                        stride,
-                        &mut out[..hi - lo],
-                    );
-                    count += (hi - lo) as u64;
-                    lo = if hi == n { 0 } else { hi };
-                }
-                (count, pinned)
-            }));
-        }
-        // Updater + retrain trigger on the caller's thread.
-        let mut rng = nm_common::SplitMix64::new(seed ^ 0xdead_beef);
-        match &serve {
-            // Whole-set handle: the shared pacer (same loop body
-            // `measure_update_curve` uses), retrains on background threads.
-            ServeHandle::Plain(handle) => {
+    let wire = match &serve {
+        // Whole-set handle: the shared pacer (same loop body
+        // `measure_update_curve` uses), retrains on background threads.
+        ServeHandle::Plain(handle) => {
+            serve_wire(handle.clone(), &scfg, &trace, readers, batch, |oracle| {
+                let mut truth = OracleTruth::new(validate, &set);
+                truth.publish(oracle, handle.generation());
                 let mut pacer = UpdatePacer::new(update_rate, ops_per_batch, retrain_every);
                 let mut retrain_joins = Vec::new();
                 while start.elapsed().as_secs_f64() < seconds {
                     pacer.tick(handle, &mut retrain_joins, |_| {
-                        drift_batch(&set, &mut rng, ops_per_batch)
+                        let b = drift_batch(&set, &mut rng, ops_per_batch);
+                        truth.absorb(&b);
+                        b
                     });
+                    truth.publish(oracle, handle.generation());
                 }
-                updates_applied = pacer.ops_applied();
-                stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                let applied = pacer.ops_applied();
                 // Wait out every retrain the pacer spawned so the stats
-                // below are settled and no trainer is killed by exit.
+                // below are settled and no trainer is killed by exit; a
+                // retrain bumps the generation with the same rule truth.
                 UpdatePacer::drain(retrain_joins);
-                retrains = handle.retrains_completed();
-            }
-            // Sharded replicas: paced fan-out applies; retrains fan across
-            // every shard on a background thread (like the pacer's spawned
-            // retrains), so a multi-second retrain neither stalls this
-            // updater loop nor overshoots the requested duration — readers
-            // keep pinning epochs throughout.
-            ServeHandle::Sharded(sharded) => {
+                truth.publish(oracle, handle.generation());
+                (applied, handle.retrains_completed())
+            })?
+        }
+        // Sharded replicas: paced fan-out applies; retrains fan across
+        // every shard on a background thread, so a multi-second retrain
+        // neither stalls this updater loop nor overshoots the requested
+        // duration — the serve path keeps pinning coherent epochs.
+        ServeHandle::Sharded(sharded) => {
+            serve_wire(sharded.clone(), &scfg, &trace, readers, batch, |oracle| {
+                let mut truth = OracleTruth::new(validate, &set);
+                truth.publish(oracle, sharded.generation());
                 let interval = (update_rate > 0.0).then(|| {
                     std::time::Duration::from_secs_f64(ops_per_batch as f64 / update_rate)
                 });
                 let mut next_fire = std::time::Instant::now();
                 let mut last_retrain = std::time::Instant::now();
                 let mut retrain_joins = Vec::new();
+                let mut applied = 0u64;
                 while start.elapsed().as_secs_f64() < seconds {
                     match interval {
                         Some(dt) if std::time::Instant::now() >= next_fire => {
                             let batch = drift_batch(&set, &mut rng, ops_per_batch);
-                            updates_applied += batch.len() as u64;
+                            applied += batch.len() as u64;
+                            truth.absorb(&batch);
                             sharded.apply(&batch);
                             next_fire += dt;
                         }
@@ -503,62 +666,111 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
                         let sharded = sharded.clone();
                         retrain_joins.push(std::thread::spawn(move || sharded.retrain()));
                     }
+                    truth.publish(oracle, sharded.generation());
                 }
-                stop.store(true, std::sync::atomic::Ordering::SeqCst);
                 // Wait out every spawned retrain so the stats below are
                 // settled and no trainer is killed by process exit.
-                retrains = retrain_joins
+                let retrains = retrain_joins
                     .into_iter()
                     .filter_map(|j| j.join().ok())
                     .filter(Result::is_ok)
                     .count() as u64;
-            }
+                truth.publish(oracle, sharded.generation());
+                (applied, retrains)
+            })?
         }
-        for (i, j) in joins.into_iter().enumerate() {
-            let (count, pinned) = j.join().expect("reader panicked");
-            reader_packets[i] = count;
-            pinned_readers += usize::from(pinned);
-        }
-    });
+    };
     let elapsed = start.elapsed().as_secs_f64();
-    let total: u64 = reader_packets.iter().sum();
+    let stats = &wire.stats;
+    let lat = stats.latency.summary_us();
+    // Serve-side reader threads pinned round-robin over the topology: the
+    // UDP readers plus one connection thread per TCP driver (no-op and
+    // reported 0 on 1-CPU boxes or with --pin false).
+    let pinning = pin && Topology::discover().num_cpus() > 1;
+    let pinned_readers = if pinning {
+        scfg.udp_readers * usize::from(scfg.transport.udp()) + wire.tcp_drivers
+    } else {
+        0
+    };
     if json {
         return Ok(format!(
             "{{\"engine\":\"nm-tm\",\"rules\":{},\"build_s\":{:.3},\"readers\":{},\"seconds\":{:.3},\
              \"packets\":{},\"pps\":{:.1},\"update_rate\":{:.1},\"updates_applied\":{},\
              \"generation\":{},\"retrains\":{},\"remainder_fraction\":{:.4},\
-             \"shards\":{},\"pinned_readers\":{}}}\n",
+             \"shards\":{},\"pinned_readers\":{},\
+             \"transport\":\"{}\",\"max_batch\":{},\"deadline_us\":{},\
+             \"served\":{},\"driver_timeouts\":{},\"batches\":{},\"full_flushes\":{},\
+             \"deadline_flushes\":{},\"drain_flushes\":{},\"decode_errors\":{},\
+             \"validated\":{},\"oracle_skipped\":{},\"mismatches\":{},\
+             \"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"mean_us\":{:.1}}}\n",
             set.len(),
             build_s,
             readers.max(1),
             elapsed,
-            total,
-            total as f64 / elapsed,
+            stats.responses,
+            stats.responses as f64 / elapsed,
             update_rate,
-            updates_applied,
+            wire.updates_applied,
             serve.generation(),
-            retrains,
+            wire.retrains,
             serve.remainder_fraction(),
             shards,
             pinned_readers,
+            scfg.transport,
+            scfg.max_batch,
+            scfg.deadline.as_micros(),
+            wire.driver_served,
+            wire.driver_timeouts,
+            stats.batches,
+            stats.full_flushes,
+            stats.deadline_flushes,
+            stats.drain_flushes,
+            stats.decode_errors,
+            stats.validated,
+            stats.oracle_skipped,
+            stats.mismatches,
+            lat.p50_us,
+            lat.p99_us,
+            lat.p999_us,
+            lat.mean_us,
         ));
     }
+    let addr =
+        |a: Option<std::net::SocketAddr>| a.map_or_else(|| "-".to_string(), |sa| sa.to_string());
     Ok(format!(
-        "served {} packets over {:.2}s with {} readers ({} pinned, {} shard(s)): {:.3e} pps aggregate\n\
+        "served {} verdicts over {:.2}s on the wire (udp {} / tcp {}, {} shard(s)): {:.3e} pps\n\
+         {} loopback drivers, window {}; {} batches ({} full / {} deadline / {} drain), \
+         {} decode errors\n\
+         service latency: p50 {:.1}us  p99 {:.1}us  p99.9 {:.1}us  mean {:.1}us\n\
          updates applied: {} ({:.0}/s target) -> generation {}\n\
          retrains completed: {}   remainder fraction now: {:.1}%\n\
-         readers never blocked: every classify ran against a pinned snapshot\n",
-        total,
+         oracle validation: {} sampled, {} mismatches ({} skipped)\n\
+         readers never blocked: every batch classified one pinned generation\n",
+        stats.responses,
         elapsed,
-        readers.max(1),
-        pinned_readers,
+        addr(wire.udp_addr),
+        addr(wire.tcp_addr),
         shards,
-        total as f64 / elapsed,
-        updates_applied,
+        stats.responses as f64 / elapsed,
+        readers.max(1),
+        batch.clamp(1, 512),
+        stats.batches,
+        stats.full_flushes,
+        stats.deadline_flushes,
+        stats.drain_flushes,
+        stats.decode_errors,
+        lat.p50_us,
+        lat.p99_us,
+        lat.p999_us,
+        lat.mean_us,
+        wire.updates_applied,
         update_rate,
         serve.generation(),
-        retrains,
+        wire.retrains,
         serve.remainder_fraction() * 100.0,
+        stats.validated,
+        stats.mismatches,
+        stats.oracle_skipped,
     ))
 }
 
@@ -619,7 +831,8 @@ fn cmd_update_bench(a: &Args) -> Result<String, String> {
              \"drift_ops\":{},\"dirty_leaf_fraction\":{:.4},\"drift_floor_full\":{:.4},\
              \"drift_floor_partial\":{:.4},\"curve_points\":{},\
              \"remainder_ratio\":{remainder_ratio:.4},\
-             \"partial_retrains\":{},\"retrains\":{}}}\n",
+             \"partial_retrains\":{},\"retrains\":{},\
+             \"batch_p50_us\":{:.3},\"batch_p99_us\":{:.3},\"batch_p999_us\":{:.3}}}\n",
             set.len(),
             lat.full_s,
             lat.partial_s,
@@ -628,21 +841,30 @@ fn cmd_update_bench(a: &Args) -> Result<String, String> {
             lat.dirty_leaf_fraction,
             floor(lat.full_s),
             floor(lat.partial_s),
-            curve.len(),
+            curve.points.len(),
             handle.partial_retrains_completed(),
             handle.retrains_completed(),
+            curve.batch_latency.percentile(0.50) / 1e3,
+            curve.batch_latency.percentile(0.99) / 1e3,
+            curve.batch_latency.percentile(0.999) / 1e3,
         );
         std::fs::write(bench_json, &artifact).map_err(|e| format!("writing {bench_json}: {e}"))?;
     }
     let mut out = String::new();
     if json {
-        for p in &curve {
+        for p in &curve.points {
             out.push_str(&format!(
                 "{{\"t_s\":{:.3},\"pps\":{:.1},\"generation\":{},\"update_rate\":{:.1},\
                  \"remainder_fraction\":{:.4},\"retrains\":{}}}\n",
                 p.t_s, p.pps, p.generation, update_rate, p.remainder_fraction, p.retrains
             ));
         }
+        let lat = curve.batch_latency.summary_us();
+        out.push_str(&format!(
+            "{{\"batch_latency_samples\":{},\"batch_p50_us\":{:.3},\"batch_p99_us\":{:.3},\
+             \"batch_p999_us\":{:.3},\"batch_mean_us\":{:.3}}}\n",
+            lat.count, lat.p50_us, lat.p99_us, lat.p999_us, lat.mean_us
+        ));
         return Ok(out);
     }
     out.push_str(&format!(
@@ -655,8 +877,8 @@ fn cmd_update_bench(a: &Args) -> Result<String, String> {
         "{:>7}  {:>12}  {:>6}  {:>10}  {:>9}  {:>8}\n",
         "t (s)", "pps", "rel", "generation", "rem-frac", "retrains"
     ));
-    let peak = curve.iter().map(|p| p.pps).fold(0.0f64, f64::max).max(1e-9);
-    for p in &curve {
+    let peak = curve.points.iter().map(|p| p.pps).fold(0.0f64, f64::max).max(1e-9);
+    for p in &curve.points {
         out.push_str(&format!(
             "{:>7.2}  {:>12.3e}  {:>6.2}  {:>10}  {:>9.3}  {:>8}\n",
             p.t_s,
@@ -667,6 +889,12 @@ fn cmd_update_bench(a: &Args) -> Result<String, String> {
             p.retrains
         ));
     }
+    let lat = curve.batch_latency.summary_us();
+    out.push_str(&format!(
+        "\nper-batch classify latency ({} samples): \
+         p50 {:.1}us  p99 {:.1}us  p99.9 {:.1}us  mean {:.1}us\n",
+        lat.count, lat.p50_us, lat.p99_us, lat.p999_us, lat.mean_us
+    ));
     Ok(out)
 }
 
@@ -826,6 +1054,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("updates applied"), "{out}");
         assert!(out.contains("retrains completed"), "{out}");
+        assert!(out.contains("service latency:"), "{out}");
+        // Debug builds sample served verdicts against the oracle at the
+        // pinned generation; any disagreement is a torn generation.
+        assert!(out.contains(", 0 mismatches"), "oracle mismatches: {out}");
 
         let out = run(parse_command(&v(&[
             "update-bench",
@@ -976,7 +1208,19 @@ mod tests {
         ]))
         .unwrap())
         .unwrap();
-        for field in ["\"shards\":2", "\"pinned_readers\":", "\"generation\":", "\"retrains\":"] {
+        for field in [
+            "\"shards\":2",
+            "\"pinned_readers\":",
+            "\"generation\":",
+            "\"retrains\":",
+            "\"transport\":\"both\"",
+            "\"served\":",
+            "\"p50_us\":",
+            "\"p99_us\":",
+            "\"p999_us\":",
+            "\"mean_us\":",
+            "\"mismatches\":0",
+        ] {
             assert!(out.contains(field), "sharded serve missing {field}: {out}");
         }
 

@@ -38,6 +38,8 @@
 pub mod classifier;
 pub mod error;
 pub mod fivetuple;
+pub mod frame;
+pub mod latency;
 pub mod linear;
 pub mod memsize;
 pub mod packet;
@@ -54,6 +56,7 @@ pub mod wire;
 pub use classifier::{Classifier, MatchResult};
 pub use error::Error;
 pub use fivetuple::{FiveTuple, DST_IP, DST_PORT, FIVE_TUPLE_FIELDS, PROTO, SRC_IP, SRC_PORT};
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use linear::LinearSearch;
 pub use packet::TraceBuf;
 pub use range::FieldRange;

@@ -69,10 +69,13 @@ pub use persist::{load_rqrmi, load_snapshot, save_rqrmi, save_snapshot};
 pub use rqrmi::{train_rqrmi, CompiledRqRmi, Isa, RqRmi};
 pub use system::handle::{
     concentrated_drift, measure_retrain_latencies, measure_update_curve, RetrainLatencies,
-    UpdateBenchConfig, UpdateCurvePoint, UpdatePacer,
+    UpdateBenchConfig, UpdateCurve, UpdateCurvePoint, UpdatePacer,
 };
 pub use system::runtime::{
     PinPolicy, RunStats, Runtime, RuntimeConfig, ShardedClassifier, ShardedHandle, Topology,
+};
+pub use system::serve::{
+    OracleTable, PinnedPlane, ServeClient, ServeConfig, ServePlane, ServeStats, Server, Transport,
 };
 pub use system::{
     ClassifierHandle, FlowCache, LookupBreakdown, NmSnapshot, NuevoMatch, PartialRetrainReport,

@@ -738,20 +738,33 @@ where
     Ok(RetrainLatencies { partial_s, full_s, drift_ops, dirty_leaf_fraction })
 }
 
+/// What [`measure_update_curve`] measured: the sampled throughput curve
+/// plus the per-batch service-latency histogram (one sample per
+/// `classify_batch` call, nanoseconds), replacing the ad-hoc derived
+/// latency numbers older callers computed from `pps`.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateCurve {
+    /// Windowed throughput samples over the run.
+    pub points: Vec<UpdateCurvePoint>,
+    /// Reader-side per-batch classification latency.
+    pub batch_latency: nm_common::LatencyHistogram,
+}
+
 /// Measures throughput-under-updates (Figure 7, §3.9) against a live
 /// [`ClassifierHandle`]: one reader thread classifies the trace in batches
 /// continuously, an updater thread applies `make_batch(i)` transactions at
 /// the configured rate, and retrains fire on their period in the background.
 /// Readers never block on any of it — that is the property under test.
 ///
-/// Returns the sampled curve; validate it against
-/// `nm_analysis::throughput_at` to close the loop with the analytic model.
+/// Returns the sampled curve plus the per-batch latency histogram;
+/// validate the curve against `nm_analysis::throughput_at` to close the
+/// loop with the analytic model.
 pub fn measure_update_curve<R, F>(
     handle: &ClassifierHandle<R>,
     trace: &TraceBuf,
     cfg: &UpdateBenchConfig,
     make_batch: F,
-) -> Vec<UpdateCurvePoint>
+) -> UpdateCurve
 where
     R: BatchUpdatable + Clone + Send + Sync + 'static,
     F: FnMut(u64) -> UpdateBatch + Send,
@@ -759,7 +772,7 @@ where
     use std::time::Instant;
     let n = trace.len();
     if n == 0 || cfg.duration_s <= 0.0 {
-        return Vec::new();
+        return UpdateCurve::default();
     }
     let stride = trace.stride();
     let raw = trace.raw();
@@ -767,6 +780,7 @@ where
     let stop = AtomicBool::new(false);
     let start = Instant::now();
     let mut curve = Vec::new();
+    let mut batch_latency = nm_common::LatencyHistogram::new();
     let mut make_batch = make_batch;
 
     crossbeam::thread::scope(|scope| {
@@ -794,7 +808,9 @@ where
                 break;
             }
             let hi = (lo + batch).min(n);
+            let t0 = Instant::now();
             handle.classify_batch(&raw[lo * stride..hi * stride], stride, &mut out[..hi - lo]);
+            batch_latency.record_duration(t0.elapsed());
             window_packets += (hi - lo) as u64;
             lo = if hi == n { 0 } else { hi };
             let window_s = window_start.elapsed().as_secs_f64();
@@ -816,7 +832,7 @@ where
     .expect("update-bench worker panicked");
     // Every retrain the pacer spawned was joined inside the scope, so the
     // stats are settled the moment this returns.
-    curve
+    UpdateCurve { points: curve, batch_latency }
 }
 
 #[cfg(test)]
@@ -1119,12 +1135,16 @@ mod tests {
             }
             b
         });
-        assert!(curve.len() >= 3, "expected several samples, got {}", curve.len());
-        assert!(curve.iter().all(|p| p.pps > 0.0));
-        let last = curve.last().unwrap();
+        let points = &curve.points;
+        assert!(points.len() >= 3, "expected several samples, got {}", points.len());
+        assert!(points.iter().all(|p| p.pps > 0.0));
+        let last = points.last().unwrap();
         assert!(last.generation > 1, "updates must have published generations");
         // The set drifts under modify load...
-        assert!(curve.iter().any(|p| p.remainder_fraction > 0.0));
+        assert!(points.iter().any(|p| p.remainder_fraction > 0.0));
         assert!(!h.retrain_in_progress(), "no retrain left dangling");
+        // One latency sample per classify_batch call, with sane tails.
+        assert!(curve.batch_latency.count() > 0);
+        assert!(curve.batch_latency.percentile(0.99) >= curve.batch_latency.percentile(0.50));
     }
 }

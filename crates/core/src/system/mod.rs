@@ -13,13 +13,13 @@ pub mod handle;
 pub mod parallel;
 pub mod retrain;
 pub mod runtime;
+pub mod serve;
 pub mod update;
 
 pub use breakdown::{measure_breakdown, LookupBreakdown};
 pub use flow_cache::{CacheStats, FlowCache};
 pub use handle::{ClassifierHandle, NmSnapshot};
-#[allow(deprecated)]
-pub use parallel::{run_batched, run_replicated, run_two_workers, ParallelStats};
+pub use parallel::{run_batched, ParallelStats};
 pub use retrain::PartialRetrainReport;
 pub use runtime::{
     PinPolicy, RunStats, Runtime, RuntimeConfig, ShardedClassifier, ShardedHandle, Topology,

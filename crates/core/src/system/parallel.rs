@@ -10,9 +10,9 @@
 //! ([`ShardedHandle`](crate::system::runtime::ShardedHandle) /
 //! [`ShardedClassifier`](crate::system::runtime::ShardedClassifier)) — with
 //! NUMA-aware worker pinning, a configurable pipeline depth, per-worker
-//! flow caches and propagated worker errors. [`run_two_workers`] and
-//! [`run_replicated`] remain as thin deprecated wrappers expressing the old
-//! signatures as runtime plans.
+//! flow caches and propagated worker errors. The old `run_two_workers` /
+//! `run_replicated` free functions are gone — call
+//! [`Runtime::run_split`] / [`Runtime::run_replicated`] directly.
 //!
 //! This module keeps the two single-threaded reference loops —
 //! [`run_sequential`] (the §5.2 per-key methodology) and [`run_batched`]
@@ -31,8 +31,7 @@
 use nm_common::classifier::{Classifier, MatchResult};
 use nm_common::packet::TraceBuf;
 
-use super::handle::ClassifierHandle;
-use super::runtime::{fold_checksum, RunStats, Runtime, RuntimeConfig};
+use super::runtime::{fold_checksum, RunStats};
 
 /// Default batch size from the paper.
 pub const BATCH: usize = 128;
@@ -60,50 +59,6 @@ impl From<RunStats> for ParallelStats {
             checksum: s.checksum,
         }
     }
-}
-
-/// Legacy two-worker entry point: NuevoMatch's iSet/remainder split,
-/// expressed as a [`SplitPlan`](crate::system::runtime::SplitPlan) on a
-/// default-configured [`Runtime`].
-///
-/// Worker failures, which previously wedged the dispatcher on a dead
-/// channel, now surface as a descriptive panic (the runtime API returns
-/// them as errors — use [`Runtime::run_split`] to handle them).
-#[deprecated(
-    since = "0.2.0",
-    note = "use system::runtime::Runtime::run_split (plan-based runtime with pinning, \
-            configurable pipeline depth, and error propagation)"
-)]
-pub fn run_two_workers<R: Classifier>(
-    handle: &ClassifierHandle<R>,
-    trace: &TraceBuf,
-    batch: usize,
-) -> ParallelStats {
-    Runtime::new(RuntimeConfig { batch: batch.max(1), ..Default::default() })
-        .run_split(handle, trace)
-        .unwrap_or_else(|e| panic!("two-worker runtime failed: {e}"))
-        .into()
-}
-
-/// Legacy replicated entry point: `threads` whole-set shards over one
-/// engine, expressed as a [`Replicated`](crate::system::runtime::Replicated)
-/// plan. Unlike the historical runner, verdicts merge in trace order, so
-/// the checksum equals [`run_sequential`]'s at **any** thread count (the
-/// old XOR-of-partials combination was only comparable at one thread).
-#[deprecated(
-    since = "0.2.0",
-    note = "use system::runtime::Runtime::run_replicated (plan-based runtime)"
-)]
-pub fn run_replicated(
-    c: &dyn Classifier,
-    trace: &TraceBuf,
-    threads: usize,
-    batch: usize,
-) -> ParallelStats {
-    Runtime::new(RuntimeConfig { batch: batch.max(1), ..Default::default() })
-        .run_replicated(c, threads.max(1), trace)
-        .unwrap_or_else(|e| panic!("replicated runtime failed: {e}"))
-        .into()
 }
 
 /// Single-core **batched** run: the trace flows through
@@ -162,10 +117,10 @@ pub fn run_sequential(c: &dyn Classifier, trace: &TraceBuf) -> ParallelStats {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the wrappers under test are the deprecated API
-
     use super::*;
     use crate::config::{NuevoMatchConfig, RqRmiParams};
+    use crate::system::handle::ClassifierHandle;
+    use crate::system::runtime::{Runtime, RuntimeConfig};
     use nm_common::{FieldsSpec, FiveTuple, LinearSearch, RuleSet};
 
     fn setup() -> (ClassifierHandle<LinearSearch>, TraceBuf) {
@@ -199,24 +154,28 @@ mod tests {
         }
     }
 
+    fn rt(batch: usize) -> Runtime {
+        Runtime::new(RuntimeConfig { batch, ..Default::default() })
+    }
+
     #[test]
-    fn two_worker_wrapper_matches_sequential() {
+    fn split_runtime_matches_sequential() {
         let (nm, trace) = setup();
         let seq = run_sequential(&nm, &trace);
-        let par = run_two_workers(&nm, &trace, 128);
+        let par: ParallelStats = rt(128).run_split(&nm, &trace).unwrap().into();
         assert_eq!(seq.checksum, par.checksum);
         assert!(par.pps > 0.0);
         assert!(par.mean_batch_latency_ns > 0.0);
     }
 
     #[test]
-    fn replicated_wrapper_matches_sequential_at_any_width() {
+    fn replicated_runtime_matches_sequential_at_any_width() {
         let (nm, trace) = setup();
         let seq = run_sequential(&nm, &trace);
-        // The plan-based wrapper merges in trace order: the checksum is now
+        // The plan-based runtime merges in trace order: the checksum is
         // comparable at every thread count, not only at one.
         for threads in [1usize, 2] {
-            let rep = run_replicated(&nm, &trace, threads, 128);
+            let rep = rt(128).run_replicated(&nm, threads, &trace).unwrap();
             assert_eq!(rep.checksum, seq.checksum, "threads {threads}");
             assert!(rep.pps > 0.0);
         }
@@ -226,9 +185,9 @@ mod tests {
     fn empty_trace() {
         let (nm, _) = setup();
         let empty = TraceBuf::new(5);
-        let s = run_two_workers(&nm, &empty, 128);
+        let s = rt(128).run_split(&nm, &empty).unwrap();
         assert_eq!(s.checksum, 0);
-        assert_eq!(run_replicated(&nm, &empty, 2, 128).checksum, 0);
+        assert_eq!(rt(128).run_replicated(&nm, 2, &empty).unwrap().checksum, 0);
     }
 
     #[test]
@@ -260,7 +219,7 @@ mod tests {
                 }
             });
             for _ in 0..5 {
-                let s = run_two_workers(&handle, &trace, 128);
+                let s = rt(128).run_split(&handle, &trace).unwrap();
                 assert!(s.pps > 0.0);
             }
             done.store(true, std::sync::atomic::Ordering::SeqCst);

@@ -584,9 +584,17 @@ impl Runtime {
                         steered[s] += ids.len() as u64;
                         if job_tx[s].send(Job { batch: next, idx: ids, pin: pin.clone() }).is_err()
                         {
-                            error = Some(Error::Build {
-                                msg: format!("runtime: shard {s} workers exited early"),
-                            });
+                            // A worker that panicked sends its error chunk
+                            // *before* hanging up its job receiver, so when
+                            // the send loses that race the real cause is
+                            // already buffered in the result channel —
+                            // surface it instead of the generic disconnect.
+                            let msg = std::iter::from_fn(|| res_rx.try_recv().ok())
+                                .find_map(|chunk| chunk.err())
+                                .unwrap_or_else(|| {
+                                    format!("runtime: shard {s} workers exited early")
+                                });
+                            error = Some(Error::Build { msg });
                             break 'run;
                         }
                     }

@@ -497,6 +497,36 @@ impl<R: Classifier> ShardedHandle<R> {
             &self.shared.home[slot]
         }
     }
+
+    /// Classifies a whole batch against a caller-pinned [`ShardEpoch`] —
+    /// the serve path's "one generation per flushed batch" contract. Same
+    /// steering and broadcast merge as the `Classifier::batch_lookup` impl,
+    /// but the epoch is chosen by the caller instead of re-pinned per call,
+    /// so a batch assembled before a publish still classifies coherently.
+    pub fn classify_batch_at(
+        &self,
+        epoch: &ShardEpoch<R>,
+        keys: &[u64],
+        stride: usize,
+        out: &mut [Option<MatchResult>],
+    ) {
+        let mut broadcast = (epoch.broadcast.num_rules() > 0).then_some(
+            |keys: &[u64], out: &mut [Option<MatchResult>]| {
+                merge_broadcast(&*epoch.broadcast, keys, stride, out)
+            },
+        );
+        steered_batch_lookup(
+            &self.shared.plan,
+            keys,
+            stride,
+            None,
+            out,
+            &mut |shard, sub_keys, sub_out| {
+                epoch.home[shard].classify_batch(sub_keys, stride, sub_out)
+            },
+            broadcast.as_mut().map(|f| f as BroadcastSweep<'_>),
+        );
+    }
 }
 
 impl<R: BatchUpdatable + Clone> ShardedHandle<R> {

@@ -1,0 +1,229 @@
+//! Deadline micro-batching: coalesce in-flight requests into data-plane
+//! batches, flushing at `max_batch` or when the *oldest* pending request
+//! hits the deadline — whichever comes first.
+//!
+//! Each transport reader thread owns one assembler, so pushes are
+//! lock-free; the only shared state is the stats slot (locked once per
+//! flush) and the reply sockets. A flush pins exactly one generation from
+//! the [`ServePlane`], classifies the whole batch against it, and writes
+//! `(rule, priority, generation)` responses back, coalescing consecutive
+//! frames to the same destination into one write.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nm_common::classifier::MatchResult;
+use nm_common::frame::encode_response;
+
+use super::plane::{PinnedPlane, ServePlane};
+use super::stats::{FlushCause, ServeStats};
+use super::validator::Validator;
+
+/// Where a response frame goes. UDP replies address the shared socket;
+/// TCP replies write to the connection's stream (`&TcpStream: Write`, and
+/// each connection is owned by exactly one reader thread, so writes never
+/// interleave).
+#[derive(Clone)]
+pub enum ReplyTo {
+    /// Reply via `send_to` on the (shared) serving socket.
+    Udp(Arc<UdpSocket>, SocketAddr),
+    /// Reply on the connection's own stream.
+    Tcp(Arc<TcpStream>),
+}
+
+impl ReplyTo {
+    /// True when both route to the same destination (coalescable).
+    fn same_dest(&self, other: &ReplyTo) -> bool {
+        match (self, other) {
+            (ReplyTo::Udp(_, a), ReplyTo::Udp(_, b)) => a == b,
+            (ReplyTo::Tcp(a), ReplyTo::Tcp(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    fn send(&self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            ReplyTo::Udp(sock, peer) => sock.send_to(bytes, peer).map(|_| ()),
+            // The conn reader flips its fd nonblocking while assembling, so
+            // a full send buffer surfaces as `WouldBlock` mid-write; spin
+            // the write through — the peer is draining, and dropping a
+            // partial frame would desynchronise the whole stream.
+            ReplyTo::Tcp(stream) => {
+                let mut off = 0;
+                while off < bytes.len() {
+                    match (&**stream).write(&bytes[off..]) {
+                        Ok(0) => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::WriteZero,
+                                "peer stopped reading",
+                            ))
+                        }
+                        Ok(n) => off += n,
+                        Err(ref e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            // Yield: the peer needs CPU to drain its side.
+                            std::thread::yield_now();
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+struct Pending {
+    id: u64,
+    arrived: Instant,
+    reply: ReplyTo,
+}
+
+/// The per-reader batch assembler.
+pub struct Assembler<P: ServePlane> {
+    plane: Arc<P>,
+    max_batch: usize,
+    deadline: Duration,
+    stride: usize,
+    keys: Vec<u64>,
+    pending: Vec<Pending>,
+    out: Vec<Option<MatchResult>>,
+    wire: Vec<u8>,
+    validator: Validator,
+    stats_slot: Arc<Mutex<ServeStats>>,
+    /// Counters accumulated outside flushes (decode errors), folded into
+    /// the slot on the next flush.
+    pub decode_errors: u64,
+    requests: u64,
+}
+
+impl<P: ServePlane> Assembler<P> {
+    /// A fresh assembler flushing into `plane` and reporting into
+    /// `stats_slot`.
+    pub fn new(
+        plane: Arc<P>,
+        max_batch: usize,
+        deadline: Duration,
+        stride: usize,
+        validator: Validator,
+        stats_slot: Arc<Mutex<ServeStats>>,
+    ) -> Self {
+        let max_batch = max_batch.max(1);
+        Self {
+            plane,
+            max_batch,
+            deadline,
+            stride: stride.max(1),
+            keys: Vec::with_capacity(max_batch * stride.max(1)),
+            pending: Vec::with_capacity(max_batch),
+            out: vec![None; max_batch],
+            wire: Vec::with_capacity(4096),
+            validator,
+            stats_slot,
+            decode_errors: 0,
+            requests: 0,
+        }
+    }
+
+    /// Queues one request. `key` must be `stride` words (the transport
+    /// validates widths). Returns `true` when the batch is now full and
+    /// must be flushed before anything else is pushed.
+    pub fn push(&mut self, id: u64, key: &[u64], reply: ReplyTo, arrived: Instant) -> bool {
+        debug_assert_eq!(key.len(), self.stride);
+        self.keys.extend_from_slice(key);
+        self.pending.push(Pending { id, arrived, reply });
+        self.requests += 1;
+        self.pending.len() >= self.max_batch
+    }
+
+    /// Queued request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Time until the oldest pending request's deadline, `None` when empty.
+    /// `Some(ZERO)` means the deadline already passed — flush now.
+    pub fn time_left(&self, now: Instant) -> Option<Duration> {
+        let oldest = self.pending.first()?.arrived;
+        Some(self.deadline.saturating_sub(now.duration_since(oldest)))
+    }
+
+    /// Classifies and answers everything queued (no-op when empty): pin
+    /// one generation, classify the whole batch against it, write the
+    /// responses back, account latency per request.
+    pub fn flush(&mut self, cause: FlushCause) {
+        let n = self.pending.len();
+        if n == 0 {
+            // Still fold carried counters (decoded-but-not-flushed
+            // requests never exist; decode errors can).
+            if self.decode_errors > 0 || self.requests > 0 {
+                let mut stats = self.stats_slot.lock().unwrap();
+                stats.requests += self.requests;
+                stats.decode_errors += self.decode_errors;
+                self.requests = 0;
+                self.decode_errors = 0;
+            }
+            return;
+        }
+        let pin = self.plane.pin();
+        let generation = pin.generation();
+        let out = &mut self.out[..n];
+        out.fill(None);
+        pin.classify_batch(&self.keys, self.stride, out);
+
+        // Write responses, coalescing consecutive same-destination frames
+        // into one datagram / stream write.
+        let mut send_errors = 0u64;
+        let mut start = 0usize;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && self.pending[end].reply.same_dest(&self.pending[start].reply) {
+                end += 1;
+            }
+            self.wire.clear();
+            for i in start..end {
+                encode_response(&mut self.wire, self.pending[i].id, self.out[i], generation);
+            }
+            if self.pending[start].reply.send(&self.wire).is_err() {
+                send_errors += (end - start) as u64;
+            }
+            start = end;
+        }
+
+        // Latency accounting + the debug oracle sample, under one stats
+        // lock acquisition per flush.
+        let done = Instant::now();
+        {
+            let mut stats = self.stats_slot.lock().unwrap();
+            stats.requests += self.requests;
+            stats.decode_errors += self.decode_errors;
+            stats.send_errors += send_errors;
+            self.requests = 0;
+            self.decode_errors = 0;
+            stats.count_flush(cause, n - send_errors as usize);
+            for (i, p) in self.pending.iter().enumerate() {
+                stats.latency.record_duration(done.duration_since(p.arrived));
+                if self.validator.sample() {
+                    let key = &self.keys[i * self.stride..(i + 1) * self.stride];
+                    // The verdict was computed at the batch's pinned
+                    // generation — exactly what the response advertised.
+                    self.validator.check(key, self.out[i], generation, &mut stats);
+                }
+            }
+        }
+        self.keys.clear();
+        self.pending.clear();
+    }
+}

@@ -1,0 +1,293 @@
+//! `system::serve` — the wire-to-verdict classification service.
+//!
+//! Turns a live data plane (a [`ClassifierHandle`] or the PR 5 sharded
+//! [`ShardedHandle`]) into a network service: length-prefixed key frames
+//! arrive over UDP and/or TCP (`nm_common::frame`), per-core reader
+//! threads coalesce them with **deadline micro-batching** (flush at
+//! `max_batch` or after `deadline`, whichever first), every flushed batch
+//! classifies against **one pinned generation**, and `(rule, priority,
+//! generation)` verdicts go back on the wire. Service latency — request
+//! decoded to response written, micro-batching wait included — lands in a
+//! log-bucketed [`nm_common::LatencyHistogram`] for p50/p99/p999 tail
+//! accounting.
+//!
+//! In debug builds an in-loop oracle validator (the Chameleon-style
+//! validating controller named in ROADMAP) replays a sample of served
+//! requests against a [`nm_common::LinearSearch`] truth at the pinned
+//! generation; mismatches are counted and asserted to zero by the
+//! integration tests.
+//!
+//! ```no_run
+//! # use nuevomatch::system::serve::{ServeConfig, Server};
+//! # fn demo(handle: nuevomatch::ClassifierHandle<nm_common::LinearSearch>) {
+//! let server = Server::start(handle, &ServeConfig::default()).unwrap();
+//! let addr = server.udp_addr().unwrap(); // ephemeral loopback port
+//! // ... drive clients against `addr` ...
+//! let stats = server.shutdown();
+//! assert_eq!(stats.mismatches, 0);
+//! # }
+//! ```
+
+pub mod assembler;
+pub mod client;
+pub mod plane;
+pub mod stats;
+pub mod transport;
+pub mod validator;
+
+pub use assembler::{Assembler, ReplyTo};
+pub use client::ServeClient;
+pub use plane::{PinnedPlane, ServePlane, ShardedPin};
+pub use stats::{FlushCause, ServeStats};
+pub use validator::{OracleTable, Validator};
+
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::system::runtime::topology::{pin_current_thread, Topology};
+
+#[allow(unused_imports)] // doc links
+use crate::system::handle::ClassifierHandle;
+#[allow(unused_imports)] // doc links
+use crate::system::runtime::sharded::ShardedHandle;
+
+/// Which socket families the server binds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Datagrams only.
+    Udp,
+    /// Streams only.
+    Tcp,
+    /// Both (each on its own ephemeral port when `listen` uses port 0).
+    Both,
+}
+
+impl Transport {
+    /// Whether UDP is served.
+    pub fn udp(self) -> bool {
+        matches!(self, Transport::Udp | Transport::Both)
+    }
+
+    /// Whether TCP is served.
+    pub fn tcp(self) -> bool {
+        matches!(self, Transport::Tcp | Transport::Both)
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "udp" => Ok(Transport::Udp),
+            "tcp" => Ok(Transport::Tcp),
+            "both" => Ok(Transport::Both),
+            other => Err(format!("unknown transport {other:?} (udp|tcp|both)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transport::Udp => "udp",
+            Transport::Tcp => "tcp",
+            Transport::Both => "both",
+        })
+    }
+}
+
+/// Serve front-end configuration. The defaults are the paper-shaped
+/// serving point: batch 128, 20µs assembly deadline, loopback ephemeral
+/// port, both transports.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port per transport.
+    pub listen: SocketAddr,
+    /// Socket families to serve.
+    pub transport: Transport,
+    /// Flush a batch at this many requests…
+    pub max_batch: usize,
+    /// …or when the oldest pending request has waited this long.
+    pub deadline: Duration,
+    /// Key words per request frame (requests with any other width are
+    /// decode errors).
+    pub stride: usize,
+    /// Reader threads sharing the UDP socket.
+    pub udp_readers: usize,
+    /// Pin reader threads round-robin over the NUMA topology (no-ops on a
+    /// single-CPU box).
+    pub pin: bool,
+    /// Replay one in N served requests against the oracle table; `0`
+    /// disables sampling. Defaults to 16 in debug builds, 0 in release —
+    /// the in-loop validator is a debugging control, not a serving cost.
+    pub validate_every: u64,
+    /// Oracle generations retained for validation.
+    pub oracle_keep: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".parse().unwrap(),
+            transport: Transport::Both,
+            max_batch: 128,
+            deadline: Duration::from_micros(20),
+            stride: nm_common::FIVE_TUPLE_FIELDS,
+            udp_readers: 1,
+            pin: true,
+            validate_every: if cfg!(debug_assertions) { 16 } else { 0 },
+            oracle_keep: 8,
+        }
+    }
+}
+
+/// Everything the reader threads share.
+pub(crate) struct Shared<P: ServePlane> {
+    pub(crate) plane: Arc<P>,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) oracle: Arc<OracleTable>,
+    pub(crate) shutdown: AtomicBool,
+    slots: Mutex<Vec<Arc<Mutex<ServeStats>>>>,
+    pub(crate) conn_joins: Mutex<Vec<JoinHandle<()>>>,
+    cpus: Vec<usize>,
+    next_cpu: AtomicUsize,
+}
+
+impl<P: ServePlane> Shared<P> {
+    /// Builds one assembler wired to a fresh registered stats slot.
+    pub(crate) fn new_assembler(self: &Arc<Self>) -> Assembler<P> {
+        let slot = Arc::new(Mutex::new(ServeStats::new()));
+        self.slots.lock().unwrap().push(slot.clone());
+        Assembler::new(
+            self.plane.clone(),
+            self.cfg.max_batch,
+            self.cfg.deadline,
+            self.cfg.stride,
+            Validator::new(self.oracle.clone(), self.cfg.validate_every),
+            slot,
+        )
+    }
+
+    /// Pins the calling thread to the next CPU in the round-robin plan
+    /// (no-op when pinning is off or the box has one CPU).
+    pub(crate) fn pin_next_cpu(&self) {
+        if self.cpus.is_empty() {
+            return;
+        }
+        let cpu = self.cpus[self.next_cpu.fetch_add(1, Relaxed) % self.cpus.len()];
+        pin_current_thread(cpu);
+    }
+}
+
+/// A running serve front-end. Dropping it shuts the service down; call
+/// [`Server::shutdown`] to also collect the final statistics.
+pub struct Server<P: ServePlane> {
+    shared: Arc<Shared<P>>,
+    joins: Vec<JoinHandle<()>>,
+    udp_addr: Option<SocketAddr>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl<P: ServePlane> Server<P> {
+    /// Binds the configured transports and spawns the reader threads.
+    pub fn start(plane: P, cfg: &ServeConfig) -> std::io::Result<Self> {
+        let cpus = if cfg.pin {
+            let topo = Topology::discover();
+            if topo.num_cpus() > 1 {
+                topo.nodes().iter().flat_map(|n| n.cpus.iter().copied()).collect()
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+        let shared = Arc::new(Shared {
+            plane: Arc::new(plane),
+            cfg: cfg.clone(),
+            oracle: Arc::new(OracleTable::new(cfg.oracle_keep)),
+            shutdown: AtomicBool::new(false),
+            slots: Mutex::new(Vec::new()),
+            conn_joins: Mutex::new(Vec::new()),
+            cpus,
+            next_cpu: AtomicUsize::new(0),
+        });
+        let mut joins = Vec::new();
+        let mut udp_addr = None;
+        let mut tcp_addr = None;
+        if cfg.transport.udp() {
+            let sock = Arc::new(UdpSocket::bind(cfg.listen)?);
+            udp_addr = Some(sock.local_addr()?);
+            for _ in 0..cfg.udp_readers.max(1) {
+                let shared2 = shared.clone();
+                let sock2 = sock.clone();
+                joins.push(std::thread::spawn(move || transport::udp_reader(shared2, sock2)));
+            }
+        }
+        if cfg.transport.tcp() {
+            let listener = TcpListener::bind(cfg.listen)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let shared2 = shared.clone();
+            joins.push(std::thread::spawn(move || transport::tcp_acceptor(shared2, listener)));
+        }
+        Ok(Self { shared, joins, udp_addr, tcp_addr })
+    }
+
+    /// The UDP serving address (when the transport includes UDP).
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
+    }
+
+    /// The TCP serving address (when the transport includes TCP).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The oracle table update drivers publish ground truth into (see
+    /// [`OracleTable::publish`]); sampling is controlled by
+    /// [`ServeConfig::validate_every`].
+    pub fn oracle(&self) -> Arc<OracleTable> {
+        self.shared.oracle.clone()
+    }
+
+    /// The data plane being served.
+    pub fn plane(&self) -> Arc<P> {
+        self.shared.plane.clone()
+    }
+
+    /// A point-in-time fold of every reader thread's statistics.
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::new();
+        for slot in self.shared.slots.lock().unwrap().iter() {
+            total.merge(&slot.lock().unwrap());
+        }
+        total
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Relaxed);
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+        let conns: Vec<_> = self.shared.conn_joins.lock().unwrap().drain(..).collect();
+        for j in conns {
+            let _ = j.join();
+        }
+    }
+
+    /// Stops accepting, drains every assembler, joins the reader threads
+    /// and returns the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.stats()
+    }
+}
+
+impl<P: ServePlane> Drop for Server<P> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,88 @@
+//! The data-plane abstraction the serve front-end batches into.
+//!
+//! A flushed batch must classify against **one** pinned generation — that
+//! is the coherence contract the response `generation` field advertises
+//! and the oracle validator checks. [`ServePlane::pin`] captures whatever
+//! "one generation" means for the engine: a snapshot `Arc` for a plain
+//! [`ClassifierHandle`], a [`ShardEpoch`] for the PR 5 sharded handle.
+
+use std::sync::Arc;
+
+use nm_common::classifier::{Classifier, MatchResult};
+use nm_common::update::Generation;
+
+use crate::system::handle::{ClassifierHandle, NmSnapshot};
+use crate::system::runtime::sharded::{ShardEpoch, ShardedHandle};
+
+/// A batched data plane the serve front-end can flush into.
+pub trait ServePlane: Send + Sync + 'static {
+    /// An owning, immutable view of one published generation.
+    type Pin: PinnedPlane;
+
+    /// Pins the currently published generation (never blocks).
+    fn pin(&self) -> Self::Pin;
+}
+
+/// One pinned generation of a [`ServePlane`].
+pub trait PinnedPlane: Send {
+    /// The generation every verdict from this pin is stamped with.
+    fn generation(&self) -> Generation;
+
+    /// Classifies `keys` (flat, `stride` words per key) into `out`.
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]);
+}
+
+impl<R> ServePlane for ClassifierHandle<R>
+where
+    R: Classifier + Send + Sync + 'static,
+{
+    type Pin = Arc<NmSnapshot<R>>;
+
+    fn pin(&self) -> Self::Pin {
+        self.snapshot()
+    }
+}
+
+impl<R> PinnedPlane for Arc<NmSnapshot<R>>
+where
+    R: Classifier + Send + Sync,
+{
+    fn generation(&self) -> Generation {
+        NmSnapshot::generation(self)
+    }
+
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+        Classifier::classify_batch(&**self, keys, stride, out);
+    }
+}
+
+/// Pin over a [`ShardedHandle`]: the epoch fixes every shard's snapshot,
+/// the handle clone carries the (immutable) steering plan.
+pub struct ShardedPin<R: Classifier> {
+    handle: ShardedHandle<R>,
+    epoch: Arc<ShardEpoch<R>>,
+}
+
+impl<R> PinnedPlane for ShardedPin<R>
+where
+    R: Classifier + Send + Sync + 'static,
+{
+    fn generation(&self) -> Generation {
+        self.epoch.generation()
+    }
+
+    fn classify_batch(&self, keys: &[u64], stride: usize, out: &mut [Option<MatchResult>]) {
+        self.handle.classify_batch_at(&self.epoch, keys, stride, out);
+    }
+}
+
+impl<R> ServePlane for ShardedHandle<R>
+where
+    R: Classifier + Send + Sync + 'static,
+{
+    type Pin = ShardedPin<R>;
+
+    fn pin(&self) -> Self::Pin {
+        ShardedPin { handle: self.clone(), epoch: self.epoch() }
+    }
+}

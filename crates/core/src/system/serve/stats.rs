@@ -1,0 +1,82 @@
+//! Counters and the service-latency histogram for the serve front-end.
+
+use nm_common::LatencyHistogram;
+
+/// Why an assembler flushed a batch into the data plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The batch reached `max_batch`.
+    Full,
+    /// The oldest pending request hit the micro-batching deadline.
+    Deadline,
+    /// Shutdown / connection close drained the remainder.
+    Drain,
+}
+
+/// Aggregated serving statistics. Each reader thread owns one behind a
+/// mutex it touches once per flush; [`crate::system::serve::Server::stats`]
+/// folds the per-thread instances together with [`ServeStats::merge`].
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Requests decoded off the wire.
+    pub requests: u64,
+    /// Responses written back (requests minus send failures).
+    pub responses: u64,
+    /// Batches flushed into the data plane.
+    pub batches: u64,
+    /// Flushes triggered by a full batch.
+    pub full_flushes: u64,
+    /// Flushes triggered by the deadline.
+    pub deadline_flushes: u64,
+    /// Flushes triggered by drain (shutdown / connection close).
+    pub drain_flushes: u64,
+    /// Malformed frames (bad length, wrong key width) dropped without a
+    /// response. A bad frame poisons the rest of its datagram/stream read.
+    pub decode_errors: u64,
+    /// Response writes that failed (peer gone).
+    pub send_errors: u64,
+    /// Requests replayed against the oracle by the debug validator.
+    pub validated: u64,
+    /// Sampled requests whose pinned generation had no published oracle.
+    pub oracle_skipped: u64,
+    /// Oracle disagreements — must stay 0; anything else is a torn
+    /// generation or a data-plane bug.
+    pub mismatches: u64,
+    /// Wire-to-verdict service latency: request decoded → response written,
+    /// which includes the micro-batching wait by design.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// An empty instance (allocates the histogram's fixed bucket array).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one flush of `n` served requests.
+    pub fn count_flush(&mut self, cause: FlushCause, n: usize) {
+        self.batches += 1;
+        self.responses += n as u64;
+        match cause {
+            FlushCause::Full => self.full_flushes += 1,
+            FlushCause::Deadline => self.deadline_flushes += 1,
+            FlushCause::Drain => self.drain_flushes += 1,
+        }
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.responses += other.responses;
+        self.batches += other.batches;
+        self.full_flushes += other.full_flushes;
+        self.deadline_flushes += other.deadline_flushes;
+        self.drain_flushes += other.drain_flushes;
+        self.decode_errors += other.decode_errors;
+        self.send_errors += other.send_errors;
+        self.validated += other.validated;
+        self.oracle_skipped += other.oracle_skipped;
+        self.mismatches += other.mismatches;
+        self.latency.merge(&other.latency);
+    }
+}

@@ -1,0 +1,206 @@
+//! Socket transports: UDP datagram readers and the TCP acceptor /
+//! per-connection readers. Loopback-testable with nothing beyond
+//! `std::net`.
+//!
+//! Every reader thread owns one [`Assembler`] and enforces the
+//! micro-batching deadline with a two-mode read loop: **idle** (no pending
+//! requests) blocks in `recv` with a short timeout so shutdown is always
+//! noticed, while **assembling** (a partial batch waiting) busy-polls a
+//! nonblocking read and flushes the instant the deadline passes. The poll
+//! is mandatory for a microsecond deadline — `SO_RCVTIMEO` rounds up to
+//! kernel scheduler ticks (milliseconds), which would stretch a 20µs
+//! deadline by 100x — and its cost is bounded by the deadline itself.
+//! This keeps the hot path one thread per socket with zero cross-thread
+//! queues — the batch *is* the queue.
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nm_common::frame::decode_request;
+
+use super::assembler::{Assembler, ReplyTo};
+use super::plane::ServePlane;
+use super::stats::FlushCause;
+use super::Shared;
+
+/// How often an idle reader re-checks shutdown.
+const IDLE_TICK: Duration = Duration::from_millis(2);
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Decodes every frame in `bytes` into the assembler. Returns consumed
+/// byte count; a malformed frame poisons the rest of the buffer (UDP) —
+/// the caller decides what a partial tail means.
+fn feed<P: ServePlane>(
+    asm: &mut Assembler<P>,
+    shared: &Shared<P>,
+    bytes: &[u8],
+    reply: &ReplyTo,
+    arrived: Instant,
+    scratch: &mut Vec<u64>,
+) -> Result<usize, ()> {
+    let mut off = 0;
+    while off < bytes.len() {
+        scratch.clear();
+        match decode_request(&bytes[off..], scratch) {
+            Ok(Some((head, used))) => {
+                off += used;
+                if head.fields != shared.cfg.stride {
+                    asm.decode_errors += 1;
+                    continue;
+                }
+                if asm.push(head.id, scratch, reply.clone(), arrived) {
+                    asm.flush(FlushCause::Full);
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                asm.decode_errors += 1;
+                return Err(());
+            }
+        }
+    }
+    Ok(off)
+}
+
+/// One UDP reader: multiple readers may share the socket; the kernel
+/// load-balances `recv_from` wakeups across them. (With several readers
+/// the blocking-mode toggles race on the shared fd; the loop treats a
+/// spurious `WouldBlock` exactly like a timeout, so the race only costs an
+/// extra loop iteration.)
+pub(super) fn udp_reader<P: ServePlane>(shared: Arc<Shared<P>>, sock: Arc<UdpSocket>) {
+    shared.pin_next_cpu();
+    let mut asm = shared.new_assembler();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut scratch = Vec::new();
+    sock.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+    let mut polling = false;
+    loop {
+        if shared.shutdown.load(Relaxed) {
+            asm.flush(FlushCause::Drain);
+            return;
+        }
+        match asm.time_left(Instant::now()) {
+            Some(left) if left.is_zero() => {
+                asm.flush(FlushCause::Deadline);
+                continue;
+            }
+            Some(_) => {
+                if !polling {
+                    sock.set_nonblocking(true).expect("socket mode");
+                    polling = true;
+                }
+            }
+            None => {
+                if polling {
+                    sock.set_nonblocking(false).expect("socket mode");
+                    sock.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+                    polling = false;
+                }
+            }
+        }
+        match sock.recv_from(&mut buf) {
+            Ok((n, peer)) => {
+                let arrived = Instant::now();
+                let reply = ReplyTo::Udp(sock.clone(), peer);
+                match feed(&mut asm, &shared, &buf[..n], &reply, arrived, &mut scratch) {
+                    // A truncated tail cannot complete in a later
+                    // datagram — datagrams are self-contained.
+                    Ok(used) if used < n => asm.decode_errors += 1,
+                    _ => {}
+                }
+            }
+            Err(ref e) if is_timeout(e) => {
+                if polling {
+                    // Yield rather than spin: on a loaded (or single-CPU)
+                    // box the sender needs this core to produce the very
+                    // packets we are polling for.
+                    std::thread::yield_now();
+                }
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// The TCP acceptor: nonblocking accept loop spawning one reader thread
+/// per connection (thread-per-core pinning round-robins those readers).
+pub(super) fn tcp_acceptor<P: ServePlane>(shared: Arc<Shared<P>>, listener: TcpListener) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    while !shared.shutdown.load(Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                let shared2 = shared.clone();
+                let join = std::thread::spawn(move || tcp_conn(shared2, Arc::new(stream)));
+                shared.conn_joins.lock().unwrap().push(join);
+            }
+            Err(ref e) if is_timeout(e) => std::thread::sleep(IDLE_TICK),
+            Err(_) => std::thread::sleep(IDLE_TICK),
+        }
+    }
+}
+
+/// One TCP connection's reader: accumulates the byte stream, feeds
+/// complete frames to its assembler, drains on EOF / error / shutdown.
+fn tcp_conn<P: ServePlane>(shared: Arc<Shared<P>>, stream: Arc<TcpStream>) {
+    shared.pin_next_cpu();
+    let mut asm = shared.new_assembler();
+    let mut carry: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let reply = ReplyTo::Tcp(stream.clone());
+    let mut scratch = Vec::new();
+    stream.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+    let mut polling = false;
+    loop {
+        if shared.shutdown.load(Relaxed) {
+            break;
+        }
+        match asm.time_left(Instant::now()) {
+            Some(left) if left.is_zero() => {
+                asm.flush(FlushCause::Deadline);
+                continue;
+            }
+            Some(_) => {
+                if !polling {
+                    stream.set_nonblocking(true).expect("socket mode");
+                    polling = true;
+                }
+            }
+            None => {
+                if polling {
+                    stream.set_nonblocking(false).expect("socket mode");
+                    stream.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+                    polling = false;
+                }
+            }
+        }
+        match (&*stream).read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let arrived = Instant::now();
+                carry.extend_from_slice(&buf[..n]);
+                match feed(&mut asm, &shared, &carry, &reply, arrived, &mut scratch) {
+                    Ok(used) => {
+                        carry.drain(..used);
+                    }
+                    // A poisoned stream has no recoverable framing; close.
+                    Err(()) => break,
+                }
+            }
+            Err(ref e) if is_timeout(e) => {
+                if polling {
+                    // See the UDP reader: yield so the peer can run.
+                    std::thread::yield_now();
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    asm.flush(FlushCause::Drain);
+}

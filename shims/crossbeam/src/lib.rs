@@ -5,7 +5,7 @@
 //! * [`channel::bounded`] — a blocking, bounded MPMC channel. Unlike
 //!   `std::sync::mpsc`, both endpoints are `Sync`, so worker closures can
 //!   capture receivers by reference inside a thread scope (the crossbeam
-//!   property `run_two_workers` relies on).
+//!   property the runtime's worker pipeline relies on).
 //! * [`thread::scope`] — scoped spawning layered over `std::thread::scope`,
 //!   with crossbeam's closure signature (the spawned closure receives a
 //!   scope handle argument, which this shim passes as a placeholder).
@@ -39,6 +39,16 @@ pub mod channel {
     /// all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`] when there is no message
+    /// ready.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
 
     /// The sending half of a bounded channel. Cloneable; the channel closes
     /// for receivers when the last clone drops.
@@ -124,6 +134,20 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 queue = self.0.not_empty.wait(queue).expect("channel lock");
+            }
+        }
+
+        /// Takes a message if one is ready; never blocks.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.0.queue.lock().expect("channel lock");
+            if let Some(v) = queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
             }
         }
 

@@ -1,0 +1,227 @@
+//! Loopback integration test for the `system::serve` wire front-end.
+//!
+//! The correctness bar mirrors `it_handle`, but across real sockets:
+//! concurrent UDP and TCP clients classify through the served data plane
+//! while the control plane applies update batches and retrains mid-run.
+//! Every verdict that comes back carries the generation its batch was
+//! pinned to, and must equal a `LinearSearch` reference rebuilt from the
+//! rule truth *at that generation* — not the latest truth. Two layers
+//! enforce it:
+//!
+//! * client-side: each response is replayed against the generation's truth
+//!   from a shared history map (unknown generations are skipped — the
+//!   response can arrive before the writer records the truth);
+//! * server-side: `validate_every = 1` makes the in-loop oracle validator
+//!   replay every served request at the pinned generation; a single torn
+//!   generation (a batch mixing snapshots) lands in `stats.mismatches`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use nm_common::{
+    Classifier, FieldsSpec, FiveTuple, LinearSearch, Rule, RuleSet, ShardPlanConfig, ShardStrategy,
+    SplitMix64, UpdateBatch,
+};
+use nm_tuplemerge::TupleMerge;
+use nuevomatch::{
+    ClassifierHandle, NuevoMatchConfig, OracleTable, RqRmiParams, ServeClient, ServeConfig, Server,
+    ShardedHandle, Transport,
+};
+
+const N_RULES: u16 = 300;
+
+fn base_set() -> RuleSet {
+    let rules: Vec<_> = (0..N_RULES)
+        .map(|i| {
+            FiveTuple::new().dst_port_range(i * 200, i * 200 + 150).into_rule(i as u32, i as u32)
+        })
+        .collect();
+    RuleSet::new(FieldsSpec::five_tuple(), rules).unwrap()
+}
+
+fn cfg() -> NuevoMatchConfig {
+    NuevoMatchConfig {
+        rqrmi: RqRmiParams { samples_init: 256, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Generation-keyed truth history shared between the writer and the
+/// checking clients.
+type History = Arc<Mutex<HashMap<u64, Arc<LinearSearch>>>>;
+
+/// Records `truth` at `generation` in both the server's oracle table and
+/// the client-side history.
+fn publish(oracle: &OracleTable, history: &History, truth: &[Rule], generation: u64) {
+    oracle.publish(generation, LinearSearch::from_rules(truth.to_vec()));
+    history.lock().unwrap().insert(generation, Arc::new(LinearSearch::from_rules(truth.to_vec())));
+}
+
+/// Modifies `ops` random rules to fresh dst-port ranges, mutating `truth`
+/// in lock-step with the batch it returns.
+fn drift(truth: &mut [Rule], rng: &mut SplitMix64, ops: usize) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for _ in 0..ops {
+        let i = rng.below(truth.len() as u64) as usize;
+        let lo = rng.below(60_000) as u16;
+        let rule = FiveTuple::new()
+            .dst_port_range(lo, lo.saturating_add(180))
+            .into_rule(truth[i].id, truth[i].priority);
+        truth[i] = rule.clone();
+        batch = batch.modify(rule);
+    }
+    batch
+}
+
+/// One checking client: closed-loop requests with a sweeping dst-port key,
+/// each response replayed against the truth at its reported generation.
+/// Returns (responses, generation-checked responses).
+fn checking_client(
+    addr: std::net::SocketAddr,
+    udp: bool,
+    history: &History,
+    stop: &AtomicBool,
+) -> (u64, u64) {
+    let mut client =
+        if udp { ServeClient::udp(addr) } else { ServeClient::tcp(addr) }.expect("client");
+    let (mut served, mut checked) = (0u64, 0u64);
+    let mut i = 0u64;
+    while !stop.load(SeqCst) {
+        let key = [0u64, 0, 0, (i * 37) % 65_536, 0];
+        match client.call(i, &key, Duration::from_millis(500)) {
+            Ok(frame) => {
+                served += 1;
+                let oracle = history.lock().unwrap().get(&frame.generation).cloned();
+                if let Some(oracle) = oracle {
+                    let expect = oracle.classify(&key);
+                    assert_eq!(
+                        frame.verdict, expect,
+                        "torn verdict at generation {} for key {key:?}",
+                        frame.generation
+                    );
+                    checked += 1;
+                }
+            }
+            // Loopback UDP may still drop under memory pressure; a lost
+            // datagram is a timeout here, not a correctness failure.
+            Err(ref e) if udp && e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(ref e) if udp && e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("client i/o: {e}"),
+        }
+        i += 1;
+    }
+    (served, checked)
+}
+
+#[test]
+fn wire_verdicts_match_pinned_generation_reference_under_updates() {
+    let set = base_set();
+    let handle = ClassifierHandle::new(&set, &cfg(), TupleMerge::build).expect("build");
+    let scfg = ServeConfig {
+        transport: Transport::Both,
+        max_batch: 32,
+        deadline: Duration::from_micros(50),
+        validate_every: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(handle.clone(), &scfg).expect("bind");
+    let udp_addr = server.udp_addr().expect("udp bound");
+    let tcp_addr = server.tcp_addr().expect("tcp bound");
+    let oracle = server.oracle();
+
+    let history: History = Arc::new(Mutex::new(HashMap::new()));
+    let mut truth: Vec<Rule> = set.rules().to_vec();
+    publish(&oracle, &history, &truth, handle.generation());
+
+    let stop = AtomicBool::new(false);
+    let total_served = AtomicU64::new(0);
+    let total_checked = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for udp in [true, false] {
+            let addr = if udp { udp_addr } else { tcp_addr };
+            let (history, stop) = (&history, &stop);
+            let (total_served, total_checked) = (&total_served, &total_checked);
+            scope.spawn(move || {
+                let (served, checked) = checking_client(addr, udp, history, stop);
+                total_served.fetch_add(served, SeqCst);
+                total_checked.fetch_add(checked, SeqCst);
+            });
+        }
+
+        // The control plane: 24 update batches, a retrain mid-run (which
+        // bumps the generation while preserving the rule truth).
+        let mut rng = SplitMix64::new(0x17_5e12);
+        for round in 0..24 {
+            let batch = drift(&mut truth, &mut rng, 8);
+            handle.apply(&batch);
+            publish(&oracle, &history, &truth, handle.generation());
+            if round == 12 {
+                handle.retrain().expect("mid-run retrain");
+                publish(&oracle, &history, &truth, handle.generation());
+            }
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, SeqCst);
+    });
+
+    let stats = server.shutdown();
+    let (served, checked) = (total_served.load(SeqCst), total_checked.load(SeqCst));
+    assert!(served > 50, "clients barely ran: {served} responses");
+    assert!(checked > 20, "generation checks barely ran: {checked} of {served}");
+    assert_eq!(stats.mismatches, 0, "server-side oracle mismatches: {stats:?}");
+    assert!(stats.validated > 0, "validator never sampled: {stats:?}");
+    assert_eq!(stats.decode_errors, 0, "decode errors: {stats:?}");
+    // Every response the clients got was also counted by the server.
+    assert!(stats.responses >= served, "server counted {} < clients' {served}", stats.responses);
+}
+
+#[test]
+fn sharded_plane_serves_coherent_epochs_over_the_wire() {
+    let set = base_set();
+    let plan = ShardPlanConfig { shards: 2, dim: None, strategy: ShardStrategy::Range };
+    let sharded = ShardedHandle::new(&set, &cfg(), &plan, TupleMerge::build).expect("build");
+    let scfg = ServeConfig {
+        transport: Transport::Udp,
+        max_batch: 16,
+        deadline: Duration::from_micros(50),
+        validate_every: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(sharded.clone(), &scfg).expect("bind");
+    let addr = server.udp_addr().expect("udp bound");
+    let oracle = server.oracle();
+
+    let history: History = Arc::new(Mutex::new(HashMap::new()));
+    let mut truth: Vec<Rule> = set.rules().to_vec();
+    publish(&oracle, &history, &truth, sharded.generation());
+
+    let stop = AtomicBool::new(false);
+    let total_checked = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let (history, stop, total_checked) = (&history, &stop, &total_checked);
+        scope.spawn(move || {
+            let (_, checked) = checking_client(addr, true, history, stop);
+            total_checked.fetch_add(checked, SeqCst);
+        });
+
+        // Update fan-out across shard replicas under one logical
+        // generation; every batch must publish a coherent epoch.
+        let mut rng = SplitMix64::new(0x17_5e13);
+        for _ in 0..16 {
+            let batch = drift(&mut truth, &mut rng, 8);
+            sharded.apply(&batch);
+            publish(&oracle, history, &truth, sharded.generation());
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, SeqCst);
+    });
+
+    let stats = server.shutdown();
+    assert!(total_checked.load(SeqCst) > 10, "too few checked: {}", total_checked.load(SeqCst));
+    assert_eq!(stats.mismatches, 0, "torn epoch on the sharded plane: {stats:?}");
+    assert!(stats.validated > 0, "validator never sampled: {stats:?}");
+}
