@@ -13,6 +13,7 @@
 //!   Figure 12); DESIGN.md §2 records the substitution.
 //! * [`report`] — small table/geomean helpers shared by the bench binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;

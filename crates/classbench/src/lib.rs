@@ -22,6 +22,7 @@
 //!
 //! Everything is deterministic in an explicit seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gen;

@@ -12,6 +12,7 @@
 //! is a thin wrapper. Argument parsing is hand-rolled — a flag parser is
 //! ~40 lines and the workspace's dependency policy is deliberately tight.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

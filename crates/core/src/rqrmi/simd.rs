@@ -135,12 +135,19 @@ impl Kernel {
     /// Clamped forward pass with the requested instruction set.
     #[inline]
     pub fn forward_clamped(&self, x: f32, isa: Isa) -> f32 {
+        debug_assert!(isa.available(), "{isa:?} not supported by this CPU");
         let y = match isa {
             Isa::Scalar => self.forward_scalar(x),
+            // SAFETY: SSE2 is part of the x86_64 baseline target, so the
+            // target-feature requirement of `forward_sse` always holds.
             #[cfg(target_arch = "x86_64")]
             Isa::Sse => unsafe { self.forward_sse(x) },
+            // SAFETY: callers obtain `Isa` from `detect()`/`available()`
+            // (asserted above in debug builds), so AVX is supported.
             #[cfg(target_arch = "x86_64")]
             Isa::Avx => unsafe { self.forward_avx(x) },
+            // SAFETY: as above — `detect()` only yields `AvxFma` when the
+            // CPU reports both AVX2 and FMA.
             #[cfg(target_arch = "x86_64")]
             Isa::AvxFma => unsafe { self.forward_fma(x) },
             #[cfg(not(target_arch = "x86_64"))]
@@ -154,12 +161,19 @@ impl Kernel {
     /// are clamped into `[0, 1)` like [`Kernel::forward_clamped`].
     #[inline]
     pub fn forward_batch8(&self, xs: &[f32; 8], isa: Isa) -> [f32; 8] {
+        debug_assert!(isa.available(), "{isa:?} not supported by this CPU");
         match isa {
             Isa::Scalar => self.batch8_scalar(xs),
+            // SAFETY: SSE2 is part of the x86_64 baseline target, so the
+            // target-feature requirement of `batch8_sse` always holds.
             #[cfg(target_arch = "x86_64")]
             Isa::Sse => unsafe { self.batch8_sse(xs) },
+            // SAFETY: callers obtain `Isa` from `detect()`/`available()`
+            // (asserted above in debug builds), so AVX is supported.
             #[cfg(target_arch = "x86_64")]
             Isa::Avx => unsafe { self.batch8_avx(xs) },
+            // SAFETY: as above — `detect()` only yields `AvxFma` when the
+            // CPU reports both AVX2 and FMA.
             #[cfg(target_arch = "x86_64")]
             Isa::AvxFma => unsafe { self.batch8_fma(xs) },
             #[cfg(not(target_arch = "x86_64"))]
@@ -194,25 +208,28 @@ impl Kernel {
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn forward_sse(&self, x: f32) -> f32 {
-        use std::arch::x86_64::*;
-        let xv = _mm_set1_ps(x);
-        let zero = _mm_setzero_ps();
-        let mut acc = zero;
-        for half in 0..2 {
-            let off = half * 4;
-            let w1 = _mm_loadu_ps(self.w1.as_ptr().add(off));
-            let b1 = _mm_loadu_ps(self.b1.as_ptr().add(off));
-            let w2 = _mm_loadu_ps(self.w2.as_ptr().add(off));
-            let pre = _mm_add_ps(_mm_mul_ps(w1, xv), b1);
-            let hid = _mm_max_ps(pre, zero);
-            acc = _mm_add_ps(acc, _mm_mul_ps(hid, w2));
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            use std::arch::x86_64::*;
+            let xv = _mm_set1_ps(x);
+            let zero = _mm_setzero_ps();
+            let mut acc = zero;
+            for half in 0..2 {
+                let off = half * 4;
+                let w1 = _mm_loadu_ps(self.w1.as_ptr().add(off));
+                let b1 = _mm_loadu_ps(self.b1.as_ptr().add(off));
+                let w2 = _mm_loadu_ps(self.w2.as_ptr().add(off));
+                let pre = _mm_add_ps(_mm_mul_ps(w1, xv), b1);
+                let hid = _mm_max_ps(pre, zero);
+                acc = _mm_add_ps(acc, _mm_mul_ps(hid, w2));
+            }
+            // Horizontal sum of 4 lanes.
+            let shuf = _mm_movehdup_ps(acc);
+            let sums = _mm_add_ps(acc, shuf);
+            let shuf2 = _mm_movehl_ps(shuf, sums);
+            let total = _mm_add_ss(sums, shuf2);
+            _mm_cvtss_f32(total) + self.b2
         }
-        // Horizontal sum of 4 lanes.
-        let shuf = _mm_movehdup_ps(acc);
-        let sums = _mm_add_ps(acc, shuf);
-        let shuf2 = _mm_movehl_ps(shuf, sums);
-        let total = _mm_add_ss(sums, shuf2);
-        _mm_cvtss_f32(total) + self.b2
     }
 
     /// AVX path: all 8 lanes at once.
@@ -223,23 +240,26 @@ impl Kernel {
     #[target_feature(enable = "avx")]
     #[inline]
     unsafe fn forward_avx(&self, x: f32) -> f32 {
-        use std::arch::x86_64::*;
-        let xv = _mm256_set1_ps(x);
-        let w1 = _mm256_loadu_ps(self.w1.as_ptr());
-        let b1 = _mm256_loadu_ps(self.b1.as_ptr());
-        let w2 = _mm256_loadu_ps(self.w2.as_ptr());
-        let pre = _mm256_add_ps(_mm256_mul_ps(w1, xv), b1);
-        let hid = _mm256_max_ps(pre, _mm256_setzero_ps());
-        let prod = _mm256_mul_ps(hid, w2);
-        // Horizontal sum of 8 lanes.
-        let hi = _mm256_extractf128_ps(prod, 1);
-        let lo = _mm256_castps256_ps128(prod);
-        let sum4 = _mm_add_ps(lo, hi);
-        let shuf = _mm_movehdup_ps(sum4);
-        let sums = _mm_add_ps(sum4, shuf);
-        let shuf2 = _mm_movehl_ps(shuf, sums);
-        let total = _mm_add_ss(sums, shuf2);
-        _mm_cvtss_f32(total) + self.b2
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            use std::arch::x86_64::*;
+            let xv = _mm256_set1_ps(x);
+            let w1 = _mm256_loadu_ps(self.w1.as_ptr());
+            let b1 = _mm256_loadu_ps(self.b1.as_ptr());
+            let w2 = _mm256_loadu_ps(self.w2.as_ptr());
+            let pre = _mm256_add_ps(_mm256_mul_ps(w1, xv), b1);
+            let hid = _mm256_max_ps(pre, _mm256_setzero_ps());
+            let prod = _mm256_mul_ps(hid, w2);
+            // Horizontal sum of 8 lanes.
+            let hi = _mm256_extractf128_ps(prod, 1);
+            let lo = _mm256_castps256_ps128(prod);
+            let sum4 = _mm_add_ps(lo, hi);
+            let shuf = _mm_movehdup_ps(sum4);
+            let sums = _mm_add_ps(sum4, shuf);
+            let shuf2 = _mm_movehl_ps(shuf, sums);
+            let total = _mm_add_ss(sums, shuf2);
+            _mm_cvtss_f32(total) + self.b2
+        }
     }
 
     /// FMA path: as [`Kernel::forward_avx`] with the multiply-add fused.
@@ -250,22 +270,25 @@ impl Kernel {
     #[target_feature(enable = "avx2,fma")]
     #[inline]
     unsafe fn forward_fma(&self, x: f32) -> f32 {
-        use std::arch::x86_64::*;
-        let xv = _mm256_set1_ps(x);
-        let w1 = _mm256_loadu_ps(self.w1.as_ptr());
-        let b1 = _mm256_loadu_ps(self.b1.as_ptr());
-        let w2 = _mm256_loadu_ps(self.w2.as_ptr());
-        let pre = _mm256_fmadd_ps(w1, xv, b1);
-        let hid = _mm256_max_ps(pre, _mm256_setzero_ps());
-        let prod = _mm256_mul_ps(hid, w2);
-        let hi = _mm256_extractf128_ps(prod, 1);
-        let lo = _mm256_castps256_ps128(prod);
-        let sum4 = _mm_add_ps(lo, hi);
-        let shuf = _mm_movehdup_ps(sum4);
-        let sums = _mm_add_ps(sum4, shuf);
-        let shuf2 = _mm_movehl_ps(shuf, sums);
-        let total = _mm_add_ss(sums, shuf2);
-        _mm_cvtss_f32(total) + self.b2
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            use std::arch::x86_64::*;
+            let xv = _mm256_set1_ps(x);
+            let w1 = _mm256_loadu_ps(self.w1.as_ptr());
+            let b1 = _mm256_loadu_ps(self.b1.as_ptr());
+            let w2 = _mm256_loadu_ps(self.w2.as_ptr());
+            let pre = _mm256_fmadd_ps(w1, xv, b1);
+            let hid = _mm256_max_ps(pre, _mm256_setzero_ps());
+            let prod = _mm256_mul_ps(hid, w2);
+            let hi = _mm256_extractf128_ps(prod, 1);
+            let lo = _mm256_castps256_ps128(prod);
+            let sum4 = _mm_add_ps(lo, hi);
+            let shuf = _mm_movehdup_ps(sum4);
+            let sums = _mm_add_ps(sum4, shuf);
+            let shuf2 = _mm_movehl_ps(shuf, sums);
+            let total = _mm_add_ss(sums, shuf2);
+            _mm_cvtss_f32(total) + self.b2
+        }
     }
 
     /// SSE cross-packet pass: 8 packets as two 4-lane halves, clamped.
@@ -276,25 +299,28 @@ impl Kernel {
     #[target_feature(enable = "sse2")]
     #[inline]
     unsafe fn batch8_sse(&self, xs: &[f32; 8]) -> [f32; 8] {
-        use std::arch::x86_64::*;
-        let zero = _mm_setzero_ps();
-        let one_minus = _mm_set1_ps(ONE_MINUS_EPS);
-        let mut out = [0.0f32; 8];
-        for half in 0..2 {
-            let xv = _mm_loadu_ps(xs.as_ptr().add(half * 4));
-            let mut acc = _mm_set1_ps(self.b2);
-            for j in 0..8 {
-                let w1 = _mm_set1_ps(self.w1[j]);
-                let b1 = _mm_set1_ps(self.b1[j]);
-                let w2 = _mm_set1_ps(self.w2[j]);
-                let pre = _mm_add_ps(_mm_mul_ps(w1, xv), b1);
-                let hid = _mm_max_ps(pre, zero);
-                acc = _mm_add_ps(acc, _mm_mul_ps(hid, w2));
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            use std::arch::x86_64::*;
+            let zero = _mm_setzero_ps();
+            let one_minus = _mm_set1_ps(ONE_MINUS_EPS);
+            let mut out = [0.0f32; 8];
+            for half in 0..2 {
+                let xv = _mm_loadu_ps(xs.as_ptr().add(half * 4));
+                let mut acc = _mm_set1_ps(self.b2);
+                for j in 0..8 {
+                    let w1 = _mm_set1_ps(self.w1[j]);
+                    let b1 = _mm_set1_ps(self.b1[j]);
+                    let w2 = _mm_set1_ps(self.w2[j]);
+                    let pre = _mm_add_ps(_mm_mul_ps(w1, xv), b1);
+                    let hid = _mm_max_ps(pre, zero);
+                    acc = _mm_add_ps(acc, _mm_mul_ps(hid, w2));
+                }
+                let y = _mm_min_ps(_mm_max_ps(acc, zero), one_minus);
+                _mm_storeu_ps(out.as_mut_ptr().add(half * 4), y);
             }
-            let y = _mm_min_ps(_mm_max_ps(acc, zero), one_minus);
-            _mm_storeu_ps(out.as_mut_ptr().add(half * 4), y);
+            out
         }
-        out
     }
 
     /// AVX cross-packet pass: 8 packets, one lane each, clamped. No
@@ -306,22 +332,25 @@ impl Kernel {
     #[target_feature(enable = "avx")]
     #[inline]
     unsafe fn batch8_avx(&self, xs: &[f32; 8]) -> [f32; 8] {
-        use std::arch::x86_64::*;
-        let xv = _mm256_loadu_ps(xs.as_ptr());
-        let zero = _mm256_setzero_ps();
-        let mut acc = _mm256_set1_ps(self.b2);
-        for j in 0..8 {
-            let w1 = _mm256_set1_ps(self.w1[j]);
-            let b1 = _mm256_set1_ps(self.b1[j]);
-            let w2 = _mm256_set1_ps(self.w2[j]);
-            let pre = _mm256_add_ps(_mm256_mul_ps(w1, xv), b1);
-            let hid = _mm256_max_ps(pre, zero);
-            acc = _mm256_add_ps(acc, _mm256_mul_ps(hid, w2));
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            use std::arch::x86_64::*;
+            let xv = _mm256_loadu_ps(xs.as_ptr());
+            let zero = _mm256_setzero_ps();
+            let mut acc = _mm256_set1_ps(self.b2);
+            for j in 0..8 {
+                let w1 = _mm256_set1_ps(self.w1[j]);
+                let b1 = _mm256_set1_ps(self.b1[j]);
+                let w2 = _mm256_set1_ps(self.w2[j]);
+                let pre = _mm256_add_ps(_mm256_mul_ps(w1, xv), b1);
+                let hid = _mm256_max_ps(pre, zero);
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(hid, w2));
+            }
+            let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
+            let mut out = [0.0f32; 8];
+            _mm256_storeu_ps(out.as_mut_ptr(), y);
+            out
         }
-        let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
-        let mut out = [0.0f32; 8];
-        _mm256_storeu_ps(out.as_mut_ptr(), y);
-        out
     }
 
     /// FMA cross-packet pass: as [`Kernel::batch8_avx`] with both the
@@ -333,22 +362,25 @@ impl Kernel {
     #[target_feature(enable = "avx2,fma")]
     #[inline]
     unsafe fn batch8_fma(&self, xs: &[f32; 8]) -> [f32; 8] {
-        use std::arch::x86_64::*;
-        let xv = _mm256_loadu_ps(xs.as_ptr());
-        let zero = _mm256_setzero_ps();
-        let mut acc = _mm256_set1_ps(self.b2);
-        for j in 0..8 {
-            let w1 = _mm256_set1_ps(self.w1[j]);
-            let b1 = _mm256_set1_ps(self.b1[j]);
-            let w2 = _mm256_set1_ps(self.w2[j]);
-            let pre = _mm256_fmadd_ps(w1, xv, b1);
-            let hid = _mm256_max_ps(pre, zero);
-            acc = _mm256_fmadd_ps(hid, w2, acc);
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            use std::arch::x86_64::*;
+            let xv = _mm256_loadu_ps(xs.as_ptr());
+            let zero = _mm256_setzero_ps();
+            let mut acc = _mm256_set1_ps(self.b2);
+            for j in 0..8 {
+                let w1 = _mm256_set1_ps(self.w1[j]);
+                let b1 = _mm256_set1_ps(self.b1[j]);
+                let w2 = _mm256_set1_ps(self.w2[j]);
+                let pre = _mm256_fmadd_ps(w1, xv, b1);
+                let hid = _mm256_max_ps(pre, zero);
+                acc = _mm256_fmadd_ps(hid, w2, acc);
+            }
+            let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
+            let mut out = [0.0f32; 8];
+            _mm256_storeu_ps(out.as_mut_ptr(), y);
+            out
         }
-        let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
-        let mut out = [0.0f32; 8];
-        _mm256_storeu_ps(out.as_mut_ptr(), y);
-        out
     }
 
     /// Kernel weight bytes (same as the source submodel plus padding).
@@ -365,12 +397,18 @@ impl Kernel {
     /// from generic code cannot inline across the feature boundary and
     /// would time the call overhead instead of the kernel.
     pub fn latency_chain(&self, x0: f32, iters: usize, isa: Isa) -> f32 {
+        debug_assert!(isa.available(), "{isa:?} not supported by this CPU");
         match isa {
             Isa::Scalar => self.chain_scalar(x0, iters),
+            // SAFETY: SSE2 is part of the x86_64 baseline target.
             #[cfg(target_arch = "x86_64")]
             Isa::Sse => unsafe { self.chain_sse(x0, iters) },
+            // SAFETY: callers obtain `Isa` from `detect()`/`available()`
+            // (asserted above in debug builds), so AVX is supported.
             #[cfg(target_arch = "x86_64")]
             Isa::Avx => unsafe { self.chain_avx(x0, iters) },
+            // SAFETY: as above — `detect()` only yields `AvxFma` when the
+            // CPU reports both AVX2 and FMA.
             #[cfg(target_arch = "x86_64")]
             Isa::AvxFma => unsafe { self.chain_fma(x0, iters) },
             #[cfg(not(target_arch = "x86_64"))]
@@ -388,12 +426,18 @@ impl Kernel {
         for (l, x) in xs.iter_mut().enumerate() {
             *x = (x0 + l as f32 * 0.11).fract();
         }
+        debug_assert!(isa.available(), "{isa:?} not supported by this CPU");
         match isa {
             Isa::Scalar => self.chain8_scalar(xs, iters),
+            // SAFETY: SSE2 is part of the x86_64 baseline target.
             #[cfg(target_arch = "x86_64")]
             Isa::Sse => unsafe { self.chain8_sse(xs, iters) },
+            // SAFETY: callers obtain `Isa` from `detect()`/`available()`
+            // (asserted above in debug builds), so AVX is supported.
             #[cfg(target_arch = "x86_64")]
             Isa::Avx => unsafe { self.chain8_avx(xs, iters) },
+            // SAFETY: as above — `detect()` only yields `AvxFma` when the
+            // CPU reports both AVX2 and FMA.
             #[cfg(target_arch = "x86_64")]
             Isa::AvxFma => unsafe { self.chain8_fma(xs, iters) },
             #[cfg(not(target_arch = "x86_64"))]
@@ -417,11 +461,14 @@ impl Kernel {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "sse2")]
     unsafe fn chain_sse(&self, mut x: f32, iters: usize) -> f32 {
-        for _ in 0..iters {
-            let y = self.forward_sse(x).clamp(0.0, ONE_MINUS_EPS);
-            x = (y + 0.618_034).fract();
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            for _ in 0..iters {
+                let y = self.forward_sse(x).clamp(0.0, ONE_MINUS_EPS);
+                x = (y + 0.618_034).fract();
+            }
+            x
         }
-        x
     }
 
     /// # Safety
@@ -429,11 +476,14 @@ impl Kernel {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx")]
     unsafe fn chain_avx(&self, mut x: f32, iters: usize) -> f32 {
-        for _ in 0..iters {
-            let y = self.forward_avx(x).clamp(0.0, ONE_MINUS_EPS);
-            x = (y + 0.618_034).fract();
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            for _ in 0..iters {
+                let y = self.forward_avx(x).clamp(0.0, ONE_MINUS_EPS);
+                x = (y + 0.618_034).fract();
+            }
+            x
         }
-        x
     }
 
     /// # Safety
@@ -441,11 +491,14 @@ impl Kernel {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn chain_fma(&self, mut x: f32, iters: usize) -> f32 {
-        for _ in 0..iters {
-            let y = self.forward_fma(x).clamp(0.0, ONE_MINUS_EPS);
-            x = (y + 0.618_034).fract();
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            for _ in 0..iters {
+                let y = self.forward_fma(x).clamp(0.0, ONE_MINUS_EPS);
+                x = (y + 0.618_034).fract();
+            }
+            x
         }
-        x
     }
 
     fn chain8_scalar(&self, mut xs: [f32; 8], iters: usize) -> f32 {
@@ -463,13 +516,16 @@ impl Kernel {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "sse2")]
     unsafe fn chain8_sse(&self, mut xs: [f32; 8], iters: usize) -> f32 {
-        for _ in 0..iters {
-            let ys = self.batch8_sse(&xs);
-            for l in 0..8 {
-                xs[l] = (ys[l] + 0.618_034).fract();
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            for _ in 0..iters {
+                let ys = self.batch8_sse(&xs);
+                for l in 0..8 {
+                    xs[l] = (ys[l] + 0.618_034).fract();
+                }
             }
+            xs[0]
         }
-        xs[0]
     }
 
     /// # Safety
@@ -477,13 +533,16 @@ impl Kernel {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx")]
     unsafe fn chain8_avx(&self, mut xs: [f32; 8], iters: usize) -> f32 {
-        for _ in 0..iters {
-            let ys = self.batch8_avx(&xs);
-            for l in 0..8 {
-                xs[l] = (ys[l] + 0.618_034).fract();
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            for _ in 0..iters {
+                let ys = self.batch8_avx(&xs);
+                for l in 0..8 {
+                    xs[l] = (ys[l] + 0.618_034).fract();
+                }
             }
+            xs[0]
         }
-        xs[0]
     }
 
     /// # Safety
@@ -491,13 +550,16 @@ impl Kernel {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn chain8_fma(&self, mut xs: [f32; 8], iters: usize) -> f32 {
-        for _ in 0..iters {
-            let ys = self.batch8_fma(&xs);
-            for l in 0..8 {
-                xs[l] = (ys[l] + 0.618_034).fract();
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            for _ in 0..iters {
+                let ys = self.batch8_fma(&xs);
+                for l in 0..8 {
+                    xs[l] = (ys[l] + 0.618_034).fract();
+                }
             }
+            xs[0]
         }
-        xs[0]
     }
 }
 
@@ -624,34 +686,37 @@ impl LeafSoa {
     #[target_feature(enable = "avx2,fma")]
     #[inline]
     unsafe fn gather8_fma(&self, xs: &[f32; 8], idx: &[usize; 8]) -> [f32; 8] {
-        use std::arch::x86_64::*;
-        debug_assert!(idx.iter().all(|&i| i < self.n), "leaf index out of range");
-        let iv = _mm256_setr_epi32(
-            idx[0] as i32,
-            idx[1] as i32,
-            idx[2] as i32,
-            idx[3] as i32,
-            idx[4] as i32,
-            idx[5] as i32,
-            idx[6] as i32,
-            idx[7] as i32,
-        );
-        let xv = _mm256_loadu_ps(xs.as_ptr());
-        let zero = _mm256_setzero_ps();
-        let mut acc = _mm256_i32gather_ps::<4>(self.b2.as_ptr(), iv);
-        for j in 0..8 {
-            let base = j * self.n;
-            let w1 = _mm256_i32gather_ps::<4>(self.w1.as_ptr().add(base), iv);
-            let b1 = _mm256_i32gather_ps::<4>(self.b1.as_ptr().add(base), iv);
-            let w2 = _mm256_i32gather_ps::<4>(self.w2.as_ptr().add(base), iv);
-            let pre = _mm256_fmadd_ps(w1, xv, b1);
-            let hid = _mm256_max_ps(pre, zero);
-            acc = _mm256_fmadd_ps(hid, w2, acc);
+        // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+        unsafe {
+            use std::arch::x86_64::*;
+            debug_assert!(idx.iter().all(|&i| i < self.n), "leaf index out of range");
+            let iv = _mm256_setr_epi32(
+                idx[0] as i32,
+                idx[1] as i32,
+                idx[2] as i32,
+                idx[3] as i32,
+                idx[4] as i32,
+                idx[5] as i32,
+                idx[6] as i32,
+                idx[7] as i32,
+            );
+            let xv = _mm256_loadu_ps(xs.as_ptr());
+            let zero = _mm256_setzero_ps();
+            let mut acc = _mm256_i32gather_ps::<4>(self.b2.as_ptr(), iv);
+            for j in 0..8 {
+                let base = j * self.n;
+                let w1 = _mm256_i32gather_ps::<4>(self.w1.as_ptr().add(base), iv);
+                let b1 = _mm256_i32gather_ps::<4>(self.b1.as_ptr().add(base), iv);
+                let w2 = _mm256_i32gather_ps::<4>(self.w2.as_ptr().add(base), iv);
+                let pre = _mm256_fmadd_ps(w1, xv, b1);
+                let hid = _mm256_max_ps(pre, zero);
+                acc = _mm256_fmadd_ps(hid, w2, acc);
+            }
+            let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
+            let mut out = [0.0f32; 8];
+            _mm256_storeu_ps(out.as_mut_ptr(), y);
+            out
         }
-        let y = _mm256_min_ps(_mm256_max_ps(acc, zero), _mm256_set1_ps(ONE_MINUS_EPS));
-        let mut out = [0.0f32; 8];
-        _mm256_storeu_ps(out.as_mut_ptr(), y);
-        out
     }
 
     /// Transposed-copy bytes (counted by [`CompiledRqRmi::memory_bytes`]).
@@ -691,13 +756,16 @@ pub fn leaf_chain_gather8(soa: &LeafSoa, idx: &[usize; 8], x0: f32, iters: usize
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn chain_gather_fma(soa: &LeafSoa, idx: &[usize; 8], mut xs: [f32; 8], iters: usize) -> f32 {
-    for _ in 0..iters {
-        let ys = soa.gather8_fma(&xs, idx);
-        for l in 0..8 {
-            xs[l] = (ys[l] + 0.618_034).fract();
+    // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+    unsafe {
+        for _ in 0..iters {
+            let ys = soa.gather8_fma(&xs, idx);
+            for l in 0..8 {
+                xs[l] = (ys[l] + 0.618_034).fract();
+            }
         }
+        xs[0]
     }
-    xs[0]
 }
 
 /// Divergent-leaf microbench, broadcast side: the pre-gather fallback —
@@ -741,13 +809,16 @@ unsafe fn chain_broadcast_fma(
     mut xs: [f32; 8],
     iters: usize,
 ) -> f32 {
-    for _ in 0..iters {
-        for l in 0..8 {
-            let y = leaves[idx[l]].forward_fma(xs[l]).clamp(0.0, ONE_MINUS_EPS);
-            xs[l] = (y + 0.618_034).fract();
+    // SAFETY: the function's `# Safety` contract guarantees the enabled target features; every pointer load/store below stays within the bounds of the fixed-size parameter arrays.
+    unsafe {
+        for _ in 0..iters {
+            for l in 0..8 {
+                let y = leaves[idx[l]].forward_fma(xs[l]).clamp(0.0, ONE_MINUS_EPS);
+                xs[l] = (y + 0.618_034).fract();
+            }
         }
+        xs[0]
     }
-    xs[0]
 }
 
 /// Monomorphized staged walks: one `(predict, predict8)` pair per ISA, each
@@ -762,15 +833,21 @@ unsafe fn chain_broadcast_fma(
 macro_rules! mono_staged {
     (@predict $( #[$attr:meta] )* ($predict:ident, $fwd:ident)) => {
         $( #[$attr] )*
+        // The scalar instantiation substitutes a *safe* $fwd, which would
+        // make the uniform `unsafe {}` call blocks below spuriously unused.
+        #[allow(unused_unsafe)]
         unsafe fn $predict(m: &CompiledRqRmi, x: f32) -> (usize, u32) {
             let nstages = m.stages.len();
             let mut idx = 0usize;
             for s in 0..nstages - 1 {
-                let y = m.stages[s][idx].$fwd(x).clamp(0.0, ONE_MINUS_EPS);
+                // SAFETY: $fwd carries the same target-feature contract as
+                // this fn; the caller upheld it to call $predict at all.
+                let y = unsafe { m.stages[s][idx].$fwd(x) }.clamp(0.0, ONE_MINUS_EPS);
                 let w_next = m.widths[s + 1];
                 idx = ((y * w_next as f32) as usize).min(w_next - 1);
             }
-            let y = m.stages[nstages - 1][idx].$fwd(x).clamp(0.0, ONE_MINUS_EPS) as f64;
+            // SAFETY: as above — $fwd shares this fn's feature contract.
+            let y = unsafe { m.stages[nstages - 1][idx].$fwd(x) }.clamp(0.0, ONE_MINUS_EPS) as f64;
             let pred = ((y * m.n_values as f64) as usize).min(m.n_values - 1);
             (pred, m.leaf_err[idx])
         }
@@ -785,6 +862,8 @@ macro_rules! mono_staged {
     };
     (@predict8 $( #[$attr:meta] )* ($predict8:ident, $fwd:ident, $fwd8:ident $(, $lgather:ident)?)) => {
         $( #[$attr] )*
+        // As in @predict: the scalar instantiation's kernels are safe fns.
+        #[allow(unused_unsafe)]
         unsafe fn $predict8(
             m: &CompiledRqRmi,
             xs: &[f32; 8],
@@ -802,18 +881,24 @@ macro_rules! mono_staged {
                 // path; on FMA it computes bit-identically to the gather
                 // kernel).
                 if idx.iter().all(|&i| i == idx[0]) {
-                    ys = m.stages[s][idx[0]].$fwd8(xs);
+                    // SAFETY: $fwd8 shares this fn's target-feature
+                    // contract; the caller upheld it to call $predict8.
+                    ys = unsafe { m.stages[s][idx[0]].$fwd8(xs) };
                 }
                 $(
                     // Divergent leaf stage (gather-capable ISAs only): one
                     // transposed gather pass instead of 8 broadcast passes.
                     else if s + 1 == nstages {
-                        ys = m.leaf_soa.$lgather(xs, &idx);
+                        // SAFETY: $lgather likewise shares the feature
+                        // contract, and `idx` was clamped to the leaf width.
+                        ys = unsafe { m.leaf_soa.$lgather(xs, &idx) };
                     }
                 )?
                 else {
                     for l in 0..8 {
-                        ys[l] = m.stages[s][idx[l]].$fwd(xs[l]).clamp(0.0, ONE_MINUS_EPS);
+                        // SAFETY: as above — $fwd shares the contract.
+                        let y = unsafe { m.stages[s][idx[l]].$fwd(xs[l]) };
+                        ys[l] = y.clamp(0.0, ONE_MINUS_EPS);
                     }
                 }
                 if s + 1 < nstages {
@@ -971,6 +1056,7 @@ impl CompiledRqRmi {
         }
         let n = keys.len();
         let groups = n / 8;
+        // nm-lint: hotpath
         for g in 0..groups {
             let base = g * 8;
             let xs: [f32; 8] = std::array::from_fn(|l| (keys[base + l] as f64 * self.scale) as f32);
@@ -986,6 +1072,7 @@ impl CompiledRqRmi {
             preds[i] = p;
             errs[i] = e;
         }
+        // nm-lint: end-hotpath
     }
 
     /// Kernel memory (Figure 13 accounting mirrors [`super::RqRmi::memory_bytes`]),

@@ -10,6 +10,8 @@
 pub mod breakdown;
 pub mod flow_cache;
 pub mod handle;
+#[cfg(nm_model)]
+pub mod model_port;
 pub mod parallel;
 pub mod retrain;
 pub mod runtime;
@@ -251,6 +253,7 @@ impl TrainedISet {
         let mut errs = [0u32; CHUNK];
         let mut pos = [usize::MAX; CHUNK];
         let mut base = 0;
+        // nm-lint: hotpath
         while base < n {
             let m = CHUNK.min(n - base);
             // Phase 1: gather the projection, predict across packets.
@@ -294,6 +297,7 @@ impl TrainedISet {
             }
             base += m;
         }
+        // nm-lint: end-hotpath
     }
 
     /// Index memory: the RQ-RMI weights (the sorted projections and boxes

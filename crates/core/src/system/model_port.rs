@@ -1,0 +1,321 @@
+//! Model-checker ports of the system's lock-free publication protocols.
+//!
+//! Compiled only with `--cfg nm_model`. The structures here are skeletons
+//! of [`super::handle::ClassifierHandle`]'s pin/generation/publish protocol
+//! and [`super::runtime::ShardEpoch`]'s cross-shard publication, with the
+//! classifier payloads reduced to integers: the *synchronization* is the
+//! code under test, and it runs on the exact same [`arc_swap::ArcSwap`]
+//! left-right cell the real structures use (which under `nm_model` is built
+//! on the model's virtual atomics). The `#[cfg(test)]` half then explores
+//! every bounded interleaving of ≥2 readers against 1 writer and asserts
+//! the invariants the real system relies on:
+//!
+//! * **generation monotonicity** — per reader, `generation()` never goes
+//!   backwards;
+//! * **pin/report coherence** — `generation()` leads, never trails: a pin
+//!   taken *after* a generation read reports at least that generation, and
+//!   a generation read *after* a pin reports at least the pinned stamp;
+//! * **no torn epoch** — a pinned [`ModelShardEpoch`] always carries every
+//!   shard at the same per-shard generation (one coherent publication);
+//! * **reclamation safety** — a pinned snapshot's payload stays intact
+//!   while later publishes recycle both left-right slots under it.
+//!
+//! The protocol skeletons mirror the real publish paths line for line:
+//! stamp-inside-snapshot, generation derived from the live snapshot (not a
+//! separate mirror), writer serialised by a control mutex, epoch republished
+//! only after every shard handle published.
+
+use std::sync::Arc;
+
+use arc_swap::ArcSwap;
+use nm_model::sync::Mutex;
+
+/// Generation stamp (mirrors `Generation` in the real system).
+pub type Gen = u64;
+
+/// Snapshot skeleton: the stamp plus a payload standing in for the models.
+pub struct ModelSnapshot {
+    generation: Gen,
+    payload: u64,
+}
+
+impl ModelSnapshot {
+    /// The stamp carried inside the snapshot (the real design's invariant:
+    /// one atomic store publishes stamp and payload together).
+    pub fn generation(&self) -> Gen {
+        self.generation
+    }
+
+    /// The stand-in for the classifier state.
+    pub fn payload(&self) -> u64 {
+        self.payload
+    }
+}
+
+/// Skeleton of `ClassifierHandle`: a left-right cell of stamped snapshots
+/// plus the writer-serialising control mutex.
+pub struct ModelHandle {
+    live: ArcSwap<ModelSnapshot>,
+    ctl: Mutex<()>,
+}
+
+impl ModelHandle {
+    /// New handle at generation 1 holding `payload`.
+    pub fn new(payload: u64) -> Self {
+        Self {
+            live: ArcSwap::new(Arc::new(ModelSnapshot { generation: 1, payload })),
+            ctl: Mutex::new(()),
+        }
+    }
+
+    /// Pins the current snapshot (mirrors `ClassifierHandle::snapshot`).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.live.load_full()
+    }
+
+    /// The published generation, derived from the live snapshot itself
+    /// (mirrors `ClassifierHandle::generation` — no separate mirror atomic
+    /// that could under-report).
+    pub fn generation(&self) -> Gen {
+        self.live.load().generation()
+    }
+
+    /// Publishes `payload` as the next generation under the writer lock
+    /// (mirrors `ClassifierHandle::publish`). Returns the new stamp.
+    pub fn publish(&self, payload: u64) -> Gen {
+        let _guard = self.ctl.lock();
+        let generation = self.live.load().generation() + 1;
+        self.live.store(Arc::new(ModelSnapshot { generation, payload }));
+        generation
+    }
+}
+
+/// Epoch skeleton: one coherent cross-shard publication (mirrors
+/// `ShardEpoch` — a logical stamp plus every shard's snapshot pinned
+/// together).
+pub struct ModelShardEpoch {
+    generation: Gen,
+    shards: Vec<Arc<ModelSnapshot>>,
+}
+
+impl ModelShardEpoch {
+    /// The logical generation of this publication.
+    pub fn generation(&self) -> Gen {
+        self.generation
+    }
+
+    /// The pinned per-shard generations — coherence tests assert one epoch
+    /// always reports an all-equal vector (mirrors
+    /// `ShardEpoch::home_generations`).
+    pub fn shard_generations(&self) -> Vec<Gen> {
+        self.shards.iter().map(|s| s.generation()).collect()
+    }
+
+    /// Sum of the pinned payloads (a stand-in for classification against
+    /// the epoch: it must read every shard's pinned state).
+    pub fn payload_sum(&self) -> u64 {
+        self.shards.iter().map(|s| s.payload()).sum()
+    }
+}
+
+/// Skeleton of `ShardedHandle`: per-shard [`ModelHandle`] replicas under a
+/// left-right epoch cell, writers serialised by one control mutex.
+pub struct ModelShardedHandle {
+    home: Vec<ModelHandle>,
+    epoch: ArcSwap<ModelShardEpoch>,
+    ctl: Mutex<()>,
+}
+
+impl ModelShardedHandle {
+    /// `shards` handles, all at generation 1, epoch at logical generation 1.
+    pub fn new(shards: usize, payload: u64) -> Self {
+        let home: Vec<ModelHandle> = (0..shards).map(|_| ModelHandle::new(payload)).collect();
+        let epoch = ModelShardEpoch {
+            generation: 1,
+            shards: home.iter().map(ModelHandle::snapshot).collect(),
+        };
+        Self { home, epoch: ArcSwap::new(Arc::new(epoch)), ctl: Mutex::new(()) }
+    }
+
+    /// Pins the current epoch (mirrors `ShardedHandle::epoch`).
+    pub fn epoch(&self) -> Arc<ModelShardEpoch> {
+        self.epoch.load_full()
+    }
+
+    /// The published logical generation.
+    pub fn generation(&self) -> Gen {
+        self.epoch.load().generation()
+    }
+
+    /// Fans `payload` out to every shard handle, then republishes the epoch
+    /// — the real `apply`/`retrain` ordering: every shard publishes first,
+    /// the epoch re-pins after, so a coherent vector is the only thing a
+    /// reader can ever pin.
+    pub fn apply_all(&self, payload: u64) -> Gen {
+        let _guard = self.ctl.lock();
+        for h in &self.home {
+            h.publish(payload);
+        }
+        let generation = self.epoch.load().generation() + 1;
+        self.epoch.store(Arc::new(ModelShardEpoch {
+            generation,
+            shards: self.home.iter().map(ModelHandle::snapshot).collect(),
+        }));
+        generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_model::thread;
+
+    /// Pin/publish under 2 readers + 1 writer: per-reader monotonicity and
+    /// the "generation leads, never trails" coherence both ways.
+    #[cfg(not(nm_model_mutate))]
+    #[test]
+    fn model_handle_generation_leads_never_trails() {
+        let out = nm_model::check("handle pin/publish", || {
+            let h = Arc::new(ModelHandle::new(100));
+            let mut readers = Vec::new();
+            for _ in 0..2 {
+                let h = Arc::clone(&h);
+                readers.push(thread::spawn(move || {
+                    // Pin first, then read the reported generation: the
+                    // report must be at least the pinned stamp.
+                    let snap = h.snapshot();
+                    let g1 = h.generation();
+                    assert!(
+                        g1 >= snap.generation(),
+                        "generation() trailed a pinned snapshot: {g1} < {}",
+                        snap.generation()
+                    );
+                    // Read the generation, then pin: the pin must carry at
+                    // least the reported stamp.
+                    let g2 = h.generation();
+                    assert!(g2 >= g1, "reader generation went backwards: {g1} -> {g2}");
+                    let snap2 = h.snapshot();
+                    assert!(
+                        snap2.generation() >= g2,
+                        "a pin trailed generation(): {} < {g2}",
+                        snap2.generation()
+                    );
+                    // Stamp and payload publish atomically together.
+                    assert_eq!(snap2.payload(), 99 + snap2.generation());
+                }));
+            }
+            let writer = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    // Payload keyed to the stamp so readers can verify the
+                    // two were published by one store.
+                    h.publish(101);
+                    h.publish(102);
+                })
+            };
+            for r in readers {
+                r.join();
+            }
+            writer.join();
+            assert_eq!(h.generation(), 3);
+        });
+        assert!(out.schedules > 1, "exploration degenerated to one schedule");
+    }
+
+    /// Cross-shard publication under 2 readers + 1 writer: a pinned epoch
+    /// is never torn (all shards at one generation) and epoch generations
+    /// are per-reader monotone.
+    #[cfg(not(nm_model_mutate))]
+    #[test]
+    fn model_shard_epoch_is_never_torn() {
+        nm_model::check("sharded epoch publish", || {
+            let h = Arc::new(ModelShardedHandle::new(2, 10));
+            let mut readers = Vec::new();
+            for _ in 0..2 {
+                let h = Arc::clone(&h);
+                readers.push(thread::spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..2 {
+                        let epoch = h.epoch();
+                        let gens = epoch.shard_generations();
+                        assert!(
+                            gens.iter().all(|&g| g == gens[0]),
+                            "torn epoch: shards at mixed generations {gens:?}"
+                        );
+                        let g = epoch.generation();
+                        assert!(g >= last, "epoch generation went backwards: {last} -> {g}");
+                        last = g;
+                        // Classification against the pin reads a coherent
+                        // cross-shard payload: both shards from the same
+                        // publication.
+                        assert_eq!(epoch.payload_sum(), 2 * (9 + gens[0]));
+                    }
+                }));
+            }
+            let writer = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    h.apply_all(11);
+                })
+            };
+            for r in readers {
+                r.join();
+            }
+            writer.join();
+            assert_eq!(h.generation(), 2);
+            assert_eq!(h.epoch().shard_generations(), vec![2, 2]);
+        });
+    }
+
+    /// Reclamation safety of the two-slot swap: a pinned snapshot's payload
+    /// survives while later publishes recycle both slots beneath it.
+    #[cfg(not(nm_model_mutate))]
+    #[test]
+    fn model_pinned_snapshot_outlives_slot_recycling() {
+        nm_model::check("pinned snapshot reclamation", || {
+            let h = Arc::new(ModelHandle::new(7));
+            let pinned = h.snapshot();
+            let writer = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    // Two publishes cycle through both left-right slots.
+                    h.publish(8);
+                    h.publish(9);
+                })
+            };
+            let reader = {
+                let pinned = Arc::clone(&pinned);
+                thread::spawn(move || {
+                    assert_eq!(pinned.payload(), 7, "pinned payload changed under the reader");
+                    assert_eq!(pinned.generation(), 1);
+                })
+            };
+            reader.join();
+            writer.join();
+            assert_eq!(pinned.payload(), 7);
+            assert_eq!(h.snapshot().payload(), 9);
+        });
+    }
+
+    /// With the seeded arc-swap mutation (`--cfg nm_model_mutate`), the
+    /// ported handle protocol must also surface a violation — the weakened
+    /// flip breaks exactly the pin/publish publication the port models.
+    #[cfg(nm_model_mutate)]
+    #[test]
+    fn model_mutation_breaks_handle_publication() {
+        let v = nm_model::find_violation(|| {
+            let h = Arc::new(ModelHandle::new(100));
+            let reader = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    let snap = h.snapshot();
+                    assert!(snap.generation() >= 1);
+                })
+            };
+            h.publish(101);
+            reader.join();
+        })
+        .expect("the Relaxed current-flip must surface through the handle port");
+        assert!(v.message.contains("data race"), "unexpected violation kind: {}", v.message);
+    }
+}

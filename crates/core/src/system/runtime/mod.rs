@@ -367,7 +367,9 @@ impl<P: ShardPin> PinView<P> {
 impl<P: ShardPin> Classifier for PinView<P> {
     fn classify(&self, key: &[u64]) -> Option<MatchResult> {
         let guard = self.pin.lock();
-        let pin = guard.as_ref().expect("PinView: pin set before use");
+        // A pin is always set before workers run; a missing one means the
+        // view is still warming up, so report "no match" rather than panic.
+        let pin = guard.as_ref()?;
         let mut out = [None];
         pin.classify_shard(self.shard, key, key.len(), &mut out);
         out[0]
@@ -382,8 +384,11 @@ impl<P: ShardPin> Classifier for PinView<P> {
     ) {
         {
             let guard = self.pin.lock();
-            let pin = guard.as_ref().expect("PinView: pin set before use");
-            pin.classify_shard(self.shard, keys, stride, out);
+            match guard.as_ref() {
+                Some(pin) => pin.classify_shard(self.shard, keys, stride, out),
+                // As in `classify`: an unset pin yields no matches.
+                None => out.fill(None),
+            }
         }
         sharded::apply_floors(floors, out);
     }

@@ -422,8 +422,10 @@ impl<R: Classifier> ShardedHandle<R> {
             for rule in set.rules() {
                 let slot = match plan.route_rule(rule) {
                     ShardRoute::Home(s) => s,
-                    ShardRoute::Broadcast => home.len(),
-                    ShardRoute::All => unreachable!("keyed plans never route All"),
+                    // Keyed plans never route `All`; if one ever does, the
+                    // broadcast slot is the safe home — every shard consults
+                    // it, so the rule still matches everywhere.
+                    ShardRoute::Broadcast | ShardRoute::All => home.len(),
                 };
                 routes.insert(rule.id, slot);
             }
@@ -567,8 +569,9 @@ impl<R: BatchUpdatable + Clone> ShardedHandle<R> {
                 UpdateOp::Insert(r) | UpdateOp::Modify(r) => {
                     let target = match sh.plan.route_rule(r) {
                         ShardRoute::Home(s) => s,
-                        ShardRoute::Broadcast => sh.home.len(),
-                        ShardRoute::All => unreachable!("keyed plans never route All"),
+                        // As in `new`: an unexpected `All` routes to the
+                        // broadcast slot, which every shard consults.
+                        ShardRoute::Broadcast | ShardRoute::All => sh.home.len(),
                     };
                     let old = ctl.routes.insert(r.id, target);
                     match old {

@@ -166,7 +166,9 @@ fn pin_impl(cpu: usize) -> bool {
         return false;
     }
     mask[cpu / 64] |= 1u64 << (cpu % 64);
-    // pid 0 = the calling thread.
+    // SAFETY: pid 0 targets the calling thread; `mask` outlives the call and
+    // `cpusetsize` is exactly its byte length, so the kernel reads only the
+    // 128 bytes we own. The syscall has no other memory effects.
     unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
 }
 

@@ -11,7 +11,7 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, UdpSocket};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use nm_common::classifier::MatchResult;
@@ -169,7 +169,7 @@ impl<P: ServePlane> Assembler<P> {
             // Still fold carried counters (decoded-but-not-flushed
             // requests never exist; decode errors can).
             if self.decode_errors > 0 || self.requests > 0 {
-                let mut stats = self.stats_slot.lock().unwrap();
+                let mut stats = self.stats_slot.lock().unwrap_or_else(PoisonError::into_inner);
                 stats.requests += self.requests;
                 stats.decode_errors += self.decode_errors;
                 self.requests = 0;
@@ -206,7 +206,7 @@ impl<P: ServePlane> Assembler<P> {
         // lock acquisition per flush.
         let done = Instant::now();
         {
-            let mut stats = self.stats_slot.lock().unwrap();
+            let mut stats = self.stats_slot.lock().unwrap_or_else(PoisonError::into_inner);
             stats.requests += self.requests;
             stats.decode_errors += self.decode_errors;
             stats.send_errors += send_errors;

@@ -43,7 +43,7 @@ pub use validator::{OracleTable, Validator};
 
 use std::net::{SocketAddr, TcpListener, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -132,7 +132,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
-            listen: "127.0.0.1:0".parse().unwrap(),
+            listen: SocketAddr::from(([127, 0, 0, 1], 0)),
             transport: Transport::Both,
             max_batch: 128,
             deadline: Duration::from_micros(20),
@@ -161,7 +161,7 @@ impl<P: ServePlane> Shared<P> {
     /// Builds one assembler wired to a fresh registered stats slot.
     pub(crate) fn new_assembler(self: &Arc<Self>) -> Assembler<P> {
         let slot = Arc::new(Mutex::new(ServeStats::new()));
-        self.slots.lock().unwrap().push(slot.clone());
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner).push(slot.clone());
         Assembler::new(
             self.plane.clone(),
             self.cfg.max_batch,
@@ -261,8 +261,8 @@ impl<P: ServePlane> Server<P> {
     /// A point-in-time fold of every reader thread's statistics.
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::new();
-        for slot in self.shared.slots.lock().unwrap().iter() {
-            total.merge(&slot.lock().unwrap());
+        for slot in self.shared.slots.lock().unwrap_or_else(PoisonError::into_inner).iter() {
+            total.merge(&slot.lock().unwrap_or_else(PoisonError::into_inner));
         }
         total
     }
@@ -272,7 +272,13 @@ impl<P: ServePlane> Server<P> {
         for j in self.joins.drain(..) {
             let _ = j.join();
         }
-        let conns: Vec<_> = self.shared.conn_joins.lock().unwrap().drain(..).collect();
+        let conns: Vec<_> = self
+            .shared
+            .conn_joins
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
         for j in conns {
             let _ = j.join();
         }

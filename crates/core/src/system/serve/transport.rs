@@ -16,7 +16,7 @@
 use std::io::Read;
 use std::net::{TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use nm_common::frame::decode_request;
@@ -78,7 +78,12 @@ pub(super) fn udp_reader<P: ServePlane>(shared: Arc<Shared<P>>, sock: Arc<UdpSoc
     let mut asm = shared.new_assembler();
     let mut buf = vec![0u8; 64 * 1024];
     let mut scratch = Vec::new();
-    sock.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+    // A socket that cannot take a read timeout cannot be served without
+    // wedging shutdown on a blocking recv — exit the reader instead of
+    // panicking the thread.
+    if sock.set_read_timeout(Some(IDLE_TICK)).is_err() {
+        return;
+    }
     let mut polling = false;
     loop {
         if shared.shutdown.load(Relaxed) {
@@ -91,15 +96,18 @@ pub(super) fn udp_reader<P: ServePlane>(shared: Arc<Shared<P>>, sock: Arc<UdpSoc
                 continue;
             }
             Some(_) => {
-                if !polling {
-                    sock.set_nonblocking(true).expect("socket mode");
+                // A failed mode toggle leaves the socket blocking-with-
+                // timeout: deadlines then flush up to one IDLE_TICK late,
+                // which beats killing the reader.
+                if !polling && sock.set_nonblocking(true).is_ok() {
                     polling = true;
                 }
             }
             None => {
-                if polling {
-                    sock.set_nonblocking(false).expect("socket mode");
-                    sock.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+                if polling && sock.set_nonblocking(false).is_ok() {
+                    // Toggling clears the timeout on some platforms;
+                    // best-effort restore keeps the shutdown checks live.
+                    sock.set_read_timeout(Some(IDLE_TICK)).ok();
                     polling = false;
                 }
             }
@@ -131,14 +139,18 @@ pub(super) fn udp_reader<P: ServePlane>(shared: Arc<Shared<P>>, sock: Arc<UdpSoc
 /// The TCP acceptor: nonblocking accept loop spawning one reader thread
 /// per connection (thread-per-core pinning round-robins those readers).
 pub(super) fn tcp_acceptor<P: ServePlane>(shared: Arc<Shared<P>>, listener: TcpListener) {
-    listener.set_nonblocking(true).expect("nonblocking listener");
+    // A blocking listener would wedge shutdown inside `accept` — give up
+    // on TCP rather than panic the acceptor thread.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
     while !shared.shutdown.load(Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nodelay(true).ok();
                 let shared2 = shared.clone();
                 let join = std::thread::spawn(move || tcp_conn(shared2, Arc::new(stream)));
-                shared.conn_joins.lock().unwrap().push(join);
+                shared.conn_joins.lock().unwrap_or_else(PoisonError::into_inner).push(join);
             }
             Err(ref e) if is_timeout(e) => std::thread::sleep(IDLE_TICK),
             Err(_) => std::thread::sleep(IDLE_TICK),
@@ -155,7 +167,11 @@ fn tcp_conn<P: ServePlane>(shared: Arc<Shared<P>>, stream: Arc<TcpStream>) {
     let mut buf = [0u8; 16 * 1024];
     let reply = ReplyTo::Tcp(stream.clone());
     let mut scratch = Vec::new();
-    stream.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+    // As in `udp_reader`: without a timeout the shutdown flag is never
+    // rechecked — drop the connection instead of panicking.
+    if stream.set_read_timeout(Some(IDLE_TICK)).is_err() {
+        return;
+    }
     let mut polling = false;
     loop {
         if shared.shutdown.load(Relaxed) {
@@ -167,15 +183,15 @@ fn tcp_conn<P: ServePlane>(shared: Arc<Shared<P>>, stream: Arc<TcpStream>) {
                 continue;
             }
             Some(_) => {
-                if !polling {
-                    stream.set_nonblocking(true).expect("socket mode");
+                // Mode-toggle failures degrade to timeout-blocking reads
+                // (see `udp_reader`).
+                if !polling && stream.set_nonblocking(true).is_ok() {
                     polling = true;
                 }
             }
             None => {
-                if polling {
-                    stream.set_nonblocking(false).expect("socket mode");
-                    stream.set_read_timeout(Some(IDLE_TICK)).expect("nonzero timeout");
+                if polling && stream.set_nonblocking(false).is_ok() {
+                    stream.set_read_timeout(Some(IDLE_TICK)).ok();
                     polling = false;
                 }
             }

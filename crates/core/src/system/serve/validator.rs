@@ -14,7 +14,7 @@
 //! only vouch for what it has a truth for.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use nm_common::classifier::{Classifier, MatchResult};
 use nm_common::update::Generation;
@@ -38,7 +38,7 @@ impl OracleTable {
     /// Publishes the truth for `generation`. Re-publishing a generation
     /// replaces the previous entry.
     pub fn publish(&self, generation: Generation, oracle: LinearSearch) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.retain(|(g, _)| *g != generation);
         inner.push_back((generation, Arc::new(oracle)));
         while inner.len() > self.keep {
@@ -48,12 +48,17 @@ impl OracleTable {
 
     /// The oracle for `generation`, if still retained.
     pub fn get(&self, generation: Generation) -> Option<Arc<LinearSearch>> {
-        self.inner.lock().unwrap().iter().find(|(g, _)| *g == generation).map(|(_, o)| o.clone())
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|(g, _)| *g == generation)
+            .map(|(_, o)| o.clone())
     }
 
     /// Published generations currently retained (oldest first).
     pub fn generations(&self) -> Vec<Generation> {
-        self.inner.lock().unwrap().iter().map(|(g, _)| *g).collect()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).iter().map(|(g, _)| *g).collect()
     }
 }
 

@@ -65,6 +65,7 @@ pub fn classify_forest_batch(
     let mut frontier: Vec<u32> = Vec::with_capacity(CHUNK.min(n));
     let mut scratch = FrontierScratch::default();
     let mut base = 0usize;
+    // nm-lint: hotpath
     while base < n {
         let m = CHUNK.min(n - base);
         for &(tree_best, ti) in order {
@@ -85,4 +86,5 @@ pub fn classify_forest_batch(
         }
         base += m;
     }
+    // nm-lint: end-hotpath
 }

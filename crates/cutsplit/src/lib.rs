@@ -21,6 +21,7 @@
 //! whole batch walks each tree as a prefetched frontier instead of one
 //! pointer chase per key (NeuroCuts shares the same driver).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batched;

@@ -1,0 +1,30 @@
+//! `cargo run -p nm-lint` — walks the workspace sources and enforces the
+//! repo invariants described in `nm_lint`'s crate docs. Exits nonzero with
+//! one line per finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let findings = nm_lint::lint_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("nm-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("nm-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// else the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    }
+}

@@ -1,0 +1,27 @@
+// Fixture: trips no rule — the conventions followed correctly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::AcqRel)
+}
+
+pub fn read_first(xs: &[u32]) -> Option<u32> {
+    if xs.is_empty() {
+        return None;
+    }
+    // SAFETY: emptiness was checked above, so index 0 is in bounds.
+    Some(unsafe { *xs.get_unchecked(0) })
+}
+
+pub fn sum_batches(batches: &[&[u64]]) -> u64 {
+    let mut acc = 0u64;
+    // nm-lint: hotpath
+    for batch in batches {
+        for v in *batch {
+            acc = acc.wrapping_add(*v);
+        }
+    }
+    // nm-lint: end-hotpath
+    acc
+}

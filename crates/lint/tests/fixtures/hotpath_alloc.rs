@@ -1,0 +1,18 @@
+// Fixture: trips `hotpath` exactly once — a per-item allocation inside a
+// marked hotpath region.
+
+pub fn sum_batches(batches: &[&[u64]]) -> u64 {
+    let mut acc = 0u64;
+    // nm-lint: hotpath
+    for batch in batches {
+        let copy = batch.to_vec();
+        acc += copy.iter().sum::<u64>();
+    }
+    // nm-lint: end-hotpath
+    acc
+}
+
+pub fn setup(n: usize) -> Vec<u64> {
+    // Outside the marked region allocation is fine.
+    (0..n as u64).collect()
+}

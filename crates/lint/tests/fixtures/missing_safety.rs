@@ -1,0 +1,12 @@
+// Fixture: trips `missing-safety` exactly once — an unsafe block with no
+// `// SAFETY:` rationale in the comment block above it.
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    // fast path, bounds already checked by the caller
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn read_last(xs: &[u32]) -> u32 {
+    // SAFETY: caller guarantees xs is non-empty.
+    unsafe { *xs.get_unchecked(xs.len() - 1) }
+}

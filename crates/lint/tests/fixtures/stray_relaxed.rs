@@ -1,0 +1,20 @@
+// Fixture: trips `stray-relaxed` exactly once — an Ordering::Relaxed load
+// at a site that no lint-allow.toml entry covers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn peek(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_in_tests_is_fine() {
+        let c = AtomicUsize::new(7);
+        // Test code is exempt from stray-relaxed.
+        assert_eq!(c.load(Ordering::Relaxed), 7);
+    }
+}

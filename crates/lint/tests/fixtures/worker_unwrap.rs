@@ -1,0 +1,22 @@
+// Fixture: trips `worker-panic` exactly once when linted under a
+// crates/core/src/system/runtime/ relative path — an unwrap in worker
+// thread code.
+
+use std::sync::Mutex;
+
+pub fn drain(queue: &Mutex<Vec<u32>>) -> Vec<u32> {
+    let mut guard = queue.lock().unwrap();
+    std::mem::take(&mut *guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let q = Mutex::new(vec![1, 2, 3]);
+        assert_eq!(drain(&q).len(), 3);
+        assert!(q.lock().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Tier-1 test: the repository itself must be lint-clean. This is the same
+//! check `cargo run -p nm-lint` performs in CI, run as a test so plain
+//! `cargo test` enforces the invariants too.
+
+#[test]
+fn repository_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = nm_lint::lint_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "nm-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -1,0 +1,80 @@
+//! Model `thread::spawn`/`join`: spawned closures run on real OS threads,
+//! but only the scheduler's token holder makes progress, and spawn/join
+//! carry the same synchronization edges as `std` (everything the parent saw
+//! is visible to the child; everything the child saw is visible after
+//! join).
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::scheduler::Scheduler;
+use crate::{ctx, run_model_thread};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<Scheduler>,
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+/// Mirrors `std::thread::spawn`. Inside an exploration the child becomes a
+/// model thread scheduled like any other.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some(c) => {
+            let tid = c.sched.register_child(c.tid);
+            let slot = Arc::new(Mutex::new(None));
+            let slot2 = slot.clone();
+            let sched2 = c.sched.clone();
+            let os = std::thread::spawn(move || {
+                run_model_thread(sched2, tid, move || {
+                    let v = f();
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                });
+            });
+            JoinHandle(Inner::Model { sched: c.sched, tid, slot, os })
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread and returns its result. A panicking child fails
+    /// the whole schedule, so unlike `std` this returns `T` directly.
+    pub fn join(self) -> T {
+        match self.0 {
+            Inner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+            Inner::Model { sched, tid, slot, os } => {
+                let c = ctx().expect("model join handles are joined on model threads");
+                sched.step(
+                    c.tid,
+                    false,
+                    |_: &()| format!("join t{tid}"),
+                    |g, me| g.join_try(me, tid),
+                );
+                // The model thread has exited; the OS thread is past its
+                // last decision point and finishes without the token.
+                os.join().ok();
+                let v = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+                v.expect("joined thread finished without panicking")
+            }
+        }
+    }
+}
+
+/// Mirrors `std::thread::yield_now`: a voluntary reschedule point.
+pub fn yield_now() {
+    crate::hint::spin_loop();
+}

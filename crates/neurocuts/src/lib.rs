@@ -20,6 +20,7 @@
 //! The tree substrate (arena, cuts, splits, early-termination bounds) is
 //! shared with `nm-cutsplit`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod policy;

@@ -27,6 +27,7 @@
 //! cascade, and the RQ-RMI error bounds add a unit of slack to absorb exactly
 //! that (see `nuevomatch::rqrmi`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adam;

@@ -22,6 +22,7 @@
 //! One *flow* = one generated header per rule, fixed per trace, exactly like
 //! the paper's rule→five-tuple mapping.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use nm_common::{RuleSet, SplitMix64, TraceBuf};

@@ -21,6 +21,7 @@
 //! current best — the "early termination" contract NuevoMatch relies on
 //! (`classify_with_floor`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hasher;
