@@ -1,39 +1,47 @@
 //! Open-loop tail-latency sweep of the `system::serve` wire front-end.
 //!
-//! Starts the real serving stack — UDP socket, deadline micro-batching
-//! reader, `ClassifierHandle` data plane — on loopback and subjects it to
-//! **open-loop Poisson arrivals** at a sweep of offered loads. Unlike a
-//! closed-loop driver (whose arrival rate collapses when the server slows,
-//! hiding queueing delay — the coordinated-omission trap), the sender here
-//! follows a precomputed arrival schedule regardless of response progress,
-//! and each response's latency is measured from its *scheduled* arrival
-//! time. Queue buildup near saturation therefore shows up where it belongs:
-//! in the tail.
+//! Starts the real serving stack — `SO_REUSEPORT` UDP reader fleet,
+//! deadline micro-batching, `ClassifierHandle` data plane — on loopback
+//! and subjects it to **open-loop Poisson arrivals** at a sweep of offered
+//! loads, once per reader count. Unlike a closed-loop driver (whose
+//! arrival rate collapses when the server slows, hiding queueing delay —
+//! the coordinated-omission trap), the sender here follows a precomputed
+//! arrival schedule regardless of response progress, and each response's
+//! latency is measured from its *scheduled* arrival time. Queue buildup
+//! near saturation therefore shows up where it belongs: in the tail.
 //!
 //! ## Methodology
 //!
 //! * **Baseline**: a closed-loop client measures the per-request wire RTT
 //!   (one in flight; includes the assembly deadline by design, since a
-//!   batch of one only flushes on deadline).
+//!   batch of one only flushes on deadline) against its own dedicated
+//!   server, keeping the swept servers' syscall counters clean.
+//! * **Reader sweep** (`--readers 1,2,4` after `--`, or `NM_READERS`): the
+//!   whole measurement repeats per reader count on a fresh server. Load is
+//!   offered from several client sockets — `SO_REUSEPORT` steers flows by
+//!   4-tuple hash, so a single source port would land every packet on one
+//!   reader.
 //! * **Capacity estimate**: a short open-loop burst offered well past
-//!   saturation; what actually comes back per second is the per-datagram
-//!   service ceiling, and the sweep's offered loads are fractions of it.
-//! * **Sweep**: each point precomputes a Poisson schedule at the offered
-//!   rate, blasts it from a dedicated socket, and bins `recv_time −
-//!   scheduled_send_time` into a log-bucketed `LatencyHistogram`. p50/p99/
-//!   p99.9, loss and throughput land in `BENCH_serve.json` (path override:
-//!   `NM_BENCH_JSON`), one point per line on stdout as `SERVE_BENCH {...}`.
-//! * **Knee**: the first load point whose p99 exceeds 5x the best p99 seen
-//!   across the sweep (or loses > 1% of requests) is the latency knee.
-//! * **Gate** (`NM_STRICT=1`): the best p99 across the sweep must stay
-//!   under 50x the closed-loop p50 — an uncongested tail is a
-//!   batching-logic property, not a capacity property, so it is stable
-//!   enough to gate on (and taking the sweep's best row keeps one noisy
-//!   neighbour-loaded point from failing the build).
+//!   saturation; what actually comes back per second is the service
+//!   ceiling, and the sweep's offered loads are fractions of it.
+//! * **Syscalls per packet**: server-side `recvmmsg`/`sendmmsg` counter
+//!   deltas around each phase, over requests served in that phase. The
+//!   saturated capacity probe is the headline number — batched I/O
+//!   amortizes one receive and one send syscall over up to `max_batch`
+//!   requests, versus ~2.0 for the old per-datagram path.
+//! * **Knee**: the first load point whose p99 exceeds 5x the best p99 of
+//!   its sweep (or loses > 1% of requests) is the latency knee. If the
+//!   fraction sweep tops out under capacity, extra points keep pushing
+//!   past the capacity estimate until the knee fires; a sweep that still
+//!   ends knee-less records an explicit `"knee": "beyond-sweep"` instead
+//!   of a silent null.
+//! * **Gates** (`NM_STRICT=1`): the best p99 across all sweeps must stay
+//!   under 50x the closed-loop p50, and the best probe-phase
+//!   syscalls-per-packet must stay under 0.1 at the default batch of 128.
 //!
 //! ```sh
-//! cargo run -p nm-bench --release --bin serve_bench          # quick scale
-//! NM_SCALE=full cargo run -p nm-bench --release --bin serve_bench
+//! cargo run -p nm-bench --release --bin serve_bench            # quick scale
+//! NM_SCALE=full cargo run -p nm-bench --release --bin serve_bench -- --readers 1,2,4
 //! ```
 
 use std::net::UdpSocket;
@@ -47,7 +55,8 @@ use nm_common::frame::{decode_response, encode_request};
 use nm_common::{LatencyHistogram, SplitMix64};
 use nm_trace::uniform_trace;
 use nm_tuplemerge::TupleMerge;
-use nuevomatch::{ClassifierHandle, ServeClient, ServeConfig, Server, Transport};
+use nuevomatch::system::serve::ReaderKind;
+use nuevomatch::{ClassifierHandle, ServeClient, ServeConfig, ServeStats, Server, Transport};
 
 /// One measured offered-load point.
 struct Point {
@@ -55,19 +64,33 @@ struct Point {
     sent: u64,
     received: u64,
     hist: LatencyHistogram,
+    /// Server-side kernel crossings per request during this point
+    /// (productive recv + send syscall deltas over request deltas).
+    syscalls_per_packet: f64,
+}
+
+/// Kernel crossings per request between two server stats snapshots.
+fn syscall_ratio(before: &ServeStats, after: &ServeStats) -> f64 {
+    let calls =
+        (after.recv_calls + after.send_calls).saturating_sub(before.recv_calls + before.send_calls);
+    let reqs = after.requests.saturating_sub(before.requests);
+    calls as f64 / reqs.max(1) as f64
 }
 
 /// Runs one open-loop point against `addr`: Poisson arrivals at
 /// `rate_pps` for `duration`, latency measured from the scheduled arrival.
+/// Requests round-robin over `socks_n` client sockets so `SO_REUSEPORT`
+/// 4-tuple hashing actually spreads the load across the reader fleet.
 fn open_loop_point(
     addr: std::net::SocketAddr,
     trace: &nm_common::TraceBuf,
     rate_pps: f64,
     duration: f64,
     seed: u64,
-) -> std::io::Result<Point> {
+    socks_n: usize,
+) -> std::io::Result<(u64, u64, LatencyHistogram)> {
     // Precompute the arrival schedule (nanosecond offsets) so the sender
-    // never pauses to draw randomness and the receiver can recover each
+    // never pauses to draw randomness and the receivers can recover each
     // request's scheduled time from its id alone.
     let mut sched = Vec::new();
     let mut rng = SplitMix64::new(seed);
@@ -79,19 +102,25 @@ fn open_loop_point(
     let sched = Arc::new(sched);
     let n = sched.len();
 
-    let sock = Arc::new(UdpSocket::bind(("127.0.0.1", 0))?);
-    sock.connect(addr)?;
+    let socks_n = socks_n.max(1);
+    let mut socks = Vec::with_capacity(socks_n);
+    for _ in 0..socks_n {
+        let s = UdpSocket::bind(("127.0.0.1", 0))?;
+        s.connect(addr)?;
+        socks.push(Arc::new(s));
+    }
     let done = Arc::new(AtomicBool::new(false));
-    // One epoch for both threads — separate `Instant::now()` calls would
-    // skew every latency by the receiver thread's startup time.
+    // One epoch for every thread — separate `Instant::now()` calls would
+    // skew every latency by the receiver threads' startup time.
     let t0 = Instant::now();
 
-    // Receiver: drain responses, bin `now - scheduled` per id.
-    let receiver = {
+    // One receiver per socket: drain responses, bin `now - scheduled`.
+    let mut receivers = Vec::with_capacity(socks_n);
+    for sock in &socks {
         let sock = sock.clone();
         let sched = sched.clone();
         let done = done.clone();
-        std::thread::spawn(move || -> std::io::Result<(u64, LatencyHistogram)> {
+        receivers.push(std::thread::spawn(move || -> std::io::Result<(u64, LatencyHistogram)> {
             sock.set_read_timeout(Some(Duration::from_millis(50)))?;
             let mut hist = LatencyHistogram::new();
             let mut received = 0u64;
@@ -125,8 +154,8 @@ fn open_loop_point(
                     Err(e) => return Err(e),
                 }
             }
-        })
-    };
+        }));
+    }
 
     // Sender: follow the schedule; when behind, send immediately — the
     // backlog is the open-loop signal, not something to absorb.
@@ -152,13 +181,57 @@ fn open_loop_point(
         let k = i % keys;
         wire.clear();
         encode_request(&mut wire, i as u64, &raw[k * stride..(k + 1) * stride]);
-        let _ = sock.send(&wire); // a full socket buffer is loss, counted below
+        let _ = socks[i % socks_n].send(&wire); // a full socket buffer is loss
     }
-    // Give in-flight responses a drain window before stopping the receiver.
+    // Give in-flight responses a drain window before stopping receivers.
     std::thread::sleep(Duration::from_millis(150));
     done.store(true, Relaxed);
-    let (received, hist) = receiver.join().expect("receiver panicked")?;
-    Ok(Point { offered_pps: rate_pps, sent: n as u64, received, hist })
+    let mut received = 0u64;
+    let mut hist = LatencyHistogram::new();
+    for r in receivers {
+        let (got, h) = r.join().expect("receiver panicked")?;
+        received += got;
+        hist.merge(&h);
+    }
+    Ok((n as u64, received, hist))
+}
+
+/// Everything one reader-count's measurement produced.
+struct Sweep {
+    readers: usize,
+    capacity: f64,
+    probe_syscalls_per_packet: f64,
+    points: Vec<Point>,
+    knee: Option<f64>,
+    stats: ServeStats,
+    reader_requests_min: u64,
+    reader_requests_max: u64,
+    reader_p99_min_us: f64,
+    reader_p99_max_us: f64,
+}
+
+/// `--readers a,b,c` (after `--` when run via cargo) or `NM_READERS`.
+fn readers_arg() -> Option<Vec<usize>> {
+    let mut from = None;
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--readers" {
+            from = args.get(i + 1).cloned();
+        }
+    }
+    if from.is_none() {
+        from = std::env::var("NM_READERS").ok();
+    }
+    let list: Vec<usize> = from?
+        .split(',')
+        .filter_map(|x| x.trim().parse().ok())
+        .filter(|&x| (1..=64).contains(&x))
+        .collect();
+    if list.is_empty() {
+        None
+    } else {
+        Some(list)
+    }
 }
 
 fn main() {
@@ -167,6 +240,13 @@ fn main() {
     let point_secs = if s.full { 3.0 } else { 1.0 };
     let fractions: &[f64] =
         if s.full { &[0.1, 0.3, 0.5, 0.7, 0.9, 1.1] } else { &[0.25, 0.5, 0.9] };
+    let readers_list =
+        readers_arg().unwrap_or_else(|| if s.full { vec![1, 2, 4] } else { vec![1, 2] });
+    // Past the fraction sweep, keep pushing the offered load up by 30% a
+    // point until the knee criterion fires (bounded — a sender-bound box
+    // eventually *is* the knee, which the criterion registers as latency
+    // divergence from the schedule).
+    let max_extension_points = 4usize;
 
     let set = generate(AppKind::Acl, n, 0x5e12);
     let trace = uniform_trace(&set, s.trace_len.min(100_000), 0x5e13);
@@ -176,158 +256,313 @@ fn main() {
     let build_s = t_build.elapsed().as_secs_f64();
 
     let cfg = ServeConfig { transport: Transport::Udp, ..ServeConfig::default() };
-    let server = Server::start(handle, &cfg).expect("bind loopback");
-    let addr = server.udp_addr().expect("udp bound");
     println!(
-        "=== serve_bench — open-loop tail latency ({n} rules, udp {addr}, \
-         batch {} / {}us deadline) ===\n",
+        "=== serve_bench — open-loop tail latency ({n} rules, udp, batch {} / {}us deadline, \
+         readers {readers_list:?}) ===\n",
         cfg.max_batch,
         cfg.deadline.as_micros()
     );
 
-    // Closed-loop baseline: one request in flight, wire round-trip.
-    let mut client = ServeClient::udp(addr).expect("client socket");
-    let (raw, stride, keys) = (trace.raw(), trace.stride(), trace.len());
-    let mut closed = LatencyHistogram::new();
-    for i in 0..2_000u64 {
-        let k = (i as usize) % keys;
-        let t = Instant::now();
-        client
-            .call(i, &raw[k * stride..(k + 1) * stride], Duration::from_millis(200))
-            .expect("closed-loop call");
-        closed.record_duration(t.elapsed());
-    }
-    let closed_us = closed.summary_us();
+    // Closed-loop baseline against a dedicated single-reader server: one
+    // request in flight, wire round-trip. Its per-request rhythm would
+    // pollute the swept servers' syscalls-per-packet counters, hence the
+    // separate instance.
+    let closed_us = {
+        let base_cfg = ServeConfig { udp_readers: 1, ..cfg.clone() };
+        let server = Server::start(handle.clone(), &base_cfg).expect("bind loopback");
+        let addr = server.udp_addr().expect("udp bound");
+        let mut client = ServeClient::udp(addr).expect("client socket");
+        let (raw, stride, keys) = (trace.raw(), trace.stride(), trace.len());
+        let mut closed = LatencyHistogram::new();
+        for i in 0..2_000u64 {
+            let k = (i as usize) % keys;
+            let t = Instant::now();
+            client
+                .call(i, &raw[k * stride..(k + 1) * stride], Duration::from_millis(200))
+                .expect("closed-loop call");
+            closed.record_duration(t.elapsed());
+        }
+        server.shutdown();
+        closed.summary_us()
+    };
     println!(
         "closed-loop wire RTT (1 in flight, deadline-bound): p50 {:.1}us  p99 {:.1}us",
         closed_us.p50_us, closed_us.p99_us
     );
 
-    // Capacity estimate: a short *open-loop* probe well past saturation —
-    // what comes back is what the whole serving path (sender syscalls,
-    // reader, classify, receiver) can actually sustain per second. A
-    // closed-loop probe would overestimate: its burst-and-drain rhythm has
-    // a different syscall/context-switch profile than Poisson arrivals.
     let probe_rate = if s.full { 1_000_000.0 } else { 400_000.0 };
-    let probe = open_loop_point(addr, &trace, probe_rate, 0.4, 0x5e1f).expect("capacity probe");
-    let capacity = probe.received as f64 / 0.4;
-    println!("capacity estimate (open-loop probe at {probe_rate:.0e} pps): {capacity:.3e} pps\n");
+    let mut sweeps: Vec<Sweep> = Vec::new();
+    for (sweep_idx, &readers) in readers_list.iter().enumerate() {
+        let scfg = ServeConfig { udp_readers: readers, ..cfg.clone() };
+        let server = Server::start(handle.clone(), &scfg).expect("bind loopback");
+        let addr = server.udp_addr().expect("udp bound");
+        // Several source ports per reader so the kernel's 4-tuple hash has
+        // enough flows to spread — one client socket is one flow and would
+        // land on one reader no matter how many are serving.
+        let socks_n = (readers * 4).clamp(4, 16);
+        let seed0 = 0x5e20 + 0x100 * sweep_idx as u64;
 
-    // The sweep.
-    println!(
-        "{:>12}  {:>10}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}",
-        "offered pps", "received", "loss", "p50 us", "p99 us", "p99.9 us", "mean us"
-    );
-    let mut points = Vec::new();
-    for (i, f) in fractions.iter().enumerate() {
-        let rate = (capacity * f).max(100.0);
-        let p = open_loop_point(addr, &trace, rate, point_secs, 0x5e20 + i as u64)
-            .expect("open-loop point");
-        let u = p.hist.summary_us();
-        let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
+        // Capacity estimate: a short *open-loop* probe well past
+        // saturation — what comes back is what the whole serving path
+        // (sender syscalls, readers, classify, receivers) actually
+        // sustains per second. A closed-loop probe would overestimate: its
+        // burst-and-drain rhythm has a different syscall profile than
+        // Poisson arrivals.
+        let before = server.stats();
+        let (_, probe_received, _) =
+            open_loop_point(addr, &trace, probe_rate, 0.4, seed0 ^ 0x0f, socks_n)
+                .expect("capacity probe");
+        let probe_ratio = syscall_ratio(&before, &server.stats());
+        let capacity = probe_received as f64 / 0.4;
         println!(
-            "{:>12.3e}  {:>10}  {:>7.2}%  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}",
-            p.offered_pps,
-            p.received,
-            loss * 100.0,
-            u.p50_us,
-            u.p99_us,
-            u.p999_us,
-            u.mean_us
+            "\n--- readers {readers}: capacity estimate {capacity:.3e} pps \
+             (probe at {probe_rate:.0e} pps, {probe_ratio:.4} syscalls/pkt) ---"
         );
-        println!(
-            "SERVE_BENCH {{\"offered_pps\":{:.1},\"sent\":{},\"received\":{},\
-             \"loss_fraction\":{:.5},\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\
-             \"mean_us\":{:.1}}}",
-            p.offered_pps, p.sent, p.received, loss, u.p50_us, u.p99_us, u.p999_us, u.mean_us
-        );
-        points.push(p);
-    }
 
-    // Knee: where the tail diverges from the best tail seen across the
-    // sweep. (The best point, not the lowest-load one: a sparse-arrival
-    // point pays full deadline + wakeup jitter per request and is the
-    // noisiest row on a shared box, so anchoring on it misfires both ways.)
-    let base_p99 =
-        points.iter().map(|p| p.hist.summary_us().p99_us).fold(f64::INFINITY, f64::min).max(1.0);
-    let knee = points
-        .iter()
-        .find(|p| {
+        println!(
+            "{:>12}  {:>10}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+            "offered pps", "received", "loss", "p50 us", "p99 us", "p99.9 us", "mean us", "sc/pkt"
+        );
+        let mut points: Vec<Point> = Vec::new();
+        let mut knee: Option<f64> = None;
+        // The planned fractions, then up to `max_extension_points` pushes
+        // past the capacity estimate until the knee fires.
+        let mut offered: Vec<f64> = fractions.iter().map(|f| (capacity * f).max(100.0)).collect();
+        let mut extensions = 0usize;
+        let mut i = 0usize;
+        while i < offered.len() {
+            let rate = offered[i];
+            let before = server.stats();
+            let (sent, received, hist) =
+                open_loop_point(addr, &trace, rate, point_secs, seed0 + i as u64, socks_n)
+                    .expect("open-loop point");
+            let ratio = syscall_ratio(&before, &server.stats());
+            let p = Point { offered_pps: rate, sent, received, hist, syscalls_per_packet: ratio };
             let u = p.hist.summary_us();
             let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
-            u.p99_us > 5.0 * base_p99 || loss > 0.01
-        })
-        .map(|p| p.offered_pps);
-    match knee {
-        Some(k) => println!("\np99 knee: offered load {k:.3e} pps (>5x low-load p99 or >1% loss)"),
-        None => println!("\np99 knee: not reached within the swept loads"),
+            println!(
+                "{:>12.3e}  {:>10}  {:>7.2}%  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.4}",
+                p.offered_pps,
+                p.received,
+                loss * 100.0,
+                u.p50_us,
+                u.p99_us,
+                u.p999_us,
+                u.mean_us,
+                p.syscalls_per_packet
+            );
+            println!(
+                "SERVE_BENCH {{\"readers\":{readers},\"offered_pps\":{:.1},\"sent\":{},\
+                 \"received\":{},\"loss_fraction\":{:.5},\"p50_us\":{:.1},\"p99_us\":{:.1},\
+                 \"p999_us\":{:.1},\"mean_us\":{:.1},\"syscalls_per_packet\":{:.4}}}",
+                p.offered_pps,
+                p.sent,
+                p.received,
+                loss,
+                u.p50_us,
+                u.p99_us,
+                u.p999_us,
+                u.mean_us,
+                p.syscalls_per_packet
+            );
+            points.push(p);
+
+            // Knee: where the tail diverges from the best tail seen so
+            // far in this sweep (the best point, not the lowest-load one:
+            // a sparse-arrival point pays full deadline + wakeup jitter
+            // per request and is the noisiest row on a shared box).
+            let base_p99 = points
+                .iter()
+                .map(|p| p.hist.summary_us().p99_us)
+                .fold(f64::INFINITY, f64::min)
+                .max(1.0);
+            knee = points
+                .iter()
+                .find(|p| {
+                    let u = p.hist.summary_us();
+                    let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
+                    u.p99_us > 5.0 * base_p99 || loss > 0.01
+                })
+                .map(|p| p.offered_pps);
+            i += 1;
+            // Fraction sweep exhausted without a knee: keep offering more.
+            if i == offered.len() && knee.is_none() && extensions < max_extension_points {
+                let last = offered.last().copied().unwrap_or(capacity);
+                offered.push(last.max(capacity) * 1.3);
+                extensions += 1;
+            }
+        }
+        match knee {
+            Some(k) => {
+                println!("p99 knee: offered load {k:.3e} pps (>5x best p99 or >1% loss)");
+            }
+            None => println!(
+                "p99 knee: beyond-sweep (not reached within {} points, {} past capacity)",
+                points.len(),
+                extensions
+            ),
+        }
+
+        // Per-reader spread before shutdown folds the slots: a heavily
+        // skewed UDP reader means flow steering (or the client's source
+        // port spread) is off.
+        let udp_readers: Vec<ServeStats> = server
+            .per_reader_stats()
+            .into_iter()
+            .filter(|(kind, _)| *kind == ReaderKind::Udp)
+            .map(|(_, st)| st)
+            .collect();
+        let reader_requests_min = udp_readers.iter().map(|r| r.requests).min().unwrap_or(0);
+        let reader_requests_max = udp_readers.iter().map(|r| r.requests).max().unwrap_or(0);
+        let reader_p99_min_us = udp_readers
+            .iter()
+            .map(|r| r.latency.summary_us().p99_us)
+            .fold(f64::INFINITY, f64::min)
+            .min(1e12);
+        let reader_p99_max_us =
+            udp_readers.iter().map(|r| r.latency.summary_us().p99_us).fold(0.0, f64::max);
+        let stats = server.shutdown();
+        let server_us = stats.latency.summary_us();
+        println!(
+            "server-side over the whole sweep: p50 {:.1}us  p99 {:.1}us  ({} batches: {} full / \
+             {} deadline; {} recv + {} send syscalls for {} requests = {:.4}/pkt; reader \
+             requests {}..{})",
+            server_us.p50_us,
+            server_us.p99_us,
+            stats.batches,
+            stats.full_flushes,
+            stats.deadline_flushes,
+            stats.recv_calls,
+            stats.send_calls,
+            stats.requests,
+            stats.syscalls_per_packet(),
+            reader_requests_min,
+            reader_requests_max,
+        );
+        sweeps.push(Sweep {
+            readers,
+            capacity,
+            probe_syscalls_per_packet: probe_ratio,
+            points,
+            knee,
+            stats,
+            reader_requests_min,
+            reader_requests_max,
+            reader_p99_min_us,
+            reader_p99_max_us,
+        });
     }
 
-    let stats = server.shutdown();
-    let server_us = stats.latency.summary_us();
-    println!(
-        "server-side service latency over the whole run: p50 {:.1}us  p99 {:.1}us  \
-         ({} batches: {} full / {} deadline flushes)",
-        server_us.p50_us,
-        server_us.p99_us,
-        stats.batches,
-        stats.full_flushes,
-        stats.deadline_flushes
-    );
-
-    // Gate: the best p99 across the sweep against the closed-loop
-    // baseline — a systematic tail blowup (busted deadline loop, reader
-    // busy-spin regression) inflates every point, while one noisy row
-    // (CI neighbours) shouldn't fail the build.
-    let low_p99 = base_p99;
+    // Gates. Tail gate: the best p99 across every sweep against the
+    // closed-loop baseline — a systematic tail blowup (busted deadline
+    // loop, reader busy-spin regression) inflates every point, while one
+    // noisy row (CI neighbours) shouldn't fail the build. Syscall gate:
+    // the best saturated-probe ratio must show the recvmmsg/sendmmsg
+    // amortization (< 0.1 crossings per packet at the default batch 128).
+    let best_p99 = sweeps
+        .iter()
+        .flat_map(|sw| sw.points.iter())
+        .map(|p| p.hist.summary_us().p99_us)
+        .fold(f64::INFINITY, f64::min)
+        .max(1.0);
     let gate = 50.0 * closed_us.p50_us;
-    let pass = low_p99 <= gate;
+    let tail_pass = best_p99 <= gate;
+    println!(
+        "\n{}",
+        if tail_pass {
+            format!("PASS: best p99 {best_p99:.1}us <= 50x closed-loop p50 ({gate:.1}us)")
+        } else {
+            format!("WARN: best p99 {best_p99:.1}us exceeds 50x closed-loop p50 ({gate:.1}us)")
+        }
+    );
+    let best_probe_ratio =
+        sweeps.iter().map(|sw| sw.probe_syscalls_per_packet).fold(f64::INFINITY, f64::min);
+    let syscall_pass = best_probe_ratio < 0.1;
     println!(
         "{}",
-        if pass {
-            format!("PASS: best p99 {low_p99:.1}us <= 50x closed-loop p50 ({gate:.1}us)")
+        if syscall_pass {
+            format!("PASS: saturated syscalls-per-packet {best_probe_ratio:.4} < 0.1")
         } else {
-            format!("WARN: best p99 {low_p99:.1}us exceeds 50x closed-loop p50 ({gate:.1}us)")
+            format!("WARN: saturated syscalls-per-packet {best_probe_ratio:.4} >= 0.1")
         }
     );
 
     // Machine-readable artifact for CI (NM_BENCH_JSON overrides the path).
     let json_path =
         std::env::var("NM_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
-    let mut pts = String::new();
-    for (i, p) in points.iter().enumerate() {
-        let u = p.hist.summary_us();
-        let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
-        if i > 0 {
-            pts.push(',');
+    let mut sweeps_json = String::new();
+    for (si, sw) in sweeps.iter().enumerate() {
+        let mut pts = String::new();
+        for (i, p) in sw.points.iter().enumerate() {
+            let u = p.hist.summary_us();
+            let loss = 1.0 - p.received as f64 / p.sent.max(1) as f64;
+            if i > 0 {
+                pts.push(',');
+            }
+            pts.push_str(&format!(
+                "{{\"offered_pps\":{:.1},\"sent\":{},\"received\":{},\"loss_fraction\":{:.5},\
+                 \"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"mean_us\":{:.1},\
+                 \"syscalls_per_packet\":{:.4}}}",
+                p.offered_pps,
+                p.sent,
+                p.received,
+                loss,
+                u.p50_us,
+                u.p99_us,
+                u.p999_us,
+                u.mean_us,
+                p.syscalls_per_packet
+            ));
         }
-        pts.push_str(&format!(
-            "{{\"offered_pps\":{:.1},\"sent\":{},\"received\":{},\"loss_fraction\":{:.5},\
-             \"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"mean_us\":{:.1}}}",
-            p.offered_pps, p.sent, p.received, loss, u.p50_us, u.p99_us, u.p999_us, u.mean_us
+        let server_us = sw.stats.latency.summary_us();
+        if si > 0 {
+            sweeps_json.push(',');
+        }
+        sweeps_json.push_str(&format!(
+            "{{\"readers\":{},\"capacity_est_pps\":{:.1},\
+             \"probe_syscalls_per_packet\":{:.4},\"points\":[{}],\
+             \"knee_offered_pps\":{},\"knee\":\"{}\",\
+             \"server_p50_us\":{:.1},\"server_p99_us\":{:.1},\"server_batches\":{},\
+             \"recv_calls\":{},\"empty_recv_calls\":{},\"send_calls\":{},\
+             \"syscalls_per_packet\":{:.4},\
+             \"reader_requests_min\":{},\"reader_requests_max\":{},\
+             \"reader_p99_min_us\":{:.1},\"reader_p99_max_us\":{:.1}}}",
+            sw.readers,
+            sw.capacity,
+            sw.probe_syscalls_per_packet,
+            pts,
+            sw.knee.map_or("null".to_string(), |k| format!("{k:.1}")),
+            if sw.knee.is_some() { "at-offered" } else { "beyond-sweep" },
+            server_us.p50_us,
+            server_us.p99_us,
+            sw.stats.batches,
+            sw.stats.recv_calls,
+            sw.stats.empty_recv_calls,
+            sw.stats.send_calls,
+            sw.stats.syscalls_per_packet(),
+            sw.reader_requests_min,
+            sw.reader_requests_max,
+            sw.reader_p99_min_us,
+            sw.reader_p99_max_us,
         ));
     }
     let artifact = format!(
         "{{\"rules\":{n},\"build_s\":{build_s:.3},\"transport\":\"udp\",\"max_batch\":{},\
          \"deadline_us\":{},\"closed_loop_p50_us\":{:.1},\"closed_loop_p99_us\":{:.1},\
-         \"capacity_est_pps\":{capacity:.1},\"points\":[{pts}],\"knee_offered_pps\":{},\
-         \"server_p50_us\":{:.1},\"server_p99_us\":{:.1},\"server_batches\":{},\
-         \"gate_p99_us_max\":{gate:.1},\"gate_pass\":{pass}}}\n",
+         \"sweeps\":[{sweeps_json}],\"best_syscalls_per_packet\":{best_probe_ratio:.4},\
+         \"gate_p99_us_max\":{gate:.1},\"gate_pass\":{tail_pass},\
+         \"syscall_gate_pass\":{syscall_pass}}}\n",
         cfg.max_batch,
         cfg.deadline.as_micros(),
         closed_us.p50_us,
         closed_us.p99_us,
-        knee.map_or("null".to_string(), |k| format!("{k:.1}")),
-        server_us.p50_us,
-        server_us.p99_us,
-        stats.batches,
     );
     match std::fs::write(&json_path, &artifact) {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(e) => println!("\nWARN: could not write {json_path}: {e}"),
     }
 
-    if !pass && std::env::var("NM_STRICT").as_deref() == Ok("1") {
+    if !(tail_pass && syscall_pass) && std::env::var("NM_STRICT").as_deref() == Ok("1") {
         std::process::exit(1);
     }
 }

@@ -35,6 +35,7 @@ USAGE:
                  [--retrain-every R] [--batch B] [--json true]     # wire service + live updates
                  [--listen IP:PORT] [--transport udp|tcp|both] [--max-batch N]
                  [--deadline-us D] [--validate-every N]            # micro-batching + oracle
+                 [--udp-readers N]                                 # SO_REUSEPORT reader fleet
                  [--shards S] [--pin true|false]                   # sharded handle replicas
   nmctl update-bench <rules.cb> [--seconds S] [--update-rate U] [--retrain-every R]
                  [--batch B] [--json true] [--bench-json PATH]     # measured Figure 7 curve
@@ -56,8 +57,13 @@ serving: serve binds real loopback sockets (--listen, port 0 = ephemeral):
         length-prefixed key frames in, (rule, priority, generation) verdicts
         out. Requests micro-batch per reader — flush at --max-batch or after
         --deadline-us, whichever first — and every batch classifies against
-        one pinned generation. --readers K drives K loopback clients;
-        --json reports measured p50/p99/p99.9 wire service latency. Debug
+        one pinned generation. --udp-readers N serves UDP from N reader
+        threads, each on a private SO_REUSEPORT socket with batched
+        recvmmsg/sendmmsg I/O (the kernel hashes flows across them; falls
+        back to one shared socket where REUSEPORT is unavailable).
+        --readers K drives K loopback *client* threads against the service;
+        --json reports measured p50/p99/p99.9 wire service latency plus
+        syscalls-per-packet and the per-UDP-reader request spread. Debug
         builds replay 1 in --validate-every verdicts against a LinearSearch
         oracle at the pinned generation (mismatches must be 0).
 ";
@@ -445,6 +451,10 @@ struct WireOutcome {
     udp_addr: Option<std::net::SocketAddr>,
     tcp_addr: Option<std::net::SocketAddr>,
     tcp_drivers: usize,
+    /// Per-UDP-reader snapshots (taken before shutdown), for the spread
+    /// report — a skewed reader is a flow-steering problem percentile
+    /// folds would hide.
+    udp_reader_stats: Vec<nuevomatch::ServeStats>,
 }
 
 /// One loopback load-driver thread: windows of trace keys out, verdicts
@@ -539,6 +549,12 @@ where
             driver_timeouts += t;
         }
     });
+    let udp_reader_stats = server
+        .per_reader_stats()
+        .into_iter()
+        .filter(|(kind, _)| *kind == nuevomatch::system::serve::ReaderKind::Udp)
+        .map(|(_, st)| st)
+        .collect();
     let stats = server.shutdown();
     Ok(WireOutcome {
         stats,
@@ -549,6 +565,7 @@ where
         udp_addr,
         tcp_addr,
         tcp_drivers,
+        udp_reader_stats,
     })
 }
 
@@ -579,6 +596,7 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
         max_batch: a.num_or("max-batch", 128usize)?.max(1),
         deadline: std::time::Duration::from_micros(a.num_or("deadline-us", 20u64)?),
         stride: set.num_fields(),
+        udp_readers: a.num_or("udp-readers", 1usize)?.clamp(1, 64),
         pin,
         ..ServeConfig::default()
     };
@@ -692,15 +710,20 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
     } else {
         0
     };
+    let reader_requests_min = wire.udp_reader_stats.iter().map(|r| r.requests).min().unwrap_or(0);
+    let reader_requests_max = wire.udp_reader_stats.iter().map(|r| r.requests).max().unwrap_or(0);
     if json {
         return Ok(format!(
             "{{\"engine\":\"nm-tm\",\"rules\":{},\"build_s\":{:.3},\"readers\":{},\"seconds\":{:.3},\
              \"packets\":{},\"pps\":{:.1},\"update_rate\":{:.1},\"updates_applied\":{},\
              \"generation\":{},\"retrains\":{},\"remainder_fraction\":{:.4},\
-             \"shards\":{},\"pinned_readers\":{},\
+             \"shards\":{},\"pinned_readers\":{},\"udp_readers\":{},\
              \"transport\":\"{}\",\"max_batch\":{},\"deadline_us\":{},\
              \"served\":{},\"driver_timeouts\":{},\"batches\":{},\"full_flushes\":{},\
              \"deadline_flushes\":{},\"drain_flushes\":{},\"decode_errors\":{},\
+             \"recv_calls\":{},\"empty_recv_calls\":{},\"send_calls\":{},\
+             \"syscalls_per_packet\":{:.4},\
+             \"reader_requests_min\":{},\"reader_requests_max\":{},\
              \"validated\":{},\"oracle_skipped\":{},\"mismatches\":{},\
              \"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"mean_us\":{:.1}}}\n",
             set.len(),
@@ -716,6 +739,7 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
             serve.remainder_fraction(),
             shards,
             pinned_readers,
+            scfg.udp_readers,
             scfg.transport,
             scfg.max_batch,
             scfg.deadline.as_micros(),
@@ -726,6 +750,12 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
             stats.deadline_flushes,
             stats.drain_flushes,
             stats.decode_errors,
+            stats.recv_calls,
+            stats.empty_recv_calls,
+            stats.send_calls,
+            stats.syscalls_per_packet(),
+            reader_requests_min,
+            reader_requests_max,
             stats.validated,
             stats.oracle_skipped,
             stats.mismatches,
@@ -741,6 +771,8 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
         "served {} verdicts over {:.2}s on the wire (udp {} / tcp {}, {} shard(s)): {:.3e} pps\n\
          {} loopback drivers, window {}; {} batches ({} full / {} deadline / {} drain), \
          {} decode errors\n\
+         syscalls: {} recv + {} send for {} requests = {:.4}/pkt \
+         ({} udp reader(s), requests {}..{})\n\
          service latency: p50 {:.1}us  p99 {:.1}us  p99.9 {:.1}us  mean {:.1}us\n\
          updates applied: {} ({:.0}/s target) -> generation {}\n\
          retrains completed: {}   remainder fraction now: {:.1}%\n\
@@ -759,6 +791,13 @@ fn cmd_serve(a: &Args) -> Result<String, String> {
         stats.deadline_flushes,
         stats.drain_flushes,
         stats.decode_errors,
+        stats.recv_calls,
+        stats.send_calls,
+        stats.requests,
+        stats.syscalls_per_packet(),
+        scfg.udp_readers,
+        reader_requests_min,
+        reader_requests_max,
         lat.p50_us,
         lat.p99_us,
         lat.p999_us,
@@ -1043,6 +1082,8 @@ mod tests {
             "0.4",
             "--readers",
             "2",
+            "--udp-readers",
+            "2",
             "--update-rate",
             "500",
             "--retrain-every",
@@ -1055,6 +1096,10 @@ mod tests {
         assert!(out.contains("updates applied"), "{out}");
         assert!(out.contains("retrains completed"), "{out}");
         assert!(out.contains("service latency:"), "{out}");
+        // The batched-I/O accounting line: recv/send syscalls plus the
+        // per-UDP-reader request spread across the SO_REUSEPORT fleet.
+        assert!(out.contains("syscalls:"), "{out}");
+        assert!(out.contains("2 udp reader(s)"), "{out}");
         // Debug builds sample served verdicts against the oracle at the
         // pinned generation; any disagreement is a torn generation.
         assert!(out.contains(", 0 mismatches"), "oracle mismatches: {out}");
@@ -1195,6 +1240,8 @@ mod tests {
             "0.4",
             "--readers",
             "2",
+            "--udp-readers",
+            "2",
             "--update-rate",
             "500",
             "--retrain-every",
@@ -1211,6 +1258,7 @@ mod tests {
         for field in [
             "\"shards\":2",
             "\"pinned_readers\":",
+            "\"udp_readers\":2",
             "\"generation\":",
             "\"retrains\":",
             "\"transport\":\"both\"",
@@ -1219,6 +1267,12 @@ mod tests {
             "\"p99_us\":",
             "\"p999_us\":",
             "\"mean_us\":",
+            "\"recv_calls\":",
+            "\"empty_recv_calls\":",
+            "\"send_calls\":",
+            "\"syscalls_per_packet\":",
+            "\"reader_requests_min\":",
+            "\"reader_requests_max\":",
             "\"mismatches\":0",
         ] {
             assert!(out.contains(field), "sharded serve missing {field}: {out}");

@@ -75,7 +75,8 @@ pub use system::runtime::{
     PinPolicy, RunStats, Runtime, RuntimeConfig, ShardedClassifier, ShardedHandle, Topology,
 };
 pub use system::serve::{
-    OracleTable, PinnedPlane, ServeClient, ServeConfig, ServePlane, ServeStats, Server, Transport,
+    OracleTable, PinnedPlane, ReaderKind, ServeClient, ServeConfig, ServePlane, ServeStats, Server,
+    Transport,
 };
 pub use system::{
     ClassifierHandle, FlowCache, LookupBreakdown, NmSnapshot, NuevoMatch, PartialRetrainReport,

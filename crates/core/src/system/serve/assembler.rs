@@ -7,9 +7,10 @@
 //! flush) and the reply sockets. A flush pins exactly one generation from
 //! the [`ServePlane`], classifies the whole batch against it, and writes
 //! `(rule, priority, generation)` responses back, coalescing consecutive
-//! frames to the same destination into one write.
+//! frames to the same destination into runs and pushing all runs with
+//! batched syscalls — one `sendmmsg(2)` per UDP socket, one gathered
+//! `writev(2)` per TCP stream (see [`super::sysio`]).
 
-use std::io::Write;
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -19,15 +20,16 @@ use nm_common::frame::encode_response;
 
 use super::plane::{PinnedPlane, ServePlane};
 use super::stats::{FlushCause, ServeStats};
+use super::sysio::{self, SendRing};
 use super::validator::Validator;
 
-/// Where a response frame goes. UDP replies address the shared socket;
-/// TCP replies write to the connection's stream (`&TcpStream: Write`, and
-/// each connection is owned by exactly one reader thread, so writes never
-/// interleave).
+/// Where a response frame goes. UDP replies go out on the reader's own
+/// socket (private under `SO_REUSEPORT`, shared on the fallback path);
+/// TCP replies write to the connection's stream. Each connection is owned
+/// by exactly one reader thread, so writes never interleave.
 #[derive(Clone)]
 pub enum ReplyTo {
-    /// Reply via `send_to` on the (shared) serving socket.
+    /// Reply on the reader's serving socket to the recorded peer.
     Udp(Arc<UdpSocket>, SocketAddr),
     /// Reply on the connection's own stream.
     Tcp(Arc<TcpStream>),
@@ -40,42 +42,6 @@ impl ReplyTo {
             (ReplyTo::Udp(_, a), ReplyTo::Udp(_, b)) => a == b,
             (ReplyTo::Tcp(a), ReplyTo::Tcp(b)) => Arc::ptr_eq(a, b),
             _ => false,
-        }
-    }
-
-    fn send(&self, bytes: &[u8]) -> std::io::Result<()> {
-        match self {
-            ReplyTo::Udp(sock, peer) => sock.send_to(bytes, peer).map(|_| ()),
-            // The conn reader flips its fd nonblocking while assembling, so
-            // a full send buffer surfaces as `WouldBlock` mid-write; spin
-            // the write through — the peer is draining, and dropping a
-            // partial frame would desynchronise the whole stream.
-            ReplyTo::Tcp(stream) => {
-                let mut off = 0;
-                while off < bytes.len() {
-                    match (&**stream).write(&bytes[off..]) {
-                        Ok(0) => {
-                            return Err(std::io::Error::new(
-                                std::io::ErrorKind::WriteZero,
-                                "peer stopped reading",
-                            ))
-                        }
-                        Ok(n) => off += n,
-                        Err(ref e)
-                            if matches!(
-                                e.kind(),
-                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                            ) =>
-                        {
-                            // Yield: the peer needs CPU to drain its side.
-                            std::thread::yield_now();
-                        }
-                        Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                        Err(e) => return Err(e),
-                    }
-                }
-                Ok(())
-            }
         }
     }
 }
@@ -96,11 +62,28 @@ pub struct Assembler<P: ServePlane> {
     pending: Vec<Pending>,
     out: Vec<Option<MatchResult>>,
     wire: Vec<u8>,
+    /// Coalesced response runs of the current flush:
+    /// `(req_start, req_end, byte_start, byte_end)` — requests
+    /// `req_start..req_end` share one destination and their frames occupy
+    /// `wire[byte_start..byte_end]`.
+    runs: Vec<(usize, usize, usize, usize)>,
+    /// Scratch for one `sendmmsg` group: `(byte_start, byte_end, dest)`.
+    udp_out: Vec<(usize, usize, SocketAddr)>,
+    /// Request count per entry of `udp_out` (send-error accounting).
+    udp_counts: Vec<u64>,
+    /// Scratch for one `writev` group: byte ranges on one stream.
+    tcp_out: Vec<(usize, usize)>,
+    send_ring: SendRing,
     validator: Validator,
     stats_slot: Arc<Mutex<ServeStats>>,
     /// Counters accumulated outside flushes (decode errors), folded into
     /// the slot on the next flush.
     pub decode_errors: u64,
+    /// Productive receive syscalls, bumped by the owning reader and folded
+    /// into the slot on the next flush.
+    pub recv_calls: u64,
+    /// Empty receive syscalls (busy-poll probes / idle ticks), likewise.
+    pub empty_recv_calls: u64,
     requests: u64,
 }
 
@@ -125,9 +108,16 @@ impl<P: ServePlane> Assembler<P> {
             pending: Vec::with_capacity(max_batch),
             out: vec![None; max_batch],
             wire: Vec::with_capacity(4096),
+            runs: Vec::with_capacity(max_batch),
+            udp_out: Vec::with_capacity(max_batch),
+            udp_counts: Vec::with_capacity(max_batch),
+            tcp_out: Vec::with_capacity(max_batch),
+            send_ring: SendRing::new(max_batch),
             validator,
             stats_slot,
             decode_errors: 0,
+            recv_calls: 0,
+            empty_recv_calls: 0,
             requests: 0,
         }
     }
@@ -167,13 +157,21 @@ impl<P: ServePlane> Assembler<P> {
         let n = self.pending.len();
         if n == 0 {
             // Still fold carried counters (decoded-but-not-flushed
-            // requests never exist; decode errors can).
-            if self.decode_errors > 0 || self.requests > 0 {
+            // requests never exist; decode errors and syscalls can).
+            if self.decode_errors > 0
+                || self.requests > 0
+                || self.recv_calls > 0
+                || self.empty_recv_calls > 0
+            {
                 let mut stats = self.stats_slot.lock().unwrap_or_else(PoisonError::into_inner);
                 stats.requests += self.requests;
                 stats.decode_errors += self.decode_errors;
+                stats.recv_calls += self.recv_calls;
+                stats.empty_recv_calls += self.empty_recv_calls;
                 self.requests = 0;
                 self.decode_errors = 0;
+                self.recv_calls = 0;
+                self.empty_recv_calls = 0;
             }
             return;
         }
@@ -183,24 +181,25 @@ impl<P: ServePlane> Assembler<P> {
         out.fill(None);
         pin.classify_batch(&self.keys, self.stride, out);
 
-        // Write responses, coalescing consecutive same-destination frames
-        // into one datagram / stream write.
-        let mut send_errors = 0u64;
+        // Encode the whole flush into one wire buffer, coalescing
+        // consecutive same-destination frames into runs (one datagram /
+        // one gathered stream range per run).
+        self.wire.clear();
+        self.runs.clear();
         let mut start = 0usize;
         while start < n {
             let mut end = start + 1;
             while end < n && self.pending[end].reply.same_dest(&self.pending[start].reply) {
                 end += 1;
             }
-            self.wire.clear();
+            let byte_start = self.wire.len();
             for i in start..end {
                 encode_response(&mut self.wire, self.pending[i].id, self.out[i], generation);
             }
-            if self.pending[start].reply.send(&self.wire).is_err() {
-                send_errors += (end - start) as u64;
-            }
+            self.runs.push((start, end, byte_start, self.wire.len()));
             start = end;
         }
+        let (send_calls, send_errors) = self.dispatch_runs();
 
         // Latency accounting + the debug oracle sample, under one stats
         // lock acquisition per flush.
@@ -209,10 +208,15 @@ impl<P: ServePlane> Assembler<P> {
             let mut stats = self.stats_slot.lock().unwrap_or_else(PoisonError::into_inner);
             stats.requests += self.requests;
             stats.decode_errors += self.decode_errors;
+            stats.recv_calls += self.recv_calls;
+            stats.empty_recv_calls += self.empty_recv_calls;
+            stats.send_calls += send_calls;
             stats.send_errors += send_errors;
             self.requests = 0;
             self.decode_errors = 0;
-            stats.count_flush(cause, n - send_errors as usize);
+            self.recv_calls = 0;
+            self.empty_recv_calls = 0;
+            stats.count_flush(cause, n.saturating_sub(send_errors as usize));
             for (i, p) in self.pending.iter().enumerate() {
                 stats.latency.record_duration(done.duration_since(p.arrived));
                 if self.validator.sample() {
@@ -225,5 +229,74 @@ impl<P: ServePlane> Assembler<P> {
         }
         self.keys.clear();
         self.pending.clear();
+    }
+
+    /// Pushes the encoded runs to the wire with batched syscalls:
+    /// consecutive UDP runs on the same socket go out in one
+    /// `sendmmsg(2)` (one datagram per run), consecutive TCP runs on the
+    /// same stream in one gathered `writev(2)`. Returns
+    /// `(send_calls, send_errors)` — syscalls used and requests whose
+    /// response could not be delivered.
+    fn dispatch_runs(&mut self) -> (u64, u64) {
+        let mut send_calls = 0u64;
+        let mut send_errors = 0u64;
+        let mut r = 0usize;
+        while r < self.runs.len() {
+            let (req_start, ..) = self.runs[r];
+            match &self.pending[req_start].reply {
+                ReplyTo::Udp(sock, _) => {
+                    let sock = sock.clone();
+                    self.udp_out.clear();
+                    self.udp_counts.clear();
+                    while r < self.runs.len() {
+                        let (rs, re, bs, be) = self.runs[r];
+                        match &self.pending[rs].reply {
+                            ReplyTo::Udp(s2, peer) if Arc::ptr_eq(&sock, s2) => {
+                                self.udp_out.push((bs, be, *peer));
+                                self.udp_counts.push((re - rs) as u64);
+                                r += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let counts = &self.udp_counts;
+                    let mut failed = 0u64;
+                    send_calls += sysio::send_udp_runs(
+                        &sock,
+                        &self.wire,
+                        &self.udp_out,
+                        &mut self.send_ring,
+                        &mut |i| failed += counts.get(i).copied().unwrap_or(0),
+                    );
+                    send_errors += failed;
+                }
+                ReplyTo::Tcp(stream) => {
+                    let stream = stream.clone();
+                    self.tcp_out.clear();
+                    let mut group_reqs = 0u64;
+                    while r < self.runs.len() {
+                        let (rs, re, bs, be) = self.runs[r];
+                        match &self.pending[rs].reply {
+                            ReplyTo::Tcp(s2) if Arc::ptr_eq(&stream, s2) => {
+                                self.tcp_out.push((bs, be));
+                                group_reqs += (re - rs) as u64;
+                                r += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    match sysio::write_gathered(
+                        &stream,
+                        &self.wire,
+                        &self.tcp_out,
+                        &mut self.send_ring,
+                    ) {
+                        Ok(calls) => send_calls += calls,
+                        Err(_) => send_errors += group_reqs,
+                    }
+                }
+            }
+        }
+        (send_calls, send_errors)
     }
 }

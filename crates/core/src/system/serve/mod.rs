@@ -32,13 +32,14 @@ pub mod assembler;
 pub mod client;
 pub mod plane;
 pub mod stats;
+pub mod sysio;
 pub mod transport;
 pub mod validator;
 
 pub use assembler::{Assembler, ReplyTo};
 pub use client::ServeClient;
 pub use plane::{PinnedPlane, ServePlane, ShardedPin};
-pub use stats::{FlushCause, ServeStats};
+pub use stats::{FlushCause, ReaderKind, ServeStats};
 pub use validator::{OracleTable, Validator};
 
 use std::net::{SocketAddr, TcpListener, UdpSocket};
@@ -116,7 +117,11 @@ pub struct ServeConfig {
     /// Key words per request frame (requests with any other width are
     /// decode errors).
     pub stride: usize,
-    /// Reader threads sharing the UDP socket.
+    /// UDP reader threads. Each gets a *private* socket bound to the same
+    /// address via `SO_REUSEPORT` (the kernel hashes flows across them, so
+    /// every reader owns an independent receive queue); when `SO_REUSEPORT`
+    /// is unavailable the readers share one socket like the pre-REUSEPORT
+    /// front-end.
     pub udp_readers: usize,
     /// Pin reader threads round-robin over the NUMA topology (no-ops on a
     /// single-CPU box).
@@ -151,17 +156,18 @@ pub(crate) struct Shared<P: ServePlane> {
     pub(crate) cfg: ServeConfig,
     pub(crate) oracle: Arc<OracleTable>,
     pub(crate) shutdown: AtomicBool,
-    slots: Mutex<Vec<Arc<Mutex<ServeStats>>>>,
+    slots: Mutex<Vec<(stats::ReaderKind, Arc<Mutex<ServeStats>>)>>,
     pub(crate) conn_joins: Mutex<Vec<JoinHandle<()>>>,
     cpus: Vec<usize>,
     next_cpu: AtomicUsize,
 }
 
 impl<P: ServePlane> Shared<P> {
-    /// Builds one assembler wired to a fresh registered stats slot.
-    pub(crate) fn new_assembler(self: &Arc<Self>) -> Assembler<P> {
+    /// Builds one assembler wired to a fresh registered stats slot tagged
+    /// with the owning reader's kind.
+    pub(crate) fn new_assembler(self: &Arc<Self>, kind: stats::ReaderKind) -> Assembler<P> {
         let slot = Arc::new(Mutex::new(ServeStats::new()));
-        self.slots.lock().unwrap_or_else(PoisonError::into_inner).push(slot.clone());
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner).push((kind, slot.clone()));
         Assembler::new(
             self.plane.clone(),
             self.cfg.max_batch,
@@ -219,11 +225,19 @@ impl<P: ServePlane> Server<P> {
         let mut udp_addr = None;
         let mut tcp_addr = None;
         if cfg.transport.udp() {
-            let sock = Arc::new(UdpSocket::bind(cfg.listen)?);
-            udp_addr = Some(sock.local_addr()?);
-            for _ in 0..cfg.udp_readers.max(1) {
+            let n = cfg.udp_readers.max(1);
+            // One private SO_REUSEPORT socket per reader; the helper falls
+            // back to a single shared socket when REUSEPORT is unavailable
+            // (readers then cycle over that one fd like the old front-end).
+            let socks: Vec<Arc<UdpSocket>> =
+                sysio::bind_udp_reader_sockets(cfg.listen, n)?.into_iter().map(Arc::new).collect();
+            udp_addr = match socks.first() {
+                Some(s) => Some(s.local_addr()?),
+                None => None,
+            };
+            for i in 0..n {
                 let shared2 = shared.clone();
-                let sock2 = sock.clone();
+                let sock2 = socks[i % socks.len()].clone();
                 joins.push(std::thread::spawn(move || transport::udp_reader(shared2, sock2)));
             }
         }
@@ -261,10 +275,28 @@ impl<P: ServePlane> Server<P> {
     /// A point-in-time fold of every reader thread's statistics.
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::new();
-        for slot in self.shared.slots.lock().unwrap_or_else(PoisonError::into_inner).iter() {
+        for (_, slot) in self.shared.slots.lock().unwrap_or_else(PoisonError::into_inner).iter() {
             total.merge(&slot.lock().unwrap_or_else(PoisonError::into_inner));
         }
         total
+    }
+
+    /// A point-in-time snapshot of each reader thread's own statistics,
+    /// tagged with the reader kind. The fleet-wide fold is
+    /// [`Server::stats`]; this view exposes the per-reader spread — a
+    /// heavily skewed UDP reader means `SO_REUSEPORT` flow steering (or
+    /// the client's source-port spread) is off, which percentiles alone
+    /// would hide.
+    pub fn per_reader_stats(&self) -> Vec<(ReaderKind, ServeStats)> {
+        self.shared
+            .slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(kind, slot)| {
+                (*kind, slot.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            })
+            .collect()
     }
 
     fn stop(&mut self) {

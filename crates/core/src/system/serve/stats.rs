@@ -2,6 +2,18 @@
 
 use nm_common::LatencyHistogram;
 
+/// What kind of reader thread a stats slot belongs to — UDP readers own a
+/// (usually private `SO_REUSEPORT`) datagram socket, TCP readers own one
+/// connection. Per-reader reporting filters on this: a skewed UDP reader
+/// is a flow-steering bug, a skewed TCP reader is just an idle connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReaderKind {
+    /// A datagram reader (one per `ServeConfig::udp_readers`).
+    Udp,
+    /// A per-connection stream reader.
+    Tcp,
+}
+
 /// Why an assembler flushed a batch into the data plane.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlushCause {
@@ -33,6 +45,18 @@ pub struct ServeStats {
     /// Malformed frames (bad length, wrong key width) dropped without a
     /// response. A bad frame poisons the rest of its datagram/stream read.
     pub decode_errors: u64,
+    /// Productive receive syscalls — `recvmmsg`/`read` calls that returned
+    /// at least one datagram / some bytes. One call can carry a whole
+    /// batch, which is exactly the amortization being measured.
+    pub recv_calls: u64,
+    /// Receive syscalls that returned nothing (busy-poll probes and idle
+    /// ticks). Reported separately from [`ServeStats::recv_calls`]: their
+    /// cost is bounded by the deadline and the idle tick, not the packet
+    /// rate, so they do not belong in the per-packet ratio.
+    pub empty_recv_calls: u64,
+    /// Send syscalls — `sendmmsg`/`writev` (or fallback `sendto`/`write`)
+    /// calls that pushed response runs to the wire.
+    pub send_calls: u64,
     /// Response writes that failed (peer gone).
     pub send_errors: u64,
     /// Requests replayed against the oracle by the debug validator.
@@ -73,10 +97,23 @@ impl ServeStats {
         self.deadline_flushes += other.deadline_flushes;
         self.drain_flushes += other.drain_flushes;
         self.decode_errors += other.decode_errors;
+        self.recv_calls += other.recv_calls;
+        self.empty_recv_calls += other.empty_recv_calls;
+        self.send_calls += other.send_calls;
         self.send_errors += other.send_errors;
         self.validated += other.validated;
         self.oracle_skipped += other.oracle_skipped;
         self.mismatches += other.mismatches;
         self.latency.merge(&other.latency);
+    }
+
+    /// Kernel crossings per served request: productive receive plus send
+    /// syscalls over decoded requests. The paper-shaped target is well
+    /// under 1.0 — batched I/O amortizes one `recvmmsg` and one `sendmmsg`
+    /// over up to `max_batch` requests, versus ~2.0 for the per-datagram
+    /// `recvfrom`/`sendto` path. Empty busy-poll probes are excluded (see
+    /// [`ServeStats::empty_recv_calls`]).
+    pub fn syscalls_per_packet(&self) -> f64 {
+        (self.recv_calls + self.send_calls) as f64 / self.requests.max(1) as f64
     }
 }

@@ -1,17 +1,24 @@
 //! Socket transports: UDP datagram readers and the TCP acceptor /
 //! per-connection readers. Loopback-testable with nothing beyond
-//! `std::net`.
+//! `std::net` (plus the raw batched syscalls in [`super::sysio`]).
 //!
 //! Every reader thread owns one [`Assembler`] and enforces the
 //! micro-batching deadline with a two-mode read loop: **idle** (no pending
-//! requests) blocks in `recv` with a short timeout so shutdown is always
-//! noticed, while **assembling** (a partial batch waiting) busy-polls a
-//! nonblocking read and flushes the instant the deadline passes. The poll
-//! is mandatory for a microsecond deadline — `SO_RCVTIMEO` rounds up to
-//! kernel scheduler ticks (milliseconds), which would stretch a 20µs
-//! deadline by 100x — and its cost is bounded by the deadline itself.
-//! This keeps the hot path one thread per socket with zero cross-thread
-//! queues — the batch *is* the queue.
+//! requests) blocks for the first datagram with a short timeout so
+//! shutdown is always noticed, while **assembling** (a partial batch
+//! waiting) busy-polls nonblocking and flushes the instant the deadline
+//! passes. The poll is mandatory for a microsecond deadline —
+//! `SO_RCVTIMEO` rounds up to kernel scheduler ticks (milliseconds),
+//! which would stretch a 20µs deadline by 100x — and its cost is bounded
+//! by the deadline itself.
+//!
+//! UDP readers each own a *private* `SO_REUSEPORT` fd (the kernel hashes
+//! flows across them) and drain up to a whole batch per `recvmmsg(2)`
+//! through a reader-owned [`RecvRing`] — both loop modes are expressed as
+//! per-call `MSG_WAITFORONE`/`MSG_DONTWAIT` flags, so the fd's blocking
+//! mode is never toggled and readers never coordinate. This keeps the hot
+//! path one thread per socket with zero cross-thread queues — the batch
+//! *is* the queue.
 
 use std::io::Read;
 use std::net::{TcpListener, TcpStream, UdpSocket};
@@ -23,7 +30,8 @@ use nm_common::frame::decode_request;
 
 use super::assembler::{Assembler, ReplyTo};
 use super::plane::ServePlane;
-use super::stats::FlushCause;
+use super::stats::{FlushCause, ReaderKind};
+use super::sysio::RecvRing;
 use super::Shared;
 
 /// How often an idle reader re-checks shutdown.
@@ -68,15 +76,18 @@ fn feed<P: ServePlane>(
     Ok(off)
 }
 
-/// One UDP reader: multiple readers may share the socket; the kernel
-/// load-balances `recv_from` wakeups across them. (With several readers
-/// the blocking-mode toggles race on the shared fd; the loop treats a
-/// spurious `WouldBlock` exactly like a timeout, so the race only costs an
-/// extra loop iteration.)
+/// One UDP reader over its own fd (private under `SO_REUSEPORT`; the
+/// shared-socket fallback also lands here — per-call `MSG_DONTWAIT`
+/// flags mean there is no fd mode state to race on, the kernel just
+/// load-balances wakeups).
+///
+/// The ring drains up to `max_batch` datagrams per `recvmmsg(2)`; the
+/// decode loop between the `nm-lint: hotpath` markers reuses the ring,
+/// the assembler and the scratch buffer — no allocation per drain.
 pub(super) fn udp_reader<P: ServePlane>(shared: Arc<Shared<P>>, sock: Arc<UdpSocket>) {
     shared.pin_next_cpu();
-    let mut asm = shared.new_assembler();
-    let mut buf = vec![0u8; 64 * 1024];
+    let mut asm = shared.new_assembler(ReaderKind::Udp);
+    let mut ring = RecvRing::new(shared.cfg.max_batch.clamp(1, 128));
     let mut scratch = Vec::new();
     // A socket that cannot take a read timeout cannot be served without
     // wedging shutdown on a blocking recv — exit the reader instead of
@@ -84,47 +95,47 @@ pub(super) fn udp_reader<P: ServePlane>(shared: Arc<Shared<P>>, sock: Arc<UdpSoc
     if sock.set_read_timeout(Some(IDLE_TICK)).is_err() {
         return;
     }
-    let mut polling = false;
     loop {
         if shared.shutdown.load(Relaxed) {
             asm.flush(FlushCause::Drain);
             return;
         }
-        match asm.time_left(Instant::now()) {
+        let block = match asm.time_left(Instant::now()) {
             Some(left) if left.is_zero() => {
                 asm.flush(FlushCause::Deadline);
                 continue;
             }
-            Some(_) => {
-                // A failed mode toggle leaves the socket blocking-with-
-                // timeout: deadlines then flush up to one IDLE_TICK late,
-                // which beats killing the reader.
-                if !polling && sock.set_nonblocking(true).is_ok() {
-                    polling = true;
-                }
-            }
-            None => {
-                if polling && sock.set_nonblocking(false).is_ok() {
-                    // Toggling clears the timeout on some platforms;
-                    // best-effort restore keeps the shutdown checks live.
-                    sock.set_read_timeout(Some(IDLE_TICK)).ok();
-                    polling = false;
-                }
-            }
-        }
-        match sock.recv_from(&mut buf) {
-            Ok((n, peer)) => {
+            // Assembling: nonblocking drains only; the deadline above
+            // bounds how long this busy-poll can run.
+            Some(_) => false,
+            // Idle: block for the first datagram (SO_RCVTIMEO keeps the
+            // shutdown checks live), then grab whatever else is queued.
+            None => true,
+        };
+        match ring.recv(&sock, block) {
+            Ok(count) => {
                 let arrived = Instant::now();
-                let reply = ReplyTo::Udp(sock.clone(), peer);
-                match feed(&mut asm, &shared, &buf[..n], &reply, arrived, &mut scratch) {
-                    // A truncated tail cannot complete in a later
-                    // datagram — datagrams are self-contained.
-                    Ok(used) if used < n => asm.decode_errors += 1,
-                    _ => {}
+                asm.recv_calls += 1;
+                // nm-lint: hotpath
+                for d in 0..count {
+                    let (bytes, peer) = ring.datagram(d);
+                    let Some(peer) = peer else {
+                        asm.decode_errors += 1;
+                        continue;
+                    };
+                    let reply = ReplyTo::Udp(sock.clone(), peer);
+                    match feed(&mut asm, &shared, bytes, &reply, arrived, &mut scratch) {
+                        // A truncated tail cannot complete in a later
+                        // datagram — datagrams are self-contained.
+                        Ok(used) if used < bytes.len() => asm.decode_errors += 1,
+                        _ => {}
+                    }
                 }
+                // nm-lint: end-hotpath
             }
             Err(ref e) if is_timeout(e) => {
-                if polling {
+                asm.empty_recv_calls += 1;
+                if !block {
                     // Yield rather than spin: on a loaded (or single-CPU)
                     // box the sender needs this core to produce the very
                     // packets we are polling for.
@@ -162,7 +173,7 @@ pub(super) fn tcp_acceptor<P: ServePlane>(shared: Arc<Shared<P>>, listener: TcpL
 /// complete frames to its assembler, drains on EOF / error / shutdown.
 fn tcp_conn<P: ServePlane>(shared: Arc<Shared<P>>, stream: Arc<TcpStream>) {
     shared.pin_next_cpu();
-    let mut asm = shared.new_assembler();
+    let mut asm = shared.new_assembler(ReaderKind::Tcp);
     let mut carry: Vec<u8> = Vec::new();
     let mut buf = [0u8; 16 * 1024];
     let reply = ReplyTo::Tcp(stream.clone());
@@ -200,6 +211,7 @@ fn tcp_conn<P: ServePlane>(shared: Arc<Shared<P>>, stream: Arc<TcpStream>) {
             Ok(0) => break,
             Ok(n) => {
                 let arrived = Instant::now();
+                asm.recv_calls += 1;
                 carry.extend_from_slice(&buf[..n]);
                 match feed(&mut asm, &shared, &carry, &reply, arrived, &mut scratch) {
                     Ok(used) => {
@@ -210,6 +222,7 @@ fn tcp_conn<P: ServePlane>(shared: Arc<Shared<P>>, stream: Arc<TcpStream>) {
                 }
             }
             Err(ref e) if is_timeout(e) => {
+                asm.empty_recv_calls += 1;
                 if polling {
                     // See the UDP reader: yield so the peer can run.
                     std::thread::yield_now();

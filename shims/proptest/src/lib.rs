@@ -86,6 +86,46 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u64, u32, u16, u8, usize);
 
+/// Types with a full-range strategy via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The unconstrained strategy for `T` — mirrors `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
 macro_rules! tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -192,7 +232,7 @@ impl Default for ProptestConfig {
 
 /// The common imports: strategy machinery plus the assertion macros.
 pub mod prelude {
-    pub use crate::{collection, ProptestConfig, Strategy};
+    pub use crate::{any, collection, Arbitrary, ProptestConfig, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
 }
 

@@ -26,8 +26,8 @@ use nm_common::{
 };
 use nm_tuplemerge::TupleMerge;
 use nuevomatch::{
-    ClassifierHandle, NuevoMatchConfig, OracleTable, RqRmiParams, ServeClient, ServeConfig, Server,
-    ShardedHandle, Transport,
+    ClassifierHandle, NuevoMatchConfig, OracleTable, ReaderKind, RqRmiParams, ServeClient,
+    ServeConfig, Server, ShardedHandle, Transport,
 };
 
 const N_RULES: u16 = 300;
@@ -224,4 +224,231 @@ fn sharded_plane_serves_coherent_epochs_over_the_wire() {
     assert!(total_checked.load(SeqCst) > 10, "too few checked: {}", total_checked.load(SeqCst));
     assert_eq!(stats.mismatches, 0, "torn epoch on the sharded plane: {stats:?}");
     assert!(stats.validated > 0, "validator never sampled: {stats:?}");
+}
+
+/// The `SO_REUSEPORT` reader fleet: at 1, 2 and 4 UDP readers (each with
+/// a private socket when the platform supports `SO_REUSEPORT`, a shared
+/// one otherwise), concurrent clients from distinct source ports classify
+/// through the batched `recvmmsg`/`sendmmsg` path while updates and a
+/// retrain land mid-run. The bar is the same as the single-reader test:
+/// every verdict exact at its reported generation, zero server-side
+/// validator mismatches, zero decode errors.
+#[test]
+fn reuseport_reader_fleet_serves_exact_generations() {
+    let set = base_set();
+    for readers in [1usize, 2, 4] {
+        let handle = ClassifierHandle::new(&set, &cfg(), TupleMerge::build).expect("build");
+        let scfg = ServeConfig {
+            transport: Transport::Udp,
+            max_batch: 32,
+            deadline: Duration::from_micros(50),
+            udp_readers: readers,
+            validate_every: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(handle.clone(), &scfg).expect("bind");
+        let addr = server.udp_addr().expect("udp bound");
+        let oracle = server.oracle();
+
+        let history: History = Arc::new(Mutex::new(HashMap::new()));
+        let mut truth: Vec<Rule> = set.rules().to_vec();
+        publish(&oracle, &history, &truth, handle.generation());
+
+        let stop = AtomicBool::new(false);
+        let total_served = AtomicU64::new(0);
+        let total_checked = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            // Two clients per reader: each client socket binds its own
+            // ephemeral source port, so the kernel's REUSEPORT flow hash
+            // has enough distinct 4-tuples to exercise several sockets.
+            for _ in 0..readers * 2 {
+                let (history, stop) = (&history, &stop);
+                let (total_served, total_checked) = (&total_served, &total_checked);
+                scope.spawn(move || {
+                    let (served, checked) = checking_client(addr, true, history, stop);
+                    total_served.fetch_add(served, SeqCst);
+                    total_checked.fetch_add(checked, SeqCst);
+                });
+            }
+
+            let mut rng = SplitMix64::new(0x5e_7000 + readers as u64);
+            for round in 0..16 {
+                let batch = drift(&mut truth, &mut rng, 8);
+                handle.apply(&batch);
+                publish(&oracle, &history, &truth, handle.generation());
+                if round == 8 {
+                    handle.retrain().expect("mid-run retrain");
+                    publish(&oracle, &history, &truth, handle.generation());
+                }
+                std::thread::sleep(Duration::from_millis(4));
+            }
+            std::thread::sleep(Duration::from_millis(40));
+            stop.store(true, SeqCst);
+        });
+
+        let per_reader = server.per_reader_stats();
+        let stats = server.shutdown();
+        let served = total_served.load(SeqCst);
+        assert!(served > 50, "readers={readers}: clients barely ran ({served} responses)");
+        assert!(total_checked.load(SeqCst) > 20, "readers={readers}: too few generation checks");
+        assert_eq!(stats.mismatches, 0, "readers={readers}: oracle mismatches: {stats:?}");
+        assert!(stats.validated > 0, "readers={readers}: validator never sampled");
+        assert_eq!(stats.decode_errors, 0, "readers={readers}: decode errors: {stats:?}");
+        assert!(stats.responses >= served, "readers={readers}: responses undercounted");
+        // Every reader registered exactly one tagged stats slot, and the
+        // fleet-wide fold equals the per-reader sum.
+        let udp_slots: Vec<_> =
+            per_reader.iter().filter(|(kind, _)| *kind == ReaderKind::Udp).collect();
+        assert_eq!(udp_slots.len(), readers, "readers={readers}: wrong slot count");
+        let slot_requests: u64 = udp_slots.iter().map(|(_, st)| st.requests).sum();
+        assert!(
+            slot_requests <= stats.requests,
+            "readers={readers}: per-reader sum {slot_requests} > fold {}",
+            stats.requests
+        );
+    }
+}
+
+/// Malformed datagrams — truncated headers, bad lengths, oversized length
+/// words, partial frame tails — must count as decode errors, never panic
+/// a reader, and never wedge service for well-formed requests that follow.
+#[test]
+fn malformed_datagrams_are_counted_and_service_survives() {
+    let set = base_set();
+    let handle = ClassifierHandle::new(&set, &cfg(), TupleMerge::build).expect("build");
+    let scfg = ServeConfig {
+        transport: Transport::Udp,
+        max_batch: 16,
+        deadline: Duration::from_micros(50),
+        udp_readers: 2,
+        validate_every: 0,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(handle, &scfg).expect("bind");
+    let addr = server.udp_addr().expect("udp bound");
+
+    let junk = std::net::UdpSocket::bind("127.0.0.1:0").expect("junk socket");
+    // Truncated length word.
+    junk.send_to(&[0xff, 0xff], addr).expect("send");
+    // Body length 13: not 8 + 8n.
+    let mut bad = 13u32.to_le_bytes().to_vec();
+    bad.extend_from_slice(&[0u8; 16]);
+    junk.send_to(&bad, addr).expect("send");
+    // Oversized length word (caps before allocating).
+    junk.send_to(&u32::MAX.to_le_bytes(), addr).expect("send");
+    // A valid frame followed by a truncated sibling in the same datagram:
+    // datagrams are self-contained, the tail cannot complete later.
+    let mut mixed = Vec::new();
+    nm_common::frame::encode_request(&mut mixed, 1, &[0, 0, 0, 100, 0]);
+    mixed.extend_from_slice(&44u32.to_le_bytes());
+    mixed.extend_from_slice(&[0u8; 3]);
+    junk.send_to(&mixed, addr).expect("send");
+
+    // Well-formed requests still get exact answers on the same port.
+    let mut client = ServeClient::udp(addr).expect("client");
+    let truth = LinearSearch::from_rules(set.rules().to_vec());
+    let mut answered = 0u64;
+    for i in 0..64u64 {
+        let key = [0u64, 0, 0, (i * 37) % 65_536, 0];
+        match client.call(i, &key, Duration::from_millis(500)) {
+            Ok(frame) => {
+                assert_eq!(frame.verdict, truth.classify(&key), "verdict for {key:?}");
+                answered += 1;
+            }
+            Err(ref e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => panic!("client i/o: {e}"),
+        }
+    }
+    assert!(answered > 32, "service wedged after junk: {answered}/64 answered");
+
+    let stats = server.shutdown();
+    // The three broken datagrams plus the truncated tail each count once;
+    // loopback may drop some under pressure, but at least one must land.
+    assert!(stats.decode_errors >= 1, "junk not counted: {stats:?}");
+    assert!(stats.decode_errors <= 4, "over-counted: {stats:?}");
+    assert_eq!(stats.mismatches, 0, "{stats:?}");
+}
+
+/// Property fuzz for the wire decoders the batched data path leans on:
+/// arbitrary bytes never panic, and a stream of valid frames cut at any
+/// byte boundary (a `recvmmsg` datagram edge or a TCP short read) decodes
+/// exactly once per frame once the carry is re-spliced.
+mod frame_fuzz {
+    use nm_common::frame::{decode_request, decode_response, encode_request};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+        /// Total on arbitrary input: decode either consumes a bounded
+        /// prefix, reports "partial", or errors — it never panics and
+        /// never claims more bytes than it was given.
+        #[test]
+        fn decode_request_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut keys = Vec::new();
+            match decode_request(&bytes, &mut keys) {
+                Ok(Some((head, used))) => {
+                    prop_assert!(used <= bytes.len());
+                    prop_assert_eq!(keys.len(), head.fields);
+                }
+                Ok(None) => prop_assert!(keys.is_empty()),
+                Err(_) => {}
+            }
+        }
+
+        /// Total on arbitrary response bytes (the client side of the
+        /// batched `sendmmsg` path).
+        #[test]
+        fn decode_response_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = decode_response(&bytes);
+        }
+
+        /// Frames survive an arbitrary cut: decode the prefix, carry the
+        /// partial tail, splice the remainder — every frame comes back
+        /// exactly once, ids/widths/keys intact.
+        #[test]
+        fn batched_frames_survive_arbitrary_cuts(
+            frames in proptest::collection::vec(
+                (any::<u64>(), proptest::collection::vec(any::<u64>(), 1..8)),
+                1..10,
+            ),
+            cut_seed in any::<u64>(),
+        ) {
+            let mut wire = Vec::new();
+            for (id, key) in &frames {
+                encode_request(&mut wire, *id, key);
+            }
+            let cut = (cut_seed as usize) % (wire.len() + 1);
+
+            let mut keys = Vec::new();
+            let mut heads = Vec::new();
+            let mut off = 0usize;
+            // First "datagram": everything before the cut.
+            while let Some((head, used)) = decode_request(&wire[off..cut], &mut keys).unwrap() {
+                heads.push(head);
+                off += used;
+            }
+            // Carry the partial tail into the second read, TCP-style.
+            let mut carry = wire[off..cut].to_vec();
+            carry.extend_from_slice(&wire[cut..]);
+            let mut off2 = 0usize;
+            while let Some((head, used)) = decode_request(&carry[off2..], &mut keys).unwrap() {
+                heads.push(head);
+                off2 += used;
+            }
+            prop_assert_eq!(off2, carry.len(), "undecoded tail");
+            prop_assert_eq!(heads.len(), frames.len());
+            for (head, (id, key)) in heads.iter().zip(&frames) {
+                prop_assert_eq!(head.id, *id);
+                prop_assert_eq!(head.fields, key.len());
+            }
+            let expect: Vec<u64> =
+                frames.iter().flat_map(|(_, k)| k.iter().copied()).collect();
+            prop_assert_eq!(keys, expect);
+        }
+    }
 }
